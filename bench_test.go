@@ -1,0 +1,470 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablations of the design choices called out in
+// DESIGN.md and micro-benchmarks of the model's hot paths.
+//
+// The experiment benchmarks report the reproduced headline quantity of
+// their artifact as a custom metric (recovery ratios, burst reduction
+// factors, step counts) so `go test -bench` output doubles as a results
+// table. Engines are memoized across iterations, so the first iteration
+// pays the market construction cost and later ones measure the
+// experiment itself.
+package magus_test
+
+import (
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/core"
+	"magus/internal/experiments"
+	"magus/internal/geo"
+	"magus/internal/hybrid"
+	"magus/internal/migrate"
+	"magus/internal/netmodel"
+	"magus/internal/outageplan"
+	"magus/internal/propagation"
+	"magus/internal/search"
+	"magus/internal/signaling"
+	"magus/internal/terrain"
+	"magus/internal/testbed"
+	"magus/internal/topology"
+	"magus/internal/upgrade"
+	"magus/internal/utility"
+)
+
+var benchSeeds = []int64{1}
+
+// BenchmarkTable1 regenerates Table 1 (recovery ratio per area class,
+// upgrade scenario and tuning method).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.RunTable1(experiments.Table1Options{Seeds: benchSeeds})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tab.MeanByClass(topology.Suburban, core.Joint), "suburban-joint-recovery")
+		b.ReportMetric(tab.MeanByClass(topology.Rural, core.PowerOnly), "rural-power-recovery")
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2 (cross-utility recovery matrix).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.RunTable2(benchSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(tab.Recovery["performance"]["performance"], "perf-opt-perf-recovery")
+		b.ReportMetric(tab.Recovery["coverage"]["coverage"], "cov-opt-cov-recovery")
+	}
+}
+
+// BenchmarkFigure2Scenario1 regenerates the 2-eNodeB testbed experiment.
+func BenchmarkFigure2Scenario1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := testbed.RunScenario(testbed.Scenario1(), testbed.Config{Seed: benchSeeds[0]}, testbed.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RecoveryRatio(), "recovery")
+	}
+}
+
+// BenchmarkFigure2Scenario2 regenerates the 3-eNodeB interference-aware
+// testbed experiment.
+func BenchmarkFigure2Scenario2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := testbed.RunScenario(testbed.Scenario2(), testbed.Config{Seed: benchSeeds[0]}, testbed.RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.RecoveryRatio(), "recovery")
+	}
+}
+
+// BenchmarkFigure8InterfererCounts regenerates the per-class density
+// statistics and coverage maps.
+func BenchmarkFigure8InterfererCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure8(benchSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range fig.Rows {
+			b.ReportMetric(float64(r.InterferingSectors), r.Class.String()+"-interferers")
+		}
+	}
+}
+
+// BenchmarkFigure10RuralLimit regenerates the rural +10 dB boost
+// demonstration.
+func BenchmarkFigure10RuralLimit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure10(benchSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.RecoveredFraction, "coverage-recovered")
+	}
+}
+
+// BenchmarkFigure11GradualTuning regenerates the gradual-vs-one-shot
+// migration comparison.
+func BenchmarkFigure11GradualTuning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure11(benchSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.BurstReductionFactor, "burst-reduction-x")
+		b.ReportMetric(fig.Gradual.SeamlessFraction(), "seamless-fraction")
+	}
+}
+
+// BenchmarkFigure12Convergence regenerates the strategy convergence
+// comparison.
+func BenchmarkFigure12Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure12(benchSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(fig.IdealizedSteps), "idealized-steps")
+		b.ReportMetric(float64(fig.RealisticMeasurements), "realistic-measurements")
+	}
+}
+
+// BenchmarkFigure13ImprovementCDF regenerates the Magus-vs-naive
+// improvement ratio distribution.
+func BenchmarkFigure13ImprovementCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := experiments.RunFigure13(experiments.Figure13Options{Seeds: benchSeeds})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Summary.Mean, "mean-improvement")
+		b.ReportMetric(fig.FractionAtLeastNaive, "fraction-at-least-naive")
+	}
+}
+
+// BenchmarkCalendar regenerates the Section 1 planned-upgrade calendar
+// statistics.
+func BenchmarkCalendar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cal := experiments.RunCalendar(benchSeeds[0])
+		b.ReportMetric(cal.Stats.TueFriRatio, "tue-fri-ratio")
+	}
+}
+
+// BenchmarkMaps regenerates the Figure 3/4/5/7 map renderings.
+func BenchmarkMaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		maps, err := experiments.RunMaps(benchSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(maps.ServedFraction, "served-fraction")
+	}
+}
+
+// benchScenario prepares a reusable suburban upgrade for the ablation
+// and micro benchmarks.
+func benchScenario(b *testing.B) (*core.Engine, *core.Plan) {
+	b.Helper()
+	engine, err := experiments.BuildEngine(benchSeeds[0], experiments.DefaultAreaSpec(topology.Suburban))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := engine.Mitigate(upgrade.SingleSector, core.PowerOnly, utility.Performance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return engine, plan
+}
+
+// BenchmarkAblationPruning compares Algorithm 1 with the paper's
+// candidate pruning against a variant that evaluates every neighbor
+// each iteration (DESIGN.md ablation 1).
+func BenchmarkAblationPruning(b *testing.B) {
+	engine, plan := benchScenario(b)
+	for _, mode := range []struct {
+		name      string
+		noPruning bool
+	}{{"pruned", false}, {"unpruned", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			evals := 0
+			for i := 0; i < b.N; i++ {
+				work := plan.Upgrade.Clone()
+				res, err := search.Power(work, engine.Before, plan.Neighbors,
+					search.Options{NoPruning: mode.noPruning})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evals = res.Evaluations
+				b.ReportMetric(res.FinalUtility, "final-utility")
+			}
+			b.ReportMetric(float64(evals), "model-evaluations")
+		})
+	}
+}
+
+// BenchmarkAblationIncremental compares the incremental single-sector
+// re-evaluation against a full model recomputation per change
+// (DESIGN.md ablation 2).
+func BenchmarkAblationIncremental(b *testing.B) {
+	engine, plan := benchScenario(b)
+	neighbor := plan.Neighbors[0]
+	b.Run("incremental", func(b *testing.B) {
+		st := engine.Before.Clone()
+		delta := 1.0
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Apply(config.Change{Sector: neighbor, PowerDelta: delta}); err != nil {
+				b.Fatal(err)
+			}
+			delta = -delta
+		}
+	})
+	b.Run("full-recompute", func(b *testing.B) {
+		cfg := engine.Before.Cfg.Clone()
+		delta := 1.0
+		for i := 0; i < b.N; i++ {
+			cfg.AdjustPower(neighbor, delta)
+			_ = engine.Model.NewState(cfg.Clone())
+			delta = -delta
+		}
+	})
+}
+
+// BenchmarkAblationGradualStepSize sweeps the gradual migration's
+// per-step power reduction (DESIGN.md ablation 4): finer steps trade
+// migration length for smaller handover bursts.
+func BenchmarkAblationGradualStepSize(b *testing.B) {
+	engine, err := experiments.BuildEngine(benchSeeds[0], experiments.DefaultAreaSpec(topology.Suburban))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := engine.Mitigate(upgrade.FullSite, core.Joint, utility.Performance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, step := range []float64{1, 3, 6} {
+		b.Run(map[float64]string{1: "1dB", 3: "3dB", 6: "6dB"}[step], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mig, err := plan.GradualMigration(migrate.Options{TargetStepDB: step})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(mig.MaxSimultaneousHandovers, "max-burst")
+				b.ReportMetric(float64(len(mig.Steps)), "steps")
+			}
+		})
+	}
+}
+
+// BenchmarkModelBuild measures analysis-model construction (grid +
+// contributor entries) for a suburban area.
+func BenchmarkModelBuild(b *testing.B) {
+	engine, _ := benchScenario(b)
+	region := engine.Net.Bounds
+	for i := 0; i < b.N; i++ {
+		_, err := netmodel.NewModel(engine.Net, engine.SPM, region,
+			netmodel.Params{CellSizeM: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStateApplyPower measures the incremental power-change fast
+// path, the innermost operation of every search.
+func BenchmarkStateApplyPower(b *testing.B) {
+	engine, plan := benchScenario(b)
+	st := engine.Before.Clone()
+	neighbor := plan.Neighbors[0]
+	delta := 1.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Apply(config.Change{Sector: neighbor, PowerDelta: delta}); err != nil {
+			b.Fatal(err)
+		}
+		delta = -delta
+	}
+}
+
+// BenchmarkStateApplyTilt measures the tilt-change path (full antenna
+// re-evaluation per entry).
+func BenchmarkStateApplyTilt(b *testing.B) {
+	engine, plan := benchScenario(b)
+	st := engine.Before.Clone()
+	neighbor := plan.Neighbors[0]
+	delta := 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Apply(config.Change{Sector: neighbor, TiltDelta: delta}); err != nil {
+			b.Fatal(err)
+		}
+		delta = -delta
+	}
+}
+
+// BenchmarkUtilityEval measures one overall-utility evaluation with the
+// per-grid memo warm.
+func BenchmarkUtilityEval(b *testing.B) {
+	engine, _ := benchScenario(b)
+	st := engine.Before.Clone()
+	st.Utility(utility.Performance)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = st.Utility(utility.Performance)
+	}
+}
+
+// BenchmarkTestbedMeasure measures one second of simulated TTI-level
+// proportional-fair scheduling on the LTE testbed.
+func BenchmarkTestbedMeasure(b *testing.B) {
+	sc := testbed.Scenario2()
+	tb, err := testbed.New(testbed.Config{Seed: 1}, sc.ENodeBs, sc.UEs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tb.Measure(1)
+	}
+}
+
+// BenchmarkExtensionHybrid measures the hybrid model+feedback evaluation
+// at the default 4 dB model error.
+func BenchmarkExtensionHybrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := hybrid.Run(hybrid.Config{Seed: benchSeeds[0], Class: topology.Suburban,
+			RegionSpanM: 6000, CellSizeM: 200})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.HybridSteps), "k-steps")
+		b.ReportMetric(float64(res.FeedbackOnlySteps), "K-steps")
+	}
+}
+
+// BenchmarkExtensionOutagePlan measures precomputing outage responses
+// for the tuning-area sectors.
+func BenchmarkExtensionOutagePlan(b *testing.B) {
+	engine, _ := benchScenario(b)
+	for i := 0; i < b.N; i++ {
+		p, err := outageplan.New(engine, nil, outageplan.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(p.Covered())), "sectors-covered")
+	}
+}
+
+// BenchmarkExtensionSignaling measures the signaling-queue replay of a
+// migration plan.
+func BenchmarkExtensionSignaling(b *testing.B) {
+	engine, err := experiments.BuildEngine(benchSeeds[0], experiments.DefaultAreaSpec(topology.Suburban))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := engine.Mitigate(upgrade.FullSite, core.Joint, utility.Performance)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gradual, err := plan.GradualMigration(migrate.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	oneShot, err := plan.OneShotMigration(migrate.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, o, err := signaling.Compare(gradual, oneShot, signaling.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.FailureFraction(), "gradual-failure-frac")
+		b.ReportMetric(o.FailureFraction(), "oneshot-failure-frac")
+	}
+}
+
+// BenchmarkExtensionLoadBalance measures one congestion-relief run.
+func BenchmarkExtensionLoadBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study, err := experiments.RunLoadBalance(benchSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(study.Result.InitialImbalance, "initial-imbalance")
+		b.ReportMetric(study.Result.FinalImbalance, "final-imbalance")
+	}
+}
+
+// BenchmarkAblationTiltApprox compares model construction and baseline
+// radio state under exact terrain-aware tilt geometry versus the paper's
+// shared flat-earth approximation (DESIGN.md ablation 3).
+func BenchmarkAblationTiltApprox(b *testing.B) {
+	terr := terrain.MustGenerate(terrain.Config{
+		Seed:   benchSeeds[0],
+		Bounds: geo.NewRectCentered(geo.Point{}, 8000, 8000),
+	})
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed: benchSeeds[0], Class: topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 6000, 6000),
+	})
+	spm := propagation.MustNewSPM(2.635e9, terr)
+	spm.DiffractionWeight = 0
+	for _, mode := range []struct {
+		name   string
+		approx bool
+	}{{"exact", false}, {"shared-delta", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := netmodel.NewModel(net, spm, net.Bounds,
+					netmodel.Params{CellSizeM: 200, ApproxTiltElevation: mode.approx})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st := m.NewState(config.New(net))
+				st.AssignUsersUniform()
+				b.ReportMetric(st.Utility(utility.Performance), "baseline-utility")
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionMultiCarrier measures the dual-carrier mitigation
+// comparison.
+func BenchmarkExtensionMultiCarrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		study, err := experiments.RunMultiCarrier(benchSeeds[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(study.SingleRecovery, "single-carrier-recovery")
+		b.ReportMetric(study.DualRecovery, "dual-carrier-recovery")
+	}
+}
+
+// BenchmarkAblationAnnealVsHeuristic compares Algorithm 1 against the
+// simulated-annealing variant on an urban scenario — where the paper
+// speculates the heuristic "may get stuck at a local optima".
+func BenchmarkAblationAnnealVsHeuristic(b *testing.B) {
+	engine, err := experiments.BuildEngine(benchSeeds[0], experiments.DefaultAreaSpec(topology.Urban))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, method := range []core.Method{core.PowerOnly, core.Joint, core.Annealed} {
+		b.Run(method.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan, err := engine.Mitigate(upgrade.SingleSector, method, utility.Performance)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(plan.RecoveryRatio(), "recovery")
+				b.ReportMetric(float64(plan.Search.Evaluations), "evaluations")
+			}
+		})
+	}
+}

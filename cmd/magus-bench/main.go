@@ -1,0 +1,104 @@
+// Command magus-bench regenerates the paper's evaluation artifacts:
+// every table and figure of the CoNEXT 2015 Magus paper, printed as the
+// same rows and series the paper reports.
+//
+// Usage:
+//
+//	magus-bench [-exp all|table1|table2|fig2|fig8|fig10|fig11|fig12|fig13|maps|calendar] [-seeds 1,2,3]
+//
+// Absolute numbers differ from the paper (the substrate is a synthetic
+// market, not a production carrier); the qualitative shape — who wins,
+// by roughly what factor, where the crossovers fall — is the
+// reproduction target. See EXPERIMENTS.md for the side-by-side record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"magus/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig2, fig8, fig10, fig11, fig12, fig13, maps, calendar, ext-hybrid, ext-signaling, ext-outage, ext-loadbal, ext-uedist, ext-carriers, ops-week")
+	seedsFlag := flag.String("seeds", "1,2,3", "comma-separated area replicate seeds for table1/fig13")
+	flag.Parse()
+
+	seeds, err := parseSeeds(*seedsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "magus-bench:", err)
+		os.Exit(2)
+	}
+
+	runners := map[string]func() (fmt.Stringer, error){
+		"table1": func() (fmt.Stringer, error) {
+			return experiments.RunTable1(experiments.Table1Options{Seeds: seeds})
+		},
+		"table2": func() (fmt.Stringer, error) { return experiments.RunTable2(seeds[0]) },
+		"fig2":   func() (fmt.Stringer, error) { return experiments.RunFigure2(seeds[0]) },
+		"fig8":   func() (fmt.Stringer, error) { return experiments.RunFigure8(seeds[0]) },
+		"fig10":  func() (fmt.Stringer, error) { return experiments.RunFigure10(seeds[0]) },
+		"fig11":  func() (fmt.Stringer, error) { return experiments.RunFigure11(seeds[0]) },
+		"fig12":  func() (fmt.Stringer, error) { return experiments.RunFigure12(seeds[0]) },
+		"fig13": func() (fmt.Stringer, error) {
+			return experiments.RunFigure13(experiments.Figure13Options{Seeds: seeds})
+		},
+		"maps":     func() (fmt.Stringer, error) { return experiments.RunMaps(seeds[0]) },
+		"calendar": func() (fmt.Stringer, error) { return experiments.RunCalendar(seeds[0]), nil },
+		// Extensions beyond the paper's evaluation (its Sections 2 and 8
+		// roadmap); see DESIGN.md section 8.
+		"ext-hybrid":    func() (fmt.Stringer, error) { return experiments.RunHybridSweep(seeds[0]) },
+		"ext-signaling": func() (fmt.Stringer, error) { return experiments.RunSignaling(seeds[0]) },
+		"ext-outage":    func() (fmt.Stringer, error) { return experiments.RunOutageStudy(seeds[0]) },
+		"ext-loadbal":   func() (fmt.Stringer, error) { return experiments.RunLoadBalance(seeds[0]) },
+		"ext-uedist":    func() (fmt.Stringer, error) { return experiments.RunUEDistribution(seeds[0]) },
+		"ext-carriers":  func() (fmt.Stringer, error) { return experiments.RunMultiCarrier(seeds[0]) },
+		"ops-week":      func() (fmt.Stringer, error) { return experiments.RunOpsWeek(seeds[0], 2) },
+	}
+	order := []string{"calendar", "fig2", "maps", "fig8", "fig10", "table1", "fig11", "fig12", "table2", "fig13",
+		"ext-hybrid", "ext-signaling", "ext-outage", "ext-loadbal", "ext-uedist", "ext-carriers", "ops-week"}
+
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else {
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "magus-bench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		selected = []string{*exp}
+	}
+
+	for _, name := range selected {
+		start := time.Now()
+		result, err := runners[name]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "magus-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), result)
+	}
+}
+
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no seeds given")
+	}
+	return out, nil
+}

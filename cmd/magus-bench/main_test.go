@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestParseSeeds(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int64
+		wantErr bool
+	}{
+		{"1", []int64{1}, false},
+		{"1,2,3", []int64{1, 2, 3}, false},
+		{" 4 , 5 ", []int64{4, 5}, false},
+		{"7,,8", []int64{7, 8}, false},
+		{"-3", []int64{-3}, false},
+		{"", nil, true},
+		{",", nil, true},
+		{"abc", nil, true},
+		{"1,x", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseSeeds(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseSeeds(%q) should fail", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSeeds(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseSeeds(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseSeeds(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestRunnersCoverOrder(t *testing.T) {
+	// Compile-time style sanity: every name in the default order must
+	// have a runner (guards against adding one list without the other).
+	// The lists live in main(); replicate the order here.
+	order := []string{"calendar", "fig2", "maps", "fig8", "fig10", "table1", "fig11",
+		"fig12", "table2", "fig13", "ext-hybrid", "ext-signaling", "ext-outage",
+		"ext-loadbal", "ext-uedist", "ext-carriers", "ops-week"}
+	seen := map[string]bool{}
+	for _, name := range order {
+		if seen[name] {
+			t.Errorf("duplicate experiment %q in order", name)
+		}
+		seen[name] = true
+	}
+}

@@ -1,0 +1,105 @@
+// Command magus-maps renders the model's spatial fields as images and
+// terminal art: the per-sector path-loss raster (the paper's Figure 3),
+// the service coverage map (Figures 4/5), and the power/tilt tuning
+// comparison (Figure 7).
+//
+// Usage:
+//
+//	magus-maps [-seed 1] [-out DIR]
+//
+// ASCII maps go to stdout; with -out, PGM (path loss) and PPM (coverage)
+// images are written into DIR.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"magus/internal/experiments"
+	"magus/internal/export"
+	"magus/internal/render"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "market seed")
+	out := flag.String("out", "", "directory for PGM/PPM image output (optional)")
+	geojson := flag.Bool("geojson", false, "also write topology.geojson and coverage.geojson into -out")
+	flag.Parse()
+
+	maps, err := experiments.RunMaps(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "magus-maps:", err)
+		os.Exit(1)
+	}
+	fmt.Println(maps)
+
+	if *out == "" {
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "magus-maps:", err)
+		os.Exit(1)
+	}
+	engine := maps.Engine
+	grid := engine.Model.Grid
+
+	// Path-loss raster of the central site's first sector (Figure 3).
+	central := engine.Net.CentralSite()
+	sec := &engine.Net.Sectors[engine.Net.Sites[central].Sectors[0]]
+	mx := engine.SPM.ComputeMatrix(sec, sec.Tilts.NeutralDeg, grid)
+	if err := writeFile(filepath.Join(*out, "pathloss.pgm"), func(f *os.File) error {
+		return render.WritePGM(f, grid, mx.LossDB)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "magus-maps:", err)
+		os.Exit(1)
+	}
+
+	// Coverage map (Figure 4).
+	serving := make([]int, grid.NumCells())
+	for g := range serving {
+		serving[g] = -1
+		if engine.Before.MaxRateBps(g) > 0 {
+			serving[g] = engine.Before.ServingSector(g)
+		}
+	}
+	if err := writeFile(filepath.Join(*out, "coverage.ppm"), func(f *os.File) error {
+		return render.WritePPM(f, grid, serving)
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "magus-maps:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s and %s\n",
+		filepath.Join(*out, "pathloss.pgm"), filepath.Join(*out, "coverage.ppm"))
+
+	if *geojson {
+		anchor := export.Anchor{LatDeg: 40.7, LonDeg: -74.0}
+		if err := writeFile(filepath.Join(*out, "topology.geojson"), func(f *os.File) error {
+			return export.TopologyGeoJSON(f, engine.Net, anchor)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "magus-maps:", err)
+			os.Exit(1)
+		}
+		if err := writeFile(filepath.Join(*out, "coverage.geojson"), func(f *os.File) error {
+			return export.CoverageGeoJSON(f, engine.Before, anchor, 2)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "magus-maps:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s and %s\n",
+			filepath.Join(*out, "topology.geojson"), filepath.Join(*out, "coverage.geojson"))
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

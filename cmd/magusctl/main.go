@@ -1,0 +1,182 @@
+// Command magusctl plans a single upgrade mitigation end to end, the
+// operator-facing workflow of the paper: pick an area, an upgrade
+// scenario and a tuning method; magusctl prints the recovery accounting,
+// the tuning steps that produce C_after, and (with -migrate) the gradual
+// migration schedule that avoids synchronized handovers.
+//
+// Usage:
+//
+//	magusctl [-class suburban] [-scenario a] [-method joint]
+//	         [-seed 1] [-utility performance] [-migrate] [-reactive]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"magus"
+	"magus/internal/experiments"
+	"magus/internal/impact"
+	"magus/internal/runbook"
+	"magus/internal/schedule"
+)
+
+func main() {
+	classFlag := flag.String("class", "suburban", "area class: rural, suburban, urban")
+	scenarioFlag := flag.String("scenario", "a", "upgrade scenario: a (single sector), b (full site), c (four corners)")
+	methodFlag := flag.String("method", "joint", "tuning method: power, tilt, joint, naive, anneal")
+	utilFlag := flag.String("utility", "performance", "objective: performance, coverage")
+	seed := flag.Int64("seed", 1, "market seed")
+	migrateFlag := flag.Bool("migrate", false, "print the gradual migration schedule")
+	runbookFlag := flag.String("runbook", "", "emit an operator runbook: 'text' or 'json'")
+	reactiveFlag := flag.Bool("reactive", false, "compare against the reactive feedback baseline")
+	assessFlag := flag.Bool("assess", false, "print the per-sector impact assessment of the unmitigated upgrade")
+	windowFlag := flag.Int("window", 0, "rank upgrade start times for a work window of this many hours")
+	flag.Parse()
+
+	class, ok := map[string]magus.AreaClass{
+		"rural": magus.Rural, "suburban": magus.Suburban, "urban": magus.Urban,
+	}[*classFlag]
+	if !ok {
+		fail("unknown class %q", *classFlag)
+	}
+	scenario, ok := map[string]magus.Scenario{
+		"a": magus.SingleSector, "b": magus.FullSite, "c": magus.FourCorners,
+	}[*scenarioFlag]
+	if !ok {
+		fail("unknown scenario %q", *scenarioFlag)
+	}
+	method, ok := map[string]magus.Method{
+		"power": magus.PowerOnly, "tilt": magus.TiltOnly,
+		"joint": magus.Joint, "naive": magus.NaiveBaseline,
+		"anneal": magus.Annealed,
+	}[*methodFlag]
+	if !ok {
+		fail("unknown method %q", *methodFlag)
+	}
+	util, ok := map[string]magus.UtilityFunc{
+		"performance": magus.Performance, "coverage": magus.Coverage,
+	}[*utilFlag]
+	if !ok {
+		fail("unknown utility %q", *utilFlag)
+	}
+
+	fmt.Printf("building %s market (seed %d)...\n", class, *seed)
+	engine, err := experiments.BuildEngine(*seed, experiments.DefaultAreaSpec(class))
+	if err != nil {
+		fail("build engine: %v", err)
+	}
+
+	plan, err := engine.Mitigate(scenario, method, util)
+	if err != nil {
+		fail("mitigate: %v", err)
+	}
+
+	fmt.Printf("\nupgrade %s, tuning %s, objective %s\n", plan.Scenario, plan.Method, plan.Util.Name)
+	fmt.Printf("  target sectors:   %v\n", plan.Targets)
+	fmt.Printf("  neighbor set:     %d sectors within %.0f m\n",
+		len(plan.Neighbors), engine.NeighborRadius())
+	fmt.Printf("  f(C_before):      %.1f\n", plan.UtilityBefore)
+	fmt.Printf("  f(C_upgrade):     %.1f\n", plan.UtilityUpgrade)
+	fmt.Printf("  f(C_after):       %.1f\n", plan.UtilityAfter)
+	fmt.Printf("  recovery ratio:   %.1f%%\n", 100*plan.RecoveryRatio())
+	fmt.Printf("  search: %d steps, %d model evaluations\n",
+		len(plan.Search.Steps), plan.Search.Evaluations)
+	for i, st := range plan.Search.Steps {
+		if i >= 10 {
+			fmt.Printf("    ... %d more steps\n", len(plan.Search.Steps)-10)
+			break
+		}
+		fmt.Printf("    step %2d: %-28s utility %.1f\n", i+1, st.Change, st.Utility)
+	}
+
+	if *runbookFlag != "" {
+		mig, err := plan.GradualMigration(magus.MigrationOptions{})
+		if err != nil {
+			fail("migrate: %v", err)
+		}
+		rb, err := runbook.Build(plan, mig)
+		if err != nil {
+			fail("runbook: %v", err)
+		}
+		fmt.Println()
+		switch *runbookFlag {
+		case "text":
+			if err := rb.WriteText(os.Stdout); err != nil {
+				fail("runbook: %v", err)
+			}
+		case "json":
+			if err := rb.WriteJSON(os.Stdout); err != nil {
+				fail("runbook: %v", err)
+			}
+		default:
+			fail("unknown runbook format %q (want text or json)", *runbookFlag)
+		}
+	}
+
+	if *migrateFlag {
+		mig, err := plan.GradualMigration(magus.MigrationOptions{})
+		if err != nil {
+			fail("migrate: %v", err)
+		}
+		fmt.Printf("\ngradual migration: %d steps, max burst %.0f UEs, %.1f%% seamless, floor %.1f (target %.1f)\n",
+			len(mig.Steps), mig.MaxSimultaneousHandovers,
+			100*mig.SeamlessFraction(), mig.UtilityFloor, mig.AfterUtility)
+		for i, s := range mig.Steps {
+			mark := ""
+			if s.UpgradeStep {
+				mark = "  <- target off-air"
+			}
+			fmt.Printf("  step %2d: utility %.1f, %4.0f handovers (%4.0f seamless), %d compensations%s\n",
+				i+1, s.Utility, s.Handovers, s.Seamless, s.Compensations, mark)
+		}
+	}
+
+	if *assessFlag {
+		before := impact.Take(engine.Before)
+		unmitigated := impact.Take(plan.Upgrade)
+		mitigated := impact.Take(plan.After)
+		repRaw, err := impact.Assess(before, unmitigated, impact.Thresholds{})
+		if err != nil {
+			fail("assess: %v", err)
+		}
+		repMit, err := impact.Assess(before, mitigated, impact.Thresholds{})
+		if err != nil {
+			fail("assess: %v", err)
+		}
+		fmt.Printf("\nimpact without mitigation:\n%s", repRaw)
+		fmt.Printf("\nimpact with Magus mitigation:\n%s", repMit)
+	}
+
+	if *windowFlag > 0 {
+		rec, err := schedule.Plan(plan, schedule.DefaultProfile(), *windowFlag)
+		if err != nil {
+			fail("schedule: %v", err)
+		}
+		fmt.Printf("\n%s", rec)
+		best := rec.Best()
+		fmt.Printf("recommended start: %02d:00 (mean load %.2f)\n", best.StartHour, best.LoadFactor)
+	}
+
+	if *reactiveFlag {
+		ideal, err := plan.ReactiveBaseline(magus.FeedbackIdealized, magus.FeedbackOptions{})
+		if err != nil {
+			fail("reactive: %v", err)
+		}
+		realistic, err := plan.ReactiveBaseline(magus.FeedbackRealistic, magus.FeedbackOptions{})
+		if err != nil {
+			fail("reactive: %v", err)
+		}
+		fmt.Printf("\nreactive feedback baseline (starts AFTER the sector is down):\n")
+		fmt.Printf("  idealized: %d tuning steps to converge\n", ideal.Steps)
+		fmt.Printf("  realistic: %d measurement rounds = %.1f h at 5 min each\n",
+			realistic.Measurements, realistic.TimeSeconds/3600)
+		fmt.Printf("  proactive Magus: 0 post-upgrade steps (C_after applied beforehand)\n")
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "magusctl: "+format+"\n", args...)
+	os.Exit(2)
+}

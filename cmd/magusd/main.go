@@ -1,0 +1,83 @@
+// Command magusd serves a Magus engine over HTTP: build the market model
+// once at startup, then answer planning queries from operations tooling.
+//
+// Usage:
+//
+//	magusd [-listen :8080] [-class suburban] [-seed 1]
+//
+// Endpoints (all GET, JSON/GeoJSON):
+//
+//	/healthz   liveness + market summary
+//	/sectors   topology as GeoJSON
+//	/coverage  baseline serving map as GeoJSON (?stride=N)
+//	/plan      mitigation plan (?scenario=a|b|c&method=power|tilt|joint|naive|anneal)
+//	/runbook   executable runbook with rollback (same parameters)
+//	/outage    unplanned-outage response (?sector=N)
+//
+// The server shuts down cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"magus"
+	"magus/internal/experiments"
+	"magus/internal/httpapi"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to listen on")
+	classFlag := flag.String("class", "suburban", "market class: rural, suburban, urban")
+	seed := flag.Int64("seed", 1, "market seed")
+	flag.Parse()
+
+	class, ok := map[string]magus.AreaClass{
+		"rural": magus.Rural, "suburban": magus.Suburban, "urban": magus.Urban,
+	}[*classFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "magusd: unknown class %q\n", *classFlag)
+		os.Exit(2)
+	}
+
+	log.Printf("building %s market (seed %d)...", class, *seed)
+	start := time.Now()
+	engine, err := experiments.BuildEngine(*seed, experiments.DefaultAreaSpec(class))
+	if err != nil {
+		log.Fatalf("build engine: %v", err)
+	}
+	log.Printf("market ready in %.1fs: %d sites, %d sectors, %.0f users",
+		time.Since(start).Seconds(), len(engine.Net.Sites),
+		engine.Net.NumSectors(), engine.Model.TotalUE())
+
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           httpapi.NewServer(engine),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("listening on %s", *listen)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Print("bye")
+}

@@ -1,0 +1,89 @@
+// Airport upgrade: the paper's motivating worst case — a location with
+// 24/7 usage ("for certain locations such as busy airports, there is no
+// specific preferred time for scheduling the upgrade"). The upgrade MUST
+// happen during busy hours, so the only question is how much service
+// survives under each strategy.
+//
+// This example builds a dense urban hotspot, takes its busiest site
+// down, and compares the utility timeline of (1) doing nothing, (2)
+// reactive feedback tuning that starts after the outage, and (3) Magus's
+// proactive model-based tuning.
+//
+//	go run ./examples/airport-upgrade
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"magus"
+)
+
+func main() {
+	// A dense urban area standing in for the airport and its surroundings.
+	engine, err := magus.NewEngine(magus.SetupConfig{
+		Seed:        2026,
+		Class:       magus.Urban,
+		RegionSpanM: 4000,
+		CellSizeM:   100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("airport zone: %d sites, %d sectors, %.0f active users\n",
+		len(engine.Net.Sites), engine.Net.NumSectors(), engine.Model.TotalUE())
+
+	plan, err := engine.Mitigate(magus.FullSite, magus.Joint, magus.Performance)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("terminal site down for 4-6 h of planned work; Magus recovers %.1f%% of the loss\n",
+		100*plan.RecoveryRatio())
+
+	reactive, err := plan.ReactiveBaseline(magus.FeedbackIdealized, magus.FeedbackOptions{IncludeTilt: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	realistic, err := plan.ReactiveBaseline(magus.FeedbackRealistic, magus.FeedbackOptions{IncludeTilt: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nutility during the outage window (higher is better):\n")
+	fmt.Printf("%6s %14s %14s %14s\n", "step", "no-tuning", "reactive", "proactive")
+	horizon := len(reactive.UtilityTimeline)
+	if horizon > 12 {
+		horizon = 12
+	}
+	lo, hi := plan.UtilityUpgrade, plan.UtilityAfter
+	for i := 0; i < horizon; i++ {
+		r := reactive.FinalUtility
+		if i < len(reactive.UtilityTimeline) {
+			r = reactive.UtilityTimeline[i]
+		}
+		fmt.Printf("%6d %14.1f %14.1f %14.1f   %s\n",
+			i, plan.UtilityUpgrade, r, plan.UtilityAfter, gauge(r, lo, hi))
+	}
+	fmt.Printf("\nreactive needs %d tuning steps (idealized) / %d live measurement rounds\n",
+		reactive.Steps, realistic.Measurements)
+	fmt.Printf("= %.1f hours of degraded airport service before feedback tuning converges;\n",
+		realistic.TimeSeconds/3600)
+	fmt.Printf("Magus applies C_after before the work starts: 0 degraded-convergence time.\n")
+}
+
+// gauge renders where v sits between lo and hi.
+func gauge(v, lo, hi float64) string {
+	if hi <= lo {
+		return ""
+	}
+	frac := (v - lo) / (hi - lo)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(frac * 20)
+	return "[" + strings.Repeat("=", n) + strings.Repeat(" ", 20-n) + "]"
+}

@@ -1,0 +1,53 @@
+// Market study: sweep the three area classes of the paper's evaluation
+// (rural, suburban, urban) and measure how much of an upgrade-induced
+// loss each tuning strategy recovers — a miniature of the paper's
+// Table 1, exercising the public API end to end.
+//
+//	go run ./examples/market-study
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"magus"
+)
+
+func main() {
+	classes := []struct {
+		class magus.AreaClass
+		span  float64
+		cell  float64
+	}{
+		{magus.Rural, 15000, 300},
+		{magus.Suburban, 7200, 200},
+		{magus.Urban, 3600, 100},
+	}
+	methods := []magus.Method{magus.PowerOnly, magus.TiltOnly, magus.Joint}
+
+	fmt.Printf("%-10s %8s %8s %12s %12s %12s\n",
+		"class", "sites", "users", "power", "tilt", "joint")
+	for _, c := range classes {
+		engine, err := magus.NewEngine(magus.SetupConfig{
+			Seed:        5,
+			Class:       c.class,
+			RegionSpanM: c.span,
+			CellSizeM:   c.cell,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %8d %8.0f", c.class, len(engine.Net.Sites), engine.Model.TotalUE())
+		for _, m := range methods {
+			plan, err := engine.Mitigate(magus.SingleSector, m, magus.Performance)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %11.1f%%", 100*plan.RecoveryRatio())
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nrecovery ratio of the upgrade-induced performance loss, scenario (a),")
+	fmt.Println("for one small market per class. The paper's Table 1 averages several")
+	fmt.Println("areas per class; run cmd/magus-bench -exp table1 for the full sweep.")
+}

@@ -1,0 +1,83 @@
+// Ops console: Magus as a network service. This example runs the magusd
+// HTTP API in-process on a loopback port and drives it the way NOC
+// tooling would — health check, schedule the window, fetch the plan,
+// pull the runbook, and fire an unplanned-outage drill — all over plain
+// HTTP/JSON.
+//
+//	go run ./examples/ops-console
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"magus"
+	"magus/internal/httpapi"
+)
+
+func main() {
+	engine, err := magus.NewEngine(magus.SetupConfig{
+		Seed:        3,
+		Class:       magus.Suburban,
+		RegionSpanM: 6000,
+		CellSizeM:   200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve on an ephemeral loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: httpapi.NewServer(engine), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Printf("serve: %v", err)
+		}
+	}()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("magusd serving at %s\n\n", base)
+
+	show := func(path string, fields ...string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("GET %s -> %s\n", path, resp.Status)
+		for _, f := range fields {
+			fmt.Printf("    %-18s %v\n", f+":", body[f])
+		}
+		fmt.Println()
+	}
+
+	show("/healthz", "class", "sites", "sectors", "users")
+	show("/schedule?scenario=a&hours=5", "best_start", "duration_hours")
+	show("/plan?scenario=a&method=joint", "recovery", "utility_before", "utility_after", "search_steps")
+	show("/runbook?scenario=a&method=joint", "title", "expected_recovery")
+
+	// An unplanned-outage drill against a sector in the critical area.
+	sector := -1
+	for b := range engine.Net.Sectors {
+		if engine.TuningArea().Contains(engine.Net.Sectors[b].Pos) {
+			sector = b
+			break
+		}
+	}
+	if sector >= 0 {
+		show(fmt.Sprintf("/outage?sector=%d", sector),
+			"precomputed", "utility_outage", "utility_applied", "utility_refined")
+	}
+	fmt.Println("console session complete.")
+}

@@ -1,0 +1,55 @@
+// Unplanned outage: the paper's Section 8 future-work direction made
+// concrete. Before anything fails, the operator precomputes a
+// mitigation configuration for every sector in the critical area using
+// Magus's predictive model. When a sector then fails without warning,
+// the response is a table lookup — the neighbors are retuned within one
+// configuration push — followed by a short feedback refinement, instead
+// of a from-scratch SON convergence that leaves users degraded for the
+// better part of an hour.
+//
+//	go run ./examples/unplanned-outage
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"magus"
+)
+
+func main() {
+	engine, err := magus.NewEngine(magus.SetupConfig{
+		Seed:        13,
+		Class:       magus.Suburban,
+		RegionSpanM: 6000,
+		CellSizeM:   200,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("precomputing outage responses for the critical area...")
+	planner, err := magus.NewOutagePlanner(engine, nil, magus.OutagePlanOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	covered := planner.Covered()
+	fmt.Printf("covered %d sectors: %v\n", len(covered), covered)
+
+	fmt.Printf("\n%6s %12s %12s %12s %9s\n",
+		"sector", "outage util", "from table", "refined", "recovery")
+	for _, sector := range covered {
+		entry, _ := planner.Lookup(sector)
+		resp, err := planner.Respond(sector, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %12.1f %12.1f %12.1f %8.1f%%\n",
+			sector, resp.UtilityOutage, resp.UtilityApplied, resp.UtilityRefined,
+			100*entry.ExpectedRecovery)
+	}
+
+	fmt.Println("\nEach response is immediate: the search ran ahead of time, so the")
+	fmt.Println("outage-to-mitigation delay is one configuration push instead of a")
+	fmt.Println("multi-round feedback convergence (compare cmd/magus-bench -exp fig12).")
+}

@@ -1,0 +1,83 @@
+package magus_test
+
+import (
+	"testing"
+
+	"magus"
+)
+
+// TestFacadeExtensions exercises the extension APIs end to end through
+// the public package.
+func TestFacadeExtensions(t *testing.T) {
+	engine, err := magus.NewEngine(magus.SetupConfig{
+		Seed:          9,
+		Class:         magus.Suburban,
+		RegionSpanM:   6000,
+		CellSizeM:     200,
+		EqualizeSteps: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unplanned-outage planner.
+	planner, err := magus.NewOutagePlanner(engine, nil, magus.OutagePlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := planner.Covered()
+	if len(covered) == 0 {
+		t.Fatal("outage planner covered nothing")
+	}
+	resp, err := planner.Respond(covered[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Precomputed || resp.UtilityApplied < resp.UtilityOutage-1e-9 {
+		t.Errorf("outage response: precomputed=%v applied=%v outage=%v",
+			resp.Precomputed, resp.UtilityApplied, resp.UtilityOutage)
+	}
+
+	// Signaling evaluation of a migration plan.
+	plan, err := engine.Mitigate(magus.FullSite, magus.Joint, magus.Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradual, err := plan.GradualMigration(magus.MigrationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := magus.EvaluateSignaling(gradual, magus.SignalingConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.TotalTransactions <= 0 {
+		t.Error("signaling report counted no transactions")
+	}
+
+	// Load balancing on a congested state.
+	st := engine.Before.Clone()
+	res, err := magus.Balance(st, magus.LoadBalanceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalImbalance > res.InitialImbalance+1e-9 {
+		t.Error("balancing increased imbalance")
+	}
+}
+
+func TestFacadeHybrid(t *testing.T) {
+	res, err := magus.RunHybrid(magus.HybridConfig{
+		Seed:         4,
+		Class:        magus.Suburban,
+		RegionSpanM:  6000,
+		CellSizeM:    200,
+		ModelErrorDB: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HybridUtility < res.ModelOnlyUtility-1e-9 {
+		t.Error("hybrid below model-only")
+	}
+}

@@ -1,0 +1,3 @@
+module magus
+
+go 1.22

@@ -1,0 +1,158 @@
+// Package antenna models directional base-station antennas following the
+// 3GPP TR 36.814 parametrization: a parabolic horizontal pattern, a
+// parabolic vertical pattern with electrical tilt, and a combined gain
+// capped by the front-to-back ratio.
+//
+// Tilt is the central tuning knob of the paper alongside transmit power:
+// uptilting a sector shifts radio energy toward the horizon (longer
+// reach, weaker close-in coverage), downtilting concentrates it near the
+// site. Tilt settings are discrete, mirroring the 16 settings available
+// in the paper's Atoll data besides the default.
+package antenna
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pattern describes a sector antenna. The zero value is not useful; use
+// DefaultPattern or construct explicitly.
+type Pattern struct {
+	// MaxGainDBi is the boresight gain in dBi.
+	MaxGainDBi float64
+	// HorizBeamwidthDeg is the horizontal 3 dB beamwidth (typically 65 or 70).
+	HorizBeamwidthDeg float64
+	// VertBeamwidthDeg is the vertical 3 dB beamwidth (typically 6-10).
+	VertBeamwidthDeg float64
+	// FrontBackDB is the maximum horizontal attenuation A_m (typically 25-30 dB).
+	FrontBackDB float64
+	// SideLobeLimitDB is the vertical side-lobe attenuation floor SLA_v
+	// (typically 20 dB).
+	SideLobeLimitDB float64
+}
+
+// DefaultPattern returns a 3GPP TR 36.814-style macro-sector pattern
+// with the gain and vertical beamwidth of production macro antennas:
+// 17 dBi boresight gain, 65 deg horizontal and 6.5 deg vertical 3 dB
+// beamwidth, A_m = 25 dB, SLA_v = 20 dB. The narrow vertical beam is
+// what makes electrical tilt an effective coverage-shaping knob (the
+// paper's second tuning parameter).
+func DefaultPattern() Pattern {
+	return Pattern{
+		MaxGainDBi:        17,
+		HorizBeamwidthDeg: 65,
+		VertBeamwidthDeg:  6.5,
+		FrontBackDB:       25,
+		SideLobeLimitDB:   20,
+	}
+}
+
+// Validate checks that the pattern parameters are physically sensible.
+func (p Pattern) Validate() error {
+	if p.HorizBeamwidthDeg <= 0 || p.VertBeamwidthDeg <= 0 {
+		return fmt.Errorf("antenna: beamwidths must be positive (got h=%v, v=%v)",
+			p.HorizBeamwidthDeg, p.VertBeamwidthDeg)
+	}
+	if p.FrontBackDB <= 0 || p.SideLobeLimitDB <= 0 {
+		return fmt.Errorf("antenna: attenuation limits must be positive (got fb=%v, sla=%v)",
+			p.FrontBackDB, p.SideLobeLimitDB)
+	}
+	return nil
+}
+
+// HorizontalAttenuation returns the horizontal pattern attenuation in dB
+// (<= 0) at the given azimuth offset from boresight in degrees.
+// A_h(phi) = -min(12 (phi/phi_3dB)^2, A_m).
+func (p Pattern) HorizontalAttenuation(azimuthOffDeg float64) float64 {
+	phi := foldDeg(azimuthOffDeg)
+	a := 12 * (phi / p.HorizBeamwidthDeg) * (phi / p.HorizBeamwidthDeg)
+	if a > p.FrontBackDB {
+		a = p.FrontBackDB
+	}
+	return -a
+}
+
+// VerticalAttenuation returns the vertical pattern attenuation in dB
+// (<= 0) for a ray leaving at elevation angle elevDeg (positive = below
+// the horizontal, i.e. toward the ground) when the antenna is electrically
+// tilted by tiltDeg (positive = downtilt).
+// A_v(theta) = -min(12 ((theta - tilt)/theta_3dB)^2, SLA_v).
+func (p Pattern) VerticalAttenuation(elevDeg, tiltDeg float64) float64 {
+	d := elevDeg - tiltDeg
+	a := 12 * (d / p.VertBeamwidthDeg) * (d / p.VertBeamwidthDeg)
+	if a > p.SideLobeLimitDB {
+		a = p.SideLobeLimitDB
+	}
+	return -a
+}
+
+// Gain returns the total antenna gain in dBi toward a ray with the given
+// azimuth offset from boresight and elevation angle, with the antenna
+// tilted by tiltDeg. Per TR 36.814 the combined attenuation is capped at
+// the front-to-back ratio: A = -min(-(A_h + A_v), A_m).
+func (p Pattern) Gain(azimuthOffDeg, elevDeg, tiltDeg float64) float64 {
+	att := -(p.HorizontalAttenuation(azimuthOffDeg) + p.VerticalAttenuation(elevDeg, tiltDeg))
+	if att > p.FrontBackDB {
+		att = p.FrontBackDB
+	}
+	return p.MaxGainDBi - att
+}
+
+// foldDeg folds an angle into [-180, 180] and returns its magnitude.
+func foldDeg(deg float64) float64 {
+	d := math.Mod(deg, 360)
+	if d > 180 {
+		d -= 360
+	}
+	if d < -180 {
+		d += 360
+	}
+	return math.Abs(d)
+}
+
+// TiltTable maps discrete tilt indices to electrical tilt angles. Index
+// NeutralIndex is the planner-chosen default tilt; the paper's Atoll data
+// exposes 16 settings besides the default, which we mirror as +-8 degrees
+// around neutral in 1 degree steps.
+type TiltTable struct {
+	// NeutralDeg is the default electrical downtilt in degrees.
+	NeutralDeg float64
+	// StepDeg is the tilt granularity per index step.
+	StepDeg float64
+	// Range is the number of steps available on each side of neutral.
+	Range int
+}
+
+// DefaultTiltTable mirrors the paper's Atoll data: 16 settings besides
+// neutral (8 uptilt, 8 downtilt) in 1 degree steps around a 4 degree
+// default downtilt.
+func DefaultTiltTable() TiltTable {
+	return TiltTable{NeutralDeg: 4, StepDeg: 1, Range: 8}
+}
+
+// NumSettings returns the total number of tilt settings (2*Range + 1).
+func (t TiltTable) NumSettings() int { return 2*t.Range + 1 }
+
+// MinIndex returns the most-uptilted index (negative).
+func (t TiltTable) MinIndex() int { return -t.Range }
+
+// MaxIndex returns the most-downtilted index (positive).
+func (t TiltTable) MaxIndex() int { return t.Range }
+
+// Degrees returns the electrical downtilt in degrees for a tilt index.
+// Index 0 is neutral; negative indices uptilt (reduce downtilt), positive
+// indices downtilt further. Indices outside the valid range are clamped.
+func (t TiltTable) Degrees(index int) float64 {
+	if index < -t.Range {
+		index = -t.Range
+	}
+	if index > t.Range {
+		index = t.Range
+	}
+	return t.NeutralDeg + float64(index)*t.StepDeg
+}
+
+// ValidIndex reports whether index is within the table's range.
+func (t TiltTable) ValidIndex(index int) bool {
+	return index >= -t.Range && index <= t.Range
+}

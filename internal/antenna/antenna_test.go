@@ -1,0 +1,171 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultPatternValid(t *testing.T) {
+	if err := DefaultPattern().Validate(); err != nil {
+		t.Fatalf("default pattern invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadPatterns(t *testing.T) {
+	bad := []Pattern{
+		{MaxGainDBi: 14, HorizBeamwidthDeg: 0, VertBeamwidthDeg: 10, FrontBackDB: 25, SideLobeLimitDB: 20},
+		{MaxGainDBi: 14, HorizBeamwidthDeg: 65, VertBeamwidthDeg: -1, FrontBackDB: 25, SideLobeLimitDB: 20},
+		{MaxGainDBi: 14, HorizBeamwidthDeg: 65, VertBeamwidthDeg: 10, FrontBackDB: 0, SideLobeLimitDB: 20},
+		{MaxGainDBi: 14, HorizBeamwidthDeg: 65, VertBeamwidthDeg: 10, FrontBackDB: 25, SideLobeLimitDB: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("pattern %d should be invalid", i)
+		}
+	}
+}
+
+func TestBoresightGain(t *testing.T) {
+	p := DefaultPattern()
+	// At boresight with ray at tilt angle, attenuation is zero.
+	if got := p.Gain(0, 4, 4); got != p.MaxGainDBi {
+		t.Errorf("boresight gain = %v, want %v", got, p.MaxGainDBi)
+	}
+}
+
+func TestHorizontal3dBPoint(t *testing.T) {
+	p := DefaultPattern()
+	// At the half-beamwidth offset the parabolic pattern gives exactly -3 dB.
+	got := p.HorizontalAttenuation(p.HorizBeamwidthDeg / 2)
+	if math.Abs(got-(-3)) > 1e-9 {
+		t.Errorf("attenuation at half beamwidth = %v, want -3", got)
+	}
+}
+
+func TestVertical3dBPoint(t *testing.T) {
+	p := DefaultPattern()
+	got := p.VerticalAttenuation(4+p.VertBeamwidthDeg/2, 4)
+	if math.Abs(got-(-3)) > 1e-9 {
+		t.Errorf("vertical attenuation at half beamwidth = %v, want -3", got)
+	}
+}
+
+func TestBackLobeCapped(t *testing.T) {
+	p := DefaultPattern()
+	if got := p.HorizontalAttenuation(180); got != -p.FrontBackDB {
+		t.Errorf("back lobe attenuation = %v, want %v", got, -p.FrontBackDB)
+	}
+	// Combined attenuation never exceeds front-to-back ratio.
+	if got := p.Gain(180, 90, 0); got != p.MaxGainDBi-p.FrontBackDB {
+		t.Errorf("worst-case gain = %v, want %v", got, p.MaxGainDBi-p.FrontBackDB)
+	}
+}
+
+func TestVerticalSideLobeFloor(t *testing.T) {
+	p := DefaultPattern()
+	if got := p.VerticalAttenuation(90, 0); got != -p.SideLobeLimitDB {
+		t.Errorf("vertical side lobe = %v, want %v", got, -p.SideLobeLimitDB)
+	}
+}
+
+func TestTiltShiftsPattern(t *testing.T) {
+	p := DefaultPattern()
+	// A ray at 6 degrees below horizon: downtilting from 0 to 6 degrees
+	// must increase gain toward it.
+	g0 := p.Gain(0, 6, 0)
+	g6 := p.Gain(0, 6, 6)
+	if g6 <= g0 {
+		t.Errorf("downtilt toward ray should increase gain: %v -> %v", g0, g6)
+	}
+	// Uptilt moves energy to the horizon: gain at elevation 0 grows when
+	// tilt decreases from 6 toward 0.
+	h6 := p.Gain(0, 0, 6)
+	h0 := p.Gain(0, 0, 0)
+	if h0 <= h6 {
+		t.Errorf("uptilt should increase horizon gain: %v -> %v", h6, h0)
+	}
+}
+
+func TestGainSymmetryProperty(t *testing.T) {
+	p := DefaultPattern()
+	f := func(az, elev, tilt float64) bool {
+		az = math.Mod(az, 360)
+		elev = math.Mod(elev, 90)
+		tilt = math.Mod(tilt, 12)
+		// Horizontal pattern is symmetric around boresight.
+		return math.Abs(p.Gain(az, elev, tilt)-p.Gain(-az, elev, tilt)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGainBoundedProperty(t *testing.T) {
+	p := DefaultPattern()
+	f := func(az, elev, tilt float64) bool {
+		az = math.Mod(az, 720)
+		elev = math.Mod(elev, 180)
+		tilt = math.Mod(tilt, 20)
+		g := p.Gain(az, elev, tilt)
+		return g <= p.MaxGainDBi && g >= p.MaxGainDBi-p.FrontBackDB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldDeg(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {180, 180}, {-180, 180}, {190, 170}, {-190, 170}, {360, 0}, {540, 180}, {45, 45},
+	}
+	for _, c := range cases {
+		if got := foldDeg(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("foldDeg(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTiltTable(t *testing.T) {
+	tt := DefaultTiltTable()
+	if tt.NumSettings() != 17 {
+		t.Errorf("NumSettings = %d, want 17 (paper: 16 besides neutral)", tt.NumSettings())
+	}
+	if tt.Degrees(0) != tt.NeutralDeg {
+		t.Errorf("Degrees(0) = %v, want neutral %v", tt.Degrees(0), tt.NeutralDeg)
+	}
+	if tt.Degrees(1) != tt.NeutralDeg+1 {
+		t.Errorf("Degrees(1) = %v, want %v", tt.Degrees(1), tt.NeutralDeg+1)
+	}
+	if tt.Degrees(-8) != tt.NeutralDeg-8 {
+		t.Errorf("Degrees(-8) = %v, want %v", tt.Degrees(-8), tt.NeutralDeg-8)
+	}
+	// Clamping.
+	if tt.Degrees(100) != tt.Degrees(tt.MaxIndex()) {
+		t.Error("Degrees should clamp above range")
+	}
+	if tt.Degrees(-100) != tt.Degrees(tt.MinIndex()) {
+		t.Error("Degrees should clamp below range")
+	}
+	if tt.ValidIndex(9) || tt.ValidIndex(-9) {
+		t.Error("indices beyond +-8 should be invalid")
+	}
+	if !tt.ValidIndex(0) || !tt.ValidIndex(8) || !tt.ValidIndex(-8) {
+		t.Error("indices within range should be valid")
+	}
+}
+
+func TestTiltMonotoneDegreesProperty(t *testing.T) {
+	tt := DefaultTiltTable()
+	f := func(a, b int8) bool {
+		i := int(a) % 9
+		j := int(b) % 9
+		if i > j {
+			i, j = j, i
+		}
+		return tt.Degrees(i) <= tt.Degrees(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package config represents the paper's network configuration C: the
+// collective tunable state of every sector (transmit power, electrical
+// tilt index, and on/off-air status), together with the tuning algebra
+// C ⊕ P_b(Δ) (power change) and C ⊕ T_b(Δ) (tilt change) used by the
+// search algorithms.
+//
+// A Config references an immutable topology.Network for per-sector
+// bounds; many Configs can share one Network, which is how the search
+// explores candidate configurations cheaply.
+package config
+
+import (
+	"fmt"
+	"strings"
+
+	"magus/internal/topology"
+)
+
+// Config is a complete network configuration.
+type Config struct {
+	net   *topology.Network
+	power []float64 // transmit power in dBm per sector
+	tilt  []int     // tilt index per sector (0 = planner neutral)
+	off   []bool    // true when the sector is off-air
+}
+
+// New returns the default configuration of net: every sector at its
+// planner-assigned power, neutral tilt, and on-air. This is the paper's
+// C_before.
+func New(net *topology.Network) *Config {
+	n := net.NumSectors()
+	c := &Config{
+		net:   net,
+		power: make([]float64, n),
+		tilt:  make([]int, n),
+		off:   make([]bool, n),
+	}
+	for i := range net.Sectors {
+		c.power[i] = net.Sectors[i].DefaultPowerDbm
+	}
+	return c
+}
+
+// Network returns the topology this configuration applies to.
+func (c *Config) Network() *topology.Network { return c.net }
+
+// NumSectors returns the number of sectors covered by the configuration.
+func (c *Config) NumSectors() int { return len(c.power) }
+
+// Clone returns a deep copy sharing the same immutable network.
+func (c *Config) Clone() *Config {
+	return &Config{
+		net:   c.net,
+		power: append([]float64(nil), c.power...),
+		tilt:  append([]int(nil), c.tilt...),
+		off:   append([]bool(nil), c.off...),
+	}
+}
+
+func (c *Config) checkID(id int) error {
+	if id < 0 || id >= len(c.power) {
+		return fmt.Errorf("config: sector %d out of range [0, %d)", id, len(c.power))
+	}
+	return nil
+}
+
+// PowerDbm returns the configured transmit power of sector id.
+func (c *Config) PowerDbm(id int) float64 { return c.power[id] }
+
+// TiltIndex returns the configured tilt index of sector id.
+func (c *Config) TiltIndex(id int) int { return c.tilt[id] }
+
+// Off reports whether sector id is off-air.
+func (c *Config) Off(id int) bool { return c.off[id] }
+
+// SetPowerDbm sets the transmit power of sector id, failing if the value
+// is outside the sector's hardware range.
+func (c *Config) SetPowerDbm(id int, dbm float64) error {
+	if err := c.checkID(id); err != nil {
+		return err
+	}
+	sec := &c.net.Sectors[id]
+	if dbm < sec.MinPowerDbm || dbm > sec.MaxPowerDbm {
+		return fmt.Errorf("config: sector %d power %v dBm outside [%v, %v]",
+			id, dbm, sec.MinPowerDbm, sec.MaxPowerDbm)
+	}
+	c.power[id] = dbm
+	return nil
+}
+
+// AdjustPower changes sector id's power by deltaDb, clamped to the
+// hardware range, and returns the delta actually applied. This is the
+// paper's C ⊕ P_b(Δ).
+func (c *Config) AdjustPower(id int, deltaDb float64) float64 {
+	sec := &c.net.Sectors[id]
+	want := c.power[id] + deltaDb
+	if want > sec.MaxPowerDbm {
+		want = sec.MaxPowerDbm
+	}
+	if want < sec.MinPowerDbm {
+		want = sec.MinPowerDbm
+	}
+	applied := want - c.power[id]
+	c.power[id] = want
+	return applied
+}
+
+// AtMaxPower reports whether sector id has no power headroom left.
+func (c *Config) AtMaxPower(id int) bool {
+	return c.power[id] >= c.net.Sectors[id].MaxPowerDbm
+}
+
+// SetTiltIndex sets the tilt index of sector id, failing when the index
+// is outside the sector's tilt table.
+func (c *Config) SetTiltIndex(id, index int) error {
+	if err := c.checkID(id); err != nil {
+		return err
+	}
+	if !c.net.Sectors[id].Tilts.ValidIndex(index) {
+		return fmt.Errorf("config: sector %d tilt index %d outside table", id, index)
+	}
+	c.tilt[id] = index
+	return nil
+}
+
+// AdjustTilt changes sector id's tilt index by delta steps, clamped to
+// the tilt table, and returns the delta actually applied. Negative delta
+// uptilts. This is the paper's C ⊕ T_b(Δ).
+func (c *Config) AdjustTilt(id, delta int) int {
+	tt := c.net.Sectors[id].Tilts
+	want := c.tilt[id] + delta
+	if want > tt.MaxIndex() {
+		want = tt.MaxIndex()
+	}
+	if want < tt.MinIndex() {
+		want = tt.MinIndex()
+	}
+	applied := want - c.tilt[id]
+	c.tilt[id] = want
+	return applied
+}
+
+// TiltDeg returns the electrical downtilt of sector id in degrees.
+func (c *Config) TiltDeg(id int) float64 {
+	return c.net.Sectors[id].Tilts.Degrees(c.tilt[id])
+}
+
+// SetOff marks sector id on or off-air. Taking a sector off-air models
+// the planned upgrade (C_upgrade).
+func (c *Config) SetOff(id int, off bool) error {
+	if err := c.checkID(id); err != nil {
+		return err
+	}
+	c.off[id] = off
+	return nil
+}
+
+// Change is one elementary configuration difference. Exactly the fields
+// relevant to the change are set.
+type Change struct {
+	Sector     int
+	PowerDelta float64 // dB change in transmit power
+	TiltDelta  int     // tilt index steps (negative = uptilt)
+	TurnOff    bool
+	TurnOn     bool
+}
+
+// IsZero reports whether the change is a no-op.
+func (ch Change) IsZero() bool {
+	return ch.PowerDelta == 0 && ch.TiltDelta == 0 && !ch.TurnOff && !ch.TurnOn
+}
+
+// String formats a change compactly for logs and traces.
+func (ch Change) String() string {
+	var parts []string
+	if ch.PowerDelta != 0 {
+		parts = append(parts, fmt.Sprintf("power%+gdB", ch.PowerDelta))
+	}
+	if ch.TiltDelta != 0 {
+		parts = append(parts, fmt.Sprintf("tilt%+d", ch.TiltDelta))
+	}
+	if ch.TurnOff {
+		parts = append(parts, "off")
+	}
+	if ch.TurnOn {
+		parts = append(parts, "on")
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "noop")
+	}
+	return fmt.Sprintf("sector%d(%s)", ch.Sector, strings.Join(parts, ","))
+}
+
+// Apply applies a change in place and returns the change that actually
+// took effect after clamping (useful for exact undo).
+func (c *Config) Apply(ch Change) (Change, error) {
+	if err := c.checkID(ch.Sector); err != nil {
+		return Change{}, err
+	}
+	applied := Change{Sector: ch.Sector}
+	if ch.PowerDelta != 0 {
+		applied.PowerDelta = c.AdjustPower(ch.Sector, ch.PowerDelta)
+	}
+	if ch.TiltDelta != 0 {
+		applied.TiltDelta = c.AdjustTilt(ch.Sector, ch.TiltDelta)
+	}
+	if ch.TurnOff && !c.off[ch.Sector] {
+		c.off[ch.Sector] = true
+		applied.TurnOff = true
+	}
+	if ch.TurnOn && c.off[ch.Sector] {
+		c.off[ch.Sector] = false
+		applied.TurnOn = true
+	}
+	return applied, nil
+}
+
+// Inverse returns the change that undoes an applied change.
+func (ch Change) Inverse() Change {
+	return Change{
+		Sector:     ch.Sector,
+		PowerDelta: -ch.PowerDelta,
+		TiltDelta:  -ch.TiltDelta,
+		TurnOff:    ch.TurnOn,
+		TurnOn:     ch.TurnOff,
+	}
+}
+
+// Diff returns the elementary changes that transform c into target. Both
+// configurations must reference the same network.
+func (c *Config) Diff(target *Config) ([]Change, error) {
+	if c.net != target.net {
+		return nil, fmt.Errorf("config: cannot diff configurations of different networks")
+	}
+	var out []Change
+	for i := range c.power {
+		ch := Change{Sector: i}
+		if target.power[i] != c.power[i] {
+			ch.PowerDelta = target.power[i] - c.power[i]
+		}
+		if target.tilt[i] != c.tilt[i] {
+			ch.TiltDelta = target.tilt[i] - c.tilt[i]
+		}
+		if target.off[i] && !c.off[i] {
+			ch.TurnOff = true
+		}
+		if !target.off[i] && c.off[i] {
+			ch.TurnOn = true
+		}
+		if !ch.IsZero() {
+			out = append(out, ch)
+		}
+	}
+	return out, nil
+}
+
+// Equal reports whether two configurations are identical.
+func (c *Config) Equal(o *Config) bool {
+	if c.net != o.net || len(c.power) != len(o.power) {
+		return false
+	}
+	for i := range c.power {
+		if c.power[i] != o.power[i] || c.tilt[i] != o.tilt[i] || c.off[i] != o.off[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the non-default settings of the configuration.
+func (c *Config) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "config{%d sectors", len(c.power))
+	changed := 0
+	for i := range c.power {
+		def := c.net.Sectors[i].DefaultPowerDbm
+		if c.power[i] != def || c.tilt[i] != 0 || c.off[i] {
+			if changed < 8 {
+				fmt.Fprintf(&b, "; s%d p=%.1f t=%d off=%v", i, c.power[i], c.tilt[i], c.off[i])
+			}
+			changed++
+		}
+	}
+	if changed > 8 {
+		fmt.Fprintf(&b, "; ... %d more changed", changed-8)
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,273 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"magus/internal/geo"
+	"magus/internal/topology"
+)
+
+func testNet(t *testing.T) *topology.Network {
+	t.Helper()
+	return topology.MustGenerate(topology.GenConfig{
+		Seed:   1,
+		Class:  topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 6000, 6000),
+	})
+}
+
+func TestNewDefaults(t *testing.T) {
+	net := testNet(t)
+	c := New(net)
+	if c.NumSectors() != net.NumSectors() {
+		t.Fatalf("NumSectors = %d, want %d", c.NumSectors(), net.NumSectors())
+	}
+	for i := range net.Sectors {
+		if c.PowerDbm(i) != net.Sectors[i].DefaultPowerDbm {
+			t.Fatalf("sector %d power = %v, want default", i, c.PowerDbm(i))
+		}
+		if c.TiltIndex(i) != 0 || c.Off(i) {
+			t.Fatalf("sector %d not at neutral on-air default", i)
+		}
+		if c.TiltDeg(i) != net.Sectors[i].Tilts.NeutralDeg {
+			t.Fatalf("sector %d tilt deg = %v, want neutral", i, c.TiltDeg(i))
+		}
+	}
+	if c.Network() != net {
+		t.Error("Network() should return the constructing network")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	c := New(testNet(t))
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Fatal("clone should equal original")
+	}
+	d.AdjustPower(0, 2)
+	d.AdjustTilt(1, -3)
+	if err := d.SetOff(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if c.Equal(d) {
+		t.Fatal("mutating clone should not affect original")
+	}
+	if c.PowerDbm(0) == d.PowerDbm(0) {
+		t.Error("power change leaked to original")
+	}
+}
+
+func TestSetPowerBounds(t *testing.T) {
+	net := testNet(t)
+	c := New(net)
+	sec := net.Sectors[0]
+	if err := c.SetPowerDbm(0, sec.MaxPowerDbm); err != nil {
+		t.Errorf("max power should be allowed: %v", err)
+	}
+	if err := c.SetPowerDbm(0, sec.MaxPowerDbm+0.1); err == nil {
+		t.Error("power above max should fail")
+	}
+	if err := c.SetPowerDbm(0, sec.MinPowerDbm-0.1); err == nil {
+		t.Error("power below min should fail")
+	}
+	if err := c.SetPowerDbm(-1, 40); err == nil {
+		t.Error("negative sector should fail")
+	}
+	if err := c.SetPowerDbm(c.NumSectors(), 40); err == nil {
+		t.Error("out-of-range sector should fail")
+	}
+}
+
+func TestAdjustPowerClamps(t *testing.T) {
+	net := testNet(t)
+	c := New(net)
+	sec := net.Sectors[0]
+	headroom := sec.MaxPowerDbm - sec.DefaultPowerDbm
+	applied := c.AdjustPower(0, headroom+10)
+	if applied != headroom {
+		t.Errorf("applied = %v, want clamped %v", applied, headroom)
+	}
+	if !c.AtMaxPower(0) {
+		t.Error("sector should be at max power")
+	}
+	applied = c.AdjustPower(0, -1000)
+	if c.PowerDbm(0) != sec.MinPowerDbm {
+		t.Errorf("power = %v, want min %v", c.PowerDbm(0), sec.MinPowerDbm)
+	}
+	if applied != sec.MinPowerDbm-sec.MaxPowerDbm {
+		t.Errorf("applied = %v, want %v", applied, sec.MinPowerDbm-sec.MaxPowerDbm)
+	}
+}
+
+func TestTiltBounds(t *testing.T) {
+	net := testNet(t)
+	c := New(net)
+	tt := net.Sectors[0].Tilts
+	if err := c.SetTiltIndex(0, tt.MaxIndex()); err != nil {
+		t.Errorf("max tilt should be allowed: %v", err)
+	}
+	if err := c.SetTiltIndex(0, tt.MaxIndex()+1); err == nil {
+		t.Error("tilt above range should fail")
+	}
+	if err := c.SetTiltIndex(99999, 0); err == nil {
+		t.Error("bad sector should fail")
+	}
+	c2 := New(net)
+	applied := c2.AdjustTilt(0, -100)
+	if applied != tt.MinIndex() {
+		t.Errorf("AdjustTilt applied %d, want %d", applied, tt.MinIndex())
+	}
+	if c2.TiltIndex(0) != tt.MinIndex() {
+		t.Errorf("tilt = %d, want min", c2.TiltIndex(0))
+	}
+}
+
+func TestApplyAndInverseRoundTrip(t *testing.T) {
+	net := testNet(t)
+	c := New(net)
+	orig := c.Clone()
+	changes := []Change{
+		{Sector: 0, PowerDelta: 2},
+		{Sector: 1, TiltDelta: -2},
+		{Sector: 2, TurnOff: true},
+		{Sector: 0, PowerDelta: 1, TiltDelta: 1},
+	}
+	var applied []Change
+	for _, ch := range changes {
+		a, err := c.Apply(ch)
+		if err != nil {
+			t.Fatalf("Apply(%v): %v", ch, err)
+		}
+		applied = append(applied, a)
+	}
+	if c.Equal(orig) {
+		t.Fatal("changes had no effect")
+	}
+	for i := len(applied) - 1; i >= 0; i-- {
+		if _, err := c.Apply(applied[i].Inverse()); err != nil {
+			t.Fatalf("undo: %v", err)
+		}
+	}
+	if !c.Equal(orig) {
+		t.Fatal("applying inverses should restore original config")
+	}
+}
+
+func TestApplyTurnOnOff(t *testing.T) {
+	c := New(testNet(t))
+	a, err := c.Apply(Change{Sector: 3, TurnOff: true})
+	if err != nil || !a.TurnOff {
+		t.Fatalf("turn off: %v %v", a, err)
+	}
+	// Turning off an already-off sector is a no-op.
+	a, err = c.Apply(Change{Sector: 3, TurnOff: true})
+	if err != nil || a.TurnOff {
+		t.Fatalf("double off should be no-op, got %v", a)
+	}
+	a, err = c.Apply(Change{Sector: 3, TurnOn: true})
+	if err != nil || !a.TurnOn || c.Off(3) {
+		t.Fatalf("turn on: %v %v off=%v", a, err, c.Off(3))
+	}
+	if _, err := c.Apply(Change{Sector: -5}); err == nil {
+		t.Error("bad sector should fail")
+	}
+}
+
+func TestApplyQuickProperty(t *testing.T) {
+	net := testNet(t)
+	f := func(sector uint8, pd int8, td int8) bool {
+		c := New(net)
+		orig := c.Clone()
+		ch := Change{
+			Sector:     int(sector) % c.NumSectors(),
+			PowerDelta: float64(pd) / 4,
+			TiltDelta:  int(td) % 10,
+		}
+		applied, err := c.Apply(ch)
+		if err != nil {
+			return false
+		}
+		if _, err := c.Apply(applied.Inverse()); err != nil {
+			return false
+		}
+		return c.Equal(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	net := testNet(t)
+	a := New(net)
+	b := a.Clone()
+	b.AdjustPower(0, 3)
+	b.AdjustTilt(1, -2)
+	if err := b.SetOff(2, true); err != nil {
+		t.Fatal(err)
+	}
+	diff, err := a.Diff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 3 {
+		t.Fatalf("diff has %d changes, want 3: %v", len(diff), diff)
+	}
+	// Applying the diff to a copy of a must yield b.
+	c := a.Clone()
+	for _, ch := range diff {
+		if _, err := c.Apply(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Equal(b) {
+		t.Fatal("applying diff should reach target config")
+	}
+	// Diff between equal configs is empty.
+	empty, err := b.Diff(b.Clone())
+	if err != nil || len(empty) != 0 {
+		t.Errorf("self-diff = %v, %v; want empty", empty, err)
+	}
+}
+
+func TestDiffDifferentNetworksFails(t *testing.T) {
+	n1 := testNet(t)
+	n2 := topology.MustGenerate(topology.GenConfig{
+		Seed:   2,
+		Class:  topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 6000, 6000),
+	})
+	if _, err := New(n1).Diff(New(n2)); err == nil {
+		t.Error("diff across networks should fail")
+	}
+}
+
+func TestChangeString(t *testing.T) {
+	ch := Change{Sector: 5, PowerDelta: 2, TiltDelta: -1}
+	s := ch.String()
+	if !strings.Contains(s, "sector5") || !strings.Contains(s, "power+2dB") || !strings.Contains(s, "tilt-1") {
+		t.Errorf("Change.String() = %q", s)
+	}
+	if !strings.Contains(Change{Sector: 1}.String(), "noop") {
+		t.Error("zero change should say noop")
+	}
+	if !(Change{}).IsZero() {
+		t.Error("empty change should be zero")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	c := New(testNet(t))
+	if !strings.Contains(c.String(), "config{") {
+		t.Errorf("String() = %q", c.String())
+	}
+	for i := 0; i < 12 && i < c.NumSectors(); i++ {
+		c.AdjustPower(i, 1)
+	}
+	s := c.String()
+	if !strings.Contains(s, "more changed") {
+		t.Errorf("String() with many changes should truncate: %q", s)
+	}
+}

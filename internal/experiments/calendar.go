@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"magus/internal/upgrade"
+)
+
+// Calendar reproduces the paper's Section 1 operational observations
+// from one year of planned-upgrade data.
+type Calendar struct {
+	Events []upgrade.Event
+	Stats  upgrade.CalendarStats
+	Days   int
+}
+
+// RunCalendar synthesizes and analyzes a year of planned upgrades.
+func RunCalendar(seed int64) *Calendar {
+	days := 364 // exactly 52 weeks keeps per-weekday occurrence counts equal
+	events := upgrade.GenerateCalendar(upgrade.CalendarConfig{Seed: seed, Days: days})
+	return &Calendar{
+		Events: events,
+		Stats:  upgrade.AnalyzeCalendar(events, days),
+		Days:   days,
+	}
+}
+
+// String prints the weekday histogram and headline statistics.
+func (c *Calendar) String() string {
+	var b strings.Builder
+	b.WriteString("Section 1: one year of planned upgrades (synthetic calendar)\n")
+	fmt.Fprintf(&b, "  total upgrades: %d over %d days (every day covered: %v)\n",
+		c.Stats.Total, c.Days, c.Stats.DaysCovered == c.Days)
+	fmt.Fprintf(&b, "  Tue-Fri vs other days rate ratio: %.2fx (paper: more than 2x)\n",
+		c.Stats.TueFriRatio)
+	fmt.Fprintf(&b, "  mean duration: %.1f h (paper: 4-6 h)\n", c.Stats.MeanDurationHours)
+	fmt.Fprintf(&b, "  fraction touching business hours: %.0f%%\n", 100*c.Stats.BusyHourFraction)
+	for wd := time.Sunday; wd <= time.Saturday; wd++ {
+		count := c.Stats.ByWeekday[wd]
+		bar := strings.Repeat("#", count/10)
+		fmt.Fprintf(&b, "  %-9s %5d %s\n", wd, count, bar)
+	}
+	return b.String()
+}

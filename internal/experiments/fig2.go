@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"magus/internal/testbed"
+)
+
+// Figure2 holds both LTE-testbed scenario results (the paper's Figure
+// 2): utilities before/during/after the upgrade and the
+// proactive/reactive/no-tuning timelines.
+type Figure2 struct {
+	Scenario1 *testbed.ScenarioResult
+	Scenario2 *testbed.ScenarioResult
+}
+
+// RunFigure2 executes both testbed scenarios on the simulator.
+func RunFigure2(seed int64) (*Figure2, error) {
+	cfg := testbed.Config{Seed: seed}
+	s1, err := testbed.RunScenario(testbed.Scenario1(), cfg, testbed.RunOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("figure2 scenario1: %w", err)
+	}
+	s2, err := testbed.RunScenario(testbed.Scenario2(), cfg, testbed.RunOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("figure2 scenario2: %w", err)
+	}
+	return &Figure2{Scenario1: s1, Scenario2: s2}, nil
+}
+
+// String prints the two scenario tables and timelines.
+func (f *Figure2) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: LTE testbed performance improvement via reconfiguration\n")
+	for _, res := range []*testbed.ScenarioResult{f.Scenario1, f.Scenario2} {
+		fmt.Fprintf(&b, "\n%s: f(C_before)=%.2f f(C_upgrade)=%.2f f(C_after)=%.2f recovery=%.0f%%\n",
+			res.Name, res.UtilityBefore, res.UtilityUpgrade, res.UtilityAfter,
+			100*res.RecoveryRatio())
+		fmt.Fprintf(&b, "  before attenuations: %v\n", res.BeforeAttenuation)
+		fmt.Fprintf(&b, "  after  attenuations: %v\n", res.AfterAttenuation)
+		fmt.Fprintf(&b, "  %5s %10s %10s %10s\n", "time", "proactive", "reactive", "no-tuning")
+		for _, tp := range res.Timeline {
+			fmt.Fprintf(&b, "  %5d %10.2f %10.2f %10.2f\n",
+				tp.Time, tp.Proactive, tp.Reactive, tp.NoTuning)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+// Package export serializes the model's artifacts for downstream tools:
+// experiment results as JSON (for plotting pipelines) and topologies /
+// coverage maps as GeoJSON FeatureCollections (for GIS viewers). The
+// paper's figures are map overlays (Figures 4, 5, 8); GeoJSON is the
+// open format that reproduces that workflow.
+//
+// The planar model coordinates are exported as-is in a local projected
+// frame; consumers that need WGS84 can place the origin with Anchor.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/topology"
+)
+
+// JSON writes any experiment result as indented JSON.
+func JSON(w io.Writer, result any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(result); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	return nil
+}
+
+// Anchor places the local planar origin on the globe for GeoJSON
+// export. Zero value anchors at (0 N, 0 E).
+type Anchor struct {
+	// LatDeg and LonDeg locate the local (0, 0) point.
+	LatDeg, LonDeg float64
+}
+
+// toLonLat converts local meters to degrees around the anchor with a
+// spherical-earth approximation (adequate at market scale).
+func (a Anchor) toLonLat(p geo.Point) [2]float64 {
+	const metersPerDegLat = 111320.0
+	lat := a.LatDeg + p.Y/metersPerDegLat
+	lon := a.LonDeg + p.X/(metersPerDegLat*math.Cos(a.LatDeg*math.Pi/180))
+	return [2]float64{lon, lat}
+}
+
+// feature is a minimal GeoJSON feature.
+type feature struct {
+	Type       string         `json:"type"`
+	Geometry   map[string]any `json:"geometry"`
+	Properties map[string]any `json:"properties"`
+}
+
+type featureCollection struct {
+	Type     string    `json:"type"`
+	Features []feature `json:"features"`
+}
+
+// TopologyGeoJSON writes the network's sites and sectors as a GeoJSON
+// FeatureCollection: one Point feature per sector with azimuth, power
+// and tilt properties.
+func TopologyGeoJSON(w io.Writer, net *topology.Network, anchor Anchor) error {
+	fc := featureCollection{Type: "FeatureCollection"}
+	for i := range net.Sectors {
+		sec := &net.Sectors[i]
+		fc.Features = append(fc.Features, feature{
+			Type: "Feature",
+			Geometry: map[string]any{
+				"type":        "Point",
+				"coordinates": anchor.toLonLat(sec.Pos),
+			},
+			Properties: map[string]any{
+				"sector":      sec.ID,
+				"site":        sec.Site,
+				"azimuth_deg": sec.AzimuthDeg,
+				"height_m":    sec.HeightM,
+				"power_dbm":   sec.DefaultPowerDbm,
+				"class":       net.Class.String(),
+			},
+		})
+	}
+	return JSON(w, fc)
+}
+
+// CoverageGeoJSON writes a state's serving map as GeoJSON: one Polygon
+// feature per grid cell carrying serving sector, SINR and rate, with
+// out-of-service cells marked. Cells can be downsampled with stride > 1
+// to bound output size.
+func CoverageGeoJSON(w io.Writer, st *netmodel.State, anchor Anchor, stride int) error {
+	if stride < 1 {
+		stride = 1
+	}
+	grid := st.Model.Grid
+	fc := featureCollection{Type: "FeatureCollection"}
+	for row := 0; row < grid.Rows; row += stride {
+		for col := 0; col < grid.Cols; col += stride {
+			g := grid.Index(col, row)
+			center := grid.CellCenterIdx(g)
+			half := grid.CellSize / 2 * float64(stride)
+			ring := [][2]float64{
+				anchor.toLonLat(center.Add(-half, -half)),
+				anchor.toLonLat(center.Add(half, -half)),
+				anchor.toLonLat(center.Add(half, half)),
+				anchor.toLonLat(center.Add(-half, half)),
+			}
+			ring = append(ring, ring[0])
+
+			props := map[string]any{
+				"grid":   g,
+				"served": st.MaxRateBps(g) > 0,
+			}
+			if st.MaxRateBps(g) > 0 {
+				props["sector"] = st.ServingSector(g)
+				props["sinr_db"] = round2(st.SINRdB(g))
+				props["rate_mbps"] = round2(st.RateBps(g) / 1e6)
+			}
+			fc.Features = append(fc.Features, feature{
+				Type: "Feature",
+				Geometry: map[string]any{
+					"type":        "Polygon",
+					"coordinates": [][][2]float64{ring},
+				},
+				Properties: props,
+			})
+		}
+	}
+	return JSON(w, fc)
+}
+
+func round2(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return -999
+	}
+	return math.Round(v*100) / 100
+}

@@ -1,0 +1,150 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/propagation"
+	"magus/internal/topology"
+)
+
+func testState(t *testing.T) *netmodel.State {
+	t.Helper()
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed: 3, Class: topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 4000, 4000),
+	})
+	m := netmodel.MustNewModel(net, propagation.MustNewSPM(2.635e9, nil), net.Bounds,
+		netmodel.Params{CellSizeM: 200})
+	st := m.NewState(config.New(net))
+	st.AssignUsersUniform()
+	return st
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := map[string]any{"recovery": 0.42, "steps": 7.0}
+	if err := JSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["recovery"] != 0.42 || out["steps"] != 7.0 {
+		t.Errorf("round trip = %v", out)
+	}
+}
+
+func TestTopologyGeoJSON(t *testing.T) {
+	st := testState(t)
+	var buf bytes.Buffer
+	anchor := Anchor{LatDeg: 40.7, LonDeg: -74.0}
+	if err := TopologyGeoJSON(&buf, st.Model.Net, anchor); err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Geometry struct {
+				Type        string     `json:"type"`
+				Coordinates [2]float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &fc); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Type != "FeatureCollection" {
+		t.Errorf("type = %q", fc.Type)
+	}
+	if len(fc.Features) != st.Model.Net.NumSectors() {
+		t.Fatalf("features = %d, want %d sectors", len(fc.Features), st.Model.Net.NumSectors())
+	}
+	for _, f := range fc.Features {
+		if f.Geometry.Type != "Point" {
+			t.Fatalf("geometry type = %q", f.Geometry.Type)
+		}
+		lon, lat := f.Geometry.Coordinates[0], f.Geometry.Coordinates[1]
+		// A 4 km market around the anchor stays within a tenth of a
+		// degree.
+		if math.Abs(lat-anchor.LatDeg) > 0.1 || math.Abs(lon-anchor.LonDeg) > 0.1 {
+			t.Fatalf("coordinates (%v, %v) far from anchor", lon, lat)
+		}
+		if _, ok := f.Properties["azimuth_deg"]; !ok {
+			t.Fatal("missing azimuth property")
+		}
+	}
+}
+
+func TestCoverageGeoJSON(t *testing.T) {
+	st := testState(t)
+	var buf bytes.Buffer
+	if err := CoverageGeoJSON(&buf, st, Anchor{}, 2); err != nil {
+		t.Fatal(err)
+	}
+	var fc struct {
+		Features []struct {
+			Geometry struct {
+				Type        string         `json:"type"`
+				Coordinates [][][2]float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]any `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &fc); err != nil {
+		t.Fatal(err)
+	}
+	grid := st.Model.Grid
+	want := ((grid.Rows + 1) / 2) * ((grid.Cols + 1) / 2)
+	if len(fc.Features) != want {
+		t.Fatalf("features = %d, want %d (stride 2)", len(fc.Features), want)
+	}
+	served := 0
+	for _, f := range fc.Features {
+		if f.Geometry.Type != "Polygon" {
+			t.Fatalf("geometry type = %q", f.Geometry.Type)
+		}
+		if len(f.Geometry.Coordinates) != 1 || len(f.Geometry.Coordinates[0]) != 5 {
+			t.Fatal("polygon ring should be closed with 5 points")
+		}
+		if f.Properties["served"] == true {
+			served++
+			if _, ok := f.Properties["sinr_db"]; !ok {
+				t.Fatal("served cell missing sinr")
+			}
+		}
+	}
+	if served == 0 {
+		t.Error("no served cells exported")
+	}
+}
+
+func TestCoverageGeoJSONStrideFloor(t *testing.T) {
+	st := testState(t)
+	var a, b bytes.Buffer
+	if err := CoverageGeoJSON(&a, st, Anchor{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := CoverageGeoJSON(&b, st, Anchor{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Error("stride 0 should behave as stride 1")
+	}
+}
+
+func TestRound2(t *testing.T) {
+	if round2(1.23456) != 1.23 {
+		t.Errorf("round2 = %v", round2(1.23456))
+	}
+	if round2(math.Inf(-1)) != -999 || round2(math.NaN()) != -999 {
+		t.Error("non-finite values should map to sentinel")
+	}
+}

@@ -1,0 +1,219 @@
+// Package feedback simulates the reactive feedback-based tuning strategy
+// (the Self-Organizing-Networks baseline of Section 2 and Figure 12):
+// tuning starts only after the target sector is off-air, and each
+// iteration changes one tuning unit of one neighbor, guided by measured
+// performance rather than by a predictive model.
+//
+// Two estimators mirror the paper's analysis:
+//
+//   - Idealized: an oracle identifies the best single-unit move at each
+//     step, so each step costs one measurement round (the paper's
+//     "even under this idealized scenario, 27 steps").
+//   - Realistic: before committing a move, the controller must measure
+//     each candidate change in the live network, so a step costs as many
+//     measurement rounds as there are candidates probed (the paper's
+//     "more realistic estimate ... 310 steps").
+//
+// Either way, every measurement round takes minutes in a production
+// network ("the time to obtain the feedback ... on the order of several
+// minutes"), which is what makes the reactive feedback approach slow.
+package feedback
+
+import (
+	"fmt"
+
+	"magus/internal/config"
+	"magus/internal/netmodel"
+	"magus/internal/utility"
+)
+
+// Mode selects the measurement-cost model.
+type Mode int
+
+const (
+	// Idealized charges one measurement per committed step.
+	Idealized Mode = iota
+	// Realistic charges one measurement per candidate probed.
+	Realistic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Idealized:
+		return "idealized"
+	case Realistic:
+		return "realistic"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// DefaultMeasurementIntervalSec is the assumed wall-clock time of one
+// feedback measurement round (extracting performance counters from the
+// field): 5 minutes.
+const DefaultMeasurementIntervalSec = 300
+
+// Options tune the simulation.
+type Options struct {
+	// Util is the objective (default utility.Performance).
+	Util utility.Func
+	// MaxSteps caps committed tuning steps (default 500).
+	MaxSteps int
+	// PowerUnitDB is the per-step power tuning unit (default 1).
+	PowerUnitDB float64
+	// MeasurementIntervalSec is the wall-clock cost of one measurement
+	// round (default DefaultMeasurementIntervalSec).
+	MeasurementIntervalSec float64
+	// IncludeTilt adds +-1 tilt steps to the candidate move set.
+	IncludeTilt bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.Util.U == nil {
+		o.Util = utility.Performance
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 500
+	}
+	if o.PowerUnitDB <= 0 {
+		o.PowerUnitDB = 1
+	}
+	if o.MeasurementIntervalSec <= 0 {
+		o.MeasurementIntervalSec = DefaultMeasurementIntervalSec
+	}
+}
+
+// Result summarizes a reactive feedback run.
+type Result struct {
+	// Steps is the number of committed tuning moves until convergence.
+	Steps int
+	// Measurements is the total number of feedback measurement rounds.
+	Measurements int
+	// TimeSeconds is Measurements x MeasurementIntervalSec: how long the
+	// network stayed degraded while the controller converged.
+	TimeSeconds float64
+	// UtilityTimeline holds the utility after each committed step;
+	// entry 0 is the starting (C_upgrade) utility.
+	UtilityTimeline []float64
+	// FinalUtility is the utility at convergence.
+	FinalUtility float64
+}
+
+// Reactive runs the feedback-based controller on st (which must already
+// be at C_upgrade: targets off-air). st is mutated to the converged
+// configuration.
+func Reactive(st *netmodel.State, neighbors []int, mode Mode, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	if mode != Idealized && mode != Realistic {
+		return nil, fmt.Errorf("feedback: unknown mode %d", int(mode))
+	}
+	res := &Result{}
+	current := st.Utility(opts.Util)
+	res.UtilityTimeline = append(res.UtilityTimeline, current)
+
+	for res.Steps < opts.MaxSteps {
+		bestMove := config.Change{}
+		bestUtility := current
+		probed := 0
+		for _, b := range neighbors {
+			if st.Cfg.Off(b) {
+				continue
+			}
+			moves := []config.Change{{Sector: b, PowerDelta: opts.PowerUnitDB}}
+			if opts.IncludeTilt {
+				moves = append(moves,
+					config.Change{Sector: b, TiltDelta: -1},
+					config.Change{Sector: b, TiltDelta: 1},
+				)
+			}
+			for _, mv := range moves {
+				applied, err := st.Apply(mv)
+				if err != nil {
+					return nil, err
+				}
+				if applied.IsZero() {
+					continue
+				}
+				probed++
+				if u := st.Utility(opts.Util); u > bestUtility {
+					bestUtility = u
+					bestMove = applied
+				}
+				if _, err := st.Apply(applied.Inverse()); err != nil {
+					return nil, err
+				}
+			}
+		}
+		switch mode {
+		case Idealized:
+			// The oracle needs only the single post-commit measurement.
+			if !bestMove.IsZero() {
+				res.Measurements++
+			}
+		case Realistic:
+			// Every probe was a live measurement round.
+			res.Measurements += probed
+		}
+		if bestMove.IsZero() {
+			break // converged: no single-unit move improves utility
+		}
+		if _, err := st.Apply(bestMove); err != nil {
+			return nil, err
+		}
+		current = bestUtility
+		res.Steps++
+		res.UtilityTimeline = append(res.UtilityTimeline, current)
+	}
+	res.FinalUtility = current
+	res.TimeSeconds = float64(res.Measurements) * opts.MeasurementIntervalSec
+	return res, nil
+}
+
+// TimelinePoint is one sample of a utility-versus-time series for the
+// Figure 12 comparison.
+type TimelinePoint struct {
+	// Step is the measurement-round index since the upgrade began.
+	Step int
+	// Utility is the overall network utility at that time.
+	Utility float64
+}
+
+// Series is a named utility timeline.
+type Series struct {
+	Name   string
+	Points []TimelinePoint
+}
+
+// ConvergenceSeries assembles the four Figure 12 series over a horizon
+// of steps: proactive model-based (at f(C_after) throughout), reactive
+// model-based (one step of f(C_upgrade), then f(C_after)), no tuning
+// (f(C_upgrade) throughout), and the supplied reactive feedback climb.
+func ConvergenceSeries(upgradeUtility, afterUtility float64, reactive *Result, horizon int) []Series {
+	if horizon < len(reactive.UtilityTimeline) {
+		horizon = len(reactive.UtilityTimeline)
+	}
+	mk := func(name string, f func(i int) float64) Series {
+		s := Series{Name: name}
+		for i := 0; i < horizon; i++ {
+			s.Points = append(s.Points, TimelinePoint{Step: i, Utility: f(i)})
+		}
+		return s
+	}
+	return []Series{
+		mk("proactive-model", func(int) float64 { return afterUtility }),
+		mk("reactive-model", func(i int) float64 {
+			if i == 0 {
+				return upgradeUtility
+			}
+			return afterUtility
+		}),
+		mk("reactive-feedback", func(i int) float64 {
+			if i < len(reactive.UtilityTimeline) {
+				return reactive.UtilityTimeline[i]
+			}
+			return reactive.FinalUtility
+		}),
+		mk("no-tuning", func(int) float64 { return upgradeUtility }),
+	}
+}

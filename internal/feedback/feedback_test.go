@@ -1,0 +1,190 @@
+package feedback
+
+import (
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/propagation"
+	"magus/internal/search"
+	"magus/internal/topology"
+	"magus/internal/utility"
+)
+
+type fixture struct {
+	model     *netmodel.Model
+	before    *netmodel.State
+	upgrade   *netmodel.State
+	neighbors []int
+}
+
+func makeFixture(t *testing.T, seed int64) *fixture {
+	t.Helper()
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed:   seed,
+		Class:  topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 6000, 6000),
+	})
+	spm := propagation.MustNewSPM(2.635e9, nil)
+	m := netmodel.MustNewModel(net, spm, net.Bounds, netmodel.Params{CellSizeM: 200})
+	before := m.NewState(config.New(net))
+	before.AssignUsersUniform()
+	if _, err := search.Equalize(before, search.Options{MaxSteps: 300}); err != nil {
+		t.Fatal(err)
+	}
+	before.AssignUsersUniform()
+
+	central := net.CentralSite()
+	targets := []int{net.Sites[central].Sectors[0]}
+	upgrade := before.Clone()
+	for _, tg := range targets {
+		upgrade.MustApply(config.Change{Sector: tg, TurnOff: true})
+	}
+	neighbors := search.SortByDistanceTo(upgrade, net.NeighborSectors(targets, 4000), targets)
+	return &fixture{model: m, before: before, upgrade: upgrade, neighbors: neighbors}
+}
+
+func TestModeString(t *testing.T) {
+	if Idealized.String() != "idealized" || Realistic.String() != "realistic" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still produce a name")
+	}
+}
+
+func TestReactiveImproves(t *testing.T) {
+	fx := makeFixture(t, 3)
+	u0 := fx.upgrade.Utility(utility.Performance)
+	work := fx.upgrade.Clone()
+	res, err := Reactive(work, fx.neighbors, Idealized, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalUtility < u0 {
+		t.Fatalf("reactive tuning worsened utility: %v -> %v", u0, res.FinalUtility)
+	}
+	// Timeline must be monotone non-decreasing and start at u0.
+	if res.UtilityTimeline[0] != u0 {
+		t.Errorf("timeline starts at %v, want %v", res.UtilityTimeline[0], u0)
+	}
+	for i := 1; i < len(res.UtilityTimeline); i++ {
+		if res.UtilityTimeline[i] < res.UtilityTimeline[i-1] {
+			t.Fatalf("timeline decreases at %d", i)
+		}
+	}
+	if len(res.UtilityTimeline) != res.Steps+1 {
+		t.Errorf("timeline has %d points for %d steps", len(res.UtilityTimeline), res.Steps)
+	}
+}
+
+func TestRealisticCostsMoreMeasurements(t *testing.T) {
+	fx := makeFixture(t, 3)
+	ideal, err := Reactive(fx.upgrade.Clone(), fx.neighbors, Idealized, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	realistic, err := Reactive(fx.upgrade.Clone(), fx.neighbors, Realistic, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same search trajectory, radically different measurement cost —
+	// the paper's 27 vs 310 steps distinction.
+	if ideal.Steps != realistic.Steps {
+		t.Errorf("idealized %d steps vs realistic %d steps; trajectories should match",
+			ideal.Steps, realistic.Steps)
+	}
+	if ideal.Steps > 0 && realistic.Measurements <= ideal.Measurements {
+		t.Errorf("realistic measurements %d should exceed idealized %d",
+			realistic.Measurements, ideal.Measurements)
+	}
+	if realistic.TimeSeconds != float64(realistic.Measurements)*DefaultMeasurementIntervalSec {
+		t.Error("time should be measurements x interval")
+	}
+}
+
+func TestReactiveWithTiltFindsAtLeastPowerOnlyUtility(t *testing.T) {
+	fx := makeFixture(t, 5)
+	powerOnly, err := Reactive(fx.upgrade.Clone(), fx.neighbors, Idealized, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTilt, err := Reactive(fx.upgrade.Clone(), fx.neighbors, Idealized, Options{IncludeTilt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strictly larger move set can only help a greedy hill climb's
+	// final local optimum or tie it... greedy can diverge, so allow a
+	// small slack but flag gross regressions.
+	if withTilt.FinalUtility < powerOnly.FinalUtility*0.98 {
+		t.Errorf("tilt-enabled feedback %v far below power-only %v",
+			withTilt.FinalUtility, powerOnly.FinalUtility)
+	}
+}
+
+func TestReactiveUnknownMode(t *testing.T) {
+	fx := makeFixture(t, 3)
+	if _, err := Reactive(fx.upgrade.Clone(), fx.neighbors, Mode(9), Options{}); err == nil {
+		t.Error("unknown mode should fail")
+	}
+}
+
+func TestReactiveMaxStepsRespected(t *testing.T) {
+	fx := makeFixture(t, 3)
+	res, err := Reactive(fx.upgrade.Clone(), fx.neighbors, Idealized, Options{MaxSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps > 2 {
+		t.Errorf("steps = %d, want <= 2", res.Steps)
+	}
+}
+
+func TestConvergenceSeries(t *testing.T) {
+	fx := makeFixture(t, 3)
+	uUp := fx.upgrade.Utility(utility.Performance)
+	work := fx.upgrade.Clone()
+	res, err := Reactive(work, fx.neighbors, Idealized, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uAfter := res.FinalUtility
+	series := ConvergenceSeries(uUp, uAfter, res, 10)
+	if len(series) != 4 {
+		t.Fatalf("series count = %d, want 4", len(series))
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+		if len(s.Points) < 10 {
+			t.Fatalf("series %s has %d points, want >= 10", s.Name, len(s.Points))
+		}
+	}
+	pm := byName["proactive-model"]
+	rm := byName["reactive-model"]
+	rf := byName["reactive-feedback"]
+	nt := byName["no-tuning"]
+	// Proactive is at f(C_after) from step 0; the ordering of the four
+	// strategies at step 0 is the crux of Figure 12.
+	if pm.Points[0].Utility < rm.Points[0].Utility {
+		t.Error("proactive should start at least as high as reactive-model")
+	}
+	if rm.Points[0].Utility != uUp || nt.Points[0].Utility != uUp {
+		t.Error("reactive-model and no-tuning must start at f(C_upgrade)")
+	}
+	if rm.Points[1].Utility != uAfter {
+		t.Error("reactive-model must reach f(C_after) after one step")
+	}
+	// Feedback approaches but never exceeds its own final utility.
+	last := rf.Points[len(rf.Points)-1]
+	if last.Utility != res.FinalUtility {
+		t.Error("feedback series should settle at its final utility")
+	}
+	// No-tuning stays flat.
+	for _, p := range nt.Points {
+		if p.Utility != uUp {
+			t.Error("no-tuning series should be flat")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package geo
+
+import "testing"
+
+// FuzzCellAt checks the grid lookup is total and consistent with
+// CellCenter for arbitrary coordinates.
+func FuzzCellAt(f *testing.F) {
+	f.Add(0.0, 0.0)
+	f.Add(-5000.0, 5000.0)
+	f.Add(4999.999, -4999.999)
+	f.Add(1e12, -1e12)
+	grid := MustNewGrid(NewRectCentered(Point{}, 10000, 10000), 100)
+	f.Fuzz(func(t *testing.T, x, y float64) {
+		if x != x || y != y { // NaN
+			return
+		}
+		p := Point{X: x, Y: y}
+		col, row, ok := grid.CellAt(p)
+		if !ok {
+			if grid.Bounds.Contains(p) {
+				t.Fatalf("point %+v inside bounds but CellAt failed", p)
+			}
+			return
+		}
+		if !grid.InBounds(col, row) {
+			t.Fatalf("CellAt(%+v) = (%d, %d) out of bounds", p, col, row)
+		}
+		// The returned cell must actually contain the point (within a
+		// half-cell tolerance for boundary clamping).
+		c := grid.CellCenter(col, row)
+		if dx := c.X - p.X; dx > grid.CellSize || dx < -grid.CellSize {
+			t.Fatalf("CellAt(%+v) center %+v too far in x", p, c)
+		}
+		if dy := c.Y - p.Y; dy > grid.CellSize || dy < -grid.CellSize {
+			t.Fatalf("CellAt(%+v) center %+v too far in y", p, c)
+		}
+		// Index round trip.
+		idx := grid.Index(col, row)
+		c2, r2 := grid.ColRow(idx)
+		if c2 != col || r2 != row {
+			t.Fatalf("index round trip broke at (%d, %d)", col, row)
+		}
+	})
+}
+
+// FuzzAngularDifference checks the bearing fold is total, bounded and
+// symmetric.
+func FuzzAngularDifference(f *testing.F) {
+	f.Add(0.0, 359.0)
+	f.Add(-720.0, 720.0)
+	f.Fuzz(func(t *testing.T, a, b float64) {
+		if a != a || b != b || a > 1e12 || a < -1e12 || b > 1e12 || b < -1e12 {
+			return
+		}
+		d := AngularDifference(a, b)
+		if d < 0 || d > 180 {
+			t.Fatalf("AngularDifference(%v, %v) = %v outside [0, 180]", a, b, d)
+		}
+		if d2 := AngularDifference(b, a); d2-d > 1e-6 || d-d2 > 1e-6 {
+			t.Fatalf("asymmetric: %v vs %v", d, d2)
+		}
+	})
+}

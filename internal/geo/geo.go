@@ -1,0 +1,245 @@
+// Package geo provides the planar geometry substrate of the Magus model:
+// points in a local meter-based coordinate system, rectangular grids of
+// fixed-size cells (the paper uses 100 m x 100 m cells), and distance and
+// bearing helpers.
+//
+// The paper's analysis areas are small enough (tens of kilometers) that a
+// flat local tangent plane is an excellent approximation, so all
+// coordinates are plain (x, y) meters with x growing east and y growing
+// north.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the local planar coordinate system, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point {
+	return Point{p.X + dx, p.Y + dy}
+}
+
+// DistanceTo returns the Euclidean distance in meters between p and q.
+func (p Point) DistanceTo(q Point) float64 {
+	return math.Hypot(q.X-p.X, q.Y-p.Y)
+}
+
+// BearingTo returns the compass bearing in degrees from p to q:
+// 0 is north (+y), 90 is east (+x), in [0, 360).
+func (p Point) BearingTo(q Point) float64 {
+	b := math.Atan2(q.X-p.X, q.Y-p.Y) * 180 / math.Pi
+	if b < 0 {
+		b += 360
+	}
+	return b
+}
+
+// Rect is an axis-aligned rectangle in meters. Min is inclusive, Max is
+// exclusive.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRectCentered returns a Rect of the given width and height (meters)
+// centered at c.
+func NewRectCentered(c Point, width, height float64) Rect {
+	return Rect{
+		Min: Point{c.X - width/2, c.Y - height/2},
+		Max: Point{c.X + width/2, c.Y + height/2},
+	}
+}
+
+// Width returns the x extent of the rectangle in meters.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the y extent of the rectangle in meters.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Center returns the center point of the rectangle.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Contains reports whether p lies inside r (Min inclusive, Max exclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// Expand returns r grown by margin meters on every side.
+func (r Rect) Expand(margin float64) Rect {
+	return Rect{
+		Min: Point{r.Min.X - margin, r.Min.Y - margin},
+		Max: Point{r.Max.X + margin, r.Max.Y + margin},
+	}
+}
+
+// Intersects reports whether r and o overlap.
+func (r Rect) Intersects(o Rect) bool {
+	return r.Min.X < o.Max.X && o.Min.X < r.Max.X &&
+		r.Min.Y < o.Max.Y && o.Min.Y < r.Max.Y
+}
+
+// Grid partitions a Rect into square cells of CellSize meters. Cells are
+// indexed either by (col, row) pairs or by a flat index row*Cols+col.
+// Cell (0, 0) is the south-west corner.
+type Grid struct {
+	Bounds   Rect
+	CellSize float64
+	Cols     int
+	Rows     int
+}
+
+// NewGrid builds a grid covering bounds with square cells of cellSize
+// meters. The bounds are snapped outward so an integral number of cells
+// covers them.
+func NewGrid(bounds Rect, cellSize float64) (*Grid, error) {
+	if cellSize <= 0 {
+		return nil, fmt.Errorf("geo: cell size must be positive, got %v", cellSize)
+	}
+	if bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, fmt.Errorf("geo: bounds must have positive area, got %+v", bounds)
+	}
+	cols := int(math.Ceil(bounds.Width() / cellSize))
+	rows := int(math.Ceil(bounds.Height() / cellSize))
+	g := &Grid{
+		Bounds: Rect{
+			Min: bounds.Min,
+			Max: Point{bounds.Min.X + float64(cols)*cellSize, bounds.Min.Y + float64(rows)*cellSize},
+		},
+		CellSize: cellSize,
+		Cols:     cols,
+		Rows:     rows,
+	}
+	return g, nil
+}
+
+// MustNewGrid is NewGrid that panics on error; intended for statically
+// known-good arguments.
+func MustNewGrid(bounds Rect, cellSize float64) *Grid {
+	g, err := NewGrid(bounds, cellSize)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NumCells returns the total number of cells in the grid.
+func (g *Grid) NumCells() int { return g.Cols * g.Rows }
+
+// Index returns the flat index for cell (col, row). It does not bounds
+// check; use InBounds first for untrusted coordinates.
+func (g *Grid) Index(col, row int) int { return row*g.Cols + col }
+
+// ColRow returns the (col, row) pair for a flat cell index.
+func (g *Grid) ColRow(idx int) (col, row int) {
+	return idx % g.Cols, idx / g.Cols
+}
+
+// InBounds reports whether cell (col, row) exists.
+func (g *Grid) InBounds(col, row int) bool {
+	return col >= 0 && col < g.Cols && row >= 0 && row < g.Rows
+}
+
+// CellCenter returns the center point of cell (col, row) in meters.
+func (g *Grid) CellCenter(col, row int) Point {
+	return Point{
+		X: g.Bounds.Min.X + (float64(col)+0.5)*g.CellSize,
+		Y: g.Bounds.Min.Y + (float64(row)+0.5)*g.CellSize,
+	}
+}
+
+// CellCenterIdx returns the center point of the cell with flat index idx.
+func (g *Grid) CellCenterIdx(idx int) Point {
+	col, row := g.ColRow(idx)
+	return g.CellCenter(col, row)
+}
+
+// CellAt returns the (col, row) of the cell containing p and whether p is
+// inside the grid.
+func (g *Grid) CellAt(p Point) (col, row int, ok bool) {
+	if !g.Bounds.Contains(p) {
+		return 0, 0, false
+	}
+	col = int((p.X - g.Bounds.Min.X) / g.CellSize)
+	row = int((p.Y - g.Bounds.Min.Y) / g.CellSize)
+	// Guard against floating point edge effects on the max boundary.
+	if col >= g.Cols {
+		col = g.Cols - 1
+	}
+	if row >= g.Rows {
+		row = g.Rows - 1
+	}
+	return col, row, true
+}
+
+// IndexAt returns the flat index of the cell containing p, or -1 if p is
+// outside the grid.
+func (g *Grid) IndexAt(p Point) int {
+	col, row, ok := g.CellAt(p)
+	if !ok {
+		return -1
+	}
+	return g.Index(col, row)
+}
+
+// CellsWithin returns the flat indices of all cells whose centers lie
+// within radius meters of p. The result is appended to dst and returned,
+// allowing allocation reuse.
+func (g *Grid) CellsWithin(dst []int, p Point, radius float64) []int {
+	if radius < 0 {
+		return dst
+	}
+	minCol := int(math.Floor((p.X - radius - g.Bounds.Min.X) / g.CellSize))
+	maxCol := int(math.Ceil((p.X + radius - g.Bounds.Min.X) / g.CellSize))
+	minRow := int(math.Floor((p.Y - radius - g.Bounds.Min.Y) / g.CellSize))
+	maxRow := int(math.Ceil((p.Y + radius - g.Bounds.Min.Y) / g.CellSize))
+	if minCol < 0 {
+		minCol = 0
+	}
+	if minRow < 0 {
+		minRow = 0
+	}
+	if maxCol > g.Cols-1 {
+		maxCol = g.Cols - 1
+	}
+	if maxRow > g.Rows-1 {
+		maxRow = g.Rows - 1
+	}
+	r2 := radius * radius
+	for row := minRow; row <= maxRow; row++ {
+		cy := g.Bounds.Min.Y + (float64(row)+0.5)*g.CellSize
+		dy := cy - p.Y
+		for col := minCol; col <= maxCol; col++ {
+			cx := g.Bounds.Min.X + (float64(col)+0.5)*g.CellSize
+			dx := cx - p.X
+			if dx*dx+dy*dy <= r2 {
+				dst = append(dst, g.Index(col, row))
+			}
+		}
+	}
+	return dst
+}
+
+// AngularDifference returns the absolute difference between two compass
+// bearings in degrees, folded into [0, 180].
+func AngularDifference(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 360)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}
+
+// NormalizeBearing folds a bearing in degrees into [0, 360).
+func NormalizeBearing(b float64) float64 {
+	b = math.Mod(b, 360)
+	if b < 0 {
+		b += 360
+	}
+	return b
+}

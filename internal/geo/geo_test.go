@@ -1,0 +1,226 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDistance(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3, 4}
+	if got := p.DistanceTo(q); got != 5 {
+		t.Errorf("DistanceTo = %v, want 5", got)
+	}
+	if got := q.DistanceTo(p); got != 5 {
+		t.Errorf("DistanceTo reversed = %v, want 5", got)
+	}
+}
+
+func TestBearing(t *testing.T) {
+	p := Point{0, 0}
+	cases := []struct {
+		q    Point
+		want float64
+	}{
+		{Point{0, 10}, 0},    // north
+		{Point{10, 0}, 90},   // east
+		{Point{0, -10}, 180}, // south
+		{Point{-10, 0}, 270}, // west
+		{Point{10, 10}, 45},  // north-east
+	}
+	for _, c := range cases {
+		if got := p.BearingTo(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("BearingTo(%+v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestRectCentered(t *testing.T) {
+	r := NewRectCentered(Point{100, 200}, 50, 30)
+	if r.Width() != 50 || r.Height() != 30 {
+		t.Errorf("dimensions = %v x %v, want 50 x 30", r.Width(), r.Height())
+	}
+	c := r.Center()
+	if c.X != 100 || c.Y != 200 {
+		t.Errorf("center = %+v, want (100, 200)", c)
+	}
+	if !r.Contains(Point{100, 200}) {
+		t.Error("rect should contain its center")
+	}
+	if r.Contains(Point{125, 200}) {
+		t.Error("max boundary should be exclusive")
+	}
+	if !r.Contains(Point{75, 185}) {
+		t.Error("min boundary should be inclusive")
+	}
+}
+
+func TestRectExpandIntersects(t *testing.T) {
+	a := NewRectCentered(Point{0, 0}, 10, 10)
+	b := NewRectCentered(Point{20, 0}, 10, 10)
+	if a.Intersects(b) {
+		t.Error("disjoint rects should not intersect")
+	}
+	if !a.Expand(11).Intersects(b) {
+		t.Error("expanded rect should intersect")
+	}
+}
+
+func TestNewGridErrors(t *testing.T) {
+	r := NewRectCentered(Point{0, 0}, 100, 100)
+	if _, err := NewGrid(r, 0); err == nil {
+		t.Error("NewGrid with zero cell size should fail")
+	}
+	if _, err := NewGrid(r, -5); err == nil {
+		t.Error("NewGrid with negative cell size should fail")
+	}
+	if _, err := NewGrid(Rect{Point{0, 0}, Point{0, 0}}, 10); err == nil {
+		t.Error("NewGrid with empty bounds should fail")
+	}
+}
+
+func TestGridDimensions(t *testing.T) {
+	g := MustNewGrid(NewRectCentered(Point{0, 0}, 1000, 500), 100)
+	if g.Cols != 10 || g.Rows != 5 {
+		t.Fatalf("grid = %dx%d, want 10x5", g.Cols, g.Rows)
+	}
+	if g.NumCells() != 50 {
+		t.Errorf("NumCells = %d, want 50", g.NumCells())
+	}
+}
+
+func TestGridSnapOutward(t *testing.T) {
+	// A 950 m span with 100 m cells needs 10 columns.
+	g := MustNewGrid(Rect{Point{0, 0}, Point{950, 100}}, 100)
+	if g.Cols != 10 {
+		t.Errorf("Cols = %d, want 10 (snapped outward)", g.Cols)
+	}
+	if g.Bounds.Max.X != 1000 {
+		t.Errorf("Bounds.Max.X = %v, want 1000", g.Bounds.Max.X)
+	}
+}
+
+func TestGridIndexRoundTrip(t *testing.T) {
+	g := MustNewGrid(NewRectCentered(Point{0, 0}, 1000, 800), 100)
+	for row := 0; row < g.Rows; row++ {
+		for col := 0; col < g.Cols; col++ {
+			idx := g.Index(col, row)
+			c2, r2 := g.ColRow(idx)
+			if c2 != col || r2 != row {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", col, row, idx, c2, r2)
+			}
+		}
+	}
+}
+
+func TestCellCenterAndLookup(t *testing.T) {
+	g := MustNewGrid(Rect{Point{0, 0}, Point{1000, 1000}}, 100)
+	center := g.CellCenter(0, 0)
+	if center.X != 50 || center.Y != 50 {
+		t.Errorf("CellCenter(0,0) = %+v, want (50, 50)", center)
+	}
+	col, row, ok := g.CellAt(Point{250, 730})
+	if !ok || col != 2 || row != 7 {
+		t.Errorf("CellAt(250,730) = (%d,%d,%v), want (2,7,true)", col, row, ok)
+	}
+	if idx := g.IndexAt(Point{-1, 50}); idx != -1 {
+		t.Errorf("IndexAt outside = %d, want -1", idx)
+	}
+}
+
+func TestCellAtCenterRoundTripProperty(t *testing.T) {
+	g := MustNewGrid(Rect{Point{0, 0}, Point{5000, 5000}}, 100)
+	f := func(ci, ri uint16) bool {
+		col := int(ci) % g.Cols
+		row := int(ri) % g.Rows
+		p := g.CellCenter(col, row)
+		c2, r2, ok := g.CellAt(p)
+		return ok && c2 == col && r2 == row
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellsWithin(t *testing.T) {
+	g := MustNewGrid(Rect{Point{0, 0}, Point{1000, 1000}}, 100)
+	// Radius that covers only the containing cell's center.
+	cells := g.CellsWithin(nil, Point{450, 450}, 10)
+	if len(cells) != 1 {
+		t.Fatalf("CellsWithin r=10 returned %d cells, want 1", len(cells))
+	}
+	if cells[0] != g.Index(4, 4) {
+		t.Errorf("cell = %d, want %d", cells[0], g.Index(4, 4))
+	}
+	// Radius covering the whole grid.
+	all := g.CellsWithin(nil, Point{500, 500}, 10000)
+	if len(all) != g.NumCells() {
+		t.Errorf("CellsWithin huge radius returned %d, want %d", len(all), g.NumCells())
+	}
+	// Negative radius yields nothing.
+	if got := g.CellsWithin(nil, Point{500, 500}, -1); len(got) != 0 {
+		t.Errorf("CellsWithin negative radius returned %d cells", len(got))
+	}
+}
+
+func TestCellsWithinMatchesBruteForce(t *testing.T) {
+	g := MustNewGrid(Rect{Point{0, 0}, Point{2000, 2000}}, 100)
+	p := Point{700, 1100}
+	radius := 450.0
+	fast := g.CellsWithin(nil, p, radius)
+	want := map[int]bool{}
+	for idx := 0; idx < g.NumCells(); idx++ {
+		if g.CellCenterIdx(idx).DistanceTo(p) <= radius {
+			want[idx] = true
+		}
+	}
+	if len(fast) != len(want) {
+		t.Fatalf("CellsWithin = %d cells, brute force = %d", len(fast), len(want))
+	}
+	for _, idx := range fast {
+		if !want[idx] {
+			t.Errorf("cell %d returned but not within radius", idx)
+		}
+	}
+}
+
+func TestAngularDifference(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0},
+		{0, 90, 90},
+		{350, 10, 20},
+		{10, 350, 20},
+		{0, 180, 180},
+		{0, 270, 90},
+		{-90, 90, 180},
+	}
+	for _, c := range cases {
+		if got := AngularDifference(c.a, c.b); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("AngularDifference(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAngularDifferenceProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 1e6)
+		b = math.Mod(b, 1e6)
+		d := AngularDifference(a, b)
+		return d >= 0 && d <= 180 && math.Abs(d-AngularDifference(b, a)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeBearing(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {360, 0}, {370, 10}, {-10, 350}, {720, 0}, {-350, 10},
+	}
+	for _, c := range cases {
+		if got := NormalizeBearing(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NormalizeBearing(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}

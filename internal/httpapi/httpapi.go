@@ -1,0 +1,264 @@
+// Package httpapi exposes a Magus engine as an HTTP service — the shape
+// in which a network operations center would actually consume it: a
+// long-lived daemon that owns the (expensive) market model and answers
+// planning queries over JSON.
+//
+// Endpoints:
+//
+//	GET /healthz                          liveness and market summary
+//	GET /sectors                          the topology as GeoJSON
+//	GET /coverage                         the baseline serving map as GeoJSON
+//	GET /plan?scenario=a&method=joint     plan a mitigation
+//	GET /runbook?scenario=a&method=joint  full runbook (steps + rollback)
+//	GET /outage?sector=12                 respond to an unplanned outage
+//	GET /schedule?scenario=a&hours=5      rank upgrade start times
+//
+// All handlers are read-only with respect to the engine (every plan
+// works on clones), so the server serves concurrent requests safely.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"magus/internal/core"
+	"magus/internal/export"
+	"magus/internal/migrate"
+	"magus/internal/outageplan"
+	"magus/internal/runbook"
+	"magus/internal/schedule"
+	"magus/internal/upgrade"
+	"magus/internal/utility"
+)
+
+// Server wraps an engine with HTTP handlers. Construct with NewServer;
+// it implements http.Handler.
+type Server struct {
+	engine *core.Engine
+	mux    *http.ServeMux
+	anchor export.Anchor
+
+	// planner is built lazily (and exactly once) on the first /outage
+	// request; precomputation takes seconds.
+	plannerOnce sync.Once
+	planner     *outageplan.Planner
+	plannerErr  error
+}
+
+// NewServer builds the handler tree around an engine.
+func NewServer(engine *core.Engine) *Server {
+	s := &Server{
+		engine: engine,
+		mux:    http.NewServeMux(),
+		anchor: export.Anchor{LatDeg: 40.7, LonDeg: -74.0},
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /sectors", s.handleSectors)
+	s.mux.HandleFunc("GET /coverage", s.handleCoverage)
+	s.mux.HandleFunc("GET /plan", s.handlePlan)
+	s.mux.HandleFunc("GET /runbook", s.handleRunbook)
+	s.mux.HandleFunc("GET /outage", s.handleOutage)
+	s.mux.HandleFunc("GET /schedule", s.handleSchedule)
+	return s
+}
+
+// ServeHTTP dispatches to the handler tree.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON emits v with the proper content type.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers are already out; nothing useful to do on error
+}
+
+// httpError reports a client or server error as JSON.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"class":   s.engine.Net.Class.String(),
+		"sites":   len(s.engine.Net.Sites),
+		"sectors": s.engine.Net.NumSectors(),
+		"users":   s.engine.Model.TotalUE(),
+	})
+}
+
+func (s *Server) handleSectors(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/geo+json")
+	if err := export.TopologyGeoJSON(w, s.engine.Net, s.anchor); err != nil {
+		httpError(w, http.StatusInternalServerError, "export: %v", err)
+	}
+}
+
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	stride := 1
+	if v := r.URL.Query().Get("stride"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad stride %q", v)
+			return
+		}
+		stride = n
+	}
+	w.Header().Set("Content-Type", "application/geo+json")
+	if err := export.CoverageGeoJSON(w, s.engine.Before, s.anchor, stride); err != nil {
+		httpError(w, http.StatusInternalServerError, "export: %v", err)
+	}
+}
+
+// planParams parses the shared scenario/method/utility query parameters.
+func planParams(r *http.Request) (upgrade.Scenario, core.Method, utility.Func, error) {
+	scenario, ok := map[string]upgrade.Scenario{
+		"": upgrade.SingleSector, "a": upgrade.SingleSector,
+		"b": upgrade.FullSite, "c": upgrade.FourCorners,
+	}[r.URL.Query().Get("scenario")]
+	if !ok {
+		return 0, 0, utility.Func{}, fmt.Errorf("unknown scenario %q", r.URL.Query().Get("scenario"))
+	}
+	method, ok := map[string]core.Method{
+		"": core.Joint, "power": core.PowerOnly, "tilt": core.TiltOnly,
+		"joint": core.Joint, "naive": core.NaiveBaseline, "anneal": core.Annealed,
+	}[r.URL.Query().Get("method")]
+	if !ok {
+		return 0, 0, utility.Func{}, fmt.Errorf("unknown method %q", r.URL.Query().Get("method"))
+	}
+	util, ok := map[string]utility.Func{
+		"": utility.Performance, "performance": utility.Performance, "coverage": utility.Coverage,
+	}[r.URL.Query().Get("utility")]
+	if !ok {
+		return 0, 0, utility.Func{}, fmt.Errorf("unknown utility %q", r.URL.Query().Get("utility"))
+	}
+	return scenario, method, util, nil
+}
+
+// planResponse is the JSON shape of a mitigation plan.
+type planResponse struct {
+	Scenario       string  `json:"scenario"`
+	Method         string  `json:"method"`
+	Targets        []int   `json:"targets"`
+	Neighbors      int     `json:"neighbors"`
+	UtilityBefore  float64 `json:"utility_before"`
+	UtilityUpgrade float64 `json:"utility_upgrade"`
+	UtilityAfter   float64 `json:"utility_after"`
+	Recovery       float64 `json:"recovery"`
+	SearchSteps    int     `json:"search_steps"`
+	Evaluations    int     `json:"evaluations"`
+}
+
+func (s *Server) plan(r *http.Request) (*core.Plan, error) {
+	scenario, method, util, err := planParams(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.engine.Mitigate(scenario, method, util)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	plan, err := s.plan(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, planResponse{
+		Scenario:       plan.Scenario.String(),
+		Method:         plan.Method.String(),
+		Targets:        plan.Targets,
+		Neighbors:      len(plan.Neighbors),
+		UtilityBefore:  plan.UtilityBefore,
+		UtilityUpgrade: plan.UtilityUpgrade,
+		UtilityAfter:   plan.UtilityAfter,
+		Recovery:       plan.RecoveryRatio(),
+		SearchSteps:    len(plan.Search.Steps),
+		Evaluations:    plan.Search.Evaluations,
+	})
+}
+
+func (s *Server) handleRunbook(w http.ResponseWriter, r *http.Request) {
+	plan, err := s.plan(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mig, err := plan.GradualMigration(migrate.Options{})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "migrate: %v", err)
+		return
+	}
+	rb, err := runbook.Build(plan, mig)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "runbook: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rb)
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	plan, err := s.plan(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	hours := 5
+	if v := r.URL.Query().Get("hours"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad hours %q", v)
+			return
+		}
+		hours = n
+	}
+	rec, err := schedule.Plan(plan, schedule.DefaultProfile(), hours)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"duration_hours": hours,
+		"best_start":     rec.Best().StartHour,
+		"windows":        rec.Windows,
+	})
+}
+
+func (s *Server) handleOutage(w http.ResponseWriter, r *http.Request) {
+	sector, err := strconv.Atoi(r.URL.Query().Get("sector"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad sector %q", r.URL.Query().Get("sector"))
+		return
+	}
+	if sector < 0 || sector >= s.engine.Net.NumSectors() {
+		httpError(w, http.StatusNotFound, "sector %d out of range", sector)
+		return
+	}
+	s.plannerOnce.Do(func() {
+		// Lazy one-time precomputation; subsequent outages are lookups.
+		s.planner, s.plannerErr = outageplan.New(s.engine, nil, outageplan.Options{})
+	})
+	if s.plannerErr != nil {
+		httpError(w, http.StatusInternalServerError, "outage planning: %v", s.plannerErr)
+		return
+	}
+	resp, err := s.planner.Respond(sector, 3)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "respond: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sector":           sector,
+		"precomputed":      resp.Precomputed,
+		"utility_outage":   resp.UtilityOutage,
+		"utility_applied":  resp.UtilityApplied,
+		"utility_refined":  resp.UtilityRefined,
+		"refinement_steps": resp.RefinementSteps,
+	})
+}

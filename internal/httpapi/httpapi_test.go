@@ -1,0 +1,256 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+
+	"magus/internal/core"
+	"magus/internal/topology"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	engine, err := core.NewEngine(core.SetupConfig{
+		Seed:          3,
+		Class:         topology.Suburban,
+		RegionSpanM:   6000,
+		CellSizeM:     200,
+		EqualizeSteps: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(engine)
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func decode(t *testing.T, rec *httptest.ResponseRecorder, v any) {
+	t.Helper()
+	if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+		t.Fatalf("bad JSON (%d): %v\n%s", rec.Code, err, rec.Body.String()[:min(200, rec.Body.Len())])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body map[string]any
+	decode(t, rec, &body)
+	if body["status"] != "ok" || body["class"] != "suburban" {
+		t.Errorf("health body = %v", body)
+	}
+	if body["sectors"].(float64) <= 0 {
+		t.Error("no sectors reported")
+	}
+}
+
+func TestSectorsGeoJSON(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/sectors")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/geo+json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var fc struct {
+		Type     string `json:"type"`
+		Features []any  `json:"features"`
+	}
+	decode(t, rec, &fc)
+	if fc.Type != "FeatureCollection" || len(fc.Features) == 0 {
+		t.Errorf("geojson = %q with %d features", fc.Type, len(fc.Features))
+	}
+}
+
+func TestCoverageStrideValidation(t *testing.T) {
+	s := testServer(t)
+	if rec := get(t, s, "/coverage?stride=0"); rec.Code != http.StatusBadRequest {
+		t.Errorf("stride=0 status = %d, want 400", rec.Code)
+	}
+	if rec := get(t, s, "/coverage?stride=abc"); rec.Code != http.StatusBadRequest {
+		t.Errorf("stride=abc status = %d, want 400", rec.Code)
+	}
+	if rec := get(t, s, "/coverage?stride=3"); rec.Code != http.StatusOK {
+		t.Errorf("stride=3 status = %d, want 200", rec.Code)
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/plan?scenario=a&method=joint")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Recovery       float64 `json:"recovery"`
+		UtilityBefore  float64 `json:"utility_before"`
+		UtilityUpgrade float64 `json:"utility_upgrade"`
+		UtilityAfter   float64 `json:"utility_after"`
+		Targets        []int   `json:"targets"`
+	}
+	decode(t, rec, &body)
+	if len(body.Targets) != 1 {
+		t.Errorf("targets = %v, want one", body.Targets)
+	}
+	// The search's final step may overshoot f(C_before) slightly, so
+	// allow a small margin above it.
+	if !(body.UtilityBefore*1.01 >= body.UtilityAfter && body.UtilityAfter >= body.UtilityUpgrade) {
+		t.Errorf("utility ordering broken: %+v", body)
+	}
+	if body.Recovery < 0 || body.Recovery > 1.05 {
+		t.Errorf("recovery = %v", body.Recovery)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{
+		"/plan?scenario=z",
+		"/plan?method=bogus",
+		"/plan?utility=bogus",
+	} {
+		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestRunbookEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/runbook?scenario=a")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var rb struct {
+		Steps    []any `json:"steps"`
+		Rollback []any `json:"rollback"`
+	}
+	decode(t, rec, &rb)
+	if len(rb.Steps) == 0 || len(rb.Rollback) == 0 {
+		t.Errorf("runbook steps=%d rollback=%d", len(rb.Steps), len(rb.Rollback))
+	}
+}
+
+func TestOutageEndpoint(t *testing.T) {
+	s := testServer(t)
+	if rec := get(t, s, "/outage?sector=abc"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad sector status = %d, want 400", rec.Code)
+	}
+	if rec := get(t, s, "/outage?sector=99999"); rec.Code != http.StatusNotFound {
+		t.Errorf("out-of-range sector status = %d, want 404", rec.Code)
+	}
+	// Pick a sector inside the tuning area: that is the planner's
+	// default precomputation scope.
+	sector := -1
+	for b := range s.engine.Net.Sectors {
+		if s.engine.TuningArea().Contains(s.engine.Net.Sectors[b].Pos) {
+			sector = b
+			break
+		}
+	}
+	if sector < 0 {
+		sector = s.engine.Net.Sites[s.engine.Net.CentralSite()].Sectors[0]
+	}
+	rec := get(t, s, "/outage?sector="+strconv.Itoa(sector))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Precomputed    bool    `json:"precomputed"`
+		UtilityOutage  float64 `json:"utility_outage"`
+		UtilityApplied float64 `json:"utility_applied"`
+	}
+	decode(t, rec, &body)
+	if !body.Precomputed {
+		t.Error("tuning-area outage should be precomputed")
+	}
+	if body.UtilityApplied < body.UtilityOutage {
+		t.Error("applying the response worsened utility")
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s := testServer(t)
+	var wg sync.WaitGroup
+	paths := []string{"/healthz", "/plan?scenario=a&method=power", "/sectors",
+		"/coverage?stride=4", "/plan?scenario=b&method=tilt"}
+	errs := make(chan string, len(paths)*4)
+	for i := 0; i < 4; i++ {
+		for _, p := range paths {
+			wg.Add(1)
+			go func(path string) {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					errs <- path
+				}
+			}(p)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for p := range errs {
+		t.Errorf("concurrent request %s failed", p)
+	}
+}
+
+func TestUnknownPath(t *testing.T) {
+	s := testServer(t)
+	if rec := get(t, s, "/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", rec.Code)
+	}
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/schedule?scenario=a&hours=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		DurationHours int `json:"duration_hours"`
+		BestStart     int `json:"best_start"`
+		Windows       []struct {
+			StartHour            int  `json:"StartHour"`
+			TouchesBusinessHours bool `json:"TouchesBusinessHours"`
+		} `json:"windows"`
+	}
+	decode(t, rec, &body)
+	if body.DurationHours != 5 || len(body.Windows) != 24 {
+		t.Errorf("schedule body: hours=%d windows=%d", body.DurationHours, len(body.Windows))
+	}
+	// Off-peak recommendation: the best start avoids business hours.
+	if body.BestStart >= 5 && body.BestStart < 22 {
+		t.Errorf("best start %02d:00, expected night", body.BestStart)
+	}
+	if rec := get(t, s, "/schedule?hours=abc"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad hours status = %d, want 400", rec.Code)
+	}
+	if rec := get(t, s, "/schedule?hours=99"); rec.Code != http.StatusBadRequest {
+		t.Errorf("out-of-range hours status = %d, want 400", rec.Code)
+	}
+}

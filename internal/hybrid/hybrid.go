@@ -1,0 +1,222 @@
+// Package hybrid implements the paper's Section 2 hybrid strategy: "use
+// the model-based approach to reach a 'good' but sub-optimal
+// configuration C_so, and a feedback-based approach to go from C_so to a
+// higher utility C_after in a small number of steps, denoted by k and
+// k ≪ K".
+//
+// The model-based plan is only as good as its path-loss data; when the
+// network diverges from the model ("if the network and traffic
+// conditions do not match the history or the path loss model, then the
+// model-based approach might reach a sub-optimal configuration"), a
+// short feedback phase on live measurements corrects the residual.
+//
+// The package materializes model error explicitly: a *planning* model
+// (what Magus believes) and a *ground-truth* model (what the network
+// actually does, the planning SPM plus deterministic per-link jitter).
+// The search runs on the planning model; utilities and feedback
+// measurements come from the truth model.
+package hybrid
+
+import (
+	"fmt"
+
+	"magus/internal/config"
+	"magus/internal/feedback"
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/propagation"
+	"magus/internal/search"
+	"magus/internal/topology"
+	"magus/internal/upgrade"
+	"magus/internal/utility"
+)
+
+// Config describes a hybrid evaluation.
+type Config struct {
+	// Seed drives the market synthesis.
+	Seed int64
+	// Class picks the area planning defaults (default Suburban).
+	Class topology.AreaClass
+	// RegionSpanM is the analysis region edge (default 7200).
+	RegionSpanM float64
+	// CellSizeM is the grid resolution (default 200).
+	CellSizeM float64
+	// ModelErrorDB is the ground truth's per-link divergence amplitude
+	// from the planning model (default 4 dB).
+	ModelErrorDB float64
+	// Scenario is the planned upgrade (default SingleSector).
+	Scenario upgrade.Scenario
+	// Util is the objective (default utility.Performance).
+	Util utility.Func
+}
+
+func (c *Config) applyDefaults() {
+	if c.RegionSpanM <= 0 {
+		c.RegionSpanM = 7200
+	}
+	if c.CellSizeM <= 0 {
+		c.CellSizeM = 200
+	}
+	if c.ModelErrorDB == 0 {
+		c.ModelErrorDB = 4
+	}
+	if c.Util.U == nil {
+		c.Util = utility.Performance
+	}
+}
+
+// Result reports the three strategies' outcomes, all measured on the
+// ground-truth model.
+type Result struct {
+	// UpgradeUtility is the true utility at C_upgrade (nothing tuned).
+	UpgradeUtility float64
+	// ModelOnlyUtility is the true utility of the purely model-based
+	// C_after (the planning model's optimum applied blind).
+	ModelOnlyUtility float64
+	// HybridUtility is the true utility after the feedback phase refines
+	// the model-based configuration.
+	HybridUtility float64
+	// FeedbackOnlyUtility is the true utility the pure feedback strategy
+	// converges to from C_upgrade.
+	FeedbackOnlyUtility float64
+	// HybridSteps is k: feedback steps the hybrid needs to reach the
+	// comparison target (the lower of the two strategies' converged
+	// utilities) starting from the model-based configuration.
+	HybridSteps int
+	// FeedbackOnlySteps is K: feedback steps the pure feedback strategy
+	// needs from scratch to reach the same target.
+	FeedbackOnlySteps int
+	// PlannedUtility is what the planning model *predicted* for
+	// C_after — its gap to ModelOnlyUtility is the realized model error.
+	PlannedUtility float64
+}
+
+// PredictionGap returns the planning model's utility misprediction for
+// its own chosen configuration.
+func (r *Result) PredictionGap() float64 {
+	return r.PlannedUtility - r.ModelOnlyUtility
+}
+
+// Run evaluates model-only, hybrid, and feedback-only mitigation under
+// model error.
+func Run(cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	region := geo.NewRectCentered(geo.Point{}, cfg.RegionSpanM, cfg.RegionSpanM)
+	net, err := topology.Generate(topology.GenConfig{
+		Seed:   cfg.Seed,
+		Class:  cfg.Class,
+		Bounds: region,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+
+	planSPM, err := propagation.NewSPM(2.635e9, nil)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	truthSPM, err := propagation.NewSPM(2.635e9, nil)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	truthSPM.JitterDB = cfg.ModelErrorDB
+	truthSPM.JitterSeed = cfg.Seed + 17
+
+	params := netmodel.Params{CellSizeM: cfg.CellSizeM}
+	planning, err := netmodel.NewModel(net, planSPM, region, params)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+	truth, err := netmodel.NewModel(net, truthSPM, region, params)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: %w", err)
+	}
+
+	// Baseline: planner-equalize on the planning model, then pin the
+	// same user distribution on both models.
+	planBefore := planning.NewState(config.New(net))
+	planBefore.AssignUsersUniform()
+	if _, err := search.Equalize(planBefore, search.Options{
+		MaxSteps: 300, PowerUnitDB: 2, TiltUnit: 2, CapAtDefaultPower: true,
+	}); err != nil {
+		return nil, err
+	}
+	planBefore.AssignUsersUniform()
+	if err := truth.CopyUsersFrom(planning); err != nil {
+		return nil, err
+	}
+
+	tuningArea := geo.NewRectCentered(region.Center(), cfg.RegionSpanM/3, cfg.RegionSpanM/3)
+	targets, err := upgrade.Targets(net, cfg.Scenario, tuningArea)
+	if err != nil {
+		return nil, err
+	}
+	neighbors := net.NeighborSectors(targets, 1.6*net.Params.InterSiteDistanceM)
+
+	// C_upgrade on both models.
+	planUpgrade := planBefore.Clone()
+	for _, tg := range targets {
+		planUpgrade.MustApply(config.Change{Sector: tg, TurnOff: true})
+	}
+	neighbors = search.SortByDistanceTo(planUpgrade, neighbors, targets)
+
+	// Model-based search on the PLANNING model.
+	planAfter := planUpgrade.Clone()
+	searchRes, err := search.Joint(planAfter, planBefore, neighbors, search.Options{Util: cfg.Util})
+	if err != nil {
+		return nil, err
+	}
+
+	// Evaluate everything on the TRUTH model.
+	truthAt := func(c *config.Config) *netmodel.State {
+		st := truth.NewState(c.Clone())
+		st.RecomputeLoads()
+		return st
+	}
+	res := &Result{PlannedUtility: searchRes.FinalUtility}
+	res.UpgradeUtility = truthAt(planUpgrade.Cfg).Utility(cfg.Util)
+
+	modelOnly := truthAt(planAfter.Cfg)
+	res.ModelOnlyUtility = modelOnly.Utility(cfg.Util)
+
+	// Hybrid: feedback on the truth model from the model-based
+	// configuration.
+	hybridState := modelOnly.Clone()
+	hybridRes, err := feedback.Reactive(hybridState, neighbors, feedback.Idealized,
+		feedback.Options{Util: cfg.Util, IncludeTilt: true})
+	if err != nil {
+		return nil, err
+	}
+	res.HybridUtility = hybridRes.FinalUtility
+
+	// Feedback-only: from C_upgrade.
+	fbState := truthAt(planUpgrade.Cfg)
+	fbRes, err := feedback.Reactive(fbState, neighbors, feedback.Idealized,
+		feedback.Options{Util: cfg.Util, IncludeTilt: true})
+	if err != nil {
+		return nil, err
+	}
+	res.FeedbackOnlyUtility = fbRes.FinalUtility
+
+	// k and K measure time-to-comparable-quality: steps until each climb
+	// first reaches the lower of the two converged utilities.
+	target := res.HybridUtility
+	if res.FeedbackOnlyUtility < target {
+		target = res.FeedbackOnlyUtility
+	}
+	res.HybridSteps = stepsToReach(hybridRes.UtilityTimeline, target)
+	res.FeedbackOnlySteps = stepsToReach(fbRes.UtilityTimeline, target)
+	return res, nil
+}
+
+// stepsToReach returns the index of the first timeline entry at or above
+// target (the timeline's entry 0 is the starting utility), or the last
+// index if the target is never met.
+func stepsToReach(timeline []float64, target float64) int {
+	for i, u := range timeline {
+		if u >= target-1e-9 {
+			return i
+		}
+	}
+	return len(timeline) - 1
+}

@@ -1,0 +1,79 @@
+package hybrid
+
+import (
+	"testing"
+
+	"magus/internal/topology"
+)
+
+func run(t *testing.T, errDB float64) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Seed:         3,
+		Class:        topology.Suburban,
+		RegionSpanM:  6000,
+		CellSizeM:    200,
+		ModelErrorDB: errDB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestHybridImprovesOnModelOnly(t *testing.T) {
+	res := run(t, 4)
+	// The feedback phase can only add utility on the truth model.
+	if res.HybridUtility < res.ModelOnlyUtility-1e-9 {
+		t.Errorf("hybrid %v below model-only %v", res.HybridUtility, res.ModelOnlyUtility)
+	}
+	if res.ModelOnlyUtility < res.UpgradeUtility-1e-9 {
+		t.Errorf("model-based tuning made truth worse: %v vs upgrade %v",
+			res.ModelOnlyUtility, res.UpgradeUtility)
+	}
+}
+
+func TestHybridConvergesFasterThanFeedbackOnly(t *testing.T) {
+	// The paper's k << K claim: starting from the model-based
+	// configuration needs far fewer feedback steps than starting from
+	// scratch.
+	res := run(t, 4)
+	if res.FeedbackOnlySteps == 0 {
+		t.Skip("feedback-only found nothing to do in this layout")
+	}
+	if res.HybridSteps > res.FeedbackOnlySteps {
+		t.Errorf("hybrid k=%d should not exceed feedback-only K=%d",
+			res.HybridSteps, res.FeedbackOnlySteps)
+	}
+	// And it should land at least as high (same hill climb, better
+	// start, modulo different local optima — allow a small slack).
+	if res.HybridUtility < res.FeedbackOnlyUtility*0.995 {
+		t.Errorf("hybrid final %v far below feedback-only %v",
+			res.HybridUtility, res.FeedbackOnlyUtility)
+	}
+}
+
+func TestModelErrorCreatesPredictionGap(t *testing.T) {
+	clean := run(t, 0.001)
+	noisy := run(t, 6)
+	cg, ng := clean.PredictionGap(), noisy.PredictionGap()
+	if cg < 0 {
+		cg = -cg
+	}
+	if ng < 0 {
+		ng = -ng
+	}
+	if ng <= cg {
+		t.Errorf("larger model error should widen the prediction gap: %v vs %v", ng, cg)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpgradeUtility <= 0 {
+		t.Error("default run produced no utility")
+	}
+}

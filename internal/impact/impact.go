@@ -1,0 +1,223 @@
+// Package impact assesses the service impact of a network change, the
+// companion capability the paper builds on: "Litmus and PRISM focus on
+// impact assessment of planned network changes" (Section 7, the authors'
+// prior CoNEXT work). Magus decides *what to tune*; impact assessment
+// answers *what actually happened* — per-sector KPI snapshots before and
+// during a change, differenced against thresholds into a triaged impact
+// report an operations team can act on.
+package impact
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"magus/internal/netmodel"
+	"magus/internal/utility"
+)
+
+// SectorKPI is one sector's service snapshot.
+type SectorKPI struct {
+	Sector int
+	// OffAir reports whether the sector is off.
+	OffAir bool
+	// LoadUE is the number of attached UEs.
+	LoadUE float64
+	// ServedGrids is the sector's footprint size.
+	ServedGrids int
+	// MeanRateBps averages the per-UE rate over the sector's grids
+	// (UE-weighted); 0 when unloaded.
+	MeanRateBps float64
+}
+
+// Snapshot captures the whole network's KPIs for one state.
+type Snapshot struct {
+	// Sectors holds one KPI row per sector, indexed by sector ID.
+	Sectors []SectorKPI
+	// ServedUE and TotalUE give the market coverage headline.
+	ServedUE float64
+	TotalUE  float64
+	// Utility is the overall performance utility.
+	Utility float64
+}
+
+// Take collects a snapshot of st.
+func Take(st *netmodel.State) *Snapshot {
+	m := st.Model
+	snap := &Snapshot{
+		Sectors:  make([]SectorKPI, st.Cfg.NumSectors()),
+		ServedUE: st.ServedUE(),
+		TotalUE:  m.TotalUE(),
+		Utility:  st.Utility(utility.Performance),
+	}
+	rateSum := make([]float64, st.Cfg.NumSectors())
+	for g := 0; g < m.Grid.NumCells(); g++ {
+		w := m.UE(g)
+		if w == 0 {
+			continue
+		}
+		if b := st.ServingSector(g); b >= 0 {
+			rateSum[b] += w * st.RateBps(g)
+		}
+	}
+	for b := range snap.Sectors {
+		kpi := SectorKPI{
+			Sector:      b,
+			OffAir:      st.Cfg.Off(b),
+			LoadUE:      st.Load(b),
+			ServedGrids: st.ServedGrids(b),
+		}
+		if kpi.LoadUE > 0 {
+			kpi.MeanRateBps = rateSum[b] / kpi.LoadUE
+		}
+		snap.Sectors[b] = kpi
+	}
+	return snap
+}
+
+// Severity grades a finding.
+type Severity int
+
+// Severities, in increasing order.
+const (
+	Info Severity = iota
+	Warning
+	Critical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Finding is one detected impact.
+type Finding struct {
+	Sector   int
+	Severity Severity
+	Kind     string
+	Detail   string
+}
+
+// Thresholds control finding detection.
+type Thresholds struct {
+	// RateDropWarn and RateDropCrit flag per-sector mean-rate drops by
+	// these fractions (defaults 0.2 and 0.5).
+	RateDropWarn float64
+	RateDropCrit float64
+	// LoadSurge flags sectors whose load grew by this factor
+	// (default 1.5).
+	LoadSurge float64
+	// CoverageLossUE flags a market-level loss of served UEs above this
+	// count (default 1).
+	CoverageLossUE float64
+}
+
+func (t *Thresholds) applyDefaults() {
+	if t.RateDropWarn <= 0 {
+		t.RateDropWarn = 0.2
+	}
+	if t.RateDropCrit <= 0 {
+		t.RateDropCrit = 0.5
+	}
+	if t.LoadSurge <= 0 {
+		t.LoadSurge = 1.5
+	}
+	if t.CoverageLossUE <= 0 {
+		t.CoverageLossUE = 1
+	}
+}
+
+// Report is a triaged impact assessment.
+type Report struct {
+	Findings []Finding
+	// UtilityDelta is after minus before.
+	UtilityDelta float64
+	// ServedUEDelta is the change in served users.
+	ServedUEDelta float64
+}
+
+// Worst returns the report's highest severity (Info when empty).
+func (r *Report) Worst() Severity {
+	worst := Info
+	for _, f := range r.Findings {
+		if f.Severity > worst {
+			worst = f.Severity
+		}
+	}
+	return worst
+}
+
+// String prints the findings sorted by severity.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "impact: utility %+.1f, served UE %+.1f, %d findings (worst: %s)\n",
+		r.UtilityDelta, r.ServedUEDelta, len(r.Findings), r.Worst())
+	sorted := append([]Finding(nil), r.Findings...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Severity > sorted[j].Severity })
+	for _, f := range sorted {
+		fmt.Fprintf(&b, "  [%s] sector %d %s: %s\n", f.Severity, f.Sector, f.Kind, f.Detail)
+	}
+	return b.String()
+}
+
+// Assess differences two snapshots (before and during/after a change)
+// into a triaged report.
+func Assess(before, during *Snapshot, th Thresholds) (*Report, error) {
+	if len(before.Sectors) != len(during.Sectors) {
+		return nil, fmt.Errorf("impact: snapshots cover %d vs %d sectors",
+			len(before.Sectors), len(during.Sectors))
+	}
+	th.applyDefaults()
+	rep := &Report{
+		UtilityDelta:  during.Utility - before.Utility,
+		ServedUEDelta: during.ServedUE - before.ServedUE,
+	}
+	for b := range before.Sectors {
+		pre, post := before.Sectors[b], during.Sectors[b]
+		if !pre.OffAir && post.OffAir {
+			rep.Findings = append(rep.Findings, Finding{
+				Sector: b, Severity: Info, Kind: "off-air",
+				Detail: fmt.Sprintf("sector went off-air (was serving %.0f UEs)", pre.LoadUE),
+			})
+			continue
+		}
+		if pre.MeanRateBps > 0 && post.LoadUE > 0 {
+			drop := 1 - post.MeanRateBps/pre.MeanRateBps
+			switch {
+			case drop >= th.RateDropCrit:
+				rep.Findings = append(rep.Findings, Finding{
+					Sector: b, Severity: Critical, Kind: "rate-drop",
+					Detail: fmt.Sprintf("mean rate down %.0f%% (%.1f -> %.1f Mb/s)",
+						100*drop, pre.MeanRateBps/1e6, post.MeanRateBps/1e6),
+				})
+			case drop >= th.RateDropWarn:
+				rep.Findings = append(rep.Findings, Finding{
+					Sector: b, Severity: Warning, Kind: "rate-drop",
+					Detail: fmt.Sprintf("mean rate down %.0f%%", 100*drop),
+				})
+			}
+		}
+		if pre.LoadUE > 0 && post.LoadUE >= pre.LoadUE*th.LoadSurge {
+			rep.Findings = append(rep.Findings, Finding{
+				Sector: b, Severity: Warning, Kind: "load-surge",
+				Detail: fmt.Sprintf("load %.0f -> %.0f UEs", pre.LoadUE, post.LoadUE),
+			})
+		}
+	}
+	if loss := before.ServedUE - during.ServedUE; loss >= th.CoverageLossUE {
+		rep.Findings = append(rep.Findings, Finding{
+			Sector: -1, Severity: Critical, Kind: "coverage-loss",
+			Detail: fmt.Sprintf("%.0f UEs lost service market-wide", loss),
+		})
+	}
+	return rep, nil
+}

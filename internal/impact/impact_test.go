@@ -1,0 +1,180 @@
+package impact
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/core"
+	"magus/internal/netmodel"
+	"magus/internal/topology"
+)
+
+func fixture(t *testing.T) (*core.Engine, *netmodel.State) {
+	t.Helper()
+	engine, err := core.NewEngine(core.SetupConfig{
+		Seed:          3,
+		Class:         topology.Suburban,
+		RegionSpanM:   6000,
+		CellSizeM:     200,
+		EqualizeSteps: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engine, engine.Before
+}
+
+func TestSnapshotConsistency(t *testing.T) {
+	_, before := fixture(t)
+	snap := Take(before)
+	if snap.TotalUE <= 0 || snap.ServedUE <= 0 {
+		t.Fatal("empty snapshot")
+	}
+	if snap.ServedUE > snap.TotalUE+1e-9 {
+		t.Error("served exceeds total")
+	}
+	loadSum := 0.0
+	for _, kpi := range snap.Sectors {
+		if kpi.LoadUE < 0 || kpi.ServedGrids < 0 {
+			t.Fatalf("negative KPI: %+v", kpi)
+		}
+		if kpi.LoadUE > 0 && kpi.MeanRateBps <= 0 {
+			t.Fatalf("sector %d loaded but rate zero", kpi.Sector)
+		}
+		loadSum += kpi.LoadUE
+	}
+	if loadSum < snap.ServedUE-1e-6 {
+		t.Errorf("per-sector loads %v below served UE %v", loadSum, snap.ServedUE)
+	}
+}
+
+func TestAssessNoChange(t *testing.T) {
+	_, before := fixture(t)
+	snap := Take(before)
+	rep, err := Assess(snap, snap, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("identical snapshots produced %d findings: %v", len(rep.Findings), rep.Findings)
+	}
+	if rep.UtilityDelta != 0 || rep.ServedUEDelta != 0 {
+		t.Error("deltas should be zero")
+	}
+	if rep.Worst() != Info {
+		t.Error("empty report should be info-grade")
+	}
+}
+
+func TestAssessUpgradeImpact(t *testing.T) {
+	engine, before := fixture(t)
+	pre := Take(before)
+
+	during := before.Clone()
+	central := engine.Net.CentralSite()
+	target := engine.Net.Sites[central].Sectors[0]
+	during.MustApply(config.Change{Sector: target, TurnOff: true})
+	post := Take(during)
+
+	rep, err := Assess(pre, post, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UtilityDelta >= 0 {
+		t.Errorf("utility delta %v should be negative after an outage", rep.UtilityDelta)
+	}
+	// The off-air sector must be flagged.
+	foundOffAir := false
+	for _, f := range rep.Findings {
+		if f.Kind == "off-air" && f.Sector == target {
+			foundOffAir = true
+		}
+	}
+	if !foundOffAir {
+		t.Error("off-air sector not flagged")
+	}
+	// Neighbors absorbing the displaced users should show load surges or
+	// rate drops.
+	if len(rep.Findings) < 2 {
+		t.Errorf("expected collateral findings, got %v", rep.Findings)
+	}
+	if !strings.Contains(rep.String(), "impact:") {
+		t.Error("report string missing header")
+	}
+}
+
+func TestAssessMismatchedSnapshots(t *testing.T) {
+	_, before := fixture(t)
+	snap := Take(before)
+	other := &Snapshot{Sectors: snap.Sectors[:1]}
+	if _, err := Assess(snap, other, Thresholds{}); err == nil {
+		t.Error("mismatched snapshots should fail")
+	}
+}
+
+func TestSeverityOrdering(t *testing.T) {
+	if !(Info < Warning && Warning < Critical) {
+		t.Error("severity ordering broken")
+	}
+	if Critical.String() != "critical" || Warning.String() != "warning" || Info.String() != "info" {
+		t.Error("severity names wrong")
+	}
+	if Severity(9).String() == "" {
+		t.Error("unknown severity should produce a name")
+	}
+	rep := &Report{Findings: []Finding{{Severity: Warning}, {Severity: Critical}, {Severity: Info}}}
+	if rep.Worst() != Critical {
+		t.Error("Worst should pick the maximum severity")
+	}
+}
+
+func TestThresholdDetection(t *testing.T) {
+	mk := func(load, rate float64) *Snapshot {
+		return &Snapshot{Sectors: []SectorKPI{{Sector: 0, LoadUE: load, MeanRateBps: rate, ServedGrids: 5}}}
+	}
+	// A 60% rate drop is critical.
+	rep, err := Assess(mk(10, 10e6), mk(10, 4e6), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Worst() != Critical {
+		t.Errorf("60%% drop graded %v, want critical", rep.Worst())
+	}
+	// A 30% drop is a warning.
+	rep, err = Assess(mk(10, 10e6), mk(10, 7e6), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Worst() != Warning {
+		t.Errorf("30%% drop graded %v, want warning", rep.Worst())
+	}
+	// A doubled load surges.
+	rep, err = Assess(mk(10, 10e6), mk(20, 10e6), Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	surge := false
+	for _, f := range rep.Findings {
+		if f.Kind == "load-surge" {
+			surge = true
+		}
+	}
+	if !surge {
+		t.Error("load surge not detected")
+	}
+	// Coverage loss across the market.
+	before := &Snapshot{Sectors: []SectorKPI{{}}, ServedUE: 100}
+	after := &Snapshot{Sectors: []SectorKPI{{}}, ServedUE: 90}
+	rep, err = Assess(before, after, Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Worst() != Critical {
+		t.Error("10-UE coverage loss should be critical")
+	}
+	if math.Abs(rep.ServedUEDelta+10) > 1e-9 {
+		t.Errorf("served delta = %v, want -10", rep.ServedUEDelta)
+	}
+}

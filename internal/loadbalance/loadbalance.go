@@ -1,0 +1,212 @@
+// Package loadbalance applies Magus's predictive model to the paper's
+// final future-work direction: "or for load-balancing and reducing
+// congestion" (Section 8). Instead of reacting to a sector going
+// off-air, the same model + configuration-search machinery shifts users
+// away from overloaded sectors during normal operation: shrink the hot
+// sector's footprint (power down / tilt down) and grow underloaded
+// neighbors (power up / tilt up), accepting only moves that reduce the
+// load imbalance without sacrificing more than a bounded fraction of the
+// overall utility.
+package loadbalance
+
+import (
+	"fmt"
+	"math"
+
+	"magus/internal/config"
+	"magus/internal/netmodel"
+	"magus/internal/utility"
+)
+
+// Options tune the balancing run.
+type Options struct {
+	// Util is the guard utility (default utility.Performance): moves
+	// that would reduce it by more than MaxUtilityLossFrac are rejected.
+	Util utility.Func
+	// MaxUtilityLossFrac bounds the acceptable utility sacrifice
+	// relative to the starting utility (default 0.01).
+	MaxUtilityLossFrac float64
+	// MaxSteps bounds accepted moves (default 50).
+	MaxSteps int
+	// TargetImbalance stops the run once maxLoad/meanLoad falls below it
+	// (default 1.3).
+	TargetImbalance float64
+	// NeighborRadiusM bounds the neighbor set around the hot sector
+	// (default 1.6 x inter-site distance).
+	NeighborRadiusM float64
+}
+
+func (o *Options) applyDefaults() {
+	if o.Util.U == nil {
+		o.Util = utility.Performance
+	}
+	if o.MaxUtilityLossFrac <= 0 {
+		o.MaxUtilityLossFrac = 0.01
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 50
+	}
+	if o.TargetImbalance <= 0 {
+		o.TargetImbalance = 1.3
+	}
+}
+
+// Step is one accepted balancing move.
+type Step struct {
+	Change config.Change
+	// MaxLoad and Imbalance after the move.
+	MaxLoad   float64
+	Imbalance float64
+}
+
+// Result summarizes a balancing run.
+type Result struct {
+	Steps []Step
+	// Initial/Final load statistics over serving sectors.
+	InitialMaxLoad   float64
+	FinalMaxLoad     float64
+	InitialImbalance float64
+	FinalImbalance   float64
+	// Initial/Final guard utility.
+	InitialUtility float64
+	FinalUtility   float64
+	// Evaluations counts candidate what-if evaluations.
+	Evaluations int
+}
+
+// loadStats returns the max load, mean load over serving sectors, and
+// the ID of the most loaded on-air sector.
+func loadStats(st *netmodel.State) (maxLoad, meanLoad float64, hottest int) {
+	hottest = -1
+	sum, n := 0.0, 0
+	for b := 0; b < st.Cfg.NumSectors(); b++ {
+		if st.ServedGrids(b) == 0 || st.Cfg.Off(b) {
+			continue
+		}
+		load := st.Load(b)
+		sum += load
+		n++
+		if load > maxLoad {
+			maxLoad = load
+			hottest = b
+		}
+	}
+	if n > 0 {
+		meanLoad = sum / float64(n)
+	}
+	return maxLoad, meanLoad, hottest
+}
+
+// Imbalance returns maxLoad/meanLoad over serving sectors (1 = perfectly
+// balanced; 0 for an empty network).
+func Imbalance(st *netmodel.State) float64 {
+	maxLoad, meanLoad, _ := loadStats(st)
+	if meanLoad == 0 {
+		return 0
+	}
+	return maxLoad / meanLoad
+}
+
+// Balance greedily reduces the load imbalance of st in place.
+func Balance(st *netmodel.State, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	radius := opts.NeighborRadiusM
+	if radius <= 0 {
+		radius = 1.6 * st.Model.Net.Params.InterSiteDistanceM
+	}
+
+	res := &Result{InitialUtility: st.Utility(opts.Util)}
+	maxLoad, meanLoad, _ := loadStats(st)
+	res.InitialMaxLoad = maxLoad
+	if meanLoad > 0 {
+		res.InitialImbalance = maxLoad / meanLoad
+	}
+	utilityFloor := res.InitialUtility * (1 - opts.MaxUtilityLossFrac)
+	if res.InitialUtility < 0 {
+		utilityFloor = res.InitialUtility * (1 + opts.MaxUtilityLossFrac)
+	}
+
+	for len(res.Steps) < opts.MaxSteps {
+		curMax, curMean, hottest := loadStats(st)
+		if hottest < 0 || curMean == 0 || curMax/curMean <= opts.TargetImbalance {
+			break
+		}
+
+		// Candidate moves: cool the hot sector, grow its cooler
+		// neighbors.
+		moves := []config.Change{
+			{Sector: hottest, PowerDelta: -1},
+			{Sector: hottest, TiltDelta: 1}, // downtilt shrinks the footprint
+		}
+		for _, nb := range st.Model.Net.NeighborSectors([]int{hottest}, radius) {
+			if st.Cfg.Off(nb) || st.Load(nb) >= curMean {
+				continue
+			}
+			moves = append(moves,
+				config.Change{Sector: nb, PowerDelta: 1},
+				config.Change{Sector: nb, TiltDelta: -1},
+			)
+		}
+
+		// Evaluate each; keep the one that lowers the max load the most
+		// while respecting the utility floor.
+		bestMove := config.Change{}
+		bestMax := curMax
+		for _, mv := range moves {
+			applied, err := st.Apply(mv)
+			if err != nil {
+				return nil, err
+			}
+			if applied.IsZero() {
+				continue
+			}
+			res.Evaluations++
+			newMax, _, _ := loadStats(st)
+			if newMax < bestMax && st.Utility(opts.Util) >= utilityFloor {
+				bestMax = newMax
+				bestMove = applied
+			}
+			if _, err := st.Apply(applied.Inverse()); err != nil {
+				return nil, err
+			}
+		}
+		if bestMove.IsZero() {
+			break // no acceptable move reduces the hot spot
+		}
+		if _, err := st.Apply(bestMove); err != nil {
+			return nil, err
+		}
+		newMax, newMean, _ := loadStats(st)
+		step := Step{Change: bestMove, MaxLoad: newMax}
+		if newMean > 0 {
+			step.Imbalance = newMax / newMean
+		}
+		res.Steps = append(res.Steps, step)
+	}
+
+	maxLoad, meanLoad, _ = loadStats(st)
+	res.FinalMaxLoad = maxLoad
+	if meanLoad > 0 {
+		res.FinalImbalance = maxLoad / meanLoad
+	}
+
+	res.FinalUtility = st.Utility(opts.Util)
+	return res, nil
+}
+
+// String summarizes a balancing run.
+func (r *Result) String() string {
+	return fmt.Sprintf(
+		"loadbalance: max load %.1f -> %.1f, imbalance %.2f -> %.2f, utility %.1f -> %.1f (%d steps, %d evaluations)",
+		r.InitialMaxLoad, r.FinalMaxLoad, r.InitialImbalance, r.FinalImbalance,
+		r.InitialUtility, r.FinalUtility, len(r.Steps), r.Evaluations)
+}
+
+// UtilityLossFrac returns the relative guard-utility sacrifice of the
+// run.
+func (r *Result) UtilityLossFrac() float64 {
+	if r.InitialUtility == 0 {
+		return 0
+	}
+	return math.Max(0, (r.InitialUtility-r.FinalUtility)/math.Abs(r.InitialUtility))
+}

@@ -1,0 +1,140 @@
+package loadbalance
+
+import (
+	"strings"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/core"
+	"magus/internal/netmodel"
+	"magus/internal/topology"
+)
+
+// hotState builds a suburban state with an artificially overloaded
+// central sector: a neighboring sector's outage dumped its users onto
+// the center, the congestion scenario load balancing exists for.
+func hotState(t *testing.T) (*core.Engine, *netmodel.State) {
+	t.Helper()
+	engine, err := core.NewEngine(core.SetupConfig{
+		Seed:          5,
+		Class:         topology.Suburban,
+		RegionSpanM:   6000,
+		CellSizeM:     200,
+		EqualizeSteps: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := engine.Before.Clone()
+	// Take two sectors of a non-central site down so their users crowd
+	// the survivors.
+	central := engine.Net.CentralSite()
+	for site := range engine.Net.Sites {
+		if site == central {
+			continue
+		}
+		secs := engine.Net.Sites[site].Sectors
+		st.MustApply(config.Change{Sector: secs[0], TurnOff: true})
+		st.MustApply(config.Change{Sector: secs[1], TurnOff: true})
+		break
+	}
+	return engine, st
+}
+
+func TestImbalanceOfBaseline(t *testing.T) {
+	engine, _ := hotState(t)
+	im := Imbalance(engine.Before)
+	if im < 1 {
+		t.Errorf("imbalance %v below 1", im)
+	}
+}
+
+func TestImbalanceAllOff(t *testing.T) {
+	engine, _ := hotState(t)
+	st := engine.Before.Clone()
+	// Turn every sector off: nothing serves, imbalance is 0.
+	for b := 0; b < st.Cfg.NumSectors(); b++ {
+		st.MustApply(config.Change{Sector: b, TurnOff: true})
+	}
+	if Imbalance(st) != 0 {
+		t.Errorf("all-off imbalance = %v, want 0", Imbalance(st))
+	}
+}
+
+func TestBalanceReducesHotSpot(t *testing.T) {
+	_, st := hotState(t)
+	before := Imbalance(st)
+	res, err := Balance(st, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 {
+		t.Skip("no balancing opportunity in this layout")
+	}
+	if res.FinalMaxLoad >= res.InitialMaxLoad {
+		t.Errorf("max load did not drop: %v -> %v", res.InitialMaxLoad, res.FinalMaxLoad)
+	}
+	if res.FinalImbalance >= before {
+		t.Errorf("imbalance did not improve: %v -> %v", before, res.FinalImbalance)
+	}
+	// Guard utility sacrifice stays within the bound.
+	if res.UtilityLossFrac() > 0.0101 {
+		t.Errorf("utility loss %v exceeds the 1%% bound", res.UtilityLossFrac())
+	}
+}
+
+func TestBalanceStepMetricsMonotone(t *testing.T) {
+	_, st := hotState(t)
+	res, err := Balance(st, Options{MaxSteps: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := res.InitialMaxLoad
+	for i, step := range res.Steps {
+		if step.MaxLoad > prev+1e-9 {
+			t.Fatalf("step %d increased max load: %v -> %v", i, prev, step.MaxLoad)
+		}
+		prev = step.MaxLoad
+	}
+}
+
+func TestBalanceRespectsMaxSteps(t *testing.T) {
+	_, st := hotState(t)
+	res, err := Balance(st, Options{MaxSteps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) > 2 {
+		t.Errorf("steps = %d, cap was 2", len(res.Steps))
+	}
+}
+
+func TestBalanceAlreadyBalanced(t *testing.T) {
+	engine, _ := hotState(t)
+	st := engine.Before.Clone()
+	res, err := Balance(st, Options{TargetImbalance: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 0 {
+		t.Errorf("absurdly lax target should accept immediately, took %d steps", len(res.Steps))
+	}
+}
+
+func TestResultString(t *testing.T) {
+	_, st := hotState(t)
+	res, err := Balance(st, Options{MaxSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.String(), "loadbalance:") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+func TestUtilityLossFracZeroInitial(t *testing.T) {
+	r := &Result{}
+	if r.UtilityLossFrac() != 0 {
+		t.Error("zero initial utility should report zero loss")
+	}
+}

@@ -1,0 +1,62 @@
+package lte
+
+import "testing"
+
+// FuzzTransportBlockSize checks that the TBS table never panics, always
+// byte-aligns, and stays monotone in both indices for any input.
+func FuzzTransportBlockSize(f *testing.F) {
+	f.Add(0, 1)
+	f.Add(26, 110)
+	f.Add(13, 50)
+	f.Add(-1, 0)
+	f.Add(100, 200)
+	f.Fuzz(func(t *testing.T, itbs, nprb int) {
+		bits, err := TransportBlockSizeBits(itbs, nprb)
+		if err != nil {
+			return // out-of-range inputs must error, not panic
+		}
+		if bits < 16 || bits%8 != 0 {
+			t.Fatalf("TBS(%d, %d) = %d: not byte-aligned or below floor", itbs, nprb, bits)
+		}
+		// Monotone in N_PRB.
+		if nprb > 1 {
+			prev, err := TransportBlockSizeBits(itbs, nprb-1)
+			if err == nil && bits < prev {
+				t.Fatalf("TBS(%d, %d) = %d < TBS(%d, %d) = %d",
+					itbs, nprb, bits, itbs, nprb-1, prev)
+			}
+		}
+		// Monotone in I_TBS at 50 PRB granularity.
+		if itbs > 0 {
+			prev, err := TransportBlockSizeBits(itbs-1, nprb)
+			if err == nil && bits < prev {
+				t.Fatalf("TBS not monotone in I_TBS at (%d, %d)", itbs, nprb)
+			}
+		}
+	})
+}
+
+// FuzzSinrToCqi checks the CQI mapping is total, bounded and monotone
+// around every probed point.
+func FuzzSinrToCqi(f *testing.F) {
+	f.Add(0.0)
+	f.Add(-50.0)
+	f.Add(50.0)
+	f.Add(-6.936)
+	m := MustNewLinkModel(10e6)
+	f.Fuzz(func(t *testing.T, sinr float64) {
+		if sinr != sinr || sinr > 1e9 || sinr < -1e9 {
+			return
+		}
+		cqi := m.SinrToCqi(sinr)
+		if cqi < 0 || cqi > 15 {
+			t.Fatalf("CQI %d out of range at %v dB", cqi, sinr)
+		}
+		if m.SinrToCqi(sinr+1) < cqi {
+			t.Fatalf("CQI not monotone at %v dB", sinr)
+		}
+		if rate := m.MaxRateBps(sinr); rate < 0 || rate > 36696*1000 {
+			t.Fatalf("rate %v out of range at %v dB", rate, sinr)
+		}
+	})
+}

@@ -1,0 +1,272 @@
+package lte
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModulationNames(t *testing.T) {
+	if QPSK.String() != "QPSK" || QAM16.String() != "16QAM" || QAM64.String() != "64QAM" {
+		t.Error("modulation names wrong")
+	}
+	if Modulation(9).String() == "" {
+		t.Error("unknown modulation should produce a name")
+	}
+	if QPSK.BitsPerSymbol() != 2 || QAM16.BitsPerSymbol() != 4 || QAM64.BitsPerSymbol() != 6 {
+		t.Error("bits per symbol wrong")
+	}
+	if Modulation(9).BitsPerSymbol() != 0 {
+		t.Error("unknown modulation should carry 0 bits")
+	}
+}
+
+func TestCQITableShape(t *testing.T) {
+	for i, e := range CQITable {
+		if e.Index != i+1 {
+			t.Errorf("CQI entry %d has index %d", i, e.Index)
+		}
+		if i > 0 && e.Efficiency <= CQITable[i-1].Efficiency {
+			t.Errorf("CQI efficiency not increasing at %d", i)
+		}
+	}
+	// Spot-check values straight out of TS 36.213 Table 7.2.3-1.
+	if CQITable[0].CodeRate1024 != 78 || CQITable[0].Modulation != QPSK {
+		t.Error("CQI 1 should be QPSK 78/1024")
+	}
+	if CQITable[14].CodeRate1024 != 948 || CQITable[14].Modulation != QAM64 {
+		t.Error("CQI 15 should be 64QAM 948/1024")
+	}
+	if CQITable[6].Modulation != QAM16 {
+		t.Error("CQI 7 should be 16QAM")
+	}
+}
+
+func TestMcsToItbsTable(t *testing.T) {
+	// Boundary rows of Table 7.1.7.1-1.
+	cases := []struct{ mcs, itbs int }{
+		{0, 0}, {9, 9}, {10, 9}, {16, 15}, {17, 15}, {28, 26},
+	}
+	for _, c := range cases {
+		got, err := McsToItbs(c.mcs)
+		if err != nil || got != c.itbs {
+			t.Errorf("McsToItbs(%d) = %d, %v; want %d", c.mcs, got, err, c.itbs)
+		}
+	}
+	if _, err := McsToItbs(-1); err == nil {
+		t.Error("McsToItbs(-1) should fail")
+	}
+	if _, err := McsToItbs(29); err == nil {
+		t.Error("McsToItbs(29) should fail")
+	}
+}
+
+func TestMcsModulationBoundaries(t *testing.T) {
+	cases := []struct {
+		mcs int
+		mod Modulation
+	}{
+		{0, QPSK}, {9, QPSK}, {10, QAM16}, {16, QAM16}, {17, QAM64}, {28, QAM64},
+	}
+	for _, c := range cases {
+		got, err := McsModulation(c.mcs)
+		if err != nil || got != c.mod {
+			t.Errorf("McsModulation(%d) = %v, want %v", c.mcs, got, c.mod)
+		}
+	}
+	if _, err := McsModulation(99); err == nil {
+		t.Error("McsModulation(99) should fail")
+	}
+}
+
+func TestTBS50Column(t *testing.T) {
+	// Anchor values of the 10 MHz column of Table 7.1.7.2.1-1.
+	anchors := map[int]int{0: 1384, 5: 4392, 9: 7992, 15: 15264, 26: 36696}
+	for itbs, want := range anchors {
+		got, err := TransportBlockSizeBits(itbs, 50)
+		if err != nil || got != want {
+			t.Errorf("TBS(%d, 50) = %d, %v; want %d", itbs, got, err, want)
+		}
+	}
+	// Monotone in I_TBS.
+	prev := 0
+	for itbs := 0; itbs <= 26; itbs++ {
+		got, _ := TransportBlockSizeBits(itbs, 50)
+		if got <= prev {
+			t.Errorf("TBS not increasing at I_TBS %d", itbs)
+		}
+		prev = got
+	}
+}
+
+func TestTBSErrors(t *testing.T) {
+	if _, err := TransportBlockSizeBits(-1, 50); err == nil {
+		t.Error("negative I_TBS should fail")
+	}
+	if _, err := TransportBlockSizeBits(27, 50); err == nil {
+		t.Error("I_TBS 27 should fail")
+	}
+	if _, err := TransportBlockSizeBits(0, 0); err == nil {
+		t.Error("N_PRB 0 should fail")
+	}
+	if _, err := TransportBlockSizeBits(0, 111); err == nil {
+		t.Error("N_PRB 111 should fail")
+	}
+}
+
+func TestTBSScalingMonotoneInPRB(t *testing.T) {
+	for itbs := 0; itbs <= 26; itbs += 5 {
+		prev := 0
+		for nprb := 1; nprb <= 110; nprb++ {
+			got, err := TransportBlockSizeBits(itbs, nprb)
+			if err != nil {
+				t.Fatalf("TBS(%d,%d): %v", itbs, nprb, err)
+			}
+			if got < prev {
+				t.Fatalf("TBS(%d, %d) = %d < TBS(%d, %d) = %d", itbs, nprb, got, itbs, nprb-1, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestTBSByteAligned(t *testing.T) {
+	f := func(a, b uint8) bool {
+		itbs := int(a) % 27
+		nprb := int(b)%110 + 1
+		got, err := TransportBlockSizeBits(itbs, nprb)
+		return err == nil && got%8 == 0 && got >= 16
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPRBForBandwidth(t *testing.T) {
+	cases := map[float64]int{1.4e6: 6, 3e6: 15, 5e6: 25, 10e6: 50, 15e6: 75, 20e6: 100}
+	for hz, want := range cases {
+		got, err := PRBForBandwidth(hz)
+		if err != nil || got != want {
+			t.Errorf("PRBForBandwidth(%v) = %d, %v; want %d", hz, got, err, want)
+		}
+	}
+	if _, err := PRBForBandwidth(7e6); err == nil {
+		t.Error("unsupported bandwidth should fail")
+	}
+}
+
+func TestNewLinkModelErrors(t *testing.T) {
+	if _, err := NewLinkModel(12345); err == nil {
+		t.Error("NewLinkModel with bad bandwidth should fail")
+	}
+}
+
+func TestSinrToCqiMonotone(t *testing.T) {
+	m := MustNewLinkModel(10e6)
+	prev := -1
+	for sinr := -20.0; sinr <= 40; sinr += 0.25 {
+		cqi := m.SinrToCqi(sinr)
+		if cqi < prev {
+			t.Fatalf("CQI decreased at SINR %v: %d -> %d", sinr, prev, cqi)
+		}
+		if cqi < 0 || cqi > 15 {
+			t.Fatalf("CQI %d out of range at SINR %v", cqi, sinr)
+		}
+		prev = cqi
+	}
+	if m.SinrToCqi(-20) != 0 {
+		t.Error("very low SINR should be out of range (CQI 0)")
+	}
+	if m.SinrToCqi(40) != 15 {
+		t.Error("very high SINR should reach CQI 15")
+	}
+}
+
+func TestMinSINRMatchesCqi1(t *testing.T) {
+	m := MustNewLinkModel(10e6)
+	th := m.MinSINRdB()
+	if m.SinrToCqi(th) != 1 {
+		t.Errorf("SINR at threshold should give CQI 1, got %d", m.SinrToCqi(th))
+	}
+	if m.SinrToCqi(th-0.01) != 0 {
+		t.Errorf("SINR below threshold should give CQI 0, got %d", m.SinrToCqi(th-0.01))
+	}
+	// The CQI-1 threshold lands in the usual LTE cell-edge range.
+	if th < -10 || th > 0 {
+		t.Errorf("MinSINRdB = %v, expected within [-10, 0]", th)
+	}
+}
+
+func TestCqiToMcs(t *testing.T) {
+	m := MustNewLinkModel(10e6)
+	if m.CqiToMcs(0) != -1 {
+		t.Error("CQI 0 should map to no transmission")
+	}
+	prev := -1
+	for cqi := 1; cqi <= 15; cqi++ {
+		mcs := m.CqiToMcs(cqi)
+		if mcs < 0 || mcs > 28 {
+			t.Fatalf("CqiToMcs(%d) = %d out of range", cqi, mcs)
+		}
+		if mcs < prev {
+			t.Fatalf("MCS decreased at CQI %d", cqi)
+		}
+		// Conservative link adaptation: MCS efficiency must not exceed
+		// the CQI efficiency. MCS 0 is exempt: it is the floor used when
+		// no MCS fits under CQI 1 (TBS overhead assumptions differ
+		// slightly from the CQI table's nominal efficiencies).
+		if mcs > 0 && mcsEfficiency(mcs) > CQITable[cqi-1].Efficiency+1e-9 {
+			t.Errorf("MCS %d efficiency %v exceeds CQI %d efficiency %v",
+				mcs, mcsEfficiency(mcs), cqi, CQITable[cqi-1].Efficiency)
+		}
+		prev = mcs
+	}
+	if m.CqiToMcs(99) != m.CqiToMcs(15) {
+		t.Error("CQI above 15 should clamp")
+	}
+}
+
+func TestMaxRateMonotoneProperty(t *testing.T) {
+	m := MustNewLinkModel(10e6)
+	f := func(a, b float64) bool {
+		x := math.Mod(math.Abs(a), 60) - 20
+		y := math.Mod(math.Abs(b), 60) - 20
+		if x > y {
+			x, y = y, x
+		}
+		return m.MaxRateBps(x) <= m.MaxRateBps(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxRateRange(t *testing.T) {
+	m := MustNewLinkModel(10e6)
+	if got := m.MaxRateBps(-30); got != 0 {
+		t.Errorf("rate at -30 dB = %v, want 0", got)
+	}
+	peak := m.PeakRateBps()
+	// 10 MHz single-stream peak: 36696 bits/ms = 36.696 Mb/s.
+	if peak != 36696*1000 {
+		t.Errorf("peak rate = %v, want 36.696 Mb/s", peak)
+	}
+	if got := m.MaxRateBps(100); got != peak {
+		t.Errorf("rate at very high SINR = %v, want peak %v", got, peak)
+	}
+}
+
+func TestMaxRateAcrossBandwidths(t *testing.T) {
+	m20 := MustNewLinkModel(20e6)
+	m10 := MustNewLinkModel(10e6)
+	m5 := MustNewLinkModel(5e6)
+	sinr := 15.0
+	r20, r10, r5 := m20.MaxRateBps(sinr), m10.MaxRateBps(sinr), m5.MaxRateBps(sinr)
+	if !(r20 > r10 && r10 > r5) {
+		t.Errorf("rates should scale with bandwidth: %v, %v, %v", r20, r10, r5)
+	}
+	// Linear PRB scaling: 20 MHz is about twice 10 MHz.
+	if ratio := r20 / r10; ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("20/10 MHz rate ratio = %v, want approx 2", ratio)
+	}
+}

@@ -1,0 +1,349 @@
+// Package migrate implements the paper's gradual tuning strategy
+// (Section 6, "Benefits of Gradual Tuning" and Figure 11): instead of
+// jumping from C_before to C_after in one step — which triggers a burst
+// of synchronized handovers exactly when the target sector goes off-air —
+// Magus walks the network through a sequence of small steps:
+//
+//  1. reduce the target sector's transmit power by a small step, nudging
+//     some of its UEs to re-attach to neighbors while the target is still
+//     on-air (a seamless handover);
+//  2. whenever the predicted utility would fall below f(C_after), apply
+//     the next compensation moves toward C_after (neighbor power-ups /
+//     uptilts) until the utility floor is restored;
+//  3. when the target can no longer hold UEs, or compensation is
+//     exhausted, jump to C_after and take the target off-air.
+//
+// Because the model knows f(C_after) in advance (only a model-based
+// approach does), the overall utility never drops below the final value
+// throughout the migration.
+package migrate
+
+import (
+	"fmt"
+	"math"
+
+	"magus/internal/config"
+	"magus/internal/netmodel"
+	"magus/internal/utility"
+)
+
+// StepRecord captures the network state transition of one migration step.
+type StepRecord struct {
+	// Changes applied in this step.
+	Changes []config.Change
+	// Utility after the step.
+	Utility float64
+	// Handovers is the number of UEs whose serving sector changed in
+	// this step.
+	Handovers float64
+	// Seamless is the subset of Handovers whose source sector was still
+	// on-air when the UE moved.
+	Seamless float64
+	// Compensations counts the toward-C_after moves applied in this
+	// step to hold the utility floor.
+	Compensations int
+	// UpgradeStep marks the step in which the target sector(s) went
+	// off-air.
+	UpgradeStep bool
+}
+
+// Plan is the outcome of a migration run.
+type Plan struct {
+	Steps []StepRecord
+	// MaxSimultaneousHandovers is the largest per-step handover burst.
+	MaxSimultaneousHandovers float64
+	// TotalHandovers sums handovers across steps.
+	TotalHandovers float64
+	// SeamlessHandovers sums seamless handovers across steps.
+	SeamlessHandovers float64
+	// UtilityFloor is the lowest post-step utility observed.
+	UtilityFloor float64
+	// AfterUtility is f(C_after), the floor target.
+	AfterUtility float64
+	// JumpedToAfter reports whether compensation ran out and the plan
+	// fell back to a direct jump.
+	JumpedToAfter bool
+}
+
+// SeamlessFraction returns the fraction of handovers that were seamless.
+func (p *Plan) SeamlessFraction() float64 {
+	if p.TotalHandovers == 0 {
+		return 1
+	}
+	return p.SeamlessHandovers / p.TotalHandovers
+}
+
+// Options tune the migration.
+type Options struct {
+	// Util is the utility objective (default utility.Performance).
+	Util utility.Func
+	// TargetStepDB is the per-step target power reduction (default 3).
+	TargetStepDB float64
+	// MaxSteps bounds the number of migration steps (default 64).
+	MaxSteps int
+}
+
+func (o *Options) applyDefaults() {
+	if o.Util.U == nil {
+		o.Util = utility.Performance
+	}
+	if o.TargetStepDB <= 0 {
+		o.TargetStepDB = 3
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 64
+	}
+}
+
+// unitMoves flattens the configuration delta from cfg to after into unit
+// compensation moves (1 dB power or 1 tilt step each), excluding the
+// target sectors themselves.
+func unitMoves(cfg, after *config.Config, targets map[int]bool) ([]config.Change, error) {
+	diff, err := cfg.Diff(after)
+	if err != nil {
+		return nil, err
+	}
+	var out []config.Change
+	for _, ch := range diff {
+		if targets[ch.Sector] {
+			continue
+		}
+		n := int(math.Abs(ch.PowerDelta) + 0.5)
+		sign := 1.0
+		if ch.PowerDelta < 0 {
+			sign = -1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, config.Change{Sector: ch.Sector, PowerDelta: sign})
+		}
+		// Fractional residue after whole-dB moves.
+		if resid := ch.PowerDelta - sign*float64(n); math.Abs(resid) > 1e-9 {
+			out = append(out, config.Change{Sector: ch.Sector, PowerDelta: resid})
+		}
+		tsign := 1
+		if ch.TiltDelta < 0 {
+			tsign = -1
+		}
+		for i := 0; i < ch.TiltDelta*tsign; i++ {
+			out = append(out, config.Change{Sector: ch.Sector, TiltDelta: tsign})
+		}
+		if ch.TurnOff || ch.TurnOn {
+			out = append(out, config.Change{Sector: ch.Sector, TurnOff: ch.TurnOff, TurnOn: ch.TurnOn})
+		}
+	}
+	return out, nil
+}
+
+// stepHandovers counts the UEs whose serving sector changed between prev
+// and cur, split into seamless (source still on-air in cur) and hard.
+func stepHandovers(prev, cur *netmodel.State) (total, seamless float64) {
+	m := prev.Model
+	for g := 0; g < m.Grid.NumCells(); g++ {
+		w := m.UE(g)
+		if w == 0 {
+			continue
+		}
+		oldSec := prev.ServingSector(g)
+		newSec := cur.ServingSector(g)
+		if oldSec == newSec {
+			continue
+		}
+		total += w
+		if oldSec >= 0 && !cur.Cfg.Off(oldSec) {
+			seamless += w
+		}
+	}
+	return total, seamless
+}
+
+// Gradual executes the gradual migration from before's configuration to
+// after (which must have the targets off-air), over the shared model.
+// Neither input state is modified.
+func Gradual(before *netmodel.State, after *netmodel.State, targets []int, opts Options) (*Plan, error) {
+	opts.applyDefaults()
+	if before.Model != after.Model {
+		return nil, fmt.Errorf("migrate: before and after use different models")
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("migrate: no target sectors")
+	}
+	targetSet := make(map[int]bool, len(targets))
+	for _, tg := range targets {
+		if tg < 0 || tg >= before.Cfg.NumSectors() {
+			return nil, fmt.Errorf("migrate: target sector %d out of range", tg)
+		}
+		if !after.Cfg.Off(tg) {
+			return nil, fmt.Errorf("migrate: target sector %d is not off in C_after", tg)
+		}
+		targetSet[tg] = true
+	}
+
+	afterUtility := after.Utility(opts.Util)
+	st := before.Clone()
+	moves, err := unitMoves(st.Cfg, after.Cfg, targetSet)
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &Plan{AfterUtility: afterUtility, UtilityFloor: math.Inf(1)}
+	nextMove := 0
+
+	jumpToAfter := func(prev *netmodel.State) error {
+		// Apply the exact remaining delta to C_after (compensations,
+		// target power restoration, and the off-air switch), so the plan
+		// always terminates precisely at the after configuration.
+		record := StepRecord{UpgradeStep: true}
+		diff, err := st.Cfg.Diff(after.Cfg)
+		if err != nil {
+			return err
+		}
+		for _, ch := range diff {
+			applied, err := st.Apply(ch)
+			if err != nil {
+				return err
+			}
+			if applied.IsZero() {
+				continue
+			}
+			record.Changes = append(record.Changes, applied)
+			if !targetSet[applied.Sector] {
+				record.Compensations++
+			}
+		}
+		nextMove = len(moves)
+		record.Utility = st.Utility(opts.Util)
+		record.Handovers, record.Seamless = stepHandovers(prev, st)
+		plan.Steps = append(plan.Steps, record)
+		return nil
+	}
+
+	for len(plan.Steps) < opts.MaxSteps {
+		prev := st.Clone()
+		record := StepRecord{}
+
+		// Does any target still hold UEs?
+		holding := false
+		for _, tg := range targets {
+			if st.Load(tg) > 0 {
+				holding = true
+				break
+			}
+		}
+		if !holding {
+			// Everyone has migrated: finish by jumping to C_after (the
+			// remaining compensations plus the off-air switch, which now
+			// displaces nobody attached to the targets).
+			if err := jumpToAfter(prev); err != nil {
+				return nil, err
+			}
+			break
+		}
+
+		// Step 1: reduce target power.
+		reduced := false
+		for _, tg := range targets {
+			applied, err := st.Apply(config.Change{Sector: tg, PowerDelta: -opts.TargetStepDB})
+			if err != nil {
+				return nil, err
+			}
+			if !applied.IsZero() {
+				record.Changes = append(record.Changes, applied)
+				reduced = true
+			}
+		}
+		if !reduced {
+			// Targets at minimum power but still holding UEs: jump.
+			plan.JumpedToAfter = true
+			if err := jumpToAfter(prev); err != nil {
+				return nil, err
+			}
+			break
+		}
+
+		// Step 2: compensate until the utility floor is restored.
+		utilityNow := st.Utility(opts.Util)
+		for utilityNow < afterUtility && nextMove < len(moves) {
+			applied, err := st.Apply(moves[nextMove])
+			nextMove++
+			if err != nil {
+				return nil, err
+			}
+			if applied.IsZero() {
+				continue
+			}
+			record.Changes = append(record.Changes, applied)
+			record.Compensations++
+			utilityNow = st.Utility(opts.Util)
+		}
+		if utilityNow < afterUtility && nextMove >= len(moves) {
+			// Cannot compensate: undo nothing, jump straight to C_after
+			// as the paper prescribes.
+			plan.JumpedToAfter = true
+			if err := jumpToAfter(prev); err != nil {
+				return nil, err
+			}
+			break
+		}
+
+		record.Utility = utilityNow
+		record.Handovers, record.Seamless = stepHandovers(prev, st)
+		plan.Steps = append(plan.Steps, record)
+	}
+
+	// If the loop exhausted MaxSteps without reaching the upgrade, force
+	// the final jump so the plan always ends at C_after.
+	if n := len(plan.Steps); n == 0 || !plan.Steps[n-1].UpgradeStep {
+		prev := st.Clone()
+		plan.JumpedToAfter = true
+		if err := jumpToAfter(prev); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, s := range plan.Steps {
+		plan.TotalHandovers += s.Handovers
+		plan.SeamlessHandovers += s.Seamless
+		if s.Handovers > plan.MaxSimultaneousHandovers {
+			plan.MaxSimultaneousHandovers = s.Handovers
+		}
+		if s.Utility < plan.UtilityFloor {
+			plan.UtilityFloor = s.Utility
+		}
+	}
+	return plan, nil
+}
+
+// OneShot executes the direct proactive strategy the paper compares
+// against in Figure 11: apply the complete C_before -> C_after delta,
+// including taking the targets off-air, in a single synchronized step.
+func OneShot(before *netmodel.State, after *netmodel.State, targets []int, opts Options) (*Plan, error) {
+	opts.applyDefaults()
+	if before.Model != after.Model {
+		return nil, fmt.Errorf("migrate: before and after use different models")
+	}
+	st := before.Clone()
+	diff, err := st.Cfg.Diff(after.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	record := StepRecord{UpgradeStep: true}
+	for _, ch := range diff {
+		applied, err := st.Apply(ch)
+		if err != nil {
+			return nil, err
+		}
+		if !applied.IsZero() {
+			record.Changes = append(record.Changes, applied)
+		}
+	}
+	record.Utility = st.Utility(opts.Util)
+	record.Handovers, record.Seamless = stepHandovers(before, st)
+	return &Plan{
+		Steps:                    []StepRecord{record},
+		MaxSimultaneousHandovers: record.Handovers,
+		TotalHandovers:           record.Handovers,
+		SeamlessHandovers:        record.Seamless,
+		UtilityFloor:             record.Utility,
+		AfterUtility:             after.Utility(opts.Util),
+	}, nil
+}

@@ -1,0 +1,258 @@
+package migrate
+
+import (
+	"math"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/propagation"
+	"magus/internal/search"
+	"magus/internal/topology"
+)
+
+type fixture struct {
+	model   *netmodel.Model
+	before  *netmodel.State
+	after   *netmodel.State
+	targets []int
+}
+
+func makeFixture(t *testing.T, seed int64) *fixture {
+	t.Helper()
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed:   seed,
+		Class:  topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 6000, 6000),
+	})
+	spm := propagation.MustNewSPM(2.635e9, nil)
+	m := netmodel.MustNewModel(net, spm, net.Bounds, netmodel.Params{CellSizeM: 200})
+
+	before := m.NewState(config.New(net))
+	before.AssignUsersUniform()
+	if _, err := search.Equalize(before, search.Options{MaxSteps: 300}); err != nil {
+		t.Fatal(err)
+	}
+	before.AssignUsersUniform()
+
+	central := net.CentralSite()
+	targets := []int{net.Sites[central].Sectors[0]}
+
+	after := before.Clone()
+	for _, tg := range targets {
+		after.MustApply(config.Change{Sector: tg, TurnOff: true})
+	}
+	neighbors := search.SortByDistanceTo(after, net.NeighborSectors(targets, 4000), targets)
+	if _, err := search.Joint(after, before, neighbors, search.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{model: m, before: before, after: after, targets: targets}
+}
+
+func TestGradualReachesAfterConfig(t *testing.T) {
+	fx := makeFixture(t, 3)
+	plan, err := Gradual(fx.before, fx.after, fx.targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) == 0 {
+		t.Fatal("empty plan")
+	}
+	last := plan.Steps[len(plan.Steps)-1]
+	if !last.UpgradeStep {
+		t.Error("final step must be the upgrade step")
+	}
+	// Final utility must be f(C_after).
+	if math.Abs(last.Utility-plan.AfterUtility) > 1e-6 {
+		t.Errorf("final utility %v != f(C_after) %v", last.Utility, plan.AfterUtility)
+	}
+	// Exactly one upgrade step.
+	count := 0
+	for _, s := range plan.Steps {
+		if s.UpgradeStep {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("plan has %d upgrade steps, want 1", count)
+	}
+}
+
+func TestGradualUtilityFloor(t *testing.T) {
+	fx := makeFixture(t, 3)
+	plan, err := Gradual(fx.before, fx.after, fx.targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's central guarantee: the utility never drops below
+	// f(C_after) at any recorded step (modulo the forced-jump case,
+	// where the final value IS f(C_after)).
+	if !plan.JumpedToAfter && plan.UtilityFloor < plan.AfterUtility-1e-9 {
+		t.Errorf("utility floor %v below f(C_after) %v", plan.UtilityFloor, plan.AfterUtility)
+	}
+	// Inputs must be untouched.
+	if fx.before.Cfg.Off(fx.targets[0]) {
+		t.Error("Gradual modified the before state")
+	}
+}
+
+func TestGradualReducesHandoverBurst(t *testing.T) {
+	fx := makeFixture(t, 3)
+	gradual, err := Gradual(fx.before, fx.after, fx.targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneShot, err := OneShot(fx.before, fx.after, fx.targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gradual.Steps) <= 1 {
+		t.Skip("gradual migration degenerated to a single step in this layout")
+	}
+	// Figure 11's claim: gradual tuning reduces the maximum simultaneous
+	// handover burst.
+	if gradual.MaxSimultaneousHandovers > oneShot.MaxSimultaneousHandovers {
+		t.Errorf("gradual burst %v exceeds one-shot burst %v",
+			gradual.MaxSimultaneousHandovers, oneShot.MaxSimultaneousHandovers)
+	}
+	// And improves the seamless fraction.
+	if gradual.SeamlessFraction() < oneShot.SeamlessFraction()-1e-9 {
+		t.Errorf("gradual seamless %v below one-shot %v",
+			gradual.SeamlessFraction(), oneShot.SeamlessFraction())
+	}
+}
+
+func TestGradualSeamlessMajority(t *testing.T) {
+	fx := makeFixture(t, 5)
+	plan, err := Gradual(fx.before, fx.after, fx.targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalHandovers == 0 {
+		t.Skip("no handovers in this layout")
+	}
+	// The paper reports 96-99.7% seamless; we assert a clear majority.
+	if plan.SeamlessFraction() < 0.5 {
+		t.Errorf("seamless fraction = %v, expected majority seamless", plan.SeamlessFraction())
+	}
+}
+
+func TestGradualHandoverAccounting(t *testing.T) {
+	fx := makeFixture(t, 7)
+	plan, err := Gradual(fx.before, fx.after, fx.targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumH, sumS, maxH := 0.0, 0.0, 0.0
+	for _, s := range plan.Steps {
+		if s.Seamless > s.Handovers+1e-9 {
+			t.Fatalf("step seamless %v exceeds handovers %v", s.Seamless, s.Handovers)
+		}
+		sumH += s.Handovers
+		sumS += s.Seamless
+		if s.Handovers > maxH {
+			maxH = s.Handovers
+		}
+	}
+	if math.Abs(sumH-plan.TotalHandovers) > 1e-9 || math.Abs(sumS-plan.SeamlessHandovers) > 1e-9 {
+		t.Error("plan totals do not match step sums")
+	}
+	if math.Abs(maxH-plan.MaxSimultaneousHandovers) > 1e-9 {
+		t.Error("max burst does not match steps")
+	}
+	if plan.TotalHandovers > fx.model.TotalUE()*float64(len(plan.Steps)) {
+		t.Error("handovers exceed population x steps")
+	}
+}
+
+func TestOneShotSingleStep(t *testing.T) {
+	fx := makeFixture(t, 3)
+	plan, err := OneShot(fx.before, fx.after, fx.targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 1 || !plan.Steps[0].UpgradeStep {
+		t.Fatalf("one-shot plan should be a single upgrade step, got %d", len(plan.Steps))
+	}
+	if math.Abs(plan.Steps[0].Utility-plan.AfterUtility) > 1e-6 {
+		t.Errorf("one-shot final utility %v != f(C_after) %v",
+			plan.Steps[0].Utility, plan.AfterUtility)
+	}
+	// UEs that were attached to the (now off) target must be hard
+	// handovers: seamless < total whenever the target held UEs.
+	if fx.before.Load(fx.targets[0]) > 0 && plan.SeamlessHandovers >= plan.TotalHandovers {
+		t.Error("one-shot should include hard handovers from the off-air target")
+	}
+}
+
+func TestGradualErrors(t *testing.T) {
+	fx := makeFixture(t, 3)
+	if _, err := Gradual(fx.before, fx.after, nil, Options{}); err == nil {
+		t.Error("no targets should fail")
+	}
+	if _, err := Gradual(fx.before, fx.after, []int{-1}, Options{}); err == nil {
+		t.Error("bad target should fail")
+	}
+	// Target not off in after.
+	badAfter := fx.before.Clone()
+	if _, err := Gradual(fx.before, badAfter, fx.targets, Options{}); err == nil {
+		t.Error("target on-air in C_after should fail")
+	}
+	// Different models.
+	other := makeFixture(t, 5)
+	if _, err := Gradual(fx.before, other.after, fx.targets, Options{}); err == nil {
+		t.Error("different models should fail")
+	}
+	if _, err := OneShot(fx.before, other.after, fx.targets, Options{}); err == nil {
+		t.Error("OneShot with different models should fail")
+	}
+}
+
+func TestSeamlessFractionEmptyPlan(t *testing.T) {
+	p := &Plan{}
+	if p.SeamlessFraction() != 1 {
+		t.Error("no handovers should count as fully seamless")
+	}
+}
+
+func TestUnitMovesDecomposition(t *testing.T) {
+	fx := makeFixture(t, 3)
+	cfg := fx.before.Cfg.Clone()
+	after := cfg.Clone()
+	after.AdjustPower(0, 2.5)
+	after.AdjustTilt(1, -3)
+	moves, err := unitMoves(cfg, after, map[int]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the moves must land exactly on the target.
+	replay := cfg.Clone()
+	for _, mv := range moves {
+		if _, err := replay.Apply(mv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !replay.Equal(after) {
+		t.Error("unit moves do not reproduce the target configuration")
+	}
+	// Each power move is at most 1 dB.
+	for _, mv := range moves {
+		if math.Abs(mv.PowerDelta) > 1+1e-9 {
+			t.Errorf("move %v exceeds unit size", mv)
+		}
+		if mv.TiltDelta < -1 || mv.TiltDelta > 1 {
+			t.Errorf("tilt move %v exceeds unit size", mv)
+		}
+	}
+	// Targets are excluded.
+	movesExcl, err := unitMoves(cfg, after, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range movesExcl {
+		if mv.Sector == 0 {
+			t.Error("excluded sector present in moves")
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package multicarrier extends Magus to sites running several LTE
+// carriers, the paper's stated generalization: "the principles
+// underlying Magus apply to multiple carriers and other technologies as
+// well" (Section 1). Carriers occupy disjoint spectrum, so they do not
+// interfere with each other: the network decomposes into one analysis
+// model per carrier sharing the same physical topology, users are
+// pinned to a carrier at attach time, and an upgrade that takes a
+// sector down removes it from every carrier at once ("planned upgrades
+// ... impact all radio access technologies", Section 1).
+//
+// Because the carriers are orthogonal, mitigation also decomposes: the
+// paper's search runs independently per carrier and the total utility
+// is the sum — which is exactly how this package plans.
+package multicarrier
+
+import (
+	"fmt"
+
+	"magus/internal/config"
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/propagation"
+	"magus/internal/search"
+	"magus/internal/topology"
+	"magus/internal/umts"
+	"magus/internal/utility"
+)
+
+// Carrier describes one frequency layer.
+type Carrier struct {
+	// Name labels the carrier in reports ("band7-10MHz", ...).
+	Name string
+	// FrequencyHz is the downlink center frequency.
+	FrequencyHz float64
+	// BandwidthHz is the carrier bandwidth.
+	BandwidthHz float64
+	// UEShare is the fraction of each sector's population attached to
+	// this carrier; the shares of all carriers should sum to 1.
+	UEShare float64
+	// Link optionally selects the radio access technology's rate
+	// pipeline (nil = the LTE model for BandwidthHz; use
+	// umts.NewLinkModel() for an HSDPA layer).
+	Link netmodel.RateMapper
+}
+
+// DefaultCarriers returns a typical two-carrier deployment: a 10 MHz
+// band-7 layer and a 5 MHz band-4 layer carrying a third of the users.
+func DefaultCarriers() []Carrier {
+	return []Carrier{
+		{Name: "band7-10MHz", FrequencyHz: 2.635e9, BandwidthHz: 10e6, UEShare: 2.0 / 3},
+		{Name: "band4-5MHz", FrequencyHz: 2.11e9, BandwidthHz: 5e6, UEShare: 1.0 / 3},
+	}
+}
+
+// DefaultDualRAT returns a multi-technology deployment: an LTE 10 MHz
+// layer plus a UMTS/HSDPA 5 MHz layer — the configuration the paper's
+// upgrades hit ("impact all radio access technologies (such as LTE,
+// UMTS ...)"), since the planned work takes the whole site off-air.
+func DefaultDualRAT() []Carrier {
+	return []Carrier{
+		{Name: "lte-band7-10MHz", FrequencyHz: 2.635e9, BandwidthHz: 10e6, UEShare: 0.7},
+		{Name: "umts-2100-5MHz", FrequencyHz: 2.11e9, BandwidthHz: umts.BandwidthHz,
+			UEShare: 0.3, Link: umts.NewLinkModel()},
+	}
+}
+
+// Network is a multi-carrier deployment: one analysis model per carrier
+// over a shared physical topology.
+type Network struct {
+	Topology *topology.Network
+	Carriers []Carrier
+	// Models[i] is the analysis model of Carriers[i].
+	Models []*netmodel.Model
+	// Baselines[i] is the C_before state of carrier i with its share of
+	// the users assigned.
+	Baselines []*netmodel.State
+}
+
+// Build constructs the per-carrier models and baselines. Each carrier's
+// user population is its share of the per-sector nominal population.
+func Build(net *topology.Network, carriers []Carrier, region geo.Rect, cellSizeM float64) (*Network, error) {
+	if len(carriers) == 0 {
+		return nil, fmt.Errorf("multicarrier: no carriers")
+	}
+	mc := &Network{Topology: net, Carriers: carriers}
+	for _, c := range carriers {
+		if c.UEShare < 0 || c.UEShare > 1 {
+			return nil, fmt.Errorf("multicarrier: carrier %q UE share %v outside [0, 1]", c.Name, c.UEShare)
+		}
+		spm, err := propagation.NewSPM(c.FrequencyHz, nil)
+		if err != nil {
+			return nil, fmt.Errorf("multicarrier: carrier %q: %w", c.Name, err)
+		}
+		model, err := netmodel.NewModel(net, spm, region, netmodel.Params{
+			CellSizeM:   cellSizeM,
+			BandwidthHz: c.BandwidthHz,
+			Link:        c.Link,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("multicarrier: carrier %q: %w", c.Name, err)
+		}
+		base := model.NewState(config.New(net))
+		base.AssignUsersUniform()
+		// Planner pass, as for the single-carrier engine.
+		if _, err := search.Equalize(base, search.Options{
+			MaxSteps: 300, PowerUnitDB: 2, TiltUnit: 2, CapAtDefaultPower: true,
+		}); err != nil {
+			return nil, err
+		}
+		base.AssignUsersUniform()
+		// Scale the population to the carrier's share.
+		model.ScaleUsers(c.UEShare)
+		base.RecomputeLoads()
+		mc.Models = append(mc.Models, model)
+		mc.Baselines = append(mc.Baselines, base)
+	}
+	return mc, nil
+}
+
+// TotalUtility sums a utility function over all carriers' states.
+func TotalUtility(states []*netmodel.State, u utility.Func) float64 {
+	total := 0.0
+	for _, st := range states {
+		total += st.Utility(u)
+	}
+	return total
+}
+
+// Plan is a multi-carrier mitigation result.
+type Plan struct {
+	// Targets are the sectors off-air (on every carrier).
+	Targets []int
+	// PerCarrier holds each carrier's C_after state.
+	PerCarrier []*netmodel.State
+	// UtilityBefore/Upgrade/After are summed across carriers.
+	UtilityBefore  float64
+	UtilityUpgrade float64
+	UtilityAfter   float64
+	// Evaluations sums the per-carrier search costs.
+	Evaluations int
+}
+
+// RecoveryRatio is Formula 7 on the summed utilities.
+func (p *Plan) RecoveryRatio() float64 {
+	return utility.RecoveryRatio(p.UtilityBefore, p.UtilityUpgrade, p.UtilityAfter)
+}
+
+// Mitigate plans the upgrade mitigation: the targets go off-air on every
+// carrier, and the joint search runs independently per carrier (the
+// carriers are orthogonal, so the decomposition is exact).
+func (mc *Network) Mitigate(targets []int, util utility.Func) (*Plan, error) {
+	if util.U == nil {
+		util = utility.Performance
+	}
+	plan := &Plan{Targets: targets}
+	neighborsRadius := 1.6 * mc.Topology.Params.InterSiteDistanceM
+	for i := range mc.Carriers {
+		base := mc.Baselines[i]
+		plan.UtilityBefore += base.Utility(util)
+
+		upgradeState := base.Clone()
+		for _, tg := range targets {
+			if _, err := upgradeState.Apply(config.Change{Sector: tg, TurnOff: true}); err != nil {
+				return nil, err
+			}
+		}
+		plan.UtilityUpgrade += upgradeState.Utility(util)
+
+		neighbors := search.SortByDistanceTo(upgradeState,
+			mc.Topology.NeighborSectors(targets, neighborsRadius), targets)
+		after := upgradeState.Clone()
+		res, err := search.Joint(after, base, neighbors, search.Options{
+			Util:       util,
+			CapUtility: base.Utility(util),
+		})
+		if err != nil {
+			return nil, err
+		}
+		plan.UtilityAfter += res.FinalUtility
+		plan.Evaluations += res.Evaluations
+		plan.PerCarrier = append(plan.PerCarrier, after)
+	}
+	return plan, nil
+}

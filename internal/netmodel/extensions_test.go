@@ -1,0 +1,159 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/geo"
+	"magus/internal/propagation"
+	"magus/internal/terrain"
+	"magus/internal/topology"
+)
+
+func TestAssignUsersWeighted(t *testing.T) {
+	m := testModel(t)
+	s := m.NewState(config.New(m.Net))
+	// Weight grids in the east half 3x the west half.
+	weight := func(g int) float64 {
+		if m.Grid.CellCenterIdx(g).X > 0 {
+			return 3
+		}
+		return 1
+	}
+	s.AssignUsersWeighted(weight)
+	if m.TotalUE() <= 0 {
+		t.Fatal("no users assigned")
+	}
+	// Per-sector populations are preserved (same invariant as uniform).
+	perSector := m.Net.Params.UEsPerSector
+	for b := range m.Net.Sectors {
+		if s.ServedGrids(b) > 0 && s.Load(b) > perSector*1.01 {
+			t.Fatalf("sector %d load %v exceeds nominal %v", b, s.Load(b), perSector)
+		}
+	}
+	// A sector straddling the boundary puts more users on its east grids.
+	east, west := 0.0, 0.0
+	for g := 0; g < m.Grid.NumCells(); g++ {
+		if m.UE(g) == 0 {
+			continue
+		}
+		if m.Grid.CellCenterIdx(g).X > 0 {
+			east += m.UE(g)
+		} else {
+			west += m.UE(g)
+		}
+	}
+	if east <= west {
+		t.Errorf("east weight 3x should attract more users: east=%v west=%v", east, west)
+	}
+}
+
+func TestAssignUsersWeightedZeroWeightFallsBack(t *testing.T) {
+	m := testModel(t)
+	s := m.NewState(config.New(m.Net))
+	s.AssignUsersWeighted(func(int) float64 { return 0 })
+	// All-zero weights: every serving sector falls back to uniform, so
+	// the population matches the uniform assignment.
+	weighted := m.TotalUE()
+	s2 := m.NewState(config.New(m.Net))
+	s2.AssignUsersUniform()
+	if math.Abs(weighted-m.TotalUE()) > 1e-6 {
+		t.Errorf("zero-weight fallback population %v != uniform %v", weighted, m.TotalUE())
+	}
+}
+
+func TestCopyUsersFrom(t *testing.T) {
+	a := testModel(t)
+	sa := a.NewState(config.New(a.Net))
+	sa.AssignUsersUniform()
+
+	// A second model over the same market with different propagation
+	// detail (jitter), same grid.
+	spm := propagation.MustNewSPM(2.635e9, nil)
+	spm.JitterDB = 4
+	spm.JitterSeed = 9
+	b := MustNewModel(a.Net, spm, a.Net.Bounds, Params{CellSizeM: 200})
+	if err := b.CopyUsersFrom(a); err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalUE() != a.TotalUE() {
+		t.Errorf("population differs after copy: %v vs %v", b.TotalUE(), a.TotalUE())
+	}
+	for g := 0; g < a.Grid.NumCells(); g++ {
+		if a.UE(g) != b.UE(g) {
+			t.Fatalf("grid %d UE differs after copy", g)
+		}
+	}
+	// Mismatched grids are rejected.
+	c := MustNewModel(a.Net, spm, a.Net.Bounds, Params{CellSizeM: 300})
+	if err := c.CopyUsersFrom(a); err == nil {
+		t.Error("grid mismatch should fail")
+	}
+}
+
+func TestJitterMaterializesModelError(t *testing.T) {
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed: 5, Class: topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 4000, 4000),
+	})
+	clean := propagation.MustNewSPM(2.635e9, nil)
+	noisy := propagation.MustNewSPM(2.635e9, nil)
+	noisy.JitterDB = 6
+	noisy.JitterSeed = 3
+
+	planning := MustNewModel(net, clean, net.Bounds, Params{CellSizeM: 200})
+	truth := MustNewModel(net, noisy, net.Bounds, Params{CellSizeM: 200})
+
+	sp := planning.NewState(config.New(net))
+	st := truth.NewState(config.New(net))
+	differs := 0
+	for g := 0; g < planning.Grid.NumCells(); g++ {
+		if sp.ServingSector(g) != st.ServingSector(g) ||
+			math.Abs(sp.SINRdB(g)-st.SINRdB(g)) > 0.5 {
+			differs++
+		}
+	}
+	if differs == 0 {
+		t.Error("jittered truth model should diverge from the planning model")
+	}
+	// Determinism: rebuilding the truth model reproduces it exactly.
+	truth2 := MustNewModel(net, noisy, net.Bounds, Params{CellSizeM: 200})
+	st2 := truth2.NewState(config.New(net))
+	for g := 0; g < truth.Grid.NumCells(); g++ {
+		if st.ServingSector(g) != st2.ServingSector(g) {
+			t.Fatal("jitter is not deterministic")
+		}
+	}
+}
+
+func TestApproxTiltElevation(t *testing.T) {
+	terr := terrain.MustGenerate(terrain.Config{
+		Seed:    7,
+		Bounds:  geo.NewRectCentered(geo.Point{}, 6000, 6000),
+		ReliefM: 500,
+	})
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed: 7, Class: topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 4000, 4000),
+	})
+	spm := propagation.MustNewSPM(2.635e9, terr)
+	spm.DiffractionWeight = 0
+
+	exact := MustNewModel(net, spm, net.Bounds, Params{CellSizeM: 200})
+	approx := MustNewModel(net, spm, net.Bounds, Params{CellSizeM: 200, ApproxTiltElevation: true})
+
+	se := exact.NewState(config.New(net))
+	sa := approx.NewState(config.New(net))
+	diff := 0
+	for g := 0; g < exact.Grid.NumCells(); g++ {
+		if math.Abs(se.SINRdB(g)-sa.SINRdB(g)) > 0.1 {
+			diff++
+		}
+	}
+	// With 500 m of relief the terrain-aware elevation angles must
+	// change some grids' radio state.
+	if diff == 0 {
+		t.Error("approximate tilt geometry should differ from exact over rough terrain")
+	}
+}

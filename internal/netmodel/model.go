@@ -1,0 +1,289 @@
+// Package netmodel implements the paper's cellular coverage and capacity
+// analysis model (Section 4): the area is divided into a grid, and for
+// each grid cell the model computes received power from every relevant
+// sector (Eq. 1), the serving sector and SINR (Eq. 2), the sector load
+// (Eq. 3), and the per-UE rate (Eq. 4) via the LTE MCS/TBS pipeline.
+//
+// A Model holds the immutable, configuration-independent data: the grid,
+// the per-(grid, sector) "contributor" entries (tilt-independent link
+// budget base and elevation angle, the in-memory analogue of the paper's
+// Atoll path-loss matrices), and the UE density. A State evaluates one
+// configuration against the Model and supports fast incremental updates
+// when a single sector's power, tilt, or on-air status changes — this is
+// what lets the search algorithm explore thousands of candidate
+// configurations quickly ("quickly estimate the best power and tilt
+// configuration", Section 1).
+package netmodel
+
+import (
+	"fmt"
+
+	"magus/internal/geo"
+	"magus/internal/lte"
+	"magus/internal/propagation"
+	"magus/internal/topology"
+	"magus/internal/units"
+)
+
+// Params configure model construction.
+type Params struct {
+	// CellSizeM is the grid cell edge in meters (paper: 100 m).
+	// Default 100.
+	CellSizeM float64
+	// BandwidthHz is the LTE carrier bandwidth (paper: single 10 MHz
+	// carrier). Default 10e6.
+	BandwidthHz float64
+	// NoiseFigureDB is the UE receiver noise figure. Default 9.
+	NoiseFigureDB float64
+	// CutoffRadiusM drops sector-grid pairs beyond this distance
+	// (paper: each Atoll matrix covers 60x60 km, i.e. 30 km radius).
+	// Default 30000.
+	CutoffRadiusM float64
+	// Link overrides the rate pipeline (default: the LTE CQI/MCS/TBS
+	// model for BandwidthHz). Use e.g. umts.NewLinkModel() to analyze a
+	// UMTS carrier.
+	Link RateMapper
+	// FloorBelowNoiseDB drops contributors whose best-case received
+	// power (max power, boresight) is more than this many dB below the
+	// thermal noise floor; they can affect neither signal nor
+	// interference materially. Default 20.
+	FloorBelowNoiseDB float64
+	// ApproxTiltElevation reproduces the paper's tilt simplification
+	// (Section 5): instead of the terrain-aware elevation angle per
+	// (sector, grid) pair, the vertical-pattern angle is derived from a
+	// flat-earth geometry shared across sectors — the analogue of the
+	// paper's single tilt delta matrix applied to every sector. Cheaper
+	// data, slightly wrong where terrain matters; compare with the
+	// ablation benchmark.
+	ApproxTiltElevation bool
+}
+
+func (p *Params) applyDefaults() {
+	if p.CellSizeM <= 0 {
+		p.CellSizeM = 100
+	}
+	if p.BandwidthHz <= 0 {
+		p.BandwidthHz = 10e6
+	}
+	if p.NoiseFigureDB <= 0 {
+		p.NoiseFigureDB = 9
+	}
+	if p.CutoffRadiusM <= 0 {
+		p.CutoffRadiusM = 30000
+	}
+	if p.FloorBelowNoiseDB <= 0 {
+		p.FloorBelowNoiseDB = 20
+	}
+}
+
+// entryRef locates one contributor entry from the owning sector's side.
+type entryRef struct {
+	Grid int32 // flat grid index
+	Pos  int32 // index into the contributor arrays
+}
+
+// RateMapper converts link quality to achievable full-carrier downlink
+// rate. lte.LinkModel is the paper's LTE pipeline; other radio access
+// technologies (e.g. the UMTS/HSDPA model in internal/umts) plug in the
+// same way — the paper notes that planned upgrades "impact all radio
+// access technologies (such as LTE, UMTS as well as GSM)".
+type RateMapper interface {
+	// MaxRateBpsLinear returns the full-carrier rate for a linear SINR.
+	MaxRateBpsLinear(sinrLin float64) float64
+	// MaxRateBps is the dB-domain equivalent.
+	MaxRateBps(sinrDB float64) float64
+	// PeakRateBps is the technology's single-user ceiling.
+	PeakRateBps() float64
+	// MinSINRdB is the out-of-service threshold (the paper's SINR_min).
+	MinSINRdB() float64
+}
+
+// Model is the immutable analysis substrate for one network over one
+// region.
+type Model struct {
+	Net  *topology.Network
+	SPM  *propagation.SPM
+	Link RateMapper
+	Grid *geo.Grid
+
+	params  Params
+	noiseMw float64
+
+	// Contributor entries, grouped by grid: entries for grid g occupy
+	// positions gridStart[g] .. gridStart[g+1].
+	contribSector []int32
+	contribBaseDB []float32
+	contribElev   []float32
+	gridStart     []int32
+
+	// sectorEntries[b] lists every contributor entry owned by sector b.
+	sectorEntries [][]entryRef
+
+	// ue is the per-grid UE count (fractional), set by AssignUsersUniform.
+	ue      []float64
+	totalUE float64
+}
+
+// NewModel builds the analysis model for net over region. The SPM
+// supplies path loss; params may be zero for defaults.
+func NewModel(net *topology.Network, spm *propagation.SPM, region geo.Rect, params Params) (*Model, error) {
+	params.applyDefaults()
+	grid, err := geo.NewGrid(region, params.CellSizeM)
+	if err != nil {
+		return nil, fmt.Errorf("netmodel: %w", err)
+	}
+	link := params.Link
+	if link == nil {
+		lteLink, err := lte.NewLinkModel(params.BandwidthHz)
+		if err != nil {
+			return nil, fmt.Errorf("netmodel: %w", err)
+		}
+		link = lteLink
+	}
+	m := &Model{
+		Net:           net,
+		SPM:           spm,
+		Link:          link,
+		Grid:          grid,
+		params:        params,
+		noiseMw:       units.DbmToMw(units.ThermalNoiseDbm(params.BandwidthHz, params.NoiseFigureDB)),
+		sectorEntries: make([][]entryRef, net.NumSectors()),
+		ue:            make([]float64, grid.NumCells()),
+	}
+	m.buildContributors()
+	return m, nil
+}
+
+// MustNewModel is NewModel that panics on error.
+func MustNewModel(net *topology.Network, spm *propagation.SPM, region geo.Rect, params Params) *Model {
+	m, err := NewModel(net, spm, region, params)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *Model) buildContributors() {
+	numCells := m.Grid.NumCells()
+	m.gridStart = make([]int32, numCells+1)
+	floorDbm := units.MwToDbm(m.noiseMw) - m.params.FloorBelowNoiseDB
+	cutoff := m.params.CutoffRadiusM
+
+	for g := 0; g < numCells; g++ {
+		center := m.Grid.CellCenterIdx(g)
+		for b := range m.Net.Sectors {
+			sec := &m.Net.Sectors[b]
+			if sec.Pos.DistanceTo(center) > cutoff {
+				continue
+			}
+			base := m.SPM.SectorBase(sec, center)
+			// Best-case RP: max power, zero vertical attenuation.
+			if sec.MaxPowerDbm+base < floorDbm {
+				continue
+			}
+			elev := m.SPM.ElevationDeg(sec, center)
+			if m.params.ApproxTiltElevation {
+				elev = propagation.FlatEarthElevationDeg(sec, center)
+			}
+			pos := int32(len(m.contribSector))
+			m.contribSector = append(m.contribSector, int32(b))
+			m.contribBaseDB = append(m.contribBaseDB, float32(base))
+			m.contribElev = append(m.contribElev, float32(elev))
+			m.sectorEntries[b] = append(m.sectorEntries[b], entryRef{Grid: int32(g), Pos: pos})
+		}
+		m.gridStart[g+1] = int32(len(m.contribSector))
+	}
+}
+
+// NumContributors returns the total number of (grid, sector) contributor
+// entries, a measure of the model's radio coupling density.
+func (m *Model) NumContributors() int { return len(m.contribSector) }
+
+// NoiseMw returns the thermal noise floor in milliwatts.
+func (m *Model) NoiseMw() float64 { return m.noiseMw }
+
+// Params returns the parameters used to build the model.
+func (m *Model) Params() Params { return m.params }
+
+// UE returns the UE count assigned to grid cell g.
+func (m *Model) UE(g int) float64 { return m.ue[g] }
+
+// TotalUE returns the total number of UEs placed on the model.
+func (m *Model) TotalUE() float64 { return m.totalUE }
+
+// ScaleUsers multiplies the model's entire UE distribution by factor
+// (e.g. to split a population across orthogonal carriers). States over
+// m must call RecomputeLoads afterwards.
+func (m *Model) ScaleUsers(factor float64) {
+	for i := range m.ue {
+		m.ue[i] *= factor
+	}
+	m.totalUE *= factor
+}
+
+// CopyUsersFrom installs another model's UE distribution onto m. The
+// two models must share grid dimensions (they typically differ only in
+// their propagation detail — e.g. a planning model versus a
+// ground-truth model of the same market). Existing states over m must
+// call RecomputeLoads afterwards.
+func (m *Model) CopyUsersFrom(other *Model) error {
+	if len(m.ue) != len(other.ue) {
+		return fmt.Errorf("netmodel: grid mismatch: %d vs %d cells", len(m.ue), len(other.ue))
+	}
+	copy(m.ue, other.ue)
+	m.totalUE = other.totalUE
+	return nil
+}
+
+// entryLinkDB returns the full link budget of entry pos at the given
+// tilt, in dB: base loss (propagation + clutter + horizontal pattern +
+// boresight gain) plus vertical pattern attenuation. The received power
+// is then transmit power + link budget.
+func (m *Model) entryLinkDB(pos int, tiltDeg float64) float64 {
+	b := m.contribSector[pos]
+	sec := &m.Net.Sectors[b]
+	vatt := sec.Pattern.VerticalAttenuation(float64(m.contribElev[pos]), tiltDeg)
+	return float64(m.contribBaseDB[pos]) + vatt
+}
+
+// InterferingSectorCount counts the sectors whose best-case received
+// power exceeds the noise floor minus marginDB somewhere within region.
+// This reproduces the paper's "sectors that interfere with the sectors in
+// our area" density statistic (26 rural / 55 suburban / 178 urban).
+func (m *Model) InterferingSectorCount(region geo.Rect, marginDB float64) int {
+	floorDbm := units.MwToDbm(m.noiseMw) - marginDB
+	count := 0
+	for b := range m.Net.Sectors {
+		sec := &m.Net.Sectors[b]
+		for _, ref := range m.sectorEntries[b] {
+			center := m.Grid.CellCenterIdx(int(ref.Grid))
+			if !region.Contains(center) {
+				continue
+			}
+			if sec.MaxPowerDbm+float64(m.contribBaseDB[ref.Pos]) >= floorDbm {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// GridsIn returns the flat indices of all grid cells whose centers lie
+// inside region, appended to dst.
+func (m *Model) GridsIn(dst []int, region geo.Rect) []int {
+	for g := 0; g < m.Grid.NumCells(); g++ {
+		if region.Contains(m.Grid.CellCenterIdx(g)) {
+			dst = append(dst, g)
+		}
+	}
+	return dst
+}
+
+// rateFromSinr converts a linear SINR to the achievable max rate.
+func (m *Model) rateFromSinr(sinrLin float64) float64 {
+	if sinrLin <= 0 {
+		return 0
+	}
+	return m.Link.MaxRateBpsLinear(sinrLin)
+}

@@ -1,0 +1,126 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/utility"
+)
+
+// TestRandomChangeSequencesMatchFullRecompute is the package's central
+// property test: for many random sequences of power/tilt/on-off changes,
+// the incrementally maintained state must agree exactly with a fresh
+// evaluation of the final configuration.
+func TestRandomChangeSequencesMatchFullRecompute(t *testing.T) {
+	m := testModel(t)
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		st := m.NewState(config.New(m.Net))
+		st.AssignUsersUniform()
+
+		for i := 0; i < 30; i++ {
+			ch := config.Change{Sector: rng.Intn(m.Net.NumSectors())}
+			switch rng.Intn(4) {
+			case 0:
+				ch.PowerDelta = float64(rng.Intn(13) - 6)
+			case 1:
+				ch.TiltDelta = rng.Intn(9) - 4
+			case 2:
+				ch.TurnOff = true
+			case 3:
+				ch.TurnOn = true
+			}
+			if _, err := st.Apply(ch); err != nil {
+				t.Fatalf("trial %d change %d (%v): %v", trial, i, ch, err)
+			}
+		}
+
+		fresh := m.NewState(st.Cfg.Clone())
+		for g := 0; g < m.Grid.NumCells(); g++ {
+			if st.ServingSector(g) != fresh.ServingSector(g) {
+				t.Fatalf("trial %d: grid %d serving %d vs %d",
+					trial, g, st.ServingSector(g), fresh.ServingSector(g))
+			}
+			if st.MaxRateBps(g) != fresh.MaxRateBps(g) {
+				t.Fatalf("trial %d: grid %d rmax %v vs %v",
+					trial, g, st.MaxRateBps(g), fresh.MaxRateBps(g))
+			}
+		}
+		for b := 0; b < m.Net.NumSectors(); b++ {
+			if d := st.Load(b) - fresh.Load(b); d > 1e-6 || d < -1e-6 {
+				t.Fatalf("trial %d: sector %d load %v vs %v", trial, b, st.Load(b), fresh.Load(b))
+			}
+		}
+		if du := st.Utility(utility.Performance) - fresh.Utility(utility.Performance); du > 1e-6 || du < -1e-6 {
+			t.Fatalf("trial %d: utility drift %v", trial, du)
+		}
+	}
+}
+
+// TestUtilityMemoMatchesDirectEvaluation validates the per-grid utility
+// memo against a memo-free computation across utility-function switches.
+func TestUtilityMemoMatchesDirectEvaluation(t *testing.T) {
+	m := testModel(t)
+	st := m.NewState(config.New(m.Net))
+	st.AssignUsersUniform()
+
+	direct := func(u utility.Func) float64 {
+		total := 0.0
+		for g := 0; g < m.Grid.NumCells(); g++ {
+			if w := m.UE(g); w != 0 {
+				total += w * u.U(st.RateBps(g))
+			}
+		}
+		return total
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	funcs := []utility.Func{utility.Performance, utility.Coverage, utility.SumRate}
+	for i := 0; i < 30; i++ {
+		// Mutate, then evaluate under an alternating utility function.
+		st.MustApply(config.Change{
+			Sector:     rng.Intn(m.Net.NumSectors()),
+			PowerDelta: float64(rng.Intn(7) - 3),
+		})
+		u := funcs[i%len(funcs)]
+		got := st.Utility(u)
+		want := direct(u)
+		if d := got - want; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("step %d (%s): memoized %v != direct %v", i, u.Name, got, want)
+		}
+	}
+}
+
+// TestHandoverConservation checks that every UE displaced by an outage
+// is accounted for: it either hands over to another sector or drops out
+// of service; nobody is double counted or lost.
+func TestHandoverConservation(t *testing.T) {
+	m := testModel(t)
+	before := m.NewState(config.New(m.Net))
+	before.AssignUsersUniform()
+
+	after := before.Clone()
+	central := m.Net.CentralSite()
+	target := m.Net.Sites[central].Sectors[0]
+	after.MustApply(config.Change{Sector: target, TurnOff: true})
+
+	displaced := before.Load(target)
+	handovers := HandoverUEs(before, after)
+	lostService := before.ServedUE() - after.ServedUE()
+
+	// Every UE of the dead sector either moved (counted in handovers)
+	// or lost service entirely. Interference shifts can add further
+	// handovers, so handovers + lost >= displaced.
+	if handovers+lostService < displaced-1e-6 {
+		t.Errorf("displaced %v UEs but only %v handovers + %v lost",
+			displaced, handovers, lostService)
+	}
+	// Nothing exceeds the population.
+	if handovers > m.TotalUE() || lostService > m.TotalUE() {
+		t.Error("handover accounting exceeds population")
+	}
+	if lostService < -1e-9 {
+		t.Errorf("service count grew (%v) when a sector died", -lostService)
+	}
+}

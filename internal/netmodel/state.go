@@ -1,0 +1,558 @@
+package netmodel
+
+import (
+	"math"
+
+	"magus/internal/config"
+	"magus/internal/units"
+	"magus/internal/utility"
+)
+
+// State is the full evaluation of one configuration against a Model:
+// per-grid serving sector, SINR and maximum rate, and per-sector load.
+// Apply performs incremental re-evaluation after a single-sector change;
+// Clone snapshots the state for later comparison.
+//
+// A State owns its Config: mutate the configuration only through Apply
+// so the cached radio state stays consistent.
+type State struct {
+	Model *Model
+	Cfg   *config.Config
+
+	rpMw    []float64 // per contributor entry: current received power, mW (0 when off)
+	linkDB  []float64 // per entry: base loss + vertical attenuation at current tilt, dB
+	totalMw []float64 // per grid: sum of all contributors, mW
+	bestSec []int32   // per grid: serving sector, -1 if none
+	bestMw  []float64 // per grid: serving sector received power, mW
+	rmax    []float64 // per grid: max rate (bits/s) at current SINR
+	load    []float64 // per sector: sum of UE weights over served grids
+	served  []int32   // per sector: number of served grids
+
+	// Per-grid utility memo: most grids keep their rate between two
+	// Utility calls during a search, so the per-UE utility (a log10) is
+	// recomputed only for grids whose rate changed. cacheName identifies
+	// the utility function the memo belongs to (function names are
+	// unique per objective).
+	cacheRate []float64
+	cacheU    []float64
+	cacheName string
+}
+
+// NewState fully evaluates cfg against the model. The state takes
+// ownership of cfg (clone it first if the caller needs the original).
+func (m *Model) NewState(cfg *config.Config) *State {
+	s := &State{
+		Model:   m,
+		Cfg:     cfg,
+		rpMw:    make([]float64, len(m.contribSector)),
+		linkDB:  make([]float64, len(m.contribSector)),
+		totalMw: make([]float64, m.Grid.NumCells()),
+		bestSec: make([]int32, m.Grid.NumCells()),
+		bestMw:  make([]float64, m.Grid.NumCells()),
+		rmax:    make([]float64, m.Grid.NumCells()),
+		load:    make([]float64, m.Net.NumSectors()),
+		served:  make([]int32, m.Net.NumSectors()),
+	}
+	s.resetUtilityMemo("")
+	s.recomputeAll()
+	return s
+}
+
+// resetUtilityMemo invalidates the per-grid utility memo and tags it
+// with the owning utility function's name.
+func (s *State) resetUtilityMemo(name string) {
+	if s.cacheRate == nil {
+		s.cacheRate = make([]float64, s.Model.Grid.NumCells())
+		s.cacheU = make([]float64, s.Model.Grid.NumCells())
+	}
+	for i := range s.cacheRate {
+		s.cacheRate[i] = -1 // rates are never negative
+	}
+	s.cacheName = name
+}
+
+// Clone returns an independent snapshot of the state (the configuration
+// is deep-copied too).
+func (s *State) Clone() *State {
+	return &State{
+		Model:     s.Model,
+		Cfg:       s.Cfg.Clone(),
+		rpMw:      append([]float64(nil), s.rpMw...),
+		linkDB:    append([]float64(nil), s.linkDB...),
+		totalMw:   append([]float64(nil), s.totalMw...),
+		bestSec:   append([]int32(nil), s.bestSec...),
+		bestMw:    append([]float64(nil), s.bestMw...),
+		rmax:      append([]float64(nil), s.rmax...),
+		load:      append([]float64(nil), s.load...),
+		served:    append([]int32(nil), s.served...),
+		cacheRate: append([]float64(nil), s.cacheRate...),
+		cacheU:    append([]float64(nil), s.cacheU...),
+		cacheName: s.cacheName,
+	}
+}
+
+// recomputeAll evaluates every grid from scratch.
+func (s *State) recomputeAll() {
+	m := s.Model
+	// Per-entry received powers.
+	for b := 0; b < m.Net.NumSectors(); b++ {
+		off := s.Cfg.Off(b)
+		power := s.Cfg.PowerDbm(b)
+		tilt := s.Cfg.TiltDeg(b)
+		for _, ref := range m.sectorEntries[b] {
+			s.linkDB[ref.Pos] = m.entryLinkDB(int(ref.Pos), tilt)
+			if off {
+				s.rpMw[ref.Pos] = 0
+			} else {
+				s.rpMw[ref.Pos] = units.DbmToMw(power + s.linkDB[ref.Pos])
+			}
+		}
+	}
+	// Per-grid aggregates.
+	for i := range s.load {
+		s.load[i] = 0
+		s.served[i] = 0
+	}
+	for g := 0; g < m.Grid.NumCells(); g++ {
+		s.rescanGrid(g)
+		if best := s.bestSec[g]; best >= 0 {
+			s.load[best] += m.ue[g]
+			s.served[best]++
+		}
+	}
+}
+
+// rescanGrid recomputes a grid's total, best contributor, and max rate
+// from the per-entry received powers. It does not touch loads.
+func (s *State) rescanGrid(g int) {
+	m := s.Model
+	start, end := m.gridStart[g], m.gridStart[g+1]
+	total := 0.0
+	best := int32(-1)
+	bestMw := 0.0
+	for pos := start; pos < end; pos++ {
+		rp := s.rpMw[pos]
+		total += rp
+		if rp > bestMw {
+			bestMw = rp
+			best = m.contribSector[pos]
+		}
+	}
+	s.totalMw[g] = total
+	s.bestSec[g] = best
+	s.bestMw[g] = bestMw
+	s.updateRate(g)
+}
+
+// updateRate refreshes rmax[g] from the cached aggregates.
+func (s *State) updateRate(g int) {
+	if s.bestSec[g] < 0 || s.bestMw[g] <= 0 {
+		s.rmax[g] = 0
+		return
+	}
+	interf := s.totalMw[g] - s.bestMw[g]
+	if interf < 0 {
+		interf = 0 // floating point guard
+	}
+	sinr := s.bestMw[g] / (s.Model.noiseMw + interf)
+	s.rmax[g] = s.Model.rateFromSinr(sinr)
+}
+
+// Apply applies a configuration change and incrementally updates the
+// radio state. It returns the change that actually took effect (after
+// power/tilt clamping), which is the exact inverse key for undo.
+//
+// Power-only changes take a fast path: the per-entry linear powers are
+// scaled by a single factor instead of re-deriving the antenna pattern
+// terms, which is what lets the search evaluate thousands of candidate
+// configurations per second.
+func (s *State) Apply(ch config.Change) (config.Change, error) {
+	applied, err := s.Cfg.Apply(ch)
+	if err != nil {
+		return applied, err
+	}
+	if applied.IsZero() {
+		return applied, nil
+	}
+	if applied.TiltDelta == 0 && !applied.TurnOff && !applied.TurnOn &&
+		!s.Cfg.Off(applied.Sector) {
+		s.applySectorPower(applied.Sector)
+	} else {
+		s.refreshSector(applied.Sector)
+	}
+	return applied, nil
+}
+
+// MustApply is Apply that panics on error; for statically valid changes.
+func (s *State) MustApply(ch config.Change) config.Change {
+	applied, err := s.Apply(ch)
+	if err != nil {
+		panic(err)
+	}
+	return applied
+}
+
+// refreshSector recomputes every contributor entry of sector b under the
+// current configuration and incrementally fixes the affected grids.
+func (s *State) refreshSector(b int) {
+	m := s.Model
+	off := s.Cfg.Off(b)
+	power := s.Cfg.PowerDbm(b)
+	tilt := s.Cfg.TiltDeg(b)
+	b32 := int32(b)
+	for _, ref := range m.sectorEntries[b] {
+		s.linkDB[ref.Pos] = m.entryLinkDB(int(ref.Pos), tilt)
+		var rp float64
+		if !off {
+			rp = units.DbmToMw(power + s.linkDB[ref.Pos])
+		}
+		s.updateEntry(int(ref.Grid), ref.Pos, b32, rp)
+	}
+}
+
+// applySectorPower applies a power-only change to an on-air sector,
+// reusing each entry's cached link budget so the antenna-pattern terms
+// are not re-derived. The dB-domain recomputation (rather than scaling
+// the linear value) keeps the result bit-identical to a full
+// re-evaluation, so incremental and fresh states can never diverge.
+func (s *State) applySectorPower(b int) {
+	power := s.Cfg.PowerDbm(b)
+	b32 := int32(b)
+	for _, ref := range s.Model.sectorEntries[b] {
+		if s.rpMw[ref.Pos] == 0 {
+			continue
+		}
+		s.updateEntry(int(ref.Grid), ref.Pos, b32, units.DbmToMw(power+s.linkDB[ref.Pos]))
+	}
+}
+
+// updateEntry installs a new received power for one contributor entry
+// and repairs the owning grid's aggregates, serving assignment and rate.
+func (s *State) updateEntry(g int, pos int32, b32 int32, rp float64) {
+	old := s.rpMw[pos]
+	if rp == old {
+		return
+	}
+	s.rpMw[pos] = rp
+	s.totalMw[g] += rp - old
+
+	switch {
+	case s.bestSec[g] == b32:
+		if rp >= old {
+			// Still the strongest: only its level changed.
+			s.bestMw[g] = rp
+		} else {
+			// The serving sector weakened: rescan for a new best.
+			s.rescanBest(g)
+		}
+	case rp > s.bestMw[g] || (rp == s.bestMw[g] && b32 < s.bestSec[g]):
+		// b overtakes the previous serving sector. Ties break toward
+		// the lower sector ID — exactly how the full rescan resolves
+		// them — so co-sited sectors with identical link budgets (e.g.
+		// grids behind the site where both patterns hit the
+		// front-to-back cap) serve deterministically.
+		s.setServing(g, b32, rp)
+	}
+	s.updateRate(g)
+}
+
+// rescanBest re-derives the serving sector of grid g after its previous
+// server weakened, updating loads on a serving change.
+func (s *State) rescanBest(g int) {
+	m := s.Model
+	start, end := m.gridStart[g], m.gridStart[g+1]
+	best := int32(-1)
+	bestMw := 0.0
+	for pos := start; pos < end; pos++ {
+		if rp := s.rpMw[pos]; rp > bestMw {
+			bestMw = rp
+			best = m.contribSector[pos]
+		}
+	}
+	if best == s.bestSec[g] {
+		s.bestMw[g] = bestMw
+		return
+	}
+	s.setServing(g, best, bestMw)
+}
+
+// setServing moves grid g to a new serving sector, maintaining loads and
+// served-grid counts.
+func (s *State) setServing(g int, sec int32, mw float64) {
+	old := s.bestSec[g]
+	if old >= 0 {
+		s.load[old] -= s.Model.ue[g]
+		s.served[old]--
+		if s.served[old] == 0 {
+			s.load[old] = 0 // clear floating point residue
+		}
+	}
+	s.bestSec[g] = sec
+	s.bestMw[g] = mw
+	if sec >= 0 {
+		s.load[sec] += s.Model.ue[g]
+		s.served[sec]++
+	}
+}
+
+// ServingSector returns the serving sector of grid g, or -1 when the
+// grid is out of coverage.
+func (s *State) ServingSector(g int) int { return int(s.bestSec[g]) }
+
+// SINRdB returns the grid's SINR in dB, or -Inf when out of coverage.
+func (s *State) SINRdB(g int) float64 {
+	if s.bestSec[g] < 0 || s.bestMw[g] <= 0 {
+		return math.Inf(-1)
+	}
+	interf := s.totalMw[g] - s.bestMw[g]
+	if interf < 0 {
+		interf = 0
+	}
+	return 10 * math.Log10(s.bestMw[g]/(s.Model.noiseMw+interf))
+}
+
+// MaxRateBps returns r_max(g): the rate a lone UE would get on grid g.
+func (s *State) MaxRateBps(g int) float64 { return s.rmax[g] }
+
+// RateBps returns the actual per-UE rate on grid g (Eq. 4): the max rate
+// divided by the serving sector's UE load (at least 1).
+func (s *State) RateBps(g int) float64 {
+	best := s.bestSec[g]
+	if best < 0 || s.rmax[g] <= 0 {
+		return 0
+	}
+	n := s.load[best]
+	if n < 1 {
+		n = 1
+	}
+	return s.rmax[g] / n
+}
+
+// Load returns the UE load of sector b.
+func (s *State) Load(b int) float64 { return s.load[b] }
+
+// ServedGrids returns the number of grids served by sector b.
+func (s *State) ServedGrids(b int) int { return int(s.served[b]) }
+
+// Utility evaluates the overall network utility f(U(C)) (Section 5)
+// under per-UE utility u: the UE-weighted sum of u(rate) over all grids.
+func (s *State) Utility(u utility.Func) float64 {
+	if s.cacheName != u.Name {
+		s.resetUtilityMemo(u.Name)
+	}
+	total := 0.0
+	for g, w := range s.Model.ue {
+		if w == 0 {
+			continue
+		}
+		rate := 0.0
+		if best := s.bestSec[g]; best >= 0 && s.rmax[g] > 0 {
+			n := s.load[best]
+			if n < 1 {
+				n = 1
+			}
+			rate = s.rmax[g] / n
+		}
+		if rate != s.cacheRate[g] {
+			s.cacheRate[g] = rate
+			s.cacheU[g] = u.U(rate)
+		}
+		total += w * s.cacheU[g]
+	}
+	return total
+}
+
+// UtilityIn is Utility restricted to the given grid cells.
+func (s *State) UtilityIn(u utility.Func, grids []int) float64 {
+	total := 0.0
+	for _, g := range grids {
+		if w := s.Model.ue[g]; w != 0 {
+			total += w * u.U(s.RateBps(g))
+		}
+	}
+	return total
+}
+
+// ServedUE returns the number of UEs currently in service.
+func (s *State) ServedUE() float64 {
+	total := 0.0
+	for g, w := range s.Model.ue {
+		if w != 0 && s.RateBps(g) > 0 {
+			total += w
+		}
+	}
+	return total
+}
+
+// AssignUsersUniform distributes the per-sector nominal UE population
+// uniformly across each sector's served grids, evaluated at the state's
+// configuration — the paper's UE distribution assumption (Section 4.2).
+// The distribution is stored on the Model (users do not move when
+// configurations change) and the state's loads are refreshed.
+func (s *State) AssignUsersUniform() {
+	m := s.Model
+	perSector := m.Net.Params.UEsPerSector
+	if perSector <= 0 {
+		perSector = 100
+	}
+	for i := range m.ue {
+		m.ue[i] = 0
+	}
+	m.totalUE = 0
+	for g := 0; g < m.Grid.NumCells(); g++ {
+		best := s.bestSec[g]
+		if best < 0 || s.rmax[g] <= 0 {
+			continue
+		}
+		// Weight by served-grid count of the serving sector.
+		if n := s.served[best]; n > 0 {
+			w := perSector / float64(n)
+			m.ue[g] = w
+			m.totalUE += w
+		}
+	}
+	s.RecomputeLoads()
+}
+
+// AssignUsersWeighted distributes each sector's nominal UE population
+// across its served grids proportionally to weight(g) — the paper's
+// "finer-grain information about UE distribution" extension (Section
+// 4.2). A sector whose served grids all have zero weight falls back to
+// uniform. The distribution is stored on the Model, and this state's
+// loads are refreshed.
+func (s *State) AssignUsersWeighted(weight func(g int) float64) {
+	m := s.Model
+	perSector := m.Net.Params.UEsPerSector
+	if perSector <= 0 {
+		perSector = 100
+	}
+	for i := range m.ue {
+		m.ue[i] = 0
+	}
+	m.totalUE = 0
+
+	// Per-sector weight totals over served grids.
+	weightSum := make([]float64, m.Net.NumSectors())
+	for g := 0; g < m.Grid.NumCells(); g++ {
+		if best := s.bestSec[g]; best >= 0 && s.rmax[g] > 0 {
+			weightSum[best] += weight(g)
+		}
+	}
+	for g := 0; g < m.Grid.NumCells(); g++ {
+		best := s.bestSec[g]
+		if best < 0 || s.rmax[g] <= 0 {
+			continue
+		}
+		var w float64
+		if weightSum[best] > 0 {
+			w = perSector * weight(g) / weightSum[best]
+		} else if n := s.served[best]; n > 0 {
+			w = perSector / float64(n)
+		}
+		m.ue[g] = w
+		m.totalUE += w
+	}
+	s.RecomputeLoads()
+}
+
+// RecomputeLoads rebuilds the per-sector loads from the current serving
+// map and UE distribution. Needed after the Model's UE distribution
+// changes beneath an existing state.
+func (s *State) RecomputeLoads() {
+	for i := range s.load {
+		s.load[i] = 0
+		s.served[i] = 0
+	}
+	for g := 0; g < s.Model.Grid.NumCells(); g++ {
+		if best := s.bestSec[g]; best >= 0 {
+			s.load[best] += s.Model.ue[g]
+			s.served[best]++
+		}
+	}
+}
+
+// DegradedGrids returns the grids (restricted to those carrying UEs)
+// whose per-UE rate under s is strictly worse than under base — the
+// paper's affected grid set G fed to the search algorithm.
+func (s *State) DegradedGrids(base *State) []int {
+	var out []int
+	for g := range s.Model.ue {
+		if s.Model.ue[g] == 0 {
+			continue
+		}
+		if s.RateBps(g) < base.RateBps(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// SINRImprovers returns the sectors from candidates whose power increase
+// by deltaDb would strictly raise the SINR of at least one grid in
+// affected — step (i) of Algorithm 1 (the set β of "conditionally good"
+// changes; the paper's line 4 test "can improve g's SINR with T units of
+// transmission power change"). The comparison is on continuous SINR, not
+// the MCS-quantized rate, so small power steps that do not yet cross a
+// CQI boundary still qualify. Off-air sectors and sectors already at
+// maximum power are skipped.
+func (s *State) SINRImprovers(affected []int, candidates []int, deltaDb float64) []int {
+	if deltaDb <= 0 || len(affected) == 0 {
+		return nil
+	}
+	m := s.Model
+	inAffected := make(map[int32]bool, len(affected))
+	for _, g := range affected {
+		inAffected[int32(g)] = true
+	}
+	factor := math.Pow(10, deltaDb/10)
+	var out []int
+	for _, b := range candidates {
+		if s.Cfg.Off(b) || s.Cfg.AtMaxPower(b) {
+			continue
+		}
+		for _, ref := range m.sectorEntries[b] {
+			if !inAffected[ref.Grid] {
+				continue
+			}
+			g := int(ref.Grid)
+			old := s.rpMw[ref.Pos]
+			if old <= 0 {
+				continue
+			}
+			newRp := old * factor
+			newTotal := s.totalMw[g] + newRp - old
+			newBest := s.bestMw[g]
+			if s.bestSec[g] == int32(b) || newRp > newBest {
+				newBest = newRp
+			}
+			interf := newTotal - newBest
+			if interf < 0 {
+				interf = 0
+			}
+			oldInterf := s.totalMw[g] - s.bestMw[g]
+			if oldInterf < 0 {
+				oldInterf = 0
+			}
+			newSinr := newBest / (m.noiseMw + interf)
+			oldSinr := s.bestMw[g] / (m.noiseMw + oldInterf)
+			if newSinr > oldSinr*(1+1e-12) {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// HandoverUEs returns the number of UEs whose serving sector differs
+// between states a and b (both over the same model). Used to count the
+// synchronized handovers a configuration step triggers.
+func HandoverUEs(a, b *State) float64 {
+	total := 0.0
+	for g, w := range a.Model.ue {
+		if w != 0 && a.bestSec[g] != b.bestSec[g] {
+			total += w
+		}
+	}
+	return total
+}

@@ -1,0 +1,195 @@
+// Package outageplan implements the paper's future-work direction of
+// "using Magus's predictive model for unplanned outages (using Magus's
+// computed configuration as a starting point for feedback control, and
+// pre-computing configurations for different outages)" (Section 8).
+//
+// A Planner walks a scope of sectors and, for each one, runs the full
+// Magus search as if that sector had failed, storing the resulting
+// C_after and its expected recovery. When an unplanned outage hits, the
+// operator (or a SON controller) looks the failed sector up and applies
+// the precomputed configuration immediately — converting the reactive
+// cell-outage-compensation problem into a table lookup plus an optional
+// short feedback refinement.
+package outageplan
+
+import (
+	"fmt"
+	"sort"
+
+	"magus/internal/config"
+	"magus/internal/core"
+	"magus/internal/feedback"
+	"magus/internal/netmodel"
+	"magus/internal/search"
+	"magus/internal/upgrade"
+	"magus/internal/utility"
+)
+
+// Entry is the precomputed mitigation for one sector's outage.
+type Entry struct {
+	// Sector is the sector whose failure this entry mitigates.
+	Sector int
+	// AfterCfg is the precomputed neighbor configuration (the sector
+	// itself marked off-air).
+	AfterCfg *config.Config
+	// Neighbors is the tuned set.
+	Neighbors []int
+	// ExpectedRecovery is the model-predicted recovery ratio.
+	ExpectedRecovery float64
+	// ExpectedUtility is the model-predicted f(C_after).
+	ExpectedUtility float64
+	// SearchSteps counts the tuning moves in the precomputed plan.
+	SearchSteps int
+}
+
+// Planner holds precomputed outage responses for an engine's market.
+type Planner struct {
+	engine  *core.Engine
+	util    utility.Func
+	entries map[int]*Entry
+}
+
+// Options configure planning.
+type Options struct {
+	// Util is the mitigation objective (default utility.Performance).
+	Util utility.Func
+	// Method is the search strategy (default core.Joint).
+	Method core.Method
+}
+
+// New precomputes outage responses for every sector in scope (nil scope
+// means every sector inside the engine's tuning area).
+func New(engine *core.Engine, scope []int, opts Options) (*Planner, error) {
+	if opts.Util.U == nil {
+		opts.Util = utility.Performance
+	}
+	method := opts.Method
+	if method == 0 {
+		method = core.Joint
+	}
+	if scope == nil {
+		for b := range engine.Net.Sectors {
+			if engine.TuningArea().Contains(engine.Net.Sectors[b].Pos) {
+				scope = append(scope, b)
+			}
+		}
+		if len(scope) == 0 {
+			// Sparse layouts may have no site inside the tuning area;
+			// cover the central site.
+			scope = engine.Net.Sites[engine.Net.CentralSite()].Sectors
+		}
+	}
+	if len(scope) == 0 {
+		return nil, fmt.Errorf("outageplan: empty sector scope")
+	}
+	p := &Planner{engine: engine, util: opts.Util, entries: make(map[int]*Entry, len(scope))}
+	for _, sector := range scope {
+		plan, err := engine.MitigateTargets(upgrade.SingleSector, method, opts.Util, []int{sector})
+		if err != nil {
+			return nil, fmt.Errorf("outageplan: sector %d: %w", sector, err)
+		}
+		p.entries[sector] = &Entry{
+			Sector:           sector,
+			AfterCfg:         plan.After.Cfg.Clone(),
+			Neighbors:        plan.Neighbors,
+			ExpectedRecovery: plan.RecoveryRatio(),
+			ExpectedUtility:  plan.UtilityAfter,
+			SearchSteps:      len(plan.Search.Steps),
+		}
+	}
+	return p, nil
+}
+
+// Covered returns the sorted sector IDs with precomputed responses.
+func (p *Planner) Covered() []int {
+	out := make([]int, 0, len(p.entries))
+	for s := range p.entries {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Lookup returns the precomputed entry for a failed sector.
+func (p *Planner) Lookup(sector int) (*Entry, bool) {
+	e, ok := p.entries[sector]
+	return e, ok
+}
+
+// Response is the outcome of reacting to an unplanned outage.
+type Response struct {
+	// Precomputed reports whether a table entry existed for the failed
+	// sector (otherwise the response fell back to a live search).
+	Precomputed bool
+	// UtilityOutage is the utility right after the failure, before any
+	// reaction.
+	UtilityOutage float64
+	// UtilityApplied is the utility after applying the (precomputed or
+	// freshly searched) configuration.
+	UtilityApplied float64
+	// UtilityRefined is the utility after the optional feedback
+	// refinement.
+	UtilityRefined float64
+	// RefinementSteps is the number of feedback steps spent refining.
+	RefinementSteps int
+	// Final is the resulting network state.
+	Final *netmodel.State
+}
+
+// Respond reacts to an unplanned outage of the given sector: apply the
+// precomputed configuration (or search live if the sector is not
+// covered), then optionally refine with feedback (refineSteps > 0).
+func (p *Planner) Respond(sector int, refineSteps int) (*Response, error) {
+	if sector < 0 || sector >= p.engine.Net.NumSectors() {
+		return nil, fmt.Errorf("outageplan: sector %d out of range", sector)
+	}
+	res := &Response{}
+
+	// The failure happens on the live network.
+	live := p.engine.Before.Clone()
+	if _, err := live.Apply(config.Change{Sector: sector, TurnOff: true}); err != nil {
+		return nil, err
+	}
+	res.UtilityOutage = live.Utility(p.util)
+
+	entry, ok := p.Lookup(sector)
+	res.Precomputed = ok
+	var neighbors []int
+	if ok {
+		// Table hit: apply the stored configuration delta directly.
+		diff, err := live.Cfg.Diff(entry.AfterCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, ch := range diff {
+			if _, err := live.Apply(ch); err != nil {
+				return nil, err
+			}
+		}
+		neighbors = entry.Neighbors
+	} else {
+		// Fallback: run the search now (this is what the precomputation
+		// saves).
+		neighbors = search.SortByDistanceTo(live,
+			p.engine.Net.NeighborSectors([]int{sector}, p.engine.NeighborRadius()),
+			[]int{sector})
+		if _, err := search.Joint(live, p.engine.Before, neighbors,
+			search.Options{Util: p.util}); err != nil {
+			return nil, err
+		}
+	}
+	res.UtilityApplied = live.Utility(p.util)
+	res.UtilityRefined = res.UtilityApplied
+
+	if refineSteps > 0 {
+		fb, err := feedback.Reactive(live, neighbors, feedback.Idealized,
+			feedback.Options{Util: p.util, MaxSteps: refineSteps, IncludeTilt: true})
+		if err != nil {
+			return nil, err
+		}
+		res.UtilityRefined = fb.FinalUtility
+		res.RefinementSteps = fb.Steps
+	}
+	res.Final = live
+	return res, nil
+}

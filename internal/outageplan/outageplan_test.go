@@ -1,0 +1,156 @@
+package outageplan
+
+import (
+	"testing"
+
+	"magus/internal/core"
+	"magus/internal/topology"
+	"magus/internal/utility"
+)
+
+func testEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	e, err := core.NewEngine(core.SetupConfig{
+		Seed:          3,
+		Class:         topology.Suburban,
+		RegionSpanM:   6000,
+		CellSizeM:     200,
+		EqualizeSteps: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testPlanner(t *testing.T, e *core.Engine) *Planner {
+	t.Helper()
+	central := e.Net.CentralSite()
+	p, err := New(e, e.Net.Sites[central].Sectors, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewCoversScope(t *testing.T) {
+	e := testEngine(t)
+	p := testPlanner(t, e)
+	covered := p.Covered()
+	if len(covered) != 3 {
+		t.Fatalf("covered %d sectors, want the central site's 3", len(covered))
+	}
+	for _, s := range covered {
+		entry, ok := p.Lookup(s)
+		if !ok {
+			t.Fatalf("sector %d missing", s)
+		}
+		if !entry.AfterCfg.Off(s) {
+			t.Errorf("sector %d not off in its precomputed config", s)
+		}
+		// The search's last accepted step may overshoot the f(C_before)
+		// cap slightly, so a hair above 1.0 is possible.
+		if entry.ExpectedRecovery < 0 || entry.ExpectedRecovery > 1.05 {
+			t.Errorf("sector %d expected recovery %v outside [0,1]", s, entry.ExpectedRecovery)
+		}
+	}
+}
+
+func TestNewDefaultScope(t *testing.T) {
+	e := testEngine(t)
+	p, err := New(e, nil, Options{Method: core.PowerOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Covered()) == 0 {
+		t.Fatal("default scope empty")
+	}
+}
+
+func TestRespondPrecomputed(t *testing.T) {
+	e := testEngine(t)
+	p := testPlanner(t, e)
+	sector := p.Covered()[0]
+	resp, err := p.Respond(sector, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Precomputed {
+		t.Error("covered sector should hit the table")
+	}
+	if resp.UtilityApplied < resp.UtilityOutage-1e-9 {
+		t.Errorf("applying precomputed config worsened utility: %v -> %v",
+			resp.UtilityOutage, resp.UtilityApplied)
+	}
+	// The applied utility should match the precomputed expectation (the
+	// model is the same; no model error here).
+	entry, _ := p.Lookup(sector)
+	if diff := resp.UtilityApplied - entry.ExpectedUtility; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("applied utility %v != expected %v", resp.UtilityApplied, entry.ExpectedUtility)
+	}
+}
+
+func TestRespondWithRefinement(t *testing.T) {
+	e := testEngine(t)
+	p := testPlanner(t, e)
+	sector := p.Covered()[0]
+	resp, err := p.Respond(sector, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.UtilityRefined < resp.UtilityApplied-1e-9 {
+		t.Errorf("refinement worsened utility: %v -> %v",
+			resp.UtilityApplied, resp.UtilityRefined)
+	}
+	if resp.RefinementSteps > 5 {
+		t.Errorf("refinement used %d steps, cap was 5", resp.RefinementSteps)
+	}
+}
+
+func TestRespondFallbackSearch(t *testing.T) {
+	e := testEngine(t)
+	p := testPlanner(t, e)
+	// Pick a sector outside the covered scope.
+	uncovered := -1
+	coveredSet := map[int]bool{}
+	for _, s := range p.Covered() {
+		coveredSet[s] = true
+	}
+	for b := 0; b < e.Net.NumSectors(); b++ {
+		if !coveredSet[b] && e.Before.Load(b) > 0 {
+			uncovered = b
+			break
+		}
+	}
+	if uncovered < 0 {
+		t.Skip("no uncovered loaded sector")
+	}
+	resp, err := p.Respond(uncovered, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Precomputed {
+		t.Error("uncovered sector should fall back to live search")
+	}
+	if resp.UtilityApplied < resp.UtilityOutage-1e-9 {
+		t.Error("fallback search worsened utility")
+	}
+}
+
+func TestRespondBadSector(t *testing.T) {
+	e := testEngine(t)
+	p := testPlanner(t, e)
+	if _, err := p.Respond(-1, 0); err == nil {
+		t.Error("negative sector should fail")
+	}
+	if _, err := p.Respond(e.Net.NumSectors(), 0); err == nil {
+		t.Error("out-of-range sector should fail")
+	}
+}
+
+func TestNewEmptyScopeFails(t *testing.T) {
+	e := testEngine(t)
+	if _, err := New(e, []int{}, Options{Util: utility.Performance}); err == nil {
+		t.Error("explicit empty scope should fail")
+	}
+}

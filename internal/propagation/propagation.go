@@ -1,0 +1,231 @@
+// Package propagation computes radio path loss with a Standard
+// Propagation Model (SPM), the COST-231-Hata-family model used by the
+// Atoll planning tool whose operational output the paper consumes. The
+// model combines a distance/frequency/antenna-height term with per-grid
+// terrain corrections (clutter excess loss and single-knife-edge
+// diffraction over synthetic terrain), producing the irregular,
+// direction-dependent loss fields the paper shows in Figure 3.
+//
+// For the Magus analysis model the per-sector loss toward a point is
+// decomposed into a tilt-independent base (propagation + clutter +
+// diffraction + horizontal antenna pattern + boresight gain) and a
+// tilt-dependent vertical attenuation. The decomposition lets the search
+// re-evaluate tilt changes without recomputing propagation, mirroring the
+// paper's "tilt delta matrix" trick; the only approximation is that the
+// front-to-back gain cap applies per pattern axis rather than jointly.
+package propagation
+
+import (
+	"fmt"
+	"math"
+
+	"magus/internal/geo"
+	"magus/internal/terrain"
+	"magus/internal/topology"
+)
+
+// SpeedOfLight in meters per second.
+const SpeedOfLight = 299792458.0
+
+// UEHeightM is the assumed user-equipment antenna height above ground.
+const UEHeightM = 1.5
+
+// SPM is a Standard Propagation Model instance. Construct with NewSPM.
+type SPM struct {
+	// K1 is the fixed intercept in dB (frequency-dependent).
+	K1 float64
+	// K2 is the distance slope in dB per decade of km.
+	K2 float64
+	// K3 is the base-station effective-height coefficient in dB per
+	// decade of meters (negative: taller masts lose less).
+	K3 float64
+	// MinDistanceM floors the distance term to keep near-field losses
+	// finite.
+	MinDistanceM float64
+	// FrequencyHz is the carrier frequency.
+	FrequencyHz float64
+	// Terrain optionally supplies clutter and diffraction corrections.
+	// Nil disables terrain effects (smooth-earth model).
+	Terrain *terrain.Map
+	// JitterDB adds deterministic per-(sector, location) noise of
+	// amplitude +-JitterDB to the path loss, seeded by JitterSeed. Used
+	// to materialize *model error*: a "ground truth" SPM with jitter
+	// diverges from the jitter-free planning SPM the way reality
+	// diverges from the paper's Atoll data, which is what the hybrid
+	// model+feedback strategy (Section 2) exists to correct.
+	JitterDB   float64
+	JitterSeed int64
+	// ClutterWeight scales clutter excess loss (1 = full effect).
+	ClutterWeight float64
+	// DiffractionWeight scales knife-edge diffraction loss (1 = full).
+	DiffractionWeight float64
+}
+
+// NewSPM returns an SPM calibrated for the given carrier frequency with
+// COST-231-Hata-derived constants. terr may be nil for a smooth-earth
+// model.
+func NewSPM(frequencyHz float64, terr *terrain.Map) (*SPM, error) {
+	if frequencyHz < 100e6 || frequencyHz > 100e9 {
+		return nil, fmt.Errorf("propagation: frequency %v Hz outside supported range", frequencyHz)
+	}
+	fMHz := frequencyHz / 1e6
+	return &SPM{
+		K1:                46.3 + 33.9*math.Log10(fMHz),
+		K2:                44.9,
+		K3:                -13.82,
+		MinDistanceM:      20,
+		FrequencyHz:       frequencyHz,
+		Terrain:           terr,
+		ClutterWeight:     1,
+		DiffractionWeight: 1,
+	}, nil
+}
+
+// MustNewSPM is NewSPM that panics on error.
+func MustNewSPM(frequencyHz float64, terr *terrain.Map) *SPM {
+	m, err := NewSPM(frequencyHz, terr)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Wavelength returns the carrier wavelength in meters.
+func (m *SPM) Wavelength() float64 { return SpeedOfLight / m.FrequencyHz }
+
+// PathLossDB returns the (negative) path loss in dB from a transmitter
+// at tx with antenna height txHeightM above ground to a receiver at rx
+// (at UEHeightM), excluding all antenna gains.
+func (m *SPM) PathLossDB(tx geo.Point, txHeightM float64, rx geo.Point) float64 {
+	d := tx.DistanceTo(rx)
+	if d < m.MinDistanceM {
+		d = m.MinDistanceM
+	}
+	loss := m.K1 + m.K2*math.Log10(d/1000) + m.K3*math.Log10(math.Max(txHeightM, 1))
+	pl := -loss
+	if m.JitterDB != 0 {
+		pl += m.JitterDB * hashNoise(m.JitterSeed, tx, rx)
+	}
+	if m.Terrain != nil {
+		if m.ClutterWeight != 0 {
+			pl += m.ClutterWeight * m.Terrain.ClutterAt(rx).ExcessLossDB()
+		}
+		if m.DiffractionWeight != 0 {
+			pl += m.DiffractionWeight *
+				m.Terrain.DiffractionLossDB(tx, rx, txHeightM, UEHeightM, m.Wavelength())
+		}
+	}
+	return pl
+}
+
+// ElevationDeg returns the elevation angle in degrees from the sector
+// antenna down to a receiver at p: positive when the receiver is below
+// the antenna (the usual case). Terrain elevation differences are
+// included when available.
+func (m *SPM) ElevationDeg(sec *topology.Sector, p geo.Point) float64 {
+	d := sec.Pos.DistanceTo(p)
+	if d < 1 {
+		d = 1
+	}
+	dh := sec.HeightM - UEHeightM
+	if m.Terrain != nil {
+		dh += m.Terrain.ElevationAt(sec.Pos) - m.Terrain.ElevationAt(p)
+	}
+	return math.Atan2(dh, d) * 180 / math.Pi
+}
+
+// FlatEarthElevationDeg is the elevation angle ignoring terrain — the
+// geometry underlying the paper's shared tilt delta matrix, which
+// assumes the effect of a tilt change is the same for every sector at a
+// given relative position.
+func FlatEarthElevationDeg(sec *topology.Sector, p geo.Point) float64 {
+	d := sec.Pos.DistanceTo(p)
+	if d < 1 {
+		d = 1
+	}
+	return math.Atan2(sec.HeightM-UEHeightM, d) * 180 / math.Pi
+}
+
+// SectorBase returns the tilt-independent part of the link budget from
+// sector sec toward p, in dB (typically negative): path loss plus
+// boresight antenna gain plus horizontal pattern attenuation. Add the
+// transmit power and VerticalAttDB to obtain the received power.
+func (m *SPM) SectorBase(sec *topology.Sector, p geo.Point) float64 {
+	pl := m.PathLossDB(sec.Pos, sec.HeightM, p)
+	azOff := sec.Pos.BearingTo(p) - sec.AzimuthDeg
+	return pl + sec.Pattern.MaxGainDBi + sec.Pattern.HorizontalAttenuation(azOff)
+}
+
+// VerticalAttDB returns the vertical pattern attenuation in dB (<= 0)
+// from sector sec toward a receiver seen at elevation angle elevDeg when
+// the sector is electrically tilted by tiltDeg.
+func VerticalAttDB(sec *topology.Sector, elevDeg, tiltDeg float64) float64 {
+	return sec.Pattern.VerticalAttenuation(elevDeg, tiltDeg)
+}
+
+// SectorPathLossDB returns the complete effective path loss (negative
+// dB, including antenna gains) from sector sec at tilt tiltDeg toward p.
+// RP(p) = PowerDbm + SectorPathLossDB.
+func (m *SPM) SectorPathLossDB(sec *topology.Sector, tiltDeg float64, p geo.Point) float64 {
+	return m.SectorBase(sec, p) + VerticalAttDB(sec, m.ElevationDeg(sec, p), tiltDeg)
+}
+
+// hashNoise returns a deterministic pseudo-random value in [-1, 1)
+// derived from the seed and the endpoints (quantized to 10 m), so the
+// same link always sees the same error.
+func hashNoise(seed int64, tx, rx geo.Point) float64 {
+	h := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for _, v := range [4]int64{int64(tx.X / 10), int64(tx.Y / 10), int64(rx.X / 10), int64(rx.Y / 10)} {
+		h ^= uint64(v) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return float64(int64(h)) / float64(1<<63) // in [-1, 1)
+}
+
+// Matrix is a per-sector path-loss matrix over a grid: the in-memory
+// analogue of one Atoll path-loss raster (Figure 3 in the paper). Values
+// are effective losses in dB (negative, antenna gains included) at a
+// fixed tilt.
+type Matrix struct {
+	Sector  int
+	TiltDeg float64
+	Grid    *geo.Grid
+	// LossDB has Grid.NumCells() entries ordered by flat grid index.
+	LossDB []float64
+}
+
+// ComputeMatrix evaluates the sector's effective path loss at every cell
+// center of grid for the given tilt.
+func (m *SPM) ComputeMatrix(sec *topology.Sector, tiltDeg float64, grid *geo.Grid) *Matrix {
+	out := &Matrix{
+		Sector:  sec.ID,
+		TiltDeg: tiltDeg,
+		Grid:    grid,
+		LossDB:  make([]float64, grid.NumCells()),
+	}
+	for idx := 0; idx < grid.NumCells(); idx++ {
+		out.LossDB[idx] = m.SectorPathLossDB(sec, tiltDeg, grid.CellCenterIdx(idx))
+	}
+	return out
+}
+
+// Stats summarizes a matrix: min, max and mean loss in dB.
+func (mx *Matrix) Stats() (minDB, maxDB, meanDB float64) {
+	if len(mx.LossDB) == 0 {
+		return 0, 0, 0
+	}
+	minDB, maxDB = mx.LossDB[0], mx.LossDB[0]
+	sum := 0.0
+	for _, v := range mx.LossDB {
+		if v < minDB {
+			minDB = v
+		}
+		if v > maxDB {
+			maxDB = v
+		}
+		sum += v
+	}
+	return minDB, maxDB, sum / float64(len(mx.LossDB))
+}

@@ -1,0 +1,233 @@
+package propagation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"magus/internal/antenna"
+	"magus/internal/geo"
+	"magus/internal/terrain"
+	"magus/internal/topology"
+)
+
+func smoothSPM(t *testing.T) *SPM {
+	t.Helper()
+	return MustNewSPM(2.635e9, nil) // paper's band-7 downlink center
+}
+
+func testSector() *topology.Sector {
+	return &topology.Sector{
+		ID:              0,
+		Pos:             geo.Point{},
+		AzimuthDeg:      0, // facing north
+		HeightM:         30,
+		DefaultPowerDbm: 43,
+		MaxPowerDbm:     46,
+		MinPowerDbm:     23,
+		Pattern:         antenna.DefaultPattern(),
+		Tilts:           antenna.DefaultTiltTable(),
+	}
+}
+
+func TestNewSPMValidation(t *testing.T) {
+	if _, err := NewSPM(50, nil); err == nil {
+		t.Error("absurd frequency should fail")
+	}
+	if _, err := NewSPM(2.6e9, nil); err != nil {
+		t.Errorf("2.6 GHz should be accepted: %v", err)
+	}
+}
+
+func TestPathLossMonotoneWithDistance(t *testing.T) {
+	m := smoothSPM(t)
+	tx := geo.Point{}
+	prev := 0.0
+	for i, d := range []float64{100, 300, 1000, 3000, 10000, 30000} {
+		pl := m.PathLossDB(tx, 30, geo.Point{X: 0, Y: d})
+		if pl >= 0 {
+			t.Fatalf("path loss at %v m = %v, must be negative", d, pl)
+		}
+		if i > 0 && pl >= prev {
+			t.Fatalf("path loss should deepen with distance: %v at %v m vs %v", pl, d, prev)
+		}
+		prev = pl
+	}
+}
+
+func TestPathLossRealisticMagnitudes(t *testing.T) {
+	m := smoothSPM(t)
+	tx := geo.Point{}
+	// COST-231-Hata at 2.6 GHz, 30 m mast, 1 km: roughly -140 dB.
+	pl := m.PathLossDB(tx, 30, geo.Point{X: 1000, Y: 0})
+	if pl > -120 || pl < -165 {
+		t.Errorf("path loss at 1 km = %v dB, expected near -140", pl)
+	}
+	// The paper's Figure 3 spans about -20 dB close-in to -200 dB at the
+	// 30 km boundary (with antenna gain included close-in; here we check
+	// the raw loss stays in a plausible envelope).
+	plFar := m.PathLossDB(tx, 30, geo.Point{X: 30000, Y: 0})
+	if plFar > -180 || plFar < -230 {
+		t.Errorf("path loss at 30 km = %v dB, expected near -200", plFar)
+	}
+}
+
+func TestPathLossTallerMastLosesLess(t *testing.T) {
+	m := smoothSPM(t)
+	tx := geo.Point{}
+	rx := geo.Point{X: 2000, Y: 0}
+	short := m.PathLossDB(tx, 15, rx)
+	tall := m.PathLossDB(tx, 45, rx)
+	if tall <= short {
+		t.Errorf("taller mast should lose less: 45m=%v vs 15m=%v", tall, short)
+	}
+}
+
+func TestPathLossNearFieldFloored(t *testing.T) {
+	m := smoothSPM(t)
+	tx := geo.Point{}
+	at0 := m.PathLossDB(tx, 30, tx)
+	at10 := m.PathLossDB(tx, 30, geo.Point{X: 10, Y: 0})
+	if at0 != at10 {
+		t.Errorf("losses under MinDistance should be identical: %v vs %v", at0, at10)
+	}
+	if math.IsInf(at0, 0) || math.IsNaN(at0) {
+		t.Errorf("near-field loss = %v, must be finite", at0)
+	}
+}
+
+func TestClutterDeepensLoss(t *testing.T) {
+	terr := terrain.MustGenerate(terrain.Config{
+		Seed:         5,
+		Bounds:       geo.NewRectCentered(geo.Point{}, 20000, 20000),
+		UrbanCenters: []geo.Point{{X: 3000, Y: 0}},
+		UrbanBias:    0.95,
+	})
+	withTerrain := MustNewSPM(2.635e9, terr)
+	smooth := MustNewSPM(2.635e9, nil)
+	tx := geo.Point{X: 0, Y: 0}
+	// Average over several receivers in the urbanized zone: clutter and
+	// diffraction corrections should make losses deeper on average.
+	sumT, sumS := 0.0, 0.0
+	n := 0
+	for dx := -500.0; dx <= 500; dx += 100 {
+		rx := geo.Point{X: 3000 + dx, Y: 0}
+		sumT += withTerrain.PathLossDB(tx, 30, rx)
+		sumS += smooth.PathLossDB(tx, 30, rx)
+		n++
+	}
+	if sumT/float64(n) >= sumS/float64(n) {
+		t.Errorf("terrain-corrected mean loss %v should be deeper than smooth %v",
+			sumT/float64(n), sumS/float64(n))
+	}
+}
+
+func TestElevationDeg(t *testing.T) {
+	m := smoothSPM(t)
+	sec := testSector()
+	// 30 m mast minus 1.5 m UE over 1000 m: atan(28.5/1000) = 1.63 deg.
+	got := m.ElevationDeg(sec, geo.Point{X: 0, Y: 1000})
+	want := math.Atan2(28.5, 1000) * 180 / math.Pi
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("ElevationDeg = %v, want %v", got, want)
+	}
+	// Closer means steeper.
+	near := m.ElevationDeg(sec, geo.Point{X: 0, Y: 100})
+	if near <= got {
+		t.Errorf("elevation should steepen close-in: %v vs %v", near, got)
+	}
+}
+
+func TestSectorBaseDirectionality(t *testing.T) {
+	m := smoothSPM(t)
+	sec := testSector() // boresight north
+	front := m.SectorBase(sec, geo.Point{X: 0, Y: 1000})
+	back := m.SectorBase(sec, geo.Point{X: 0, Y: -1000})
+	if front-back < 20 {
+		t.Errorf("front-to-back difference = %v dB, want >= 20 (front-back ratio)", front-back)
+	}
+	side := m.SectorBase(sec, geo.Point{X: 1000, Y: 0})
+	if !(front > side && side >= back) {
+		t.Errorf("expected front %v > side %v >= back %v", front, side, back)
+	}
+}
+
+func TestSectorPathLossTiltEffect(t *testing.T) {
+	m := smoothSPM(t)
+	sec := testSector()
+	far := geo.Point{X: 0, Y: 3000} // elevation approx 0.5 deg
+	// Uptilting from 6 deg toward 0 moves the beam toward the horizon and
+	// must improve far-away loss.
+	uptilted := m.SectorPathLossDB(sec, 0, far)
+	downtilted := m.SectorPathLossDB(sec, 6, far)
+	if uptilted <= downtilted {
+		t.Errorf("uptilt should help far grids: %v vs %v", uptilted, downtilted)
+	}
+	// And hurt close-in grids (beam passes overhead)... close-in the
+	// elevation angle is steep, so downtilt helps there.
+	near := geo.Point{X: 0, Y: 260} // elevation approx 6.2 deg
+	upNear := m.SectorPathLossDB(sec, 0, near)
+	downNear := m.SectorPathLossDB(sec, 6, near)
+	if downNear <= upNear {
+		t.Errorf("downtilt should help steep close-in grids: %v vs %v", downNear, upNear)
+	}
+}
+
+func TestDecompositionConsistency(t *testing.T) {
+	// SectorPathLossDB must equal SectorBase + VerticalAttDB exactly.
+	m := smoothSPM(t)
+	sec := testSector()
+	f := func(x, y, tilt float64) bool {
+		p := geo.Point{X: math.Mod(x, 20000), Y: math.Mod(y, 20000)}
+		td := math.Mod(math.Abs(tilt), 12)
+		full := m.SectorPathLossDB(sec, td, p)
+		split := m.SectorBase(sec, p) + VerticalAttDB(sec, m.ElevationDeg(sec, p), td)
+		return math.Abs(full-split) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComputeMatrix(t *testing.T) {
+	m := smoothSPM(t)
+	sec := testSector()
+	grid := geo.MustNewGrid(geo.NewRectCentered(geo.Point{}, 4000, 4000), 200)
+	mx := m.ComputeMatrix(sec, 4, grid)
+	if len(mx.LossDB) != grid.NumCells() {
+		t.Fatalf("matrix has %d cells, want %d", len(mx.LossDB), grid.NumCells())
+	}
+	minDB, maxDB, meanDB := mx.Stats()
+	if !(minDB <= meanDB && meanDB <= maxDB) {
+		t.Errorf("stats ordering broken: min %v mean %v max %v", minDB, meanDB, maxDB)
+	}
+	if maxDB >= 0 {
+		t.Errorf("max loss %v should be negative", maxDB)
+	}
+	// The best cell should be in front of the antenna (north half).
+	bestIdx := 0
+	for i, v := range mx.LossDB {
+		if v > mx.LossDB[bestIdx] {
+			bestIdx = i
+		}
+	}
+	if c := grid.CellCenterIdx(bestIdx); c.Y <= 0 {
+		t.Errorf("best cell at %+v, expected in front (north) of the sector", c)
+	}
+}
+
+func TestMatrixStatsEmpty(t *testing.T) {
+	mx := &Matrix{}
+	a, b, c := mx.Stats()
+	if a != 0 || b != 0 || c != 0 {
+		t.Error("empty matrix stats should be zero")
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	m := smoothSPM(t)
+	wl := m.Wavelength()
+	if math.Abs(wl-0.1138) > 0.001 {
+		t.Errorf("wavelength at 2.635 GHz = %v, want approx 0.1138 m", wl)
+	}
+}

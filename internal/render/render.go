@@ -1,0 +1,230 @@
+// Package render draws the model's spatial fields — path-loss rasters
+// (Figure 3), service coverage maps (Figures 4, 5, 8, 10), and
+// before/after tuning comparisons (Figure 7) — as ASCII art for
+// terminals and as PGM/PPM images for files. Everything is stdlib-only;
+// the PGM/PPM formats are plain-text Netpbm, viewable with any image
+// tool.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"magus/internal/geo"
+)
+
+// asciiRamp orders glyphs from low to high intensity.
+const asciiRamp = " .:-=+*#%@"
+
+// Heatmap renders a scalar field over a grid. Values may contain -Inf
+// (rendered as the lowest glyph). Rows are emitted north-up (row 0 of
+// the output is the grid's top row).
+func Heatmap(grid *geo.Grid, values []float64, maxWidth int) (string, error) {
+	if len(values) != grid.NumCells() {
+		return "", fmt.Errorf("render: %d values for %d cells", len(values), grid.NumCells())
+	}
+	if maxWidth <= 0 {
+		maxWidth = 78
+	}
+	step := 1
+	for grid.Cols/step > maxWidth {
+		step++
+	}
+	lo, hi := finiteRange(values)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	var b strings.Builder
+	for row := grid.Rows - 1; row >= 0; row -= step {
+		for col := 0; col < grid.Cols; col += step {
+			v := values[grid.Index(col, row)]
+			idx := 0
+			if !math.IsInf(v, -1) {
+				idx = int((v - lo) / span * float64(len(asciiRamp)-1))
+				if idx < 0 {
+					idx = 0
+				}
+				if idx >= len(asciiRamp) {
+					idx = len(asciiRamp) - 1
+				}
+			}
+			b.WriteByte(asciiRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "range: [%.1f, %.1f]\n", lo, hi)
+	return b.String(), nil
+}
+
+// finiteRange returns the min and max of the finite values, defaulting
+// to [0, 1] when none exist.
+func finiteRange(values []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > hi {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+// CoverageASCII renders a serving-sector map: cells served by the same
+// sector get the same letter (cycled through the alphabet by sector ID),
+// and out-of-service cells are '#' — the black pixels of Figure 4.
+func CoverageASCII(grid *geo.Grid, serving []int, maxWidth int) (string, error) {
+	if len(serving) != grid.NumCells() {
+		return "", fmt.Errorf("render: %d serving entries for %d cells", len(serving), grid.NumCells())
+	}
+	if maxWidth <= 0 {
+		maxWidth = 78
+	}
+	step := 1
+	for grid.Cols/step > maxWidth {
+		step++
+	}
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	var b strings.Builder
+	for row := grid.Rows - 1; row >= 0; row -= step {
+		for col := 0; col < grid.Cols; col += step {
+			s := serving[grid.Index(col, row)]
+			if s < 0 {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte(letters[s%len(letters)])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// WritePGM emits a scalar field as a plain (P2) grayscale Netpbm image,
+// darker = lower value, with -Inf rendered black.
+func WritePGM(w io.Writer, grid *geo.Grid, values []float64) error {
+	if len(values) != grid.NumCells() {
+		return fmt.Errorf("render: %d values for %d cells", len(values), grid.NumCells())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P2\n%d %d\n255\n", grid.Cols, grid.Rows)
+	lo, hi := finiteRange(values)
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for row := grid.Rows - 1; row >= 0; row-- {
+		for col := 0; col < grid.Cols; col++ {
+			v := values[grid.Index(col, row)]
+			level := 0
+			if !math.IsInf(v, -1) && !math.IsNaN(v) {
+				level = int((v - lo) / span * 255)
+				if level < 0 {
+					level = 0
+				}
+				if level > 255 {
+					level = 255
+				}
+			}
+			if col > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%d", level)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// sectorColor derives a stable, distinguishable RGB color for a sector
+// ID by hashing it onto a hue wheel.
+func sectorColor(id int) (r, g, b int) {
+	h := float64((id*2654435761)%360) / 60 // hue in [0, 6)
+	c := 200
+	x := int(float64(c) * (1 - math.Abs(math.Mod(h, 2)-1)))
+	switch int(h) {
+	case 0:
+		return c, x, 0
+	case 1:
+		return x, c, 0
+	case 2:
+		return 0, c, x
+	case 3:
+		return 0, x, c
+	case 4:
+		return x, 0, c
+	default:
+		return c, 0, x
+	}
+}
+
+// WritePPM emits a serving-sector map as a plain (P3) color Netpbm
+// image: one stable color per serving sector, black for out-of-service
+// cells — the Figure 4 rendering.
+func WritePPM(w io.Writer, grid *geo.Grid, serving []int) error {
+	if len(serving) != grid.NumCells() {
+		return fmt.Errorf("render: %d serving entries for %d cells", len(serving), grid.NumCells())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P3\n%d %d\n255\n", grid.Cols, grid.Rows)
+	for row := grid.Rows - 1; row >= 0; row-- {
+		for col := 0; col < grid.Cols; col++ {
+			s := serving[grid.Index(col, row)]
+			r, g, b := 0, 0, 0
+			if s >= 0 {
+				r, g, b = sectorColor(s)
+			}
+			if col > 0 {
+				bw.WriteByte(' ')
+			}
+			fmt.Fprintf(bw, "%d %d %d", r, g, b)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// SideBySide joins multi-line blocks horizontally with a gutter, for
+// before/after comparisons like Figure 7.
+func SideBySide(gutter string, blocks ...string) string {
+	split := make([][]string, len(blocks))
+	width := make([]int, len(blocks))
+	rows := 0
+	for i, blk := range blocks {
+		split[i] = strings.Split(strings.TrimRight(blk, "\n"), "\n")
+		if len(split[i]) > rows {
+			rows = len(split[i])
+		}
+		for _, line := range split[i] {
+			if len(line) > width[i] {
+				width[i] = len(line)
+			}
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for i := range split {
+			line := ""
+			if r < len(split[i]) {
+				line = split[i][r]
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], line)
+			if i < len(split)-1 {
+				b.WriteString(gutter)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

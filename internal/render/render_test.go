@@ -1,0 +1,183 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"magus/internal/geo"
+)
+
+func testGrid(t *testing.T) *geo.Grid {
+	t.Helper()
+	return geo.MustNewGrid(geo.NewRectCentered(geo.Point{}, 1000, 500), 100)
+}
+
+func gradient(grid *geo.Grid) []float64 {
+	v := make([]float64, grid.NumCells())
+	for i := range v {
+		col, row := grid.ColRow(i)
+		v[i] = float64(col + row)
+	}
+	return v
+}
+
+func TestHeatmapBasics(t *testing.T) {
+	grid := testGrid(t)
+	out, err := Heatmap(grid, gradient(grid), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 5 rows of cells plus the range footer.
+	if len(lines) != 6 {
+		t.Fatalf("heatmap has %d lines, want 6", len(lines))
+	}
+	if len(lines[0]) != grid.Cols {
+		t.Errorf("row width = %d, want %d", len(lines[0]), grid.Cols)
+	}
+	if !strings.Contains(lines[5], "range") {
+		t.Error("missing range footer")
+	}
+	// Highest value is the north-east corner: '@' should appear in the
+	// first output row (north-up).
+	if !strings.Contains(lines[0], "@") {
+		t.Errorf("top row %q should contain the peak glyph", lines[0])
+	}
+}
+
+func TestHeatmapErrorsAndDownsampling(t *testing.T) {
+	grid := testGrid(t)
+	if _, err := Heatmap(grid, []float64{1, 2}, 80); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	out, err := Heatmap(grid, gradient(grid), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines[0]) > 5 {
+		t.Errorf("downsampled width = %d, want <= 5", len(lines[0]))
+	}
+}
+
+func TestHeatmapInfinities(t *testing.T) {
+	grid := testGrid(t)
+	v := gradient(grid)
+	v[0] = math.Inf(-1)
+	out, err := Heatmap(grid, v, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("empty output")
+	}
+	// All -Inf: falls back to [0,1] range without panicking.
+	allInf := make([]float64, grid.NumCells())
+	for i := range allInf {
+		allInf[i] = math.Inf(-1)
+	}
+	if _, err := Heatmap(grid, allInf, 80); err != nil {
+		t.Errorf("all -Inf should render: %v", err)
+	}
+}
+
+func TestCoverageASCII(t *testing.T) {
+	grid := testGrid(t)
+	serving := make([]int, grid.NumCells())
+	for i := range serving {
+		if i%7 == 0 {
+			serving[i] = -1
+		} else {
+			serving[i] = i % 3
+		}
+	}
+	out, err := CoverageASCII(grid, serving, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("out-of-service cells should render as '#'")
+	}
+	if !strings.ContainsAny(out, "abc") {
+		t.Error("served cells should render as letters")
+	}
+	if _, err := CoverageASCII(grid, serving[:3], 80); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestWritePGM(t *testing.T) {
+	grid := testGrid(t)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, grid, gradient(grid)); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "P2\n10 5\n255\n") {
+		t.Errorf("bad PGM header: %q", s[:20])
+	}
+	fields := strings.Fields(s)
+	// P2, w, h, maxval + 50 pixels.
+	if len(fields) != 4+grid.NumCells() {
+		t.Errorf("PGM has %d fields, want %d", len(fields), 4+grid.NumCells())
+	}
+	if err := WritePGM(&buf, grid, nil); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	grid := testGrid(t)
+	serving := make([]int, grid.NumCells())
+	serving[0] = -1
+	for i := 1; i < len(serving); i++ {
+		serving[i] = i % 5
+	}
+	var buf bytes.Buffer
+	if err := WritePPM(&buf, grid, serving); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "P3\n10 5\n255\n") {
+		t.Errorf("bad PPM header: %q", s[:20])
+	}
+	fields := strings.Fields(s)
+	if len(fields) != 4+3*grid.NumCells() {
+		t.Errorf("PPM has %d fields, want %d", len(fields), 4+3*grid.NumCells())
+	}
+	if err := WritePPM(&buf, grid, serving[:2]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestSectorColorsDistinctAndBounded(t *testing.T) {
+	seen := map[[3]int]int{}
+	for id := 0; id < 50; id++ {
+		r, g, b := sectorColor(id)
+		for _, c := range []int{r, g, b} {
+			if c < 0 || c > 255 {
+				t.Fatalf("sector %d color component %d out of range", id, c)
+			}
+		}
+		seen[[3]int{r, g, b}]++
+	}
+	if len(seen) < 5 {
+		t.Errorf("only %d distinct colors over 50 sectors", len(seen))
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	out := SideBySide(" | ", "ab\ncd", "xyz")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("joined block has %d lines, want 2", len(lines))
+	}
+	if !strings.Contains(lines[0], "ab") || !strings.Contains(lines[0], "xyz") {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "cd") {
+		t.Errorf("second line = %q", lines[1])
+	}
+}

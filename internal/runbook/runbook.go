@@ -1,0 +1,181 @@
+// Package runbook turns a Magus mitigation plan into the artifact a
+// network operations center actually executes: an ordered list of
+// configuration pushes with the model's expected utility and handover
+// volume after each one, plus the rollback sequence that undoes the
+// whole migration if the planned work is cancelled. The paper's system
+// computes configurations; an operator needs them as a change-management
+// document — this package is that last mile.
+package runbook
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"magus/internal/config"
+	"magus/internal/core"
+	"magus/internal/migrate"
+)
+
+// StepKind classifies a runbook step.
+type StepKind string
+
+// Step kinds.
+const (
+	// KindMigration is a pre-upgrade gradual-tuning step (target power
+	// reduction plus compensations).
+	KindMigration StepKind = "migration"
+	// KindOffAir is the step in which the target sectors go off-air and
+	// the planned work may begin.
+	KindOffAir StepKind = "off-air"
+)
+
+// Step is one configuration push.
+type Step struct {
+	Index int      `json:"index"`
+	Kind  StepKind `json:"kind"`
+	// Changes to push, in order.
+	Changes []config.Change `json:"changes"`
+	// ExpectedUtility is the model's predicted overall utility after
+	// the push.
+	ExpectedUtility float64 `json:"expected_utility"`
+	// ExpectedHandovers is the predicted number of UEs re-attaching.
+	ExpectedHandovers float64 `json:"expected_handovers"`
+	// Note carries operator guidance.
+	Note string `json:"note,omitempty"`
+}
+
+// Runbook is a complete executable mitigation document.
+type Runbook struct {
+	Title     string `json:"title"`
+	Scenario  string `json:"scenario"`
+	Method    string `json:"method"`
+	Objective string `json:"objective"`
+	// Targets are the sectors the planned work takes off-air.
+	Targets []int `json:"targets"`
+	// TunedSectors are every sector the runbook touches besides the
+	// targets.
+	TunedSectors []int `json:"tuned_sectors"`
+	// Expected utilities and recovery, from the model.
+	ExpectedBefore   float64 `json:"expected_before"`
+	ExpectedUpgrade  float64 `json:"expected_upgrade"`
+	ExpectedAfter    float64 `json:"expected_after"`
+	ExpectedRecovery float64 `json:"expected_recovery"`
+	// UtilityFloor is the guaranteed minimum utility during migration.
+	UtilityFloor float64 `json:"utility_floor"`
+	// Steps is the ordered execution sequence.
+	Steps []Step `json:"steps"`
+	// Rollback undoes every step in reverse order (for a cancelled
+	// upgrade).
+	Rollback []config.Change `json:"rollback"`
+	// StepIntervalSec is the recommended spacing between pushes.
+	StepIntervalSec float64 `json:"step_interval_sec"`
+}
+
+// Build assembles the runbook for a mitigation plan and its gradual
+// migration schedule.
+func Build(plan *core.Plan, mig *migrate.Plan) (*Runbook, error) {
+	if plan == nil || mig == nil {
+		return nil, fmt.Errorf("runbook: nil plan")
+	}
+	rb := &Runbook{
+		Title:            fmt.Sprintf("Planned upgrade mitigation: %s via %s", plan.Scenario, plan.Method),
+		Scenario:         plan.Scenario.String(),
+		Method:           plan.Method.String(),
+		Objective:        plan.Util.Name,
+		Targets:          append([]int(nil), plan.Targets...),
+		ExpectedBefore:   plan.UtilityBefore,
+		ExpectedUpgrade:  plan.UtilityUpgrade,
+		ExpectedAfter:    plan.UtilityAfter,
+		ExpectedRecovery: plan.RecoveryRatio(),
+		UtilityFloor:     mig.AfterUtility,
+		StepIntervalSec:  60,
+	}
+
+	targetSet := make(map[int]bool, len(plan.Targets))
+	for _, tg := range plan.Targets {
+		targetSet[tg] = true
+	}
+	tunedSet := map[int]bool{}
+	var applied []config.Change
+	for i, ms := range mig.Steps {
+		kind := KindMigration
+		note := ""
+		if ms.UpgradeStep {
+			kind = KindOffAir
+			note = "targets go off-air; planned work may begin after this push"
+		}
+		step := Step{
+			Index:             i + 1,
+			Kind:              kind,
+			Changes:           append([]config.Change(nil), ms.Changes...),
+			ExpectedUtility:   ms.Utility,
+			ExpectedHandovers: ms.Handovers,
+			Note:              note,
+		}
+		rb.Steps = append(rb.Steps, step)
+		for _, ch := range ms.Changes {
+			applied = append(applied, ch)
+			if !targetSet[ch.Sector] {
+				tunedSet[ch.Sector] = true
+			}
+		}
+	}
+	for s := range tunedSet {
+		rb.TunedSectors = append(rb.TunedSectors, s)
+	}
+	sortInts(rb.TunedSectors)
+
+	// Rollback: inverses in reverse order.
+	for i := len(applied) - 1; i >= 0; i-- {
+		rb.Rollback = append(rb.Rollback, applied[i].Inverse())
+	}
+	return rb, nil
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// WriteJSON emits the runbook as indented JSON.
+func (r *Runbook) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText emits the runbook as an operator-readable document.
+func (r *Runbook) WriteText(w io.Writer) error {
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+	p("RUNBOOK: %s", r.Title)
+	p("objective: %s    expected recovery: %.1f%%", r.Objective, 100*r.ExpectedRecovery)
+	p("targets off-air: %v", r.Targets)
+	p("sectors tuned:   %v", r.TunedSectors)
+	p("expected utility: before %.1f, during work %.1f (floor %.1f), unmitigated %.1f",
+		r.ExpectedBefore, r.ExpectedAfter, r.UtilityFloor, r.ExpectedUpgrade)
+	p("")
+	p("EXECUTION (allow %s between pushes):", time.Duration(r.StepIntervalSec)*time.Second)
+	for _, s := range r.Steps {
+		p("  step %d [%s]: %d changes, expect utility %.1f, ~%.0f handovers",
+			s.Index, s.Kind, len(s.Changes), s.ExpectedUtility, s.ExpectedHandovers)
+		for _, ch := range s.Changes {
+			p("      push %v", ch)
+		}
+		if s.Note != "" {
+			p("      NOTE: %s", s.Note)
+		}
+	}
+	p("")
+	p("ROLLBACK (if the work is cancelled, push in this order):")
+	for i, ch := range r.Rollback {
+		p("  %2d. %v", i+1, ch)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package runbook
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/core"
+	"magus/internal/migrate"
+	"magus/internal/topology"
+	"magus/internal/upgrade"
+	"magus/internal/utility"
+)
+
+func buildFixture(t *testing.T) (*core.Plan, *migrate.Plan) {
+	t.Helper()
+	engine, err := core.NewEngine(core.SetupConfig{
+		Seed:          3,
+		Class:         topology.Suburban,
+		RegionSpanM:   6000,
+		CellSizeM:     200,
+		EqualizeSteps: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := engine.Mitigate(upgrade.SingleSector, core.Joint, utility.Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := plan.GradualMigration(migrate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, mig
+}
+
+func TestBuildNil(t *testing.T) {
+	if _, err := Build(nil, nil); err == nil {
+		t.Error("nil inputs should fail")
+	}
+}
+
+func TestBuildStructure(t *testing.T) {
+	plan, mig := buildFixture(t)
+	rb, err := Build(plan, mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rb.Steps) != len(mig.Steps) {
+		t.Fatalf("runbook has %d steps, migration has %d", len(rb.Steps), len(mig.Steps))
+	}
+	// Exactly one off-air step, and it is the last one.
+	offAir := 0
+	for i, s := range rb.Steps {
+		if s.Index != i+1 {
+			t.Fatalf("step %d has index %d", i, s.Index)
+		}
+		if s.Kind == KindOffAir {
+			offAir++
+			if i != len(rb.Steps)-1 {
+				t.Error("off-air step must be last")
+			}
+			if s.Note == "" {
+				t.Error("off-air step should carry a note")
+			}
+		}
+	}
+	if offAir != 1 {
+		t.Fatalf("off-air steps = %d, want 1", offAir)
+	}
+	// Targets never appear among tuned sectors.
+	for _, tuned := range rb.TunedSectors {
+		for _, tg := range rb.Targets {
+			if tuned == tg {
+				t.Fatal("target listed as tuned sector")
+			}
+		}
+	}
+	// Tuned sectors are sorted.
+	for i := 1; i < len(rb.TunedSectors); i++ {
+		if rb.TunedSectors[i-1] > rb.TunedSectors[i] {
+			t.Fatal("tuned sectors not sorted")
+		}
+	}
+}
+
+func TestRollbackRestoresConfig(t *testing.T) {
+	plan, mig := buildFixture(t)
+	rb, err := Build(plan, mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Apply every step's changes to a copy of C_before, then the
+	// rollback: the configuration must return exactly to C_before.
+	engineBefore := plan.Upgrade.Cfg.Clone()
+	// plan.Upgrade has targets off; reconstruct C_before by turning them
+	// back on.
+	for _, tg := range plan.Targets {
+		if _, err := engineBefore.Apply(config.Change{Sector: tg, TurnOn: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	original := engineBefore.Clone()
+	for _, step := range rb.Steps {
+		for _, ch := range step.Changes {
+			if _, err := engineBefore.Apply(ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if engineBefore.Equal(original) {
+		t.Fatal("runbook steps had no effect")
+	}
+	for _, ch := range rb.Rollback {
+		if _, err := engineBefore.Apply(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !engineBefore.Equal(original) {
+		t.Fatal("rollback did not restore the original configuration")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	plan, mig := buildFixture(t)
+	rb, err := Build(plan, mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Runbook
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != rb.Title || len(decoded.Steps) != len(rb.Steps) {
+		t.Error("JSON round trip lost data")
+	}
+	if len(decoded.Rollback) != len(rb.Rollback) {
+		t.Error("rollback lost in round trip")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	plan, mig := buildFixture(t)
+	rb, err := Build(plan, mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"RUNBOOK:", "EXECUTION", "ROLLBACK", "off-air"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("runbook text missing %q", want)
+		}
+	}
+}

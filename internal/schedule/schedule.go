@@ -1,0 +1,190 @@
+// Package schedule recommends when to perform a planned upgrade — the
+// practice the paper opens with: "cellular network operators carefully
+// plan such upgrades during the off-peak hours and low-impact days, when
+// possible", while acknowledging that work can spill over or be forced
+// into business hours. The scheduler combines a diurnal traffic profile
+// with the Magus model's per-upgrade utility loss to rank candidate
+// start times by expected user-hours of disruption, with and without
+// mitigation.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"magus/internal/core"
+)
+
+// DiurnalProfile gives the relative network load per local hour of day
+// (values in (0, 1], 1 = daily peak). DefaultProfile approximates a
+// consumer market: a deep night valley, a morning ramp, and an evening
+// peak.
+type DiurnalProfile [24]float64
+
+// DefaultProfile returns a typical consumer-market load curve.
+func DefaultProfile() DiurnalProfile {
+	return DiurnalProfile{
+		0.30, 0.22, 0.18, 0.15, 0.15, 0.18, // 00-05: night valley
+		0.30, 0.45, 0.60, 0.70, 0.75, 0.80, // 06-11: morning ramp
+		0.85, 0.85, 0.80, 0.80, 0.85, 0.90, // 12-17: business day
+		0.95, 1.00, 1.00, 0.90, 0.70, 0.45, // 18-23: evening peak
+	}
+}
+
+// Window is one candidate upgrade slot.
+type Window struct {
+	// StartHour is the local start hour [0, 24).
+	StartHour int
+	// DurationHours is the planned work length.
+	DurationHours int
+	// LoadFactor is the mean diurnal load across the window.
+	LoadFactor float64
+	// UnmitigatedLoss is the expected utility-hours of disruption
+	// without tuning; MitigatedLoss with Magus's C_after in place.
+	UnmitigatedLoss float64
+	MitigatedLoss   float64
+	// TouchesBusinessHours reports overlap with 08:00-18:00.
+	TouchesBusinessHours bool
+}
+
+// Recommendation ranks every start hour for a given upgrade.
+type Recommendation struct {
+	// Windows is sorted by MitigatedLoss ascending: best slot first.
+	Windows []Window
+	// PerHourLossUnmitigated is f(C_before) - f(C_upgrade) at peak load.
+	PerHourLossUnmitigated float64
+	// PerHourLossMitigated is f(C_before) - f(C_after) at peak load.
+	PerHourLossMitigated float64
+}
+
+// Best returns the lowest-disruption window.
+func (r *Recommendation) Best() Window { return r.Windows[0] }
+
+// Plan ranks all 24 start hours for an upgrade described by plan,
+// assuming the utility loss scales with the diurnal load (the user
+// population active in the window).
+func Plan(p *core.Plan, profile DiurnalProfile, durationHours int) (*Recommendation, error) {
+	if p == nil {
+		return nil, fmt.Errorf("schedule: nil plan")
+	}
+	if durationHours < 1 || durationHours > 24 {
+		return nil, fmt.Errorf("schedule: duration %d h outside [1, 24]", durationHours)
+	}
+	rec := &Recommendation{
+		PerHourLossUnmitigated: p.UtilityBefore - p.UtilityUpgrade,
+		PerHourLossMitigated:   p.UtilityBefore - p.UtilityAfter,
+	}
+	// A mitigation that fully recovers (or slightly overshoots)
+	// f(C_before) causes no disruption; losses are never negative.
+	if rec.PerHourLossUnmitigated < 0 {
+		rec.PerHourLossUnmitigated = 0
+	}
+	if rec.PerHourLossMitigated < 0 {
+		rec.PerHourLossMitigated = 0
+	}
+	for start := 0; start < 24; start++ {
+		w := Window{StartHour: start, DurationHours: durationHours}
+		sum := 0.0
+		for h := 0; h < durationHours; h++ {
+			hour := (start + h) % 24
+			load := profile[hour]
+			sum += load
+			if hour >= 8 && hour < 18 {
+				w.TouchesBusinessHours = true
+			}
+		}
+		w.LoadFactor = sum / float64(durationHours)
+		w.UnmitigatedLoss = rec.PerHourLossUnmitigated * sum
+		w.MitigatedLoss = rec.PerHourLossMitigated * sum
+		rec.Windows = append(rec.Windows, w)
+	}
+	sort.SliceStable(rec.Windows, func(i, j int) bool {
+		a, b := rec.Windows[i], rec.Windows[j]
+		if a.MitigatedLoss != b.MitigatedLoss {
+			return a.MitigatedLoss < b.MitigatedLoss
+		}
+		// Fully recovered plans tie at zero mitigated loss; prefer the
+		// lighter window anyway (mitigation is a model prediction, the
+		// off-peak habit is free insurance).
+		return a.UnmitigatedLoss < b.UnmitigatedLoss
+	})
+	return rec, nil
+}
+
+// ForcedWindowPenalty quantifies the paper's airport argument: when the
+// work MUST run in a given window (vendor availability, 24/7 venues),
+// the value of mitigation is the loss difference in that window.
+func (r *Recommendation) ForcedWindowPenalty(startHour int) (unmitigated, mitigated float64, err error) {
+	for _, w := range r.Windows {
+		if w.StartHour == startHour {
+			return w.UnmitigatedLoss, w.MitigatedLoss, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("schedule: no window starting at hour %d", startHour)
+}
+
+// WeekdayWeights scales disruption by day of week. The paper's Section 1
+// data shows operators already concentrate upgrades Tuesday-Friday; the
+// default weights make weekends slightly lighter (consumer traffic
+// shifts) and keep business days at full weight.
+type WeekdayWeights [7]float64 // indexed by time.Weekday (Sunday = 0)
+
+// DefaultWeekdayWeights returns a consumer-market weighting.
+func DefaultWeekdayWeights() WeekdayWeights {
+	return WeekdayWeights{0.85, 1.0, 1.0, 1.0, 1.0, 1.0, 0.9}
+}
+
+// WeekWindow is one candidate slot within the week.
+type WeekWindow struct {
+	Window
+	// Weekday of the window's start.
+	Weekday time.Weekday
+}
+
+// PlanWeek ranks all 7 x 24 start slots of a week, combining the diurnal
+// profile with per-weekday weights — the paper's "off-peak hours and
+// low-impact days" in one ranking.
+func PlanWeek(p *core.Plan, profile DiurnalProfile, weights WeekdayWeights, durationHours int) ([]WeekWindow, error) {
+	daily, err := Plan(p, profile, durationHours)
+	if err != nil {
+		return nil, err
+	}
+	var out []WeekWindow
+	for wd := time.Sunday; wd <= time.Saturday; wd++ {
+		for _, w := range daily.Windows {
+			scaled := w
+			scaled.UnmitigatedLoss *= weights[wd]
+			scaled.MitigatedLoss *= weights[wd]
+			out = append(out, WeekWindow{Window: scaled, Weekday: wd})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.MitigatedLoss != b.MitigatedLoss {
+			return a.MitigatedLoss < b.MitigatedLoss
+		}
+		return a.UnmitigatedLoss < b.UnmitigatedLoss
+	})
+	return out, nil
+}
+
+// String prints the ranking.
+func (r *Recommendation) String() string {
+	var b strings.Builder
+	b.WriteString("upgrade window ranking (lower expected disruption first):\n")
+	fmt.Fprintf(&b, "  %5s %8s %12s %12s %9s\n", "start", "load", "unmitigated", "mitigated", "business")
+	for i, w := range r.Windows {
+		if i >= 6 && i < len(r.Windows)-2 {
+			if i == 6 {
+				fmt.Fprintf(&b, "  ... %d more ...\n", len(r.Windows)-8)
+			}
+			continue
+		}
+		fmt.Fprintf(&b, "  %02d:00 %8.2f %12.1f %12.1f %9v\n",
+			w.StartHour, w.LoadFactor, w.UnmitigatedLoss, w.MitigatedLoss,
+			w.TouchesBusinessHours)
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"magus/internal/core"
+	"magus/internal/topology"
+	"magus/internal/upgrade"
+	"magus/internal/utility"
+)
+
+func testPlan(t *testing.T) *core.Plan {
+	t.Helper()
+	engine, err := core.NewEngine(core.SetupConfig{
+		Seed:          3,
+		Class:         topology.Suburban,
+		RegionSpanM:   6000,
+		CellSizeM:     200,
+		EqualizeSteps: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := engine.Mitigate(upgrade.SingleSector, core.Joint, utility.Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestPlanValidation(t *testing.T) {
+	if _, err := Plan(nil, DefaultProfile(), 5); err == nil {
+		t.Error("nil plan should fail")
+	}
+	p := testPlan(t)
+	if _, err := Plan(p, DefaultProfile(), 0); err == nil {
+		t.Error("zero duration should fail")
+	}
+	if _, err := Plan(p, DefaultProfile(), 25); err == nil {
+		t.Error("25 h duration should fail")
+	}
+}
+
+func TestNightWindowWins(t *testing.T) {
+	// The paper: operators plan upgrades in off-peak hours. The best
+	// 5-hour window must sit in the night valley and avoid business
+	// hours.
+	p := testPlan(t)
+	rec, err := Plan(p, DefaultProfile(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := rec.Best()
+	if best.TouchesBusinessHours {
+		t.Errorf("best window starting %02d:00 touches business hours", best.StartHour)
+	}
+	if best.StartHour < 22 && best.StartHour > 4 {
+		t.Errorf("best window starts %02d:00, expected deep night", best.StartHour)
+	}
+	// Windows are sorted by mitigated loss.
+	for i := 1; i < len(rec.Windows); i++ {
+		if rec.Windows[i].MitigatedLoss < rec.Windows[i-1].MitigatedLoss {
+			t.Fatal("windows not sorted by mitigated loss")
+		}
+	}
+	if len(rec.Windows) != 24 {
+		t.Fatalf("windows = %d, want 24", len(rec.Windows))
+	}
+}
+
+func TestMitigationAlwaysHelps(t *testing.T) {
+	p := testPlan(t)
+	rec, err := Plan(p, DefaultProfile(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range rec.Windows {
+		if w.MitigatedLoss > w.UnmitigatedLoss+1e-9 {
+			t.Fatalf("window %02d:00: mitigation increased loss %v -> %v",
+				w.StartHour, w.UnmitigatedLoss, w.MitigatedLoss)
+		}
+		if w.LoadFactor <= 0 || w.LoadFactor > 1 {
+			t.Fatalf("window %02d:00 load factor %v out of range", w.StartHour, w.LoadFactor)
+		}
+	}
+}
+
+func TestForcedWindowPenalty(t *testing.T) {
+	// The airport case: the work must run mid-day; mitigation's value is
+	// the loss gap in that window, and the mid-day window costs more
+	// than the night one.
+	p := testPlan(t)
+	rec, err := Plan(p, DefaultProfile(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dayUn, dayMit, err := rec.ForcedWindowPenalty(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nightUn, _, err := rec.ForcedWindowPenalty(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dayUn <= nightUn {
+		t.Errorf("mid-day window %v should cost more than night %v", dayUn, nightUn)
+	}
+	if dayMit > dayUn {
+		t.Error("mitigation should reduce the forced-window penalty")
+	}
+	if _, _, err := rec.ForcedWindowPenalty(99); err == nil {
+		t.Error("unknown hour should fail")
+	}
+}
+
+func TestLossScalesWithLoad(t *testing.T) {
+	p := testPlan(t)
+	rec, err := Plan(p, DefaultProfile(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := DefaultProfile()
+	for _, w := range rec.Windows {
+		want := rec.PerHourLossUnmitigated * profile[w.StartHour]
+		if math.Abs(w.UnmitigatedLoss-want) > 1e-9 {
+			t.Fatalf("window %02d:00 loss %v != per-hour loss x load %v",
+				w.StartHour, w.UnmitigatedLoss, want)
+		}
+	}
+}
+
+func TestRecommendationString(t *testing.T) {
+	p := testPlan(t)
+	rec, err := Plan(p, DefaultProfile(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.String()
+	if !strings.Contains(s, "upgrade window ranking") || !strings.Contains(s, ":00") {
+		t.Errorf("ranking output: %q", s)
+	}
+}
+
+func TestPlanWeek(t *testing.T) {
+	p := testPlan(t)
+	windows, err := PlanWeek(p, DefaultProfile(), DefaultWeekdayWeights(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 7*24 {
+		t.Fatalf("windows = %d, want 168", len(windows))
+	}
+	// Sorted ascending by mitigated loss (ties by unmitigated).
+	for i := 1; i < len(windows); i++ {
+		if windows[i].MitigatedLoss < windows[i-1].MitigatedLoss {
+			t.Fatal("week ranking not sorted")
+		}
+	}
+	// The overall best slot is a weekend or Sunday night start (lower
+	// weekday weight) in the night valley.
+	best := windows[0]
+	if best.TouchesBusinessHours {
+		t.Errorf("best weekly slot %v %02d:00 touches business hours", best.Weekday, best.StartHour)
+	}
+	weights := DefaultWeekdayWeights()
+	if weights[best.Weekday] != 0.85 {
+		t.Errorf("best weekly slot on %v, expected the lightest day", best.Weekday)
+	}
+	// Propagates duration validation.
+	if _, err := PlanWeek(p, DefaultProfile(), weights, 0); err == nil {
+		t.Error("bad duration should fail")
+	}
+}

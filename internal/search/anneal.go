@@ -1,0 +1,119 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"magus/internal/config"
+	"magus/internal/netmodel"
+)
+
+// AnnealOptions tune the simulated-annealing search.
+type AnnealOptions struct {
+	// Options embeds the common search knobs (utility, caps).
+	Options
+	// Seed drives the proposal sequence; equal seeds reproduce runs.
+	Seed int64
+	// Iterations is the number of proposals (default 2000).
+	Iterations int
+	// StartTemp and EndTemp bound the geometric cooling schedule,
+	// expressed in utility units (defaults 2 and 0.01).
+	StartTemp float64
+	EndTemp   float64
+}
+
+func (o *AnnealOptions) applyDefaults() {
+	o.Options.applyDefaults()
+	if o.Iterations <= 0 {
+		o.Iterations = 2000
+	}
+	if o.StartTemp <= 0 {
+		o.StartTemp = 2
+	}
+	if o.EndTemp <= 0 || o.EndTemp >= o.StartTemp {
+		o.EndTemp = 0.01
+	}
+}
+
+// Anneal runs simulated annealing over the neighbors' power and tilt
+// settings — the "more sophisticated version of Magus" the paper
+// speculates about for urban areas where the greedy heuristic "may get
+// stuck at a local optima" (Section 6). Proposals are single-sector
+// power (+-1 dB) or tilt (+-1 step) moves; worsening moves are accepted
+// with the Metropolis probability under a geometric cooling schedule.
+// The best configuration seen is restored before returning, so the
+// result is never worse than the starting point.
+func Anneal(st *netmodel.State, neighbors []int, opts AnnealOptions) (*Result, error) {
+	opts.applyDefaults()
+	res := &Result{}
+	if len(neighbors) == 0 {
+		res.FinalUtility = st.Utility(opts.Util)
+		return res, nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	current := st.Utility(opts.Util)
+	best := current
+	bestCfg := st.Cfg.Clone()
+	cooling := math.Pow(opts.EndTemp/opts.StartTemp, 1/float64(opts.Iterations))
+	temp := opts.StartTemp
+
+	for i := 0; i < opts.Iterations; i++ {
+		if opts.CapUtility > 0 && current >= opts.CapUtility {
+			break
+		}
+		b := neighbors[rng.Intn(len(neighbors))]
+		if st.Cfg.Off(b) {
+			temp *= cooling
+			continue
+		}
+		mv := config.Change{Sector: b}
+		switch rng.Intn(4) {
+		case 0:
+			mv.PowerDelta = opts.PowerUnitDB
+		case 1:
+			mv.PowerDelta = -opts.PowerUnitDB
+		case 2:
+			mv.TiltDelta = 1
+		case 3:
+			mv.TiltDelta = -1
+		}
+		applied, err := st.Apply(mv)
+		if err != nil {
+			return nil, err
+		}
+		if applied.IsZero() {
+			temp *= cooling
+			continue
+		}
+		res.Evaluations++
+		u := st.Utility(opts.Util)
+		accept := u >= current || rng.Float64() < math.Exp((u-current)/temp)
+		if accept {
+			current = u
+			if u > best {
+				best = u
+				bestCfg = st.Cfg.Clone()
+				res.Steps = append(res.Steps, Step{Change: applied, Utility: u})
+			}
+		} else {
+			if _, err := st.Apply(applied.Inverse()); err != nil {
+				return nil, err
+			}
+		}
+		temp *= cooling
+	}
+
+	// Restore the best configuration visited.
+	diff, err := st.Cfg.Diff(bestCfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, ch := range diff {
+		if _, err := st.Apply(ch); err != nil {
+			return nil, err
+		}
+	}
+	res.FinalUtility = st.Utility(opts.Util)
+	return res, nil
+}

@@ -1,0 +1,92 @@
+package search
+
+import (
+	"testing"
+
+	"magus/internal/utility"
+)
+
+func TestAnnealNeverWorsens(t *testing.T) {
+	sc := makeScenario(t, 3)
+	u0 := sc.upgrade.Utility(utility.Performance)
+	work := sc.upgrade.Clone()
+	res, err := Anneal(work, sc.neighbors, AnnealOptions{Seed: 1, Iterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalUtility < u0-1e-9 {
+		t.Fatalf("annealing worsened utility: %v -> %v", u0, res.FinalUtility)
+	}
+	// The working state ends at the best visited configuration.
+	if got := work.Utility(utility.Performance); got != res.FinalUtility {
+		t.Errorf("state utility %v != reported %v", got, res.FinalUtility)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	sc := makeScenario(t, 5)
+	run := func(seed int64) float64 {
+		work := sc.upgrade.Clone()
+		res, err := Anneal(work, sc.neighbors, AnnealOptions{Seed: seed, Iterations: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalUtility
+	}
+	if run(7) != run(7) {
+		t.Error("same seed should reproduce the same result")
+	}
+}
+
+func TestAnnealRespectsCap(t *testing.T) {
+	sc := makeScenario(t, 3)
+	cap := sc.base.Utility(utility.Performance)
+	work := sc.upgrade.Clone()
+	res, err := Anneal(work, sc.neighbors, AnnealOptions{
+		Seed:       1,
+		Iterations: 800,
+		Options:    Options{CapUtility: cap},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One accepted move may overshoot the cap, but not by much more
+	// than a single step's gain.
+	if res.FinalUtility > cap*1.01 {
+		t.Errorf("annealing ran past the recovery cap: %v vs %v", res.FinalUtility, cap)
+	}
+}
+
+func TestAnnealEmptyNeighbors(t *testing.T) {
+	sc := makeScenario(t, 3)
+	work := sc.upgrade.Clone()
+	res, err := Anneal(work, nil, AnnealOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 0 || res.Evaluations != 0 {
+		t.Error("no neighbors should mean no work")
+	}
+}
+
+func TestAnnealCompetitiveWithHeuristic(t *testing.T) {
+	// The annealer explores more broadly; with a reasonable budget it
+	// should land in the same league as Algorithm 1 (the paper
+	// speculates it could do better in urban areas).
+	sc := makeScenario(t, 11)
+	heuristic := sc.upgrade.Clone()
+	hRes, err := Power(heuristic, sc.base, sc.neighbors, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	annealed := sc.upgrade.Clone()
+	aRes, err := Anneal(annealed, sc.neighbors, AnnealOptions{Seed: 1, Iterations: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aRes.FinalUtility < hRes.FinalUtility*0.99 {
+		t.Errorf("annealing %v far below heuristic %v", aRes.FinalUtility, hRes.FinalUtility)
+	}
+	t.Logf("heuristic=%v (%d evals), anneal=%v (%d evals)",
+		hRes.FinalUtility, hRes.Evaluations, aRes.FinalUtility, aRes.Evaluations)
+}

@@ -1,0 +1,461 @@
+// Package search implements the configuration search component of Magus
+// (Section 5): Algorithm 1, the heuristic iterative power-tuning search;
+// the greedy per-neighbor tilt search; joint tilt-then-power tuning; the
+// naive per-neighbor power baseline the paper compares against in Figure
+// 13; and exhaustive search for small instances.
+//
+// All searches mutate a working netmodel.State in place toward C_after
+// and report a trace of accepted tuning steps together with the number
+// of candidate evaluations performed (each evaluation is one "what-if"
+// invocation of the analysis model, the quantity that makes brute force
+// intractable: "10 sectors x 5 power units is over 9 million
+// configurations", Section 5).
+package search
+
+import (
+	"fmt"
+	"sort"
+
+	"magus/internal/config"
+	"magus/internal/netmodel"
+	"magus/internal/utility"
+)
+
+// Step is one accepted tuning move.
+type Step struct {
+	// Change is the applied configuration change.
+	Change config.Change
+	// Utility is the overall utility after applying the change.
+	Utility float64
+}
+
+// Result summarizes a search run.
+type Result struct {
+	// Steps are the accepted tuning moves in order.
+	Steps []Step
+	// Evaluations counts candidate what-if evaluations of the model.
+	Evaluations int
+	// FinalUtility is the overall utility of the final configuration.
+	FinalUtility float64
+	// Recovered reports whether every degraded grid was restored to its
+	// baseline rate (power search only; false otherwise).
+	Recovered bool
+}
+
+// Options tune the search behaviour. The zero value uses defaults.
+type Options struct {
+	// Util is the optimization objective (default utility.Performance).
+	Util utility.Func
+	// MaxSteps caps accepted tuning moves (default 100).
+	MaxSteps int
+	// PowerUnitDB is the initial power tuning unit T (default 1 dB,
+	// the paper's unit).
+	PowerUnitDB float64
+	// MaxPowerUnitDB is the largest unit T may grow to when no candidate
+	// improves any grid (default 6 dB).
+	MaxPowerUnitDB float64
+	// TiltUnit is the tilt-index step used by Equalize's move set
+	// (default 1).
+	TiltUnit int
+	// CapAtDefaultPower restricts power increases to each sector's
+	// planner default (used by Equalize: operators reserve the hardware
+	// headroom above the planned power for emergencies, which is exactly
+	// the room Magus's mitigation spends).
+	CapAtDefaultPower bool
+	// CapUtility, when positive, stops a search once the overall
+	// utility reaches it. Mitigation callers set it to f(C_before): the
+	// objective is recovery of the upgrade-induced loss, not open-ended
+	// optimization, so Formula 7 ratios stay within [0, 1].
+	CapUtility float64
+	// NoPruning disables Algorithm 1's candidate filter (the set β of
+	// sectors that improve at least one degraded grid's SINR) and
+	// evaluates every neighbor at each iteration instead. Provided for
+	// the ablation benchmarks: it quantifies how much work the paper's
+	// "conditionally good" pruning saves.
+	NoPruning bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.Util.U == nil {
+		o.Util = utility.Performance
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 100
+	}
+	if o.PowerUnitDB <= 0 {
+		o.PowerUnitDB = 1
+	}
+	if o.MaxPowerUnitDB <= 0 {
+		o.MaxPowerUnitDB = 6
+	}
+	if o.TiltUnit <= 0 {
+		o.TiltUnit = 1
+	}
+}
+
+// SortByDistanceTo orders sector IDs by the distance of their sites to
+// the nearest of the target sectors, closest first — the neighbor
+// ordering used by the greedy searches.
+func SortByDistanceTo(st *netmodel.State, neighbors []int, targets []int) []int {
+	net := st.Model.Net
+	out := append([]int(nil), neighbors...)
+	dist := func(b int) float64 {
+		best := -1.0
+		for _, t := range targets {
+			d := net.Sectors[b].Pos.DistanceTo(net.Sectors[t].Pos)
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	sort.SliceStable(out, func(i, j int) bool { return dist(out[i]) < dist(out[j]) })
+	return out
+}
+
+// Power runs Algorithm 1: iterative heuristic power tuning of the
+// neighbor set. st must be at C_upgrade (targets already off); base is
+// the C_before state used to identify degraded grids. st is mutated to
+// C_after.
+func Power(st *netmodel.State, base *netmodel.State, neighbors []int, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	if st.Model != base.Model {
+		return nil, fmt.Errorf("search: state and base use different models")
+	}
+	res := &Result{}
+	unit := opts.PowerUnitDB
+
+	baseUtility := base.Utility(opts.Util)
+	if opts.CapUtility > 0 && opts.CapUtility < baseUtility {
+		baseUtility = opts.CapUtility
+	}
+	current := st.Utility(opts.Util)
+	for len(res.Steps) < opts.MaxSteps {
+		if current >= baseUtility {
+			// The upgrade-induced loss is fully recovered; mitigation's
+			// objective ("recover the loss in service performance which
+			// would have occurred") is met.
+			res.Recovered = true
+			break
+		}
+		affected := st.DegradedGrids(base)
+		if len(affected) == 0 {
+			res.Recovered = true
+			break
+		}
+		// Line 2-8 of Algorithm 1: collect β, the sectors whose power-up
+		// by T units improves at least one affected grid.
+		var beta []int
+		if opts.NoPruning {
+			for _, b := range neighbors {
+				if !st.Cfg.Off(b) && !st.Cfg.AtMaxPower(b) {
+					beta = append(beta, b)
+				}
+			}
+		} else {
+			beta = st.SINRImprovers(affected, neighbors, unit)
+		}
+		if len(beta) == 0 {
+			// Increment the tuning unit T, as the algorithm prescribes.
+			unit += opts.PowerUnitDB
+			if unit > opts.MaxPowerUnitDB {
+				break
+			}
+			continue
+		}
+		// Line 9: evaluate each candidate globally and keep the best.
+		bestSector := -1
+		bestUtility := current
+		for _, b := range beta {
+			applied, err := st.Apply(config.Change{Sector: b, PowerDelta: unit})
+			if err != nil {
+				return nil, err
+			}
+			if applied.PowerDelta == 0 {
+				continue
+			}
+			res.Evaluations++
+			if u := st.Utility(opts.Util); u > bestUtility {
+				bestUtility = u
+				bestSector = b
+			}
+			if _, err := st.Apply(applied.Inverse()); err != nil {
+				return nil, err
+			}
+		}
+		if bestSector < 0 {
+			// No candidate improves the overall utility at this tuning
+			// unit: grow T and retry ("increment T if needed"); only
+			// when the largest unit also fails does the search stop.
+			unit += opts.PowerUnitDB
+			if unit > opts.MaxPowerUnitDB {
+				break
+			}
+			continue
+		}
+		// Lines 10-12: commit the best change and continue.
+		applied, err := st.Apply(config.Change{Sector: bestSector, PowerDelta: unit})
+		if err != nil {
+			return nil, err
+		}
+		current = st.Utility(opts.Util)
+		res.Steps = append(res.Steps, Step{Change: applied, Utility: current})
+	}
+	res.FinalUtility = st.Utility(opts.Util)
+	return res, nil
+}
+
+// NaivePower is the baseline the paper compares Algorithm 1 against
+// (Figure 13): visit neighbors in order (closest to the target first)
+// and increase each one's power 1 dB at a time until the overall utility
+// worsens, then move to the next neighbor.
+func NaivePower(st *netmodel.State, neighbors []int, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	res := &Result{}
+	current := st.Utility(opts.Util)
+	for _, b := range neighbors {
+		if st.Cfg.Off(b) {
+			continue
+		}
+		if opts.CapUtility > 0 && current >= opts.CapUtility {
+			break
+		}
+		for len(res.Steps) < opts.MaxSteps {
+			applied, err := st.Apply(config.Change{Sector: b, PowerDelta: opts.PowerUnitDB})
+			if err != nil {
+				return nil, err
+			}
+			if applied.PowerDelta == 0 {
+				break // at max power
+			}
+			res.Evaluations++
+			u := st.Utility(opts.Util)
+			if u <= current {
+				// Worsened (or flat): undo and move on.
+				if _, err := st.Apply(applied.Inverse()); err != nil {
+					return nil, err
+				}
+				break
+			}
+			current = u
+			res.Steps = append(res.Steps, Step{Change: applied, Utility: u})
+		}
+	}
+	res.FinalUtility = st.Utility(opts.Util)
+	return res, nil
+}
+
+// Tilt runs the paper's greedy tilt search: uptilt the first neighbor
+// step by step until the utility worsens, then the second, and so on.
+func Tilt(st *netmodel.State, neighbors []int, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	res := &Result{}
+	current := st.Utility(opts.Util)
+	for _, b := range neighbors {
+		if st.Cfg.Off(b) {
+			continue
+		}
+		if opts.CapUtility > 0 && current >= opts.CapUtility {
+			break
+		}
+		for len(res.Steps) < opts.MaxSteps {
+			applied, err := st.Apply(config.Change{Sector: b, TiltDelta: -1})
+			if err != nil {
+				return nil, err
+			}
+			if applied.TiltDelta == 0 {
+				break // tilt table exhausted
+			}
+			res.Evaluations++
+			u := st.Utility(opts.Util)
+			if u <= current {
+				if _, err := st.Apply(applied.Inverse()); err != nil {
+					return nil, err
+				}
+				break
+			}
+			current = u
+			res.Steps = append(res.Steps, Step{Change: applied, Utility: u})
+		}
+	}
+	res.FinalUtility = st.Utility(opts.Util)
+	return res, nil
+}
+
+// Joint runs the paper's joint strategy — tilt tuning first, then power
+// tuning on the tilted configuration ("first employing tilt-tuning,
+// followed by power-tuning", Section 5) — and keeps alternating the two
+// phases while they make progress (bounded), since a power change can
+// open new profitable tilts and vice versa.
+func Joint(st *netmodel.State, base *netmodel.State, neighbors []int, opts Options) (*Result, error) {
+	out := &Result{}
+	const maxRounds = 3
+	for round := 0; round < maxRounds; round++ {
+		tiltRes, err := Tilt(st, neighbors, opts)
+		if err != nil {
+			return nil, err
+		}
+		powerRes, err := Power(st, base, neighbors, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Steps = append(out.Steps, tiltRes.Steps...)
+		out.Steps = append(out.Steps, powerRes.Steps...)
+		out.Evaluations += tiltRes.Evaluations + powerRes.Evaluations
+		out.FinalUtility = powerRes.FinalUtility
+		out.Recovered = powerRes.Recovered
+		if len(tiltRes.Steps) == 0 && len(powerRes.Steps) == 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Equalize runs a planner-style coordinate descent over every sector:
+// repeatedly try +-PowerUnitDB power moves and +-1 tilt steps on each
+// sector, committing any move that improves the overall utility, until a
+// full pass makes no progress (or MaxSteps moves were committed).
+//
+// The paper evaluates against operational configurations produced by
+// professional network planning ("radio network planners attempt to
+// maximize coverage and minimize interference"); Equalize is the
+// synthetic substitute that turns a freshly generated topology's default
+// configuration into a locally optimal C_before, so that recovery ratios
+// measure genuine upgrade mitigation rather than leftover planning slack.
+func Equalize(st *netmodel.State, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	res := &Result{}
+	moves := []config.Change{
+		{PowerDelta: opts.PowerUnitDB},
+		{PowerDelta: -opts.PowerUnitDB},
+		{TiltDelta: opts.TiltUnit},
+		{TiltDelta: -opts.TiltUnit},
+	}
+	current := st.Utility(opts.Util)
+	for pass := 0; ; pass++ {
+		improvedInPass := false
+		for b := 0; b < st.Cfg.NumSectors() && len(res.Steps) < opts.MaxSteps; b++ {
+			if st.Cfg.Off(b) {
+				continue
+			}
+			for _, mv := range moves {
+				mv.Sector = b
+				if opts.CapAtDefaultPower && mv.PowerDelta > 0 &&
+					st.Cfg.PowerDbm(b)+mv.PowerDelta > st.Model.Net.Sectors[b].DefaultPowerDbm {
+					continue
+				}
+				applied, err := st.Apply(mv)
+				if err != nil {
+					return nil, err
+				}
+				if applied.IsZero() {
+					continue
+				}
+				res.Evaluations++
+				u := st.Utility(opts.Util)
+				if u > current+1e-12 {
+					current = u
+					res.Steps = append(res.Steps, Step{Change: applied, Utility: u})
+					improvedInPass = true
+				} else {
+					if _, err := st.Apply(applied.Inverse()); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if !improvedInPass || len(res.Steps) >= opts.MaxSteps {
+			break
+		}
+	}
+	res.FinalUtility = current
+	return res, nil
+}
+
+// BruteForcePower exhaustively searches per-sector power levels for a
+// small sector set and commits the best configuration to st. levels[i]
+// lists the absolute powers (dBm) tried for sectors[i]. The search space
+// is capped at maxCombos (default 1e6) to keep it honest about why the
+// paper needs a heuristic.
+func BruteForcePower(st *netmodel.State, sectors []int, levels [][]float64, opts Options, maxCombos int) (*Result, error) {
+	opts.applyDefaults()
+	if len(sectors) != len(levels) {
+		return nil, fmt.Errorf("search: %d sectors but %d level sets", len(sectors), len(levels))
+	}
+	if maxCombos <= 0 {
+		maxCombos = 1_000_000
+	}
+	combos := 1
+	for _, ls := range levels {
+		if len(ls) == 0 {
+			return nil, fmt.Errorf("search: empty level set")
+		}
+		combos *= len(ls)
+		if combos > maxCombos {
+			return nil, fmt.Errorf("search: %d combinations exceed cap %d", combos, maxCombos)
+		}
+	}
+
+	res := &Result{}
+	bestUtility := st.Utility(opts.Util)
+	var bestPowers []float64
+
+	idx := make([]int, len(sectors))
+	original := make([]float64, len(sectors))
+	for i, b := range sectors {
+		original[i] = st.Cfg.PowerDbm(b)
+	}
+	for {
+		// Apply current combination.
+		for i, b := range sectors {
+			delta := levels[i][idx[i]] - st.Cfg.PowerDbm(b)
+			if delta != 0 {
+				if _, err := st.Apply(config.Change{Sector: b, PowerDelta: delta}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Evaluations++
+		if u := st.Utility(opts.Util); u > bestUtility {
+			bestUtility = u
+			bestPowers = make([]float64, len(sectors))
+			for i, b := range sectors {
+				bestPowers[i] = st.Cfg.PowerDbm(b)
+			}
+		}
+		// Advance the odometer.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(levels[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			break
+		}
+	}
+	// Commit the winner (or restore the original when nothing improved).
+	target := bestPowers
+	if target == nil {
+		target = original
+	}
+	for i, b := range sectors {
+		delta := target[i] - st.Cfg.PowerDbm(b)
+		if delta != 0 {
+			applied, err := st.Apply(config.Change{Sector: b, PowerDelta: delta})
+			if err != nil {
+				return nil, err
+			}
+			if bestPowers != nil {
+				res.Steps = append(res.Steps, Step{Change: applied})
+			}
+		}
+	}
+	res.FinalUtility = st.Utility(opts.Util)
+	if len(res.Steps) > 0 {
+		res.Steps[len(res.Steps)-1].Utility = res.FinalUtility
+	}
+	return res, nil
+}

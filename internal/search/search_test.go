@@ -1,0 +1,321 @@
+package search
+
+import (
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/propagation"
+	"magus/internal/topology"
+	"magus/internal/utility"
+)
+
+// scenario bundles a ready-to-search upgrade situation.
+type scenario struct {
+	model     *netmodel.Model
+	base      *netmodel.State // C_before with users assigned
+	upgrade   *netmodel.State // C_upgrade (targets off)
+	targets   []int
+	neighbors []int
+}
+
+func makeScenario(t *testing.T, seed int64) *scenario {
+	t.Helper()
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed:   seed,
+		Class:  topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 6000, 6000),
+	})
+	spm := propagation.MustNewSPM(2.635e9, nil)
+	m := netmodel.MustNewModel(net, spm, net.Bounds, netmodel.Params{CellSizeM: 200})
+
+	base := m.NewState(config.New(net))
+	base.AssignUsersUniform()
+	// Planner pass: make C_before locally optimal, as in operational
+	// networks, then re-derive the user distribution from the planned
+	// serving map.
+	if _, err := Equalize(base, Options{MaxSteps: 400}); err != nil {
+		t.Fatal(err)
+	}
+	base.AssignUsersUniform()
+
+	central := net.CentralSite()
+	targets := []int{net.Sites[central].Sectors[0]}
+
+	upgrade := base.Clone()
+	for _, tg := range targets {
+		upgrade.MustApply(config.Change{Sector: tg, TurnOff: true})
+	}
+	neighbors := SortByDistanceTo(upgrade, net.NeighborSectors(targets, 4000), targets)
+	return &scenario{model: m, base: base, upgrade: upgrade, targets: targets, neighbors: neighbors}
+}
+
+func TestPowerSearchImproves(t *testing.T) {
+	sc := makeScenario(t, 3)
+	uUpgrade := sc.upgrade.Utility(utility.Performance)
+	uBefore := sc.base.Utility(utility.Performance)
+	if uUpgrade >= uBefore {
+		t.Skip("upgrade caused no degradation in this layout")
+	}
+
+	work := sc.upgrade.Clone()
+	res, err := Power(work, sc.base, sc.neighbors, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalUtility < uUpgrade {
+		t.Fatalf("search made things worse: %v -> %v", uUpgrade, res.FinalUtility)
+	}
+	if len(res.Steps) > 0 && res.FinalUtility <= uUpgrade {
+		t.Errorf("steps accepted but utility flat: %v", res.FinalUtility)
+	}
+	// The accepted-step utilities must be strictly increasing.
+	prev := uUpgrade
+	for i, st := range res.Steps {
+		if st.Utility <= prev {
+			t.Fatalf("step %d utility %v not above previous %v", i, st.Utility, prev)
+		}
+		prev = st.Utility
+	}
+	// Recovery ratio must be within sane bounds.
+	rr := utility.RecoveryRatio(uBefore, uUpgrade, res.FinalUtility)
+	if rr < 0 || rr > 1+1e-9 {
+		t.Errorf("recovery ratio %v outside [0, 1]", rr)
+	}
+	if res.Evaluations == 0 && len(res.Steps) > 0 {
+		t.Error("steps accepted without evaluations")
+	}
+}
+
+func TestPowerSearchRespectsBounds(t *testing.T) {
+	sc := makeScenario(t, 5)
+	work := sc.upgrade.Clone()
+	if _, err := Power(work, sc.base, sc.neighbors, Options{MaxSteps: 50}); err != nil {
+		t.Fatal(err)
+	}
+	net := sc.model.Net
+	for b := range net.Sectors {
+		p := work.Cfg.PowerDbm(b)
+		if p > net.Sectors[b].MaxPowerDbm || p < net.Sectors[b].MinPowerDbm {
+			t.Fatalf("sector %d power %v outside hardware bounds", b, p)
+		}
+	}
+	// Only neighbors may have been touched.
+	isNeighbor := map[int]bool{}
+	for _, b := range sc.neighbors {
+		isNeighbor[b] = true
+	}
+	for b := range net.Sectors {
+		if isNeighbor[b] || b == sc.targets[0] {
+			continue
+		}
+		if work.Cfg.PowerDbm(b) != net.Sectors[b].DefaultPowerDbm {
+			t.Fatalf("non-neighbor sector %d power changed", b)
+		}
+	}
+}
+
+func TestPowerSearchDifferentModelsFails(t *testing.T) {
+	a := makeScenario(t, 3)
+	b := makeScenario(t, 5)
+	if _, err := Power(a.upgrade.Clone(), b.base, a.neighbors, Options{}); err == nil {
+		t.Error("mismatched models should fail")
+	}
+}
+
+func TestNaivePowerNeverWorsens(t *testing.T) {
+	sc := makeScenario(t, 7)
+	u0 := sc.upgrade.Utility(utility.Performance)
+	work := sc.upgrade.Clone()
+	res, err := NaivePower(work, sc.neighbors, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalUtility < u0 {
+		t.Fatalf("naive search worsened utility: %v -> %v", u0, res.FinalUtility)
+	}
+	prev := u0
+	for i, st := range res.Steps {
+		if st.Utility <= prev {
+			t.Fatalf("naive step %d not improving: %v <= %v", i, st.Utility, prev)
+		}
+		prev = st.Utility
+	}
+}
+
+func TestMagusAtLeastCompetitiveWithNaive(t *testing.T) {
+	// Figure 13's claim: the heuristic is never much worse than naive
+	// (improvement ratio >= 0.9 in the paper's worst case).
+	for _, seed := range []int64{3, 7, 11} {
+		sc := makeScenario(t, seed)
+		uUpgrade := sc.upgrade.Utility(utility.Performance)
+		uBefore := sc.base.Utility(utility.Performance)
+		if uBefore-uUpgrade < 1e-9 {
+			continue
+		}
+		magusWork := sc.upgrade.Clone()
+		magusRes, err := Power(magusWork, sc.base, sc.neighbors, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveWork := sc.upgrade.Clone()
+		naiveRes, err := NaivePower(naiveWork, sc.neighbors, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		magusRR := utility.RecoveryRatio(uBefore, uUpgrade, magusRes.FinalUtility)
+		naiveRR := utility.RecoveryRatio(uBefore, uUpgrade, naiveRes.FinalUtility)
+		if naiveRR > 0.01 && magusRR < 0.8*naiveRR {
+			t.Errorf("seed %d: Magus recovery %v far below naive %v", seed, magusRR, naiveRR)
+		}
+	}
+}
+
+func TestTiltSearch(t *testing.T) {
+	sc := makeScenario(t, 9)
+	u0 := sc.upgrade.Utility(utility.Performance)
+	work := sc.upgrade.Clone()
+	res, err := Tilt(work, sc.neighbors, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalUtility < u0 {
+		t.Fatalf("tilt search worsened utility: %v -> %v", u0, res.FinalUtility)
+	}
+	// Tilt moves must only uptilt (negative deltas) and stay in table.
+	for _, st := range res.Steps {
+		if st.Change.TiltDelta >= 0 {
+			t.Fatalf("tilt step %v is not an uptilt", st.Change)
+		}
+	}
+	net := sc.model.Net
+	for b := range net.Sectors {
+		if !net.Sectors[b].Tilts.ValidIndex(work.Cfg.TiltIndex(b)) {
+			t.Fatalf("sector %d tilt index %d invalid", b, work.Cfg.TiltIndex(b))
+		}
+	}
+}
+
+func TestJointAtLeastTilt(t *testing.T) {
+	sc := makeScenario(t, 3)
+	tiltWork := sc.upgrade.Clone()
+	tiltRes, err := Tilt(tiltWork, sc.neighbors, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jointWork := sc.upgrade.Clone()
+	jointRes, err := Joint(jointWork, sc.base, sc.neighbors, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jointRes.FinalUtility < tiltRes.FinalUtility-1e-9 {
+		t.Errorf("joint %v below tilt-only %v", jointRes.FinalUtility, tiltRes.FinalUtility)
+	}
+	if jointRes.Evaluations < tiltRes.Evaluations {
+		t.Error("joint evaluations should include the tilt phase")
+	}
+}
+
+func TestSortByDistanceTo(t *testing.T) {
+	sc := makeScenario(t, 3)
+	sorted := SortByDistanceTo(sc.upgrade, sc.neighbors, sc.targets)
+	if len(sorted) != len(sc.neighbors) {
+		t.Fatalf("sorted has %d entries, want %d", len(sorted), len(sc.neighbors))
+	}
+	net := sc.model.Net
+	tpos := net.Sectors[sc.targets[0]].Pos
+	for i := 1; i < len(sorted); i++ {
+		d0 := net.Sectors[sorted[i-1]].Pos.DistanceTo(tpos)
+		d1 := net.Sectors[sorted[i]].Pos.DistanceTo(tpos)
+		if d0 > d1+1e-9 {
+			t.Fatalf("ordering broken at %d: %v > %v", i, d0, d1)
+		}
+	}
+}
+
+func TestBruteForcePower(t *testing.T) {
+	sc := makeScenario(t, 3)
+	work := sc.upgrade.Clone()
+	u0 := work.Utility(utility.Performance)
+	sectors := sc.neighbors[:2]
+	levels := make([][]float64, len(sectors))
+	for i, b := range sectors {
+		def := sc.model.Net.Sectors[b].DefaultPowerDbm
+		levels[i] = []float64{def, def + 1, def + 2, def + 3}
+	}
+	res, err := BruteForcePower(work, sectors, levels, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluations != 16 {
+		t.Errorf("evaluations = %d, want 4x4 = 16", res.Evaluations)
+	}
+	if res.FinalUtility < u0 {
+		t.Fatalf("brute force worsened utility: %v -> %v", u0, res.FinalUtility)
+	}
+	// The chosen powers must come from the level sets.
+	for i, b := range sectors {
+		p := work.Cfg.PowerDbm(b)
+		found := false
+		for _, l := range levels[i] {
+			if p == l {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("sector %d committed power %v not in level set", b, p)
+		}
+	}
+}
+
+func TestBruteForceErrors(t *testing.T) {
+	sc := makeScenario(t, 3)
+	work := sc.upgrade.Clone()
+	if _, err := BruteForcePower(work, []int{0, 1}, [][]float64{{43}}, Options{}, 0); err == nil {
+		t.Error("mismatched lengths should fail")
+	}
+	if _, err := BruteForcePower(work, []int{0}, [][]float64{{}}, Options{}, 0); err == nil {
+		t.Error("empty level set should fail")
+	}
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = 30 + float64(i)/10
+	}
+	if _, err := BruteForcePower(work, []int{0, 1, 2, 3},
+		[][]float64{big, big, big, big}, Options{}, 1000); err == nil {
+		t.Error("combinatorial explosion should be rejected")
+	}
+}
+
+func TestBruteForceBeatsOrMatchesHeuristicOnItsGrid(t *testing.T) {
+	// On the same discrete grid, exhaustive search is optimal by
+	// construction, so it must be at least as good as Algorithm 1
+	// restricted to the same two sectors.
+	sc := makeScenario(t, 11)
+	sectors := sc.neighbors[:2]
+
+	heuristic := sc.upgrade.Clone()
+	hRes, err := Power(heuristic, sc.base, sectors, Options{MaxPowerUnitDB: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	brute := sc.upgrade.Clone()
+	levels := make([][]float64, len(sectors))
+	for i, b := range sectors {
+		def := sc.model.Net.Sectors[b].DefaultPowerDbm
+		max := sc.model.Net.Sectors[b].MaxPowerDbm
+		for p := def; p <= max; p++ {
+			levels[i] = append(levels[i], p)
+		}
+	}
+	bRes, err := BruteForcePower(brute, sectors, levels, Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bRes.FinalUtility < hRes.FinalUtility-1e-9 {
+		t.Errorf("brute force %v below heuristic %v on the same grid",
+			bRes.FinalUtility, hRes.FinalUtility)
+	}
+}

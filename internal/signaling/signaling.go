@@ -1,0 +1,164 @@
+// Package signaling models the control-plane cost of handovers — the
+// reason the paper minimizes synchronized handovers in the first place:
+// "synchronized handovers resulting from a sudden configuration change
+// can severely strain the cellular network and potentially cause
+// service disruptions for users" (Section 1).
+//
+// Each handover is a signaling transaction processed by the mobility
+// core (MME/S1AP or X2 path switch). The core is modeled as a fluid
+// queue: handover bursts arrive at migration-step instants, a fixed
+// number of servers drains them at a constant per-transaction service
+// time, and transactions whose queueing delay exceeds the handover
+// preparation timeout fail (the UE falls back to connection
+// re-establishment — precisely the service disruption Magus wants to
+// avoid). Hard handovers (source cell already off-air) carry a heavier
+// transaction because the context-fetch path is lost.
+package signaling
+
+import (
+	"fmt"
+	"strings"
+
+	"magus/internal/migrate"
+)
+
+// Config describes the mobility core's signaling capacity.
+type Config struct {
+	// RatePerSec is the sustained handover-transaction processing rate
+	// of the pool (default 50/s, a mid-size MME pool's order of
+	// magnitude).
+	RatePerSec float64
+	// TimeoutSec is the handover preparation timeout: transactions
+	// queued longer than this fail (default 5 s, 3GPP T304-scale).
+	TimeoutSec float64
+	// StepIntervalSec is the wall-clock spacing of migration steps
+	// (default 60 s: one configuration push per minute).
+	StepIntervalSec float64
+	// HardHandoverCost is the transaction weight of a hard handover
+	// relative to a seamless one (default 3: re-establishment involves
+	// service request + path switch + context recovery).
+	HardHandoverCost float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 50
+	}
+	if c.TimeoutSec <= 0 {
+		c.TimeoutSec = 5
+	}
+	if c.StepIntervalSec <= 0 {
+		c.StepIntervalSec = 60
+	}
+	if c.HardHandoverCost <= 0 {
+		c.HardHandoverCost = 3
+	}
+}
+
+// StepLoad is the signaling outcome of one migration step.
+type StepLoad struct {
+	// Arrivals is the transaction load arriving at this step (seamless
+	// + weighted hard handovers).
+	Arrivals float64
+	// PeakQueue is the backlog right after the burst lands (including
+	// any leftover from prior steps).
+	PeakQueue float64
+	// MaxDelaySec is the queueing delay of the last transaction in the
+	// backlog.
+	MaxDelaySec float64
+	// Failed is the transaction volume whose delay exceeds the timeout.
+	Failed float64
+}
+
+// Report summarizes a migration plan's signaling cost.
+type Report struct {
+	Steps []StepLoad
+	// PeakQueue is the largest backlog over the whole migration.
+	PeakQueue float64
+	// MaxDelaySec is the worst queueing delay.
+	MaxDelaySec float64
+	// FailedTransactions is the total volume of timed-out transactions
+	// (service disruptions).
+	FailedTransactions float64
+	// TotalTransactions is the total signaling volume.
+	TotalTransactions float64
+}
+
+// FailureFraction returns failed / total transactions.
+func (r *Report) FailureFraction() float64 {
+	if r.TotalTransactions == 0 {
+		return 0
+	}
+	return r.FailedTransactions / r.TotalTransactions
+}
+
+// String prints a compact per-step table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "signaling: peak queue %.0f, max delay %.1fs, %.0f/%.0f transactions failed (%.1f%%)\n",
+		r.PeakQueue, r.MaxDelaySec, r.FailedTransactions, r.TotalTransactions,
+		100*r.FailureFraction())
+	for i, s := range r.Steps {
+		fmt.Fprintf(&b, "  step %2d: arrivals %6.0f peak %6.0f delay %5.1fs failed %5.0f\n",
+			i+1, s.Arrivals, s.PeakQueue, s.MaxDelaySec, s.Failed)
+	}
+	return b.String()
+}
+
+// Evaluate runs a migration plan's handover bursts through the
+// signaling queue.
+func Evaluate(plan *migrate.Plan, cfg Config) (*Report, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("signaling: nil plan")
+	}
+	cfg.applyDefaults()
+	rep := &Report{}
+	queue := 0.0
+	for _, step := range plan.Steps {
+		hard := step.Handovers - step.Seamless
+		if hard < 0 {
+			hard = 0
+		}
+		arrivals := step.Seamless + hard*cfg.HardHandoverCost
+		queue += arrivals
+		sl := StepLoad{Arrivals: arrivals, PeakQueue: queue}
+		// The last transaction in the backlog waits queue/rate seconds.
+		sl.MaxDelaySec = queue / cfg.RatePerSec
+		// Everything scheduled beyond the timeout horizon fails.
+		capacityWithinTimeout := cfg.RatePerSec * cfg.TimeoutSec
+		if queue > capacityWithinTimeout {
+			sl.Failed = queue - capacityWithinTimeout
+			// Failed transactions leave the queue (the UE gave up).
+			queue = capacityWithinTimeout
+		}
+		rep.Steps = append(rep.Steps, sl)
+		rep.TotalTransactions += arrivals
+		rep.FailedTransactions += sl.Failed
+		if sl.PeakQueue > rep.PeakQueue {
+			rep.PeakQueue = sl.PeakQueue
+		}
+		if sl.MaxDelaySec > rep.MaxDelaySec {
+			rep.MaxDelaySec = sl.MaxDelaySec
+		}
+		// Drain until the next step.
+		queue -= cfg.RatePerSec * cfg.StepIntervalSec
+		if queue < 0 {
+			queue = 0
+		}
+	}
+	return rep, nil
+}
+
+// Compare evaluates two plans (typically gradual vs one-shot) under the
+// same signaling capacity and returns both reports.
+func Compare(gradual, oneShot *migrate.Plan, cfg Config) (g, o *Report, err error) {
+	g, err = Evaluate(gradual, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	o, err = Evaluate(oneShot, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, o, nil
+}

@@ -1,0 +1,146 @@
+package signaling
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"magus/internal/migrate"
+)
+
+// plan builds a synthetic migration plan from (handovers, seamless)
+// pairs.
+func plan(steps ...[2]float64) *migrate.Plan {
+	p := &migrate.Plan{}
+	for _, s := range steps {
+		p.Steps = append(p.Steps, migrate.StepRecord{Handovers: s[0], Seamless: s[1]})
+	}
+	return p
+}
+
+func TestEvaluateNilPlan(t *testing.T) {
+	if _, err := Evaluate(nil, Config{}); err == nil {
+		t.Error("nil plan should fail")
+	}
+}
+
+func TestSmallBurstNoFailures(t *testing.T) {
+	// 100 seamless handovers at 50/s drain in 2 s, inside a 5 s timeout.
+	rep, err := Evaluate(plan([2]float64{100, 100}), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedTransactions != 0 {
+		t.Errorf("failed = %v, want 0", rep.FailedTransactions)
+	}
+	if math.Abs(rep.MaxDelaySec-2) > 1e-9 {
+		t.Errorf("max delay = %v, want 2", rep.MaxDelaySec)
+	}
+	if rep.PeakQueue != 100 {
+		t.Errorf("peak queue = %v, want 100", rep.PeakQueue)
+	}
+}
+
+func TestLargeSynchronizedBurstFails(t *testing.T) {
+	// 1000 simultaneous handovers, 400 of them hard (cost 3): 600 + 1200
+	// = 1800 transactions against a 250-transaction timeout budget.
+	rep, err := Evaluate(plan([2]float64{1000, 600}), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFailed := 1800.0 - 50*5
+	if math.Abs(rep.FailedTransactions-wantFailed) > 1e-9 {
+		t.Errorf("failed = %v, want %v", rep.FailedTransactions, wantFailed)
+	}
+	if rep.FailureFraction() <= 0.5 {
+		t.Errorf("failure fraction = %v, want majority", rep.FailureFraction())
+	}
+}
+
+func TestHardHandoversCostMore(t *testing.T) {
+	seamless, err := Evaluate(plan([2]float64{300, 300}), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard, err := Evaluate(plan([2]float64{300, 0}), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.TotalTransactions <= seamless.TotalTransactions {
+		t.Errorf("hard handovers should cost more: %v vs %v",
+			hard.TotalTransactions, seamless.TotalTransactions)
+	}
+	if hard.MaxDelaySec <= seamless.MaxDelaySec {
+		t.Error("hard handover burst should queue longer")
+	}
+}
+
+func TestQueueDrainsBetweenSteps(t *testing.T) {
+	// Two bursts of 100 at 60 s spacing drain fully in between: the
+	// second step's peak equals the first's.
+	rep, err := Evaluate(plan([2]float64{100, 100}, [2]float64{100, 100}), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steps[1].PeakQueue != rep.Steps[0].PeakQueue {
+		t.Errorf("queue should fully drain between spaced steps: %v vs %v",
+			rep.Steps[0].PeakQueue, rep.Steps[1].PeakQueue)
+	}
+	// With 1 s spacing the backlog carries over.
+	rep2, err := Evaluate(plan([2]float64{100, 100}, [2]float64{100, 100}),
+		Config{StepIntervalSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Steps[1].PeakQueue <= rep2.Steps[0].PeakQueue {
+		t.Error("tight spacing should accumulate backlog")
+	}
+}
+
+func TestGradualBeatsOneShot(t *testing.T) {
+	// The gradual plan spreads 1000 seamless handovers over 10 steps;
+	// the one-shot plan lands 1000 handovers at once, 700 of them hard.
+	var gradualSteps [][2]float64
+	for i := 0; i < 10; i++ {
+		gradualSteps = append(gradualSteps, [2]float64{100, 100})
+	}
+	g, o, err := Compare(plan(gradualSteps...), plan([2]float64{1000, 300}), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.FailedTransactions > 0 {
+		t.Errorf("gradual plan should not drop transactions, dropped %v", g.FailedTransactions)
+	}
+	if o.FailedTransactions == 0 {
+		t.Error("one-shot burst should overwhelm the signaling core")
+	}
+	if g.MaxDelaySec >= o.MaxDelaySec {
+		t.Errorf("gradual max delay %v should beat one-shot %v", g.MaxDelaySec, o.MaxDelaySec)
+	}
+}
+
+func TestFailureFractionEmpty(t *testing.T) {
+	rep := &Report{}
+	if rep.FailureFraction() != 0 {
+		t.Error("empty report should have zero failure fraction")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := Evaluate(plan([2]float64{100, 50}), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "signaling:") || !strings.Contains(s, "step  1") {
+		t.Errorf("report string: %q", s)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.applyDefaults()
+	if c.RatePerSec != 50 || c.TimeoutSec != 5 || c.StepIntervalSec != 60 || c.HardHandoverCost != 3 {
+		t.Errorf("defaults = %+v", c)
+	}
+}

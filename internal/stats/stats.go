@@ -1,0 +1,162 @@
+// Package stats provides the small statistical helpers used by the
+// evaluation harness: empirical CDFs (Figure 13), summary statistics,
+// and improvement ratios.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the basic statistics of a sample.
+type Summary struct {
+	N           int
+	Mean        float64
+	Min         float64
+	Max         float64
+	Stddev      float64
+	Median      float64
+	Percentile5 float64
+	// Percentile95 is the 95th percentile.
+	Percentile95 float64
+}
+
+// Summarize computes summary statistics; an empty input yields a zero
+// Summary.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	sum, sumSq := 0.0, 0.0
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:            len(sorted),
+		Mean:         mean,
+		Min:          sorted[0],
+		Max:          sorted[len(sorted)-1],
+		Stddev:       math.Sqrt(variance),
+		Median:       quantileSorted(sorted, 0.5),
+		Percentile5:  quantileSorted(sorted, 0.05),
+		Percentile95: quantileSorted(sorted, 0.95),
+	}
+}
+
+// quantileSorted returns the q-quantile of a sorted slice with linear
+// interpolation.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from a sample (which is copied).
+func NewCDF(values []float64) *CDF {
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// N returns the sample size.
+func (c *CDF) N() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile of the sample.
+func (c *CDF) Quantile(q float64) float64 {
+	return quantileSorted(c.sorted, q)
+}
+
+// Points returns (value, cumulative probability) pairs suitable for
+// plotting: one point per sample in ascending order.
+func (c *CDF) Points() [][2]float64 {
+	out := make([][2]float64, len(c.sorted))
+	for i, v := range c.sorted {
+		out[i] = [2]float64{v, float64(i+1) / float64(len(c.sorted))}
+	}
+	return out
+}
+
+// AsciiPlot renders the CDF as a compact text plot of the given width
+// and height — good enough to eyeball the Figure 13 shape in a terminal.
+func (c *CDF) AsciiPlot(width, height int) string {
+	if len(c.sorted) == 0 || width < 8 || height < 2 {
+		return "(empty cdf)"
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		x := lo + (hi-lo)*float64(col)/float64(width-1)
+		p := c.At(x)
+		row := int((1 - p) * float64(height-1))
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		p := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%5.2f |%s|\n", p, string(row))
+	}
+	fmt.Fprintf(&b, "      %s\n", strings.Repeat("-", width+2))
+	fmt.Fprintf(&b, "      %-*.3g%*.3g\n", width/2+1, lo, width/2+1, hi)
+	return b.String()
+}
+
+// Ratios divides paired samples elementwise: out[i] = num[i] / den[i].
+// Pairs whose denominator magnitude is below eps are skipped.
+func Ratios(num, den []float64, eps float64) []float64 {
+	n := len(num)
+	if len(den) < n {
+		n = len(den)
+	}
+	var out []float64
+	for i := 0; i < n; i++ {
+		if math.Abs(den[i]) < eps {
+			continue
+		}
+		out = append(out, num[i]/den[i])
+	}
+	return out
+}

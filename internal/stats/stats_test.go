@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	want := math.Sqrt(2)
+	if math.Abs(s.Stddev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.Stddev, want)
+	}
+}
+
+func TestSummarizeInputUnmodified(t *testing.T) {
+	in := []float64{5, 1, 3}
+	Summarize(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Error("Summarize modified its input")
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(in []float64) bool {
+		clean := in[:0]
+		for _, v := range in {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, math.Mod(v, 1e6))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Percentile5+1e-9 && s.Percentile5 <= s.Median+1e-9 &&
+			s.Median <= s.Percentile95+1e-9 && s.Percentile95 <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, cs := range cases {
+		if got := c.At(cs.x); math.Abs(got-cs.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", cs.x, got, cs.want)
+		}
+	}
+	if NewCDF(nil).At(5) != 0 {
+		t.Error("empty CDF should return 0")
+	}
+}
+
+func TestCDFQuantileInverseProperty(t *testing.T) {
+	f := func(in []float64) bool {
+		var clean []float64
+		for _, v := range in {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, math.Mod(v, 1e6))
+			}
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		c := NewCDF(clean)
+		// Quantile is monotone.
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := c.Quantile(q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2})
+	pts := c.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] }) {
+		t.Error("points not sorted by value")
+	}
+	if pts[2][1] != 1 {
+		t.Errorf("last point probability = %v, want 1", pts[2][1])
+	}
+}
+
+func TestAsciiPlot(t *testing.T) {
+	c := NewCDF([]float64{1, 1.2, 1.3, 2, 3.87})
+	plot := c.AsciiPlot(40, 8)
+	if !strings.Contains(plot, "*") {
+		t.Error("plot contains no points")
+	}
+	if NewCDF(nil).AsciiPlot(40, 8) != "(empty cdf)" {
+		t.Error("empty CDF plot")
+	}
+	if c.AsciiPlot(2, 1) != "(empty cdf)" {
+		t.Error("degenerate dimensions should be rejected")
+	}
+}
+
+func TestRatios(t *testing.T) {
+	got := Ratios([]float64{2, 6, 1}, []float64{1, 2, 0}, 1e-9)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("Ratios = %v, want [2 3]", got)
+	}
+	// Mismatched lengths use the shorter.
+	if got := Ratios([]float64{1, 2, 3}, []float64{1}, 1e-9); len(got) != 1 {
+		t.Errorf("Ratios length = %d, want 1", len(got))
+	}
+}

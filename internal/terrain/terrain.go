@@ -1,0 +1,478 @@
+// Package terrain synthesizes the terrain and land-use (clutter) data
+// that the paper obtains from the Atoll planning tool's operational
+// database. The Magus model only consumes terrain through per-grid path
+// loss corrections, so any deterministic, spatially-correlated field with
+// realistic statistics exercises the same code paths.
+//
+// Elevation is generated with the diamond-square midpoint-displacement
+// algorithm (a classic fractal terrain generator), and clutter classes
+// (water, open, forest, suburban, urban) are derived from a second
+// fractal field biased by distance to configured urban centers. Both are
+// fully determined by a seed, which makes every experiment in the
+// repository reproducible.
+package terrain
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"magus/internal/geo"
+)
+
+// Class is a land-use category assigned to each terrain cell. The
+// categories mirror the clutter classes used by commercial planning
+// tools; each has an associated excess path loss and a relative user
+// density weight.
+type Class uint8
+
+// Clutter classes, ordered from least to most radio-obstructive
+// (water reflects, dense urban obstructs).
+const (
+	ClassWater Class = iota
+	ClassOpen
+	ClassForest
+	ClassSuburban
+	ClassUrban
+	numClasses
+)
+
+// String returns the lower-case name of the clutter class.
+func (c Class) String() string {
+	switch c {
+	case ClassWater:
+		return "water"
+	case ClassOpen:
+		return "open"
+	case ClassForest:
+		return "forest"
+	case ClassSuburban:
+		return "suburban"
+	case ClassUrban:
+		return "urban"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// ExcessLossDB returns the additional path loss in dB (negative)
+// attributed to the clutter class at the receiver location. Values follow
+// the magnitudes used in COST-231 clutter correction practice.
+func (c Class) ExcessLossDB() float64 {
+	switch c {
+	case ClassWater:
+		return +2 // over-water paths are slightly better than free space over land
+	case ClassOpen:
+		return 0
+	case ClassForest:
+		return -8
+	case ClassSuburban:
+		return -6
+	case ClassUrban:
+		return -14
+	default:
+		return 0
+	}
+}
+
+// DensityWeight returns the relative user density of the clutter class,
+// used when distributing UEs non-uniformly.
+func (c Class) DensityWeight() float64 {
+	switch c {
+	case ClassWater:
+		return 0
+	case ClassOpen:
+		return 0.2
+	case ClassForest:
+		return 0.1
+	case ClassSuburban:
+		return 1.0
+	case ClassUrban:
+		return 3.0
+	default:
+		return 0
+	}
+}
+
+// Config controls terrain synthesis.
+type Config struct {
+	// Seed determines the generated terrain; equal seeds yield equal maps.
+	Seed int64
+	// Bounds is the area the terrain must cover, in meters.
+	Bounds geo.Rect
+	// Resolution is the lattice spacing in meters (default 200).
+	Resolution float64
+	// Roughness in (0, 1] controls elevation variation decay per octave
+	// (default 0.55). Higher is rougher.
+	Roughness float64
+	// ReliefM is the peak-to-peak elevation range in meters (default 300).
+	ReliefM float64
+	// UrbanCenters bias the clutter field: cells near a center are more
+	// likely to classify as urban/suburban. Empty means purely fractal
+	// clutter.
+	UrbanCenters []geo.Point
+	// UrbanRadiusM is the distance over which urban bias decays
+	// (default 4000).
+	UrbanRadiusM float64
+	// UrbanBias in [0,1] scales how strongly centers urbanize their
+	// surroundings (default 0.7).
+	UrbanBias float64
+	// WaterFraction is the approximate fraction of cells classified as
+	// water (default 0.04).
+	WaterFraction float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Resolution <= 0 {
+		c.Resolution = 200
+	}
+	if c.Roughness <= 0 || c.Roughness > 1 {
+		c.Roughness = 0.55
+	}
+	if c.ReliefM <= 0 {
+		c.ReliefM = 300
+	}
+	if c.UrbanRadiusM <= 0 {
+		c.UrbanRadiusM = 4000
+	}
+	if c.UrbanBias <= 0 {
+		c.UrbanBias = 0.7
+	}
+	if c.WaterFraction <= 0 {
+		c.WaterFraction = 0.04
+	}
+}
+
+// Map is a generated terrain: a lattice of elevations and clutter
+// classes covering Bounds.
+type Map struct {
+	bounds  geo.Rect
+	step    float64 // lattice spacing in meters
+	n       int     // lattice points per side (2^k + 1)
+	elev    []float64
+	clutter []Class
+}
+
+// Generate synthesizes a terrain map from cfg.
+func Generate(cfg Config) (*Map, error) {
+	cfg.applyDefaults()
+	if cfg.Bounds.Width() <= 0 || cfg.Bounds.Height() <= 0 {
+		return nil, fmt.Errorf("terrain: bounds must have positive area")
+	}
+	span := math.Max(cfg.Bounds.Width(), cfg.Bounds.Height())
+	cells := span / cfg.Resolution
+	k := int(math.Ceil(math.Log2(math.Max(2, cells))))
+	if k > 12 { // 4097x4097 lattice cap: ~134 MB of float64
+		k = 12
+	}
+	n := (1 << k) + 1
+	m := &Map{
+		bounds: cfg.Bounds,
+		step:   span / float64(n-1),
+		n:      n,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m.elev = diamondSquare(rng, k, cfg.Roughness, cfg.ReliefM)
+	clutterField := diamondSquare(rng, k, 0.65, 1.0)
+	m.classify(clutterField, cfg)
+	return m, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(cfg Config) *Map {
+	m, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// diamondSquare produces a (2^k+1)^2 fractal height field with values
+// spanning approximately [-relief/2, +relief/2].
+func diamondSquare(rng *rand.Rand, k int, roughness, relief float64) []float64 {
+	n := (1 << k) + 1
+	h := make([]float64, n*n)
+	at := func(x, y int) float64 { return h[y*n+x] }
+	set := func(x, y int, v float64) { h[y*n+x] = v }
+
+	amp := 1.0
+	// Seed the corners.
+	for _, p := range [][2]int{{0, 0}, {n - 1, 0}, {0, n - 1}, {n - 1, n - 1}} {
+		set(p[0], p[1], (rng.Float64()*2-1)*amp)
+	}
+	for step := n - 1; step > 1; step /= 2 {
+		half := step / 2
+		// Diamond step: centers of squares.
+		for y := half; y < n; y += step {
+			for x := half; x < n; x += step {
+				avg := (at(x-half, y-half) + at(x+half, y-half) +
+					at(x-half, y+half) + at(x+half, y+half)) / 4
+				set(x, y, avg+(rng.Float64()*2-1)*amp)
+			}
+		}
+		// Square step: edge midpoints.
+		for y := 0; y < n; y += half {
+			start := half
+			if (y/half)%2 == 1 {
+				start = 0
+			}
+			for x := start; x < n; x += step {
+				sum, cnt := 0.0, 0
+				if x-half >= 0 {
+					sum += at(x-half, y)
+					cnt++
+				}
+				if x+half < n {
+					sum += at(x+half, y)
+					cnt++
+				}
+				if y-half >= 0 {
+					sum += at(x, y-half)
+					cnt++
+				}
+				if y+half < n {
+					sum += at(x, y+half)
+					cnt++
+				}
+				set(x, y, sum/float64(cnt)+(rng.Float64()*2-1)*amp)
+			}
+		}
+		amp *= roughness
+	}
+	// Normalize to [-relief/2, relief/2].
+	lo, hi := h[0], h[0]
+	for _, v := range h {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	for i, v := range h {
+		h[i] = ((v-lo)/span - 0.5) * relief
+	}
+	return h
+}
+
+// classify derives clutter classes from the clutter fractal field plus
+// urban-center bias and elevation (low wet basins become water).
+func (m *Map) classify(field []float64, cfg Config) {
+	n := m.n
+	m.clutter = make([]Class, n*n)
+
+	// Determine per-cell urbanness score.
+	scores := make([]float64, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			i := y*n + x
+			p := m.latticePoint(x, y)
+			urban := 0.0
+			for _, c := range cfg.UrbanCenters {
+				d := p.DistanceTo(c)
+				u := cfg.UrbanBias * math.Exp(-d/cfg.UrbanRadiusM)
+				if u > urban {
+					urban = u
+				}
+			}
+			// field is in [-0.5, 0.5]; shift to [0,1] and blend.
+			scores[i] = (field[i] + 0.5) + urban
+		}
+	}
+
+	// Water: lowest-elevation fraction of cells.
+	waterLevel := quantile(m.elev, cfg.WaterFraction)
+	for i := range m.clutter {
+		switch {
+		case m.elev[i] <= waterLevel:
+			m.clutter[i] = ClassWater
+		case scores[i] >= 1.05:
+			m.clutter[i] = ClassUrban
+		case scores[i] >= 0.75:
+			m.clutter[i] = ClassSuburban
+		case scores[i] >= 0.45:
+			m.clutter[i] = ClassOpen
+		default:
+			m.clutter[i] = ClassForest
+		}
+	}
+}
+
+// quantile returns the q-quantile (0<=q<=1) of values without modifying
+// the input.
+func quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), values...)
+	// Partial selection via sort is fine at this scale.
+	sortFloats(cp)
+	idx := int(q * float64(len(cp)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+func sortFloats(v []float64) {
+	// Insertion-free: delegate to sort.Float64s without importing sort in
+	// multiple spots — small helper keeps call sites clean.
+	quickSort(v, 0, len(v)-1)
+}
+
+func quickSort(v []float64, lo, hi int) {
+	for lo < hi {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && v[j] < v[j-1]; j-- {
+					v[j], v[j-1] = v[j-1], v[j]
+				}
+			}
+			return
+		}
+		p := v[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for v[i] < p {
+				i++
+			}
+			for v[j] > p {
+				j--
+			}
+			if i <= j {
+				v[i], v[j] = v[j], v[i]
+				i++
+				j--
+			}
+		}
+		if j-lo < hi-i {
+			quickSort(v, lo, j)
+			lo = i
+		} else {
+			quickSort(v, i, hi)
+			hi = j
+		}
+	}
+}
+
+// latticePoint returns the map coordinates of lattice node (x, y).
+func (m *Map) latticePoint(x, y int) geo.Point {
+	return geo.Point{
+		X: m.bounds.Min.X + float64(x)*m.step,
+		Y: m.bounds.Min.Y + float64(y)*m.step,
+	}
+}
+
+// Bounds returns the area covered by the map.
+func (m *Map) Bounds() geo.Rect { return m.bounds }
+
+// ElevationAt returns the terrain elevation in meters at p, bilinearly
+// interpolated. Points outside the bounds are clamped to the boundary.
+func (m *Map) ElevationAt(p geo.Point) float64 {
+	fx, fy, x0, y0 := m.locate(p)
+	n := m.n
+	e00 := m.elev[y0*n+x0]
+	e10 := m.elev[y0*n+x0+1]
+	e01 := m.elev[(y0+1)*n+x0]
+	e11 := m.elev[(y0+1)*n+x0+1]
+	return e00*(1-fx)*(1-fy) + e10*fx*(1-fy) + e01*(1-fx)*fy + e11*fx*fy
+}
+
+// ClutterAt returns the clutter class at p (nearest lattice node).
+func (m *Map) ClutterAt(p geo.Point) Class {
+	fx, fy, x0, y0 := m.locate(p)
+	x, y := x0, y0
+	if fx >= 0.5 {
+		x++
+	}
+	if fy >= 0.5 {
+		y++
+	}
+	return m.clutter[y*m.n+x]
+}
+
+// locate maps p to lattice coordinates: integer cell (x0, y0) plus
+// fractional offsets, clamped so (x0+1, y0+1) is always valid.
+func (m *Map) locate(p geo.Point) (fx, fy float64, x0, y0 int) {
+	gx := (p.X - m.bounds.Min.X) / m.step
+	gy := (p.Y - m.bounds.Min.Y) / m.step
+	gx = math.Max(0, math.Min(gx, float64(m.n-1)))
+	gy = math.Max(0, math.Min(gy, float64(m.n-1)))
+	x0 = int(gx)
+	y0 = int(gy)
+	if x0 >= m.n-1 {
+		x0 = m.n - 2
+	}
+	if y0 >= m.n-1 {
+		y0 = m.n - 2
+	}
+	return gx - float64(x0), gy - float64(y0), x0, y0
+}
+
+// ClassFractions returns the fraction of lattice cells per clutter class.
+func (m *Map) ClassFractions() map[Class]float64 {
+	counts := make(map[Class]float64, int(numClasses))
+	for _, c := range m.clutter {
+		counts[c]++
+	}
+	total := float64(len(m.clutter))
+	for k := range counts {
+		counts[k] /= total
+	}
+	return counts
+}
+
+// DiffractionLossDB estimates the terrain obstruction loss in dB
+// (negative) along the path from tx (at txHeight meters above ground) to
+// rx (at rxHeight), using a single-knife-edge approximation over the
+// highest obstruction relative to the line of sight.
+func (m *Map) DiffractionLossDB(tx, rx geo.Point, txHeight, rxHeight, wavelengthM float64) float64 {
+	d := tx.DistanceTo(rx)
+	if d < m.step*2 {
+		return 0
+	}
+	hTx := m.ElevationAt(tx) + txHeight
+	hRx := m.ElevationAt(rx) + rxHeight
+
+	// Sample the profile at the lattice resolution, find the worst
+	// Fresnel parameter.
+	steps := int(d / m.step)
+	if steps > 64 {
+		steps = 64 // cap profile sampling for speed; adequate for 100 m grids
+	}
+	worst := math.Inf(-1)
+	for i := 1; i < steps; i++ {
+		t := float64(i) / float64(steps)
+		p := geo.Point{X: tx.X + (rx.X-tx.X)*t, Y: tx.Y + (rx.Y-tx.Y)*t}
+		ground := m.ElevationAt(p)
+		los := hTx + (hRx-hTx)*t
+		h := ground - los // obstruction height above line of sight
+		d1 := d * t
+		d2 := d * (1 - t)
+		v := h * math.Sqrt(2*d/(wavelengthM*d1*d2))
+		if v > worst {
+			worst = v
+		}
+	}
+	return knifeEdgeLossDB(worst)
+}
+
+// knifeEdgeLossDB returns the (negative) diffraction loss for Fresnel
+// parameter v using the standard ITU-R P.526 approximation.
+func knifeEdgeLossDB(v float64) float64 {
+	if v <= -0.78 {
+		return 0
+	}
+	loss := 6.9 + 20*math.Log10(math.Sqrt((v-0.1)*(v-0.1)+1)+v-0.1)
+	if loss < 0 {
+		loss = 0
+	}
+	return -loss
+}

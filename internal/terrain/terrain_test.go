@@ -1,0 +1,260 @@
+package terrain
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"magus/internal/geo"
+)
+
+func testConfig(seed int64) Config {
+	return Config{
+		Seed:         seed,
+		Bounds:       geo.NewRectCentered(geo.Point{X: 0, Y: 0}, 10000, 10000),
+		Resolution:   200,
+		UrbanCenters: []geo.Point{{X: 0, Y: 0}},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(testConfig(42))
+	b := MustGenerate(testConfig(42))
+	pts := []geo.Point{{X: 0, Y: 0}, {X: 1234, Y: -2345}, {X: -4999, Y: 4999}}
+	for _, p := range pts {
+		if a.ElevationAt(p) != b.ElevationAt(p) {
+			t.Errorf("elevation differs at %+v for same seed", p)
+		}
+		if a.ClutterAt(p) != b.ClutterAt(p) {
+			t.Errorf("clutter differs at %+v for same seed", p)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(testConfig(1))
+	b := MustGenerate(testConfig(2))
+	diff := 0
+	for x := -4500.0; x <= 4500; x += 500 {
+		for y := -4500.0; y <= 4500; y += 500 {
+			if a.ElevationAt(geo.Point{X: x, Y: y}) != b.ElevationAt(geo.Point{X: x, Y: y}) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical terrain")
+	}
+}
+
+func TestGenerateEmptyBounds(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Bounds = geo.Rect{}
+	if _, err := Generate(cfg); err == nil {
+		t.Error("Generate with empty bounds should fail")
+	}
+}
+
+func TestElevationWithinRelief(t *testing.T) {
+	cfg := testConfig(7)
+	cfg.ReliefM = 400
+	m := MustGenerate(cfg)
+	for x := -5000.0; x <= 5000; x += 250 {
+		for y := -5000.0; y <= 5000; y += 250 {
+			e := m.ElevationAt(geo.Point{X: x, Y: y})
+			if e < -200.001 || e > 200.001 {
+				t.Fatalf("elevation %v at (%v,%v) outside relief range", e, x, y)
+			}
+		}
+	}
+}
+
+func TestElevationContinuity(t *testing.T) {
+	// Bilinear interpolation: nearby points should have nearby elevations.
+	m := MustGenerate(testConfig(3))
+	p := geo.Point{X: 111, Y: 222}
+	e0 := m.ElevationAt(p)
+	e1 := m.ElevationAt(p.Add(1, 1))
+	if math.Abs(e0-e1) > 20 {
+		t.Errorf("elevation jumps %v over 1.4 m", math.Abs(e0-e1))
+	}
+}
+
+func TestClampOutsideBounds(t *testing.T) {
+	m := MustGenerate(testConfig(5))
+	inside := m.ElevationAt(geo.Point{X: 4999, Y: 0})
+	outside := m.ElevationAt(geo.Point{X: 50000, Y: 0})
+	if math.IsNaN(outside) {
+		t.Fatal("elevation outside bounds is NaN")
+	}
+	_ = inside
+	// Clutter outside bounds must not panic and must return a valid class.
+	c := m.ClutterAt(geo.Point{X: 1e9, Y: -1e9})
+	if c > ClassUrban {
+		t.Errorf("invalid clutter class %v outside bounds", c)
+	}
+}
+
+func TestUrbanCenterBias(t *testing.T) {
+	cfg := testConfig(11)
+	cfg.UrbanBias = 0.9
+	m := MustGenerate(cfg)
+	nearUrban, farUrban := 0, 0
+	samples := 0
+	for x := -1500.0; x <= 1500; x += 150 {
+		for y := -1500.0; y <= 1500; y += 150 {
+			samples++
+			c := m.ClutterAt(geo.Point{X: x, Y: y})
+			if c == ClassUrban || c == ClassSuburban {
+				nearUrban++
+			}
+			cf := m.ClutterAt(geo.Point{X: x + 3400, Y: y + 3400})
+			if cf == ClassUrban || cf == ClassSuburban {
+				farUrban++
+			}
+		}
+	}
+	if nearUrban <= farUrban {
+		t.Errorf("urban bias ineffective: near center %d/%d urbanized vs far %d/%d",
+			nearUrban, samples, farUrban, samples)
+	}
+}
+
+func TestClassFractionsSumToOne(t *testing.T) {
+	m := MustGenerate(testConfig(13))
+	total := 0.0
+	for _, f := range m.ClassFractions() {
+		if f < 0 || f > 1 {
+			t.Fatalf("class fraction %v out of range", f)
+		}
+		total += f
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("class fractions sum to %v, want 1", total)
+	}
+}
+
+func TestWaterFractionApprox(t *testing.T) {
+	cfg := testConfig(17)
+	cfg.WaterFraction = 0.1
+	m := MustGenerate(cfg)
+	f := m.ClassFractions()[ClassWater]
+	if f < 0.02 || f > 0.3 {
+		t.Errorf("water fraction = %v, want near 0.1", f)
+	}
+}
+
+func TestClassStringAndLoss(t *testing.T) {
+	classes := []Class{ClassWater, ClassOpen, ClassForest, ClassSuburban, ClassUrban}
+	seen := map[string]bool{}
+	for _, c := range classes {
+		s := c.String()
+		if seen[s] {
+			t.Errorf("duplicate class name %q", s)
+		}
+		seen[s] = true
+	}
+	if Class(200).String() == "" {
+		t.Error("unknown class should still produce a name")
+	}
+	// Urban must be the most obstructive land class.
+	if ClassUrban.ExcessLossDB() >= ClassSuburban.ExcessLossDB() {
+		t.Error("urban should lose more than suburban")
+	}
+	if ClassOpen.ExcessLossDB() != 0 {
+		t.Error("open terrain should have zero excess loss")
+	}
+	if ClassWater.DensityWeight() != 0 {
+		t.Error("no users on water")
+	}
+	if Class(99).ExcessLossDB() != 0 || Class(99).DensityWeight() != 0 {
+		t.Error("unknown class should be neutral")
+	}
+}
+
+func TestKnifeEdgeLoss(t *testing.T) {
+	if got := knifeEdgeLossDB(-2); got != 0 {
+		t.Errorf("deep clearance loss = %v, want 0", got)
+	}
+	// v = 0 (grazing): approx 6 dB loss.
+	if got := knifeEdgeLossDB(0); got > -5 || got < -8 {
+		t.Errorf("grazing loss = %v, want approx -6", got)
+	}
+	// Monotone: deeper obstruction means more loss.
+	if knifeEdgeLossDB(3) >= knifeEdgeLossDB(1) {
+		t.Error("loss should grow with obstruction")
+	}
+}
+
+func TestKnifeEdgeMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		x := math.Mod(math.Abs(a), 10)
+		y := math.Mod(math.Abs(b), 10)
+		if x > y {
+			x, y = y, x
+		}
+		return knifeEdgeLossDB(y) <= knifeEdgeLossDB(x)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffractionLoss(t *testing.T) {
+	m := MustGenerate(testConfig(23))
+	tx := geo.Point{X: -4000, Y: 0}
+	rx := geo.Point{X: 4000, Y: 0}
+	wavelength := 3e8 / 2.6e9
+	loss := m.DiffractionLossDB(tx, rx, 30, 1.5, wavelength)
+	if loss > 0 {
+		t.Errorf("diffraction loss = %v, must be <= 0", loss)
+	}
+	if loss < -60 {
+		t.Errorf("diffraction loss = %v, implausibly deep", loss)
+	}
+	// Short paths have no diffraction loss.
+	if got := m.DiffractionLossDB(tx, tx.Add(50, 0), 30, 1.5, wavelength); got != 0 {
+		t.Errorf("short path loss = %v, want 0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{5, 1, 4, 2, 3}
+	if got := quantile(v, 0); got != 1 {
+		t.Errorf("quantile(0) = %v, want 1", got)
+	}
+	if got := quantile(v, 1); got != 5 {
+		t.Errorf("quantile(1) = %v, want 5", got)
+	}
+	if got := quantile(v, 0.5); got != 3 {
+		t.Errorf("quantile(0.5) = %v, want 3", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile(nil) = %v, want 0", got)
+	}
+	// Input must be unmodified.
+	if v[0] != 5 || v[4] != 3 {
+		t.Error("quantile modified its input")
+	}
+}
+
+func TestSortFloats(t *testing.T) {
+	f := func(in []float64) bool {
+		cp := append([]float64(nil), in...)
+		for i := range cp {
+			if math.IsNaN(cp[i]) {
+				cp[i] = 0
+			}
+		}
+		sortFloats(cp)
+		for i := 1; i < len(cp); i++ {
+			if cp[i-1] > cp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,329 @@
+package testbed
+
+import (
+	"fmt"
+
+	"magus/internal/geo"
+)
+
+// Scenario describes one of the paper's Figure 2 testbed experiments: a
+// placement of eNodeBs and UEs plus the eNodeB taken off-air for the
+// planned upgrade.
+type Scenario struct {
+	Name    string
+	ENodeBs []ENodeB
+	UEs     []UE
+	// Target is the index of the eNodeB taken offline.
+	Target int
+}
+
+// Scenario1 is the paper's first experiment: 2 eNodeBs serving 3 UEs,
+// with eNodeB-2 taken offline. The placement puts one UE near eNodeB-1
+// and two near eNodeB-2, so that taking eNodeB-2 down forces the distant
+// UEs onto eNodeB-1 and power-up of eNodeB-1 is the clear remedy (no
+// interference remains).
+func Scenario1() Scenario {
+	return Scenario{
+		Name: "scenario1",
+		ENodeBs: []ENodeB{
+			{ID: 0, Pos: geo.Point{X: 0, Y: 0}, Attenuation: 15},
+			{ID: 1, Pos: geo.Point{X: 40, Y: 0}, Attenuation: 15},
+		},
+		UEs: []UE{
+			{ID: 0, Pos: geo.Point{X: 4, Y: 2}},
+			{ID: 1, Pos: geo.Point{X: 36, Y: -2}},
+			{ID: 2, Pos: geo.Point{X: 44, Y: 3}},
+		},
+		Target: 1,
+	}
+}
+
+// Scenario2 is the paper's second experiment: 3 eNodeBs serving 5 UEs,
+// with the middle eNodeB (eNodeB-2) taken offline. Here interference
+// between the surviving eNodeBs matters: UEs stranded between them are
+// interference-limited, so the optimal recovery must balance powers
+// rather than simply maximize them.
+func Scenario2() Scenario {
+	return Scenario{
+		Name: "scenario2",
+		ENodeBs: []ENodeB{
+			{ID: 0, Pos: geo.Point{X: 0, Y: 0}, Attenuation: 15},
+			{ID: 1, Pos: geo.Point{X: 35, Y: 0}, Attenuation: 15},
+			{ID: 2, Pos: geo.Point{X: 70, Y: 0}, Attenuation: 15},
+		},
+		UEs: []UE{
+			{ID: 0, Pos: geo.Point{X: 3, Y: 2}},   // close to eNodeB-1
+			{ID: 1, Pos: geo.Point{X: 33, Y: -2}}, // close to eNodeB-2
+			{ID: 2, Pos: geo.Point{X: 38, Y: 2}},  // close to eNodeB-2
+			{ID: 3, Pos: geo.Point{X: 52, Y: -1}}, // between eNodeB-2 and eNodeB-3
+			{ID: 4, Pos: geo.Point{X: 68, Y: 2}},  // close to eNodeB-3
+		},
+		Target: 1,
+	}
+}
+
+// FullTestbed is the paper's complete deployment: 4 eNodeBs and 10 UEs
+// on one office floor (Section 3.1), with the second eNodeB taken
+// offline. Scenarios 1 and 2 are the paper's focused sub-experiments;
+// this layout exercises the full setup.
+func FullTestbed() Scenario {
+	return Scenario{
+		Name: "full-testbed",
+		ENodeBs: []ENodeB{
+			{ID: 0, Pos: geo.Point{X: 0, Y: 0}, Attenuation: 15},
+			{ID: 1, Pos: geo.Point{X: 40, Y: 0}, Attenuation: 15},
+			{ID: 2, Pos: geo.Point{X: 0, Y: 30}, Attenuation: 15},
+			{ID: 3, Pos: geo.Point{X: 40, Y: 30}, Attenuation: 15},
+		},
+		UEs: []UE{
+			{ID: 0, Pos: geo.Point{X: 3, Y: 2}},
+			{ID: 1, Pos: geo.Point{X: 12, Y: -3}},
+			{ID: 2, Pos: geo.Point{X: 36, Y: 2}},
+			{ID: 3, Pos: geo.Point{X: 44, Y: -2}},
+			{ID: 4, Pos: geo.Point{X: 20, Y: 5}},
+			{ID: 5, Pos: geo.Point{X: 2, Y: 27}},
+			{ID: 6, Pos: geo.Point{X: 14, Y: 33}},
+			{ID: 7, Pos: geo.Point{X: 38, Y: 28}},
+			{ID: 8, Pos: geo.Point{X: 45, Y: 33}},
+			{ID: 9, Pos: geo.Point{X: 21, Y: 16}},
+		},
+		Target: 1,
+	}
+}
+
+// TimePoint is one tick of the Figure 2 utility timeline.
+type TimePoint struct {
+	// Time is the tick relative to the upgrade (negative = before).
+	Time int
+	// Proactive, Reactive and NoTuning are the utilities of the three
+	// strategies at this tick.
+	Proactive float64
+	Reactive  float64
+	NoTuning  float64
+}
+
+// ScenarioResult captures one Figure 2 run.
+type ScenarioResult struct {
+	Name string
+	// BeforeAttenuation is the optimal attenuation per eNodeB with all
+	// eNodeBs on-air (C_before).
+	BeforeAttenuation []int
+	// AfterAttenuation is the optimal attenuation per surviving eNodeB
+	// after the target goes down (C_after; the target's entry is its
+	// last on-air setting).
+	AfterAttenuation []int
+	// UtilityBefore, UtilityUpgrade, UtilityAfter are f(C_before),
+	// f(C_upgrade) (target off, no retuning) and f(C_after).
+	UtilityBefore  float64
+	UtilityUpgrade float64
+	UtilityAfter   float64
+	// Timeline is the proactive/reactive/no-tuning comparison.
+	Timeline []TimePoint
+}
+
+// RecoveryRatio returns the fraction of upgrade-induced utility loss
+// recovered by re-tuning.
+func (r *ScenarioResult) RecoveryRatio() float64 {
+	denom := r.UtilityBefore - r.UtilityUpgrade
+	if denom <= 0 {
+		return 1
+	}
+	return (r.UtilityAfter - r.UtilityUpgrade) / denom
+}
+
+// RunOptions tune a scenario run.
+type RunOptions struct {
+	// SearchGrid lists the attenuation values enumerated per eNodeB
+	// (default {1, 5, 10, 15, 20, 25, 30}).
+	SearchGrid []int
+	// SearchWindowSec is the measurement window used while searching
+	// (default 0.5).
+	SearchWindowSec float64
+	// MeasureWindowSec is the window for the final reported utilities
+	// (default 2; the paper uses 30 s sessions, which is unnecessary for
+	// a deterministic simulator).
+	MeasureWindowSec float64
+	// TimelineTicks is the number of ticks on each side of the upgrade
+	// (default 3, matching Figure 2's axis).
+	TimelineTicks int
+}
+
+func (o *RunOptions) applyDefaults() {
+	if len(o.SearchGrid) == 0 {
+		o.SearchGrid = []int{1, 5, 10, 15, 20, 25, 30}
+	}
+	if o.SearchWindowSec <= 0 {
+		o.SearchWindowSec = 0.5
+	}
+	if o.MeasureWindowSec <= 0 {
+		o.MeasureWindowSec = 2
+	}
+	if o.TimelineTicks <= 0 {
+		o.TimelineTicks = 3
+	}
+}
+
+// RunScenario executes a full Figure 2 experiment: find C_before by
+// exhaustive attenuation search with all eNodeBs on-air, take the target
+// down, find C_after over the survivors, and produce the
+// proactive/reactive/no-tuning timeline.
+func RunScenario(sc Scenario, cfg Config, opts RunOptions) (*ScenarioResult, error) {
+	opts.applyDefaults()
+	if sc.Target < 0 || sc.Target >= len(sc.ENodeBs) {
+		return nil, fmt.Errorf("testbed: scenario target %d out of range", sc.Target)
+	}
+	tb, err := New(cfg, sc.ENodeBs, sc.UEs)
+	if err != nil {
+		return nil, err
+	}
+
+	utilityAt := func(atten []int, offTarget bool, window float64) (float64, error) {
+		for b, a := range atten {
+			if err := tb.SetAttenuation(b, a); err != nil {
+				return 0, err
+			}
+		}
+		if err := tb.SetOff(sc.Target, offTarget); err != nil {
+			return 0, err
+		}
+		tb.Attach()
+		return Utility(tb.Measure(window)), nil
+	}
+
+	all := make([]int, len(sc.ENodeBs))
+	survivors := make([]int, 0, len(sc.ENodeBs)-1)
+	for b := range sc.ENodeBs {
+		if b != sc.Target {
+			survivors = append(survivors, b)
+		}
+	}
+
+	// Search C_before: enumerate the grid over all eNodeBs.
+	before, err := searchBest(tb, all, nil, false, sc, opts, utilityAt)
+	if err != nil {
+		return nil, err
+	}
+
+	// Search C_after: target off, enumerate the survivors, keeping the
+	// target's attenuation at its before value.
+	after, err := searchBest(tb, survivors, before, true, sc, opts, utilityAt)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ScenarioResult{
+		Name:              sc.Name,
+		BeforeAttenuation: before,
+		AfterAttenuation:  after,
+	}
+	if res.UtilityBefore, err = utilityAt(before, false, opts.MeasureWindowSec); err != nil {
+		return nil, err
+	}
+	if res.UtilityUpgrade, err = utilityAt(before, true, opts.MeasureWindowSec); err != nil {
+		return nil, err
+	}
+	if res.UtilityAfter, err = utilityAt(after, true, opts.MeasureWindowSec); err != nil {
+		return nil, err
+	}
+
+	// Timeline. Reactive climbs from C_before's attenuations toward
+	// C_after in equal tranches, one per tick, converging at the last
+	// tick.
+	ticks := opts.TimelineTicks
+	for t := -ticks; t <= ticks; t++ {
+		var tp TimePoint
+		tp.Time = t
+		switch {
+		case t < 0:
+			// Proactive re-tunes the survivors just before the upgrade;
+			// the others are still at C_before.
+			tp.Reactive = res.UtilityBefore
+			tp.NoTuning = res.UtilityBefore
+			if t == -1 {
+				u, err := utilityAt(after, false, opts.MeasureWindowSec)
+				if err != nil {
+					return nil, err
+				}
+				tp.Proactive = u
+			} else {
+				tp.Proactive = res.UtilityBefore
+			}
+		case t == 0:
+			tp.Proactive = res.UtilityAfter
+			tp.Reactive = res.UtilityUpgrade
+			tp.NoTuning = res.UtilityUpgrade
+		default:
+			tp.Proactive = res.UtilityAfter
+			tp.NoTuning = res.UtilityUpgrade
+			// Reactive: interpolate attenuations toward C_after.
+			frac := float64(t) / float64(ticks)
+			partial := make([]int, len(before))
+			for b := range before {
+				partial[b] = before[b] + int(frac*float64(after[b]-before[b]))
+			}
+			u, err := utilityAt(partial, true, opts.MeasureWindowSec)
+			if err != nil {
+				return nil, err
+			}
+			tp.Reactive = u
+		}
+		res.Timeline = append(res.Timeline, tp)
+	}
+	// Restore the final configuration for callers who keep using tb.
+	if _, err := utilityAt(after, true, 0.001); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// searchBest enumerates the option grid over the free eNodeBs (the rest
+// pinned to `pinned`, or mid-range when pinned is nil) and returns the
+// attenuation vector with the highest utility.
+func searchBest(
+	tb *Testbed,
+	free []int,
+	pinned []int,
+	offTarget bool,
+	sc Scenario,
+	opts RunOptions,
+	utilityAt func([]int, bool, float64) (float64, error),
+) ([]int, error) {
+	atten := make([]int, len(sc.ENodeBs))
+	for b := range atten {
+		if pinned != nil {
+			atten[b] = pinned[b]
+		} else {
+			atten[b] = 15
+		}
+	}
+	best := append([]int(nil), atten...)
+	bestU := -1.0
+
+	idx := make([]int, len(free))
+	for {
+		for i, b := range free {
+			atten[b] = opts.SearchGrid[idx[i]]
+		}
+		u, err := utilityAt(atten, offTarget, opts.SearchWindowSec)
+		if err != nil {
+			return nil, err
+		}
+		if u > bestU {
+			bestU = u
+			copy(best, atten)
+		}
+		// Odometer.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(opts.SearchGrid) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			break
+		}
+	}
+	return best, nil
+}

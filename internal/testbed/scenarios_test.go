@@ -1,0 +1,155 @@
+package testbed
+
+import (
+	"testing"
+)
+
+func TestRunScenario1Shape(t *testing.T) {
+	res, err := RunScenario(Scenario1(), Config{Seed: 1}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 2 ordering: f(C_before) > f(C_after) >= f(C_upgrade).
+	if !(res.UtilityBefore > res.UtilityAfter) {
+		t.Errorf("f(C_before)=%v should exceed f(C_after)=%v",
+			res.UtilityBefore, res.UtilityAfter)
+	}
+	if !(res.UtilityAfter >= res.UtilityUpgrade) {
+		t.Errorf("f(C_after)=%v should be >= f(C_upgrade)=%v",
+			res.UtilityAfter, res.UtilityUpgrade)
+	}
+	// Scenario 1 has no interference once eNodeB-2 is down, so the best
+	// recovery is maximum power (L=1) on the survivor — the paper's
+	// exact finding.
+	if res.AfterAttenuation[0] != MinAttenuation {
+		t.Errorf("survivor attenuation = %d, want %d (max power)",
+			res.AfterAttenuation[0], MinAttenuation)
+	}
+	if rr := res.RecoveryRatio(); rr < 0 || rr > 1.000001 {
+		t.Errorf("recovery ratio = %v outside [0, 1]", rr)
+	}
+}
+
+func TestRunScenario1Timeline(t *testing.T) {
+	res, err := RunScenario(Scenario1(), Config{Seed: 1}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline) != 7 {
+		t.Fatalf("timeline has %d points, want 7 (t = -3..+3)", len(res.Timeline))
+	}
+	for _, tp := range res.Timeline {
+		switch {
+		case tp.Time < -1:
+			if tp.Proactive != res.UtilityBefore || tp.Reactive != res.UtilityBefore {
+				t.Errorf("t=%d: all strategies should sit at f(C_before)", tp.Time)
+			}
+		case tp.Time == 0:
+			if tp.Proactive != res.UtilityAfter {
+				t.Errorf("t=0: proactive should be at f(C_after)")
+			}
+			if tp.Reactive != res.UtilityUpgrade || tp.NoTuning != res.UtilityUpgrade {
+				t.Errorf("t=0: reactive and no-tuning should be at f(C_upgrade)")
+			}
+		case tp.Time > 0:
+			if tp.NoTuning != res.UtilityUpgrade {
+				t.Errorf("t=%d: no-tuning should stay at f(C_upgrade)", tp.Time)
+			}
+			if tp.Proactive != res.UtilityAfter {
+				t.Errorf("t=%d: proactive should stay at f(C_after)", tp.Time)
+			}
+		}
+	}
+	// Reactive converges to f(C_after) by the final tick.
+	last := res.Timeline[len(res.Timeline)-1]
+	if last.Reactive < res.UtilityAfter-0.15 {
+		t.Errorf("reactive at final tick = %v, want near f(C_after) = %v",
+			last.Reactive, res.UtilityAfter)
+	}
+	// Proactive dominates reactive at and right after the upgrade — the
+	// paper's core point.
+	for _, tp := range res.Timeline {
+		if tp.Time >= 0 && tp.Proactive < tp.Reactive-1e-9 {
+			t.Errorf("t=%d: proactive %v below reactive %v", tp.Time, tp.Proactive, tp.Reactive)
+		}
+	}
+}
+
+func TestRunScenario2InterferenceAware(t *testing.T) {
+	res, err := RunScenario(Scenario2(), Config{Seed: 1}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.UtilityAfter >= res.UtilityUpgrade) {
+		t.Errorf("tuning should not hurt: f(C_after)=%v < f(C_upgrade)=%v",
+			res.UtilityAfter, res.UtilityUpgrade)
+	}
+	// The paper's scenario-2 lesson: with interference present, blindly
+	// maxing both survivors is NOT optimal — the found optimum must be
+	// at least as good as the max-power configuration, and the optimal
+	// attenuations are not both at the minimum.
+	tb := MustNew(Config{Seed: 1}, Scenario2().ENodeBs, Scenario2().UEs)
+	maxPower := []int{1, res.BeforeAttenuation[1], 1}
+	for b, a := range maxPower {
+		if err := tb.SetAttenuation(b, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.SetOff(1, true); err != nil {
+		t.Fatal(err)
+	}
+	tb.Attach()
+	maxPowerUtility := Utility(tb.Measure(2))
+	if res.UtilityAfter < maxPowerUtility-1e-9 {
+		t.Errorf("search result %v worse than max-power baseline %v",
+			res.UtilityAfter, maxPowerUtility)
+	}
+	t.Logf("scenario2: after=%v maxpower=%v attens=%v",
+		res.UtilityAfter, maxPowerUtility, res.AfterAttenuation)
+}
+
+func TestRunScenarioBadTarget(t *testing.T) {
+	sc := Scenario1()
+	sc.Target = 9
+	if _, err := RunScenario(sc, Config{Seed: 1}, RunOptions{}); err == nil {
+		t.Error("bad target should fail")
+	}
+}
+
+func TestFullTestbedLayout(t *testing.T) {
+	sc := FullTestbed()
+	if len(sc.ENodeBs) != 4 || len(sc.UEs) != 10 {
+		t.Fatalf("full testbed = %d eNodeBs, %d UEs; paper has 4 and 10",
+			len(sc.ENodeBs), len(sc.UEs))
+	}
+	tb := MustNew(Config{Seed: 1}, sc.ENodeBs, sc.UEs)
+	// Every eNodeB should attract at least one UE in this layout.
+	attached := map[int]int{}
+	for u := 0; u < tb.NumUEs(); u++ {
+		attached[tb.Serving(u)]++
+	}
+	for b := 0; b < tb.NumENodeBs(); b++ {
+		if attached[b] == 0 {
+			t.Errorf("eNodeB %d attracts no UEs", b)
+		}
+	}
+}
+
+func TestFullTestbedScenarioRun(t *testing.T) {
+	// Coarser grid keeps the 4-dimensional C_before search tractable in
+	// a unit test.
+	res, err := RunScenario(FullTestbed(), Config{Seed: 1}, RunOptions{
+		SearchGrid:       []int{1, 10, 20, 30},
+		SearchWindowSec:  0.25,
+		MeasureWindowSec: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.UtilityBefore > res.UtilityUpgrade) {
+		t.Errorf("upgrade should cost utility: %v -> %v", res.UtilityBefore, res.UtilityUpgrade)
+	}
+	if res.UtilityAfter < res.UtilityUpgrade-1e-9 {
+		t.Errorf("tuning should not hurt: %v vs %v", res.UtilityAfter, res.UtilityUpgrade)
+	}
+}

@@ -1,0 +1,365 @@
+// Package testbed simulates the paper's indoor LTE testbed (Section 3):
+// a handful of re-programmable small-cell eNodeBs whose transmit power is
+// controlled through a software attenuator (L = 30 is maximum attenuation
+// / minimum power, L = 1 is minimum attenuation / maximum power, tunable
+// in steps of 1), serving USB-dongle UEs over a 10 MHz band-7 carrier,
+// with downlink TCP throughput measured iperf-style.
+//
+// The simulator is a per-TTI (1 ms) discrete-time model: each
+// eNodeB-to-UE link has an ITU indoor path loss plus a deterministic
+// Jakes-style fading process, each eNodeB runs a proportional-fair
+// scheduler over its attached UEs, and a measurement accumulates the
+// bits each UE receives over a configurable window, discounted by a TCP
+// protocol efficiency factor.
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"magus/internal/geo"
+	"magus/internal/lte"
+	"magus/internal/units"
+)
+
+// Attenuation bounds of the Cavium small cell's software attenuator.
+const (
+	MinAttenuation = 1  // maximum transmit power
+	MaxAttenuation = 30 // minimum transmit power
+)
+
+// MaxTxPowerDbm is the small cell's radio power at L = 1: 125 mW.
+var MaxTxPowerDbm = units.MwToDbm(125)
+
+// TCPEfficiency discounts the MAC-layer rate for TCP/IP header and ACK
+// overhead in the iperf measurement.
+const TCPEfficiency = 0.95
+
+// Config describes the radio environment of the testbed.
+type Config struct {
+	// Seed drives the deterministic fading processes.
+	Seed int64
+	// BandwidthHz is the carrier bandwidth (default 10e6, the paper's
+	// experimental license).
+	BandwidthHz float64
+	// DownlinkHz is the downlink center frequency (default 2.635e9,
+	// band 7).
+	DownlinkHz float64
+	// NoiseFigureDB is the UE noise figure (default 9).
+	NoiseFigureDB float64
+	// FadingStddevDB is the fading amplitude (default 3; negative
+	// disables fading for a static channel).
+	FadingStddevDB float64
+	// PFTimeConstantTTI is the proportional-fair averaging window
+	// (default 100).
+	PFTimeConstantTTI int
+}
+
+func (c *Config) applyDefaults() {
+	if c.BandwidthHz <= 0 {
+		c.BandwidthHz = 10e6
+	}
+	if c.DownlinkHz <= 0 {
+		c.DownlinkHz = 2.635e9
+	}
+	if c.NoiseFigureDB <= 0 {
+		c.NoiseFigureDB = 9
+	}
+	switch {
+	case c.FadingStddevDB == 0:
+		c.FadingStddevDB = 3
+	case c.FadingStddevDB < 0:
+		c.FadingStddevDB = 0
+	}
+	if c.PFTimeConstantTTI <= 0 {
+		c.PFTimeConstantTTI = 100
+	}
+}
+
+// ENodeB is one small cell.
+type ENodeB struct {
+	ID  int
+	Pos geo.Point
+	// Attenuation is the software attenuator setting L in [1, 30].
+	Attenuation int
+	// Off marks the eNodeB off-air (taken down for the planned upgrade).
+	Off bool
+}
+
+// PowerDbm returns the transmit power at the current attenuation.
+func (e *ENodeB) PowerDbm() float64 {
+	return MaxTxPowerDbm - float64(e.Attenuation-MinAttenuation)
+}
+
+// UE is one user terminal.
+type UE struct {
+	ID  int
+	Pos geo.Point
+	// Serving is the attached eNodeB index, -1 if unattached.
+	Serving int
+}
+
+// fader is a deterministic Jakes-style fading process: a sum of
+// sinusoids with seeded frequencies and phases.
+type fader struct {
+	freqs  [8]float64 // Hz
+	phases [8]float64
+	sigma  float64
+}
+
+func newFader(rng *rand.Rand, sigma float64) fader {
+	var f fader
+	f.sigma = sigma
+	for i := range f.freqs {
+		f.freqs[i] = 2 + rng.Float64()*18 // 2-20 Hz Doppler components
+		f.phases[i] = rng.Float64() * 2 * math.Pi
+	}
+	return f
+}
+
+// gainDB returns the fading gain at time t seconds.
+func (f *fader) gainDB(t float64) float64 {
+	sum := 0.0
+	for i := range f.freqs {
+		sum += math.Cos(2*math.Pi*f.freqs[i]*t + f.phases[i])
+	}
+	return f.sigma * sum / math.Sqrt(float64(len(f.freqs)))
+}
+
+// Testbed is the simulated deployment.
+type Testbed struct {
+	cfg     Config
+	enbs    []ENodeB
+	ues     []UE
+	link    *lte.LinkModel
+	noiseMw float64
+	faders  [][]fader // [enb][ue]
+}
+
+// New builds a testbed with the given eNodeB and UE placements.
+func New(cfg Config, enbs []ENodeB, ues []UE) (*Testbed, error) {
+	cfg.applyDefaults()
+	if len(enbs) == 0 || len(ues) == 0 {
+		return nil, fmt.Errorf("testbed: need at least one eNodeB and one UE")
+	}
+	link, err := lte.NewLinkModel(cfg.BandwidthHz)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: %w", err)
+	}
+	tb := &Testbed{
+		cfg:     cfg,
+		enbs:    append([]ENodeB(nil), enbs...),
+		ues:     append([]UE(nil), ues...),
+		link:    link,
+		noiseMw: units.DbmToMw(units.ThermalNoiseDbm(cfg.BandwidthHz, cfg.NoiseFigureDB)),
+	}
+	for i := range tb.enbs {
+		if tb.enbs[i].Attenuation < MinAttenuation || tb.enbs[i].Attenuation > MaxAttenuation {
+			return nil, fmt.Errorf("testbed: eNodeB %d attenuation %d outside [%d, %d]",
+				i, tb.enbs[i].Attenuation, MinAttenuation, MaxAttenuation)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tb.faders = make([][]fader, len(enbs))
+	for b := range enbs {
+		tb.faders[b] = make([]fader, len(ues))
+		for u := range ues {
+			tb.faders[b][u] = newFader(rng, cfg.FadingStddevDB)
+		}
+	}
+	tb.Attach()
+	return tb, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config, enbs []ENodeB, ues []UE) *Testbed {
+	tb, err := New(cfg, enbs, ues)
+	if err != nil {
+		panic(err)
+	}
+	return tb
+}
+
+// NumENodeBs returns the number of eNodeBs.
+func (tb *Testbed) NumENodeBs() int { return len(tb.enbs) }
+
+// NumUEs returns the number of UEs.
+func (tb *Testbed) NumUEs() int { return len(tb.ues) }
+
+// SetAttenuation tunes eNodeB b's software attenuator.
+func (tb *Testbed) SetAttenuation(b, attenuation int) error {
+	if b < 0 || b >= len(tb.enbs) {
+		return fmt.Errorf("testbed: eNodeB %d out of range", b)
+	}
+	if attenuation < MinAttenuation || attenuation > MaxAttenuation {
+		return fmt.Errorf("testbed: attenuation %d outside [%d, %d]",
+			attenuation, MinAttenuation, MaxAttenuation)
+	}
+	tb.enbs[b].Attenuation = attenuation
+	return nil
+}
+
+// Attenuation returns eNodeB b's attenuator setting.
+func (tb *Testbed) Attenuation(b int) int { return tb.enbs[b].Attenuation }
+
+// SetOff takes eNodeB b off-air (or returns it to service).
+func (tb *Testbed) SetOff(b int, off bool) error {
+	if b < 0 || b >= len(tb.enbs) {
+		return fmt.Errorf("testbed: eNodeB %d out of range", b)
+	}
+	tb.enbs[b].Off = off
+	return nil
+}
+
+// Off reports whether eNodeB b is off-air.
+func (tb *Testbed) Off(b int) bool { return tb.enbs[b].Off }
+
+// Serving returns the eNodeB UE u is attached to, or -1.
+func (tb *Testbed) Serving(u int) int { return tb.ues[u].Serving }
+
+// pathLossDB returns the ITU indoor path loss (negative dB) between
+// eNodeB b and UE u: PL = 20 log10(f_MHz) + 30 log10(d_m) - 28.
+func (tb *Testbed) pathLossDB(b, u int) float64 {
+	d := tb.enbs[b].Pos.DistanceTo(tb.ues[u].Pos)
+	if d < 1 {
+		d = 1
+	}
+	fMHz := tb.cfg.DownlinkHz / 1e6
+	return -(20*math.Log10(fMHz) + 30*math.Log10(d) - 28)
+}
+
+// meanRPdbm is the long-term average received power of UE u from
+// eNodeB b (fading averages to zero).
+func (tb *Testbed) meanRPdbm(b, u int) float64 {
+	return tb.enbs[b].PowerDbm() + tb.pathLossDB(b, u)
+}
+
+// Attach re-runs cell selection: every UE attaches to the on-air eNodeB
+// with the strongest mean received power. Returns the number of UEs that
+// changed serving cell (the handovers this re-configuration triggered).
+func (tb *Testbed) Attach() int {
+	handovers := 0
+	for u := range tb.ues {
+		best, bestRP := -1, math.Inf(-1)
+		for b := range tb.enbs {
+			if tb.enbs[b].Off {
+				continue
+			}
+			if rp := tb.meanRPdbm(b, u); rp > bestRP {
+				best, bestRP = b, rp
+			}
+		}
+		if best != tb.ues[u].Serving {
+			handovers++
+			tb.ues[u].Serving = best
+		}
+	}
+	return handovers
+}
+
+// instantSinrDB returns UE u's SINR at time t under current settings.
+func (tb *Testbed) instantSinrDB(u int, t float64) float64 {
+	serving := tb.ues[u].Serving
+	if serving < 0 || tb.enbs[serving].Off {
+		return math.Inf(-1)
+	}
+	signal := units.DbmToMw(tb.meanRPdbm(serving, u) + tb.faders[serving][u].gainDB(t))
+	interf := 0.0
+	for b := range tb.enbs {
+		if b == serving || tb.enbs[b].Off {
+			continue
+		}
+		interf += units.DbmToMw(tb.meanRPdbm(b, u) + tb.faders[b][u].gainDB(t))
+	}
+	return units.LinearToDb(signal / (tb.noiseMw + interf))
+}
+
+// Measurement is the outcome of one iperf-style downlink run.
+type Measurement struct {
+	// ThroughputBps is the measured TCP goodput per UE.
+	ThroughputBps []float64
+	// TTIs is the number of 1 ms slots simulated.
+	TTIs int
+}
+
+// Measure runs simultaneous saturating downlink TCP sessions to every
+// attached UE for the given duration (the paper uses 30 s sessions) and
+// returns per-UE goodput. Unattached UEs measure zero.
+func (tb *Testbed) Measure(durationSec float64) Measurement {
+	ttis := int(durationSec * 1000)
+	if ttis < 1 {
+		ttis = 1
+	}
+	bits := make([]float64, len(tb.ues))
+	// Proportional-fair state per UE.
+	avg := make([]float64, len(tb.ues))
+	for i := range avg {
+		avg[i] = 1 // avoid division by zero; units are bits/TTI
+	}
+	beta := 1.0 / float64(tb.cfg.PFTimeConstantTTI)
+
+	// Group UEs by serving eNodeB once; attachment is fixed during a
+	// measurement.
+	attached := make([][]int, len(tb.enbs))
+	for u := range tb.ues {
+		if s := tb.ues[u].Serving; s >= 0 && !tb.enbs[s].Off {
+			attached[s] = append(attached[s], u)
+		}
+	}
+
+	for tti := 0; tti < ttis; tti++ {
+		t := float64(tti) / 1000
+		for b := range tb.enbs {
+			if tb.enbs[b].Off || len(attached[b]) == 0 {
+				continue
+			}
+			// Pick the PF winner: max instantaneous rate / average rate.
+			bestUE, bestMetric, bestRate := -1, -1.0, 0.0
+			for _, u := range attached[b] {
+				rate := tb.link.MaxRateBps(tb.instantSinrDB(u, t)) / 1000 // bits per TTI
+				if rate <= 0 {
+					continue
+				}
+				if metric := rate / avg[u]; metric > bestMetric {
+					bestUE, bestMetric, bestRate = u, metric, rate
+				}
+			}
+			// Update PF averages for every attached UE.
+			for _, u := range attached[b] {
+				served := 0.0
+				if u == bestUE {
+					served = bestRate
+				}
+				avg[u] = (1-beta)*avg[u] + beta*served
+			}
+			if bestUE >= 0 {
+				bits[bestUE] += bestRate
+			}
+		}
+	}
+
+	out := Measurement{ThroughputBps: make([]float64, len(tb.ues)), TTIs: ttis}
+	for u := range tb.ues {
+		out.ThroughputBps[u] = bits[u] / durationSec * TCPEfficiency
+	}
+	return out
+}
+
+// Utility computes the paper's testbed utility f(C) = Σ log10(r_Mbps)
+// over the measured UE rates, with unserved UEs contributing zero. This
+// is the metric behind Figure 2's utility axis (3.31, 3.09, 2.68 in
+// Scenario 1).
+func Utility(m Measurement) float64 {
+	total := 0.0
+	for _, r := range m.ThroughputBps {
+		if mbps := r / 1e6; mbps > 0 {
+			v := math.Log10(mbps)
+			if v < 0 {
+				v = 0 // floor: a served UE never scores below an unserved one
+			}
+			total += v
+		}
+	}
+	return total
+}

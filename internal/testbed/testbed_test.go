@@ -1,0 +1,244 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"magus/internal/geo"
+)
+
+func twoCellBed(t *testing.T) *Testbed {
+	t.Helper()
+	sc := Scenario1()
+	return MustNew(Config{Seed: 1}, sc.ENodeBs, sc.UEs)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}, nil, nil); err == nil {
+		t.Error("empty testbed should fail")
+	}
+	sc := Scenario1()
+	bad := append([]ENodeB(nil), sc.ENodeBs...)
+	bad[0].Attenuation = 0
+	if _, err := New(Config{}, bad, sc.UEs); err == nil {
+		t.Error("attenuation below 1 should fail")
+	}
+	if _, err := New(Config{BandwidthHz: 1234}, sc.ENodeBs, sc.UEs); err == nil {
+		t.Error("bad bandwidth should fail")
+	}
+}
+
+func TestPowerFromAttenuation(t *testing.T) {
+	e := ENodeB{Attenuation: MinAttenuation}
+	if math.Abs(e.PowerDbm()-MaxTxPowerDbm) > 1e-12 {
+		t.Errorf("L=1 power = %v, want max %v", e.PowerDbm(), MaxTxPowerDbm)
+	}
+	e.Attenuation = MaxAttenuation
+	if math.Abs(e.PowerDbm()-(MaxTxPowerDbm-29)) > 1e-12 {
+		t.Errorf("L=30 power = %v, want %v", e.PowerDbm(), MaxTxPowerDbm-29)
+	}
+	// 125 mW is about 21 dBm.
+	if MaxTxPowerDbm < 20.9 || MaxTxPowerDbm > 21.1 {
+		t.Errorf("max power = %v dBm, want approx 21", MaxTxPowerDbm)
+	}
+}
+
+func TestAttachPicksNearest(t *testing.T) {
+	tb := twoCellBed(t)
+	// UE 0 sits near eNodeB 0; UEs 1, 2 near eNodeB 1 (equal attenuation).
+	if tb.Serving(0) != 0 {
+		t.Errorf("UE 0 attached to %d, want 0", tb.Serving(0))
+	}
+	if tb.Serving(1) != 1 || tb.Serving(2) != 1 {
+		t.Errorf("UEs 1,2 attached to %d,%d, want 1,1", tb.Serving(1), tb.Serving(2))
+	}
+}
+
+func TestAttachAfterOff(t *testing.T) {
+	tb := twoCellBed(t)
+	if err := tb.SetOff(1, true); err != nil {
+		t.Fatal(err)
+	}
+	handovers := tb.Attach()
+	if handovers != 2 {
+		t.Errorf("handovers = %d, want 2 (UEs 1 and 2 re-attach)", handovers)
+	}
+	for u := 0; u < tb.NumUEs(); u++ {
+		if tb.Serving(u) != 0 {
+			t.Errorf("UE %d attached to %d, want 0 (only survivor)", u, tb.Serving(u))
+		}
+	}
+	// All off: UEs unattached.
+	if err := tb.SetOff(0, true); err != nil {
+		t.Fatal(err)
+	}
+	tb.Attach()
+	for u := 0; u < tb.NumUEs(); u++ {
+		if tb.Serving(u) != -1 {
+			t.Errorf("UE %d still attached with all eNodeBs off", u)
+		}
+	}
+}
+
+func TestSettersValidate(t *testing.T) {
+	tb := twoCellBed(t)
+	if err := tb.SetAttenuation(-1, 5); err == nil {
+		t.Error("bad eNodeB index should fail")
+	}
+	if err := tb.SetAttenuation(0, 31); err == nil {
+		t.Error("attenuation above 30 should fail")
+	}
+	if err := tb.SetOff(99, true); err == nil {
+		t.Error("bad eNodeB index should fail")
+	}
+	if err := tb.SetAttenuation(0, 7); err != nil || tb.Attenuation(0) != 7 {
+		t.Error("SetAttenuation should persist")
+	}
+}
+
+func TestMeasureBasics(t *testing.T) {
+	tb := twoCellBed(t)
+	m := tb.Measure(1)
+	if m.TTIs != 1000 {
+		t.Errorf("TTIs = %d, want 1000", m.TTIs)
+	}
+	for u, r := range m.ThroughputBps {
+		if r <= 0 {
+			t.Errorf("UE %d throughput = %v, want positive", u, r)
+		}
+		// A 10 MHz carrier cannot exceed 36.7 Mb/s per UE.
+		if r > 37e6 {
+			t.Errorf("UE %d throughput = %v exceeds carrier peak", u, r)
+		}
+	}
+	// UE 0 has eNodeB 0 to itself; UEs 1 and 2 share eNodeB 1, so each
+	// should get roughly half of UE 0's rate.
+	if m.ThroughputBps[1] > m.ThroughputBps[0]*0.8 {
+		t.Errorf("shared-cell UE rate %v suspiciously close to solo UE rate %v",
+			m.ThroughputBps[1], m.ThroughputBps[0])
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	a := twoCellBed(t).Measure(0.5)
+	b := twoCellBed(t).Measure(0.5)
+	for u := range a.ThroughputBps {
+		if a.ThroughputBps[u] != b.ThroughputBps[u] {
+			t.Fatalf("UE %d throughput differs across identical seeds", u)
+		}
+	}
+}
+
+func TestMeasureSharesCapacity(t *testing.T) {
+	tb := twoCellBed(t)
+	// Take eNodeB 1 down: all three UEs share eNodeB 0.
+	if err := tb.SetOff(1, true); err != nil {
+		t.Fatal(err)
+	}
+	tb.Attach()
+	m := tb.Measure(1)
+	total := 0.0
+	for _, r := range m.ThroughputBps {
+		total += r
+	}
+	// Aggregate cannot exceed the carrier peak.
+	if total > 37e6 {
+		t.Errorf("aggregate throughput %v exceeds carrier capacity", total)
+	}
+}
+
+func TestUtilityProperties(t *testing.T) {
+	if got := Utility(Measurement{ThroughputBps: []float64{0, 0}}); got != 0 {
+		t.Errorf("utility of unserved UEs = %v, want 0", got)
+	}
+	// 10 Mb/s -> log10(10) = 1 per UE.
+	got := Utility(Measurement{ThroughputBps: []float64{10e6, 10e6, 10e6}})
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("utility = %v, want 3", got)
+	}
+	// Sub-1 Mb/s rates floor at zero rather than going negative.
+	if got := Utility(Measurement{ThroughputBps: []float64{100e3}}); got != 0 {
+		t.Errorf("utility of 100 kb/s = %v, want 0 (floored)", got)
+	}
+}
+
+func TestPowerUpRaisesUtilityWithoutInterference(t *testing.T) {
+	// One eNodeB, one far UE: more power means more utility.
+	enbs := []ENodeB{{ID: 0, Pos: geo.Point{}, Attenuation: 30}}
+	ues := []UE{{ID: 0, Pos: geo.Point{X: 60, Y: 0}}}
+	tb := MustNew(Config{Seed: 2}, enbs, ues)
+	low := Utility(tb.Measure(0.5))
+	if err := tb.SetAttenuation(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	tb.Attach()
+	high := Utility(tb.Measure(0.5))
+	if high < low {
+		t.Errorf("max power utility %v below min power %v", high, low)
+	}
+}
+
+func TestPFSchedulerFairnessSymmetricUEs(t *testing.T) {
+	// Two UEs at mirror-image positions around a single eNodeB have
+	// statistically identical channels; proportional fair must give them
+	// near-equal long-run throughput.
+	enbs := []ENodeB{{ID: 0, Pos: geo.Point{}, Attenuation: 10}}
+	ues := []UE{
+		{ID: 0, Pos: geo.Point{X: 15, Y: 0}},
+		{ID: 1, Pos: geo.Point{X: -15, Y: 0}},
+	}
+	tb := MustNew(Config{Seed: 5}, enbs, ues)
+	m := tb.Measure(4)
+	a, b := m.ThroughputBps[0], m.ThroughputBps[1]
+	if a <= 0 || b <= 0 {
+		t.Fatal("UEs starved")
+	}
+	ratio := a / b
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("symmetric UEs got unfair shares: %v vs %v (ratio %v)", a, b, ratio)
+	}
+}
+
+func TestPFExploitsMultiUserDiversity(t *testing.T) {
+	// With fading, a PF scheduler serving each UE at its channel peaks
+	// should extract more total bits than a plain equal-share division
+	// of the mean rate. We approximate the comparison by checking that
+	// two co-located UEs together get at least about half of the solo
+	// throughput each (equal split) rather than much less.
+	enbs := []ENodeB{{ID: 0, Pos: geo.Point{}, Attenuation: 10}}
+	solo := MustNew(Config{Seed: 6}, enbs, []UE{{ID: 0, Pos: geo.Point{X: 25, Y: 0}}})
+	soloRate := solo.Measure(2).ThroughputBps[0]
+
+	duo := MustNew(Config{Seed: 6}, enbs, []UE{
+		{ID: 0, Pos: geo.Point{X: 25, Y: 0}},
+		{ID: 1, Pos: geo.Point{X: 25.5, Y: 0.5}},
+	})
+	md := duo.Measure(2)
+	total := md.ThroughputBps[0] + md.ThroughputBps[1]
+	if total < soloRate*0.9 {
+		t.Errorf("duo aggregate %v far below solo %v; PF should preserve cell throughput",
+			total, soloRate)
+	}
+}
+
+func TestFadingVariesOverTime(t *testing.T) {
+	tb := twoCellBed(t)
+	// Sample the instantaneous SINR of UE 0 across a second: fading must
+	// actually move it.
+	lo, hi := 1e18, -1e18
+	for ms := 0; ms < 1000; ms += 37 {
+		s := tb.instantSinrDB(0, float64(ms)/1000)
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi-lo < 1 {
+		t.Errorf("SINR swing %v dB over a second; fading looks frozen", hi-lo)
+	}
+	if hi-lo > 40 {
+		t.Errorf("SINR swing %v dB implausibly deep", hi-lo)
+	}
+}

@@ -1,0 +1,414 @@
+// Package topology synthesizes cellular radio networks: base-station
+// sites laid out on perturbed hexagonal lattices, each with three
+// directional sectors. It stands in for the operational base-station
+// database (locations, azimuths, heights, default powers and tilts) the
+// paper obtains from a large US carrier.
+//
+// Three area classes mirror the paper's evaluation: rural, suburban and
+// urban, distinguished by inter-site distance (and hence by how
+// noise-limited or interference-limited the radio environment is, the
+// property that drives the paper's recovery-ratio differences).
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"magus/internal/antenna"
+	"magus/internal/geo"
+)
+
+// AreaClass categorizes the base-station density of an area.
+type AreaClass int
+
+// Area classes in increasing sector density.
+const (
+	Rural AreaClass = iota
+	Suburban
+	Urban
+)
+
+// String returns the lower-case class name.
+func (c AreaClass) String() string {
+	switch c {
+	case Rural:
+		return "rural"
+	case Suburban:
+		return "suburban"
+	case Urban:
+		return "urban"
+	default:
+		return fmt.Sprintf("areaclass(%d)", int(c))
+	}
+}
+
+// ClassParams are the radio-planning defaults for an area class.
+type ClassParams struct {
+	// InterSiteDistanceM is the hexagonal lattice pitch in meters.
+	InterSiteDistanceM float64
+	// PowerDbm is the default sector transmit power.
+	PowerDbm float64
+	// MaxPowerDbm is the hardware transmit power ceiling.
+	MaxPowerDbm float64
+	// HeightM is the antenna height above ground.
+	HeightM float64
+	// NeutralTiltDeg is the planner-chosen electrical downtilt.
+	NeutralTiltDeg float64
+	// JitterFrac perturbs site positions by +-JitterFrac*ISD.
+	JitterFrac float64
+	// UEsPerSector is the nominal number of active users per sector.
+	UEsPerSector float64
+}
+
+// ParamsFor returns the default planning parameters of an area class.
+// The inter-site distances are calibrated so the interfering-sector
+// counts land near the paper's reported averages (26 rural, 55 suburban,
+// 178 urban).
+func ParamsFor(class AreaClass) ClassParams {
+	switch class {
+	case Rural:
+		return ClassParams{
+			InterSiteDistanceM: 5000,
+			PowerDbm:           46,
+			MaxPowerDbm:        46.5,
+			HeightM:            45,
+			NeutralTiltDeg:     3,
+			JitterFrac:         0.25,
+			UEsPerSector:       60,
+		}
+	case Suburban:
+		return ClassParams{
+			InterSiteDistanceM: 1800,
+			PowerDbm:           43,
+			MaxPowerDbm:        49,
+			HeightM:            30,
+			NeutralTiltDeg:     6,
+			JitterFrac:         0.2,
+			UEsPerSector:       100,
+		}
+	case Urban:
+		return ClassParams{
+			InterSiteDistanceM: 750,
+			PowerDbm:           40,
+			MaxPowerDbm:        46,
+			HeightM:            25,
+			NeutralTiltDeg:     8,
+			JitterFrac:         0.15,
+			UEsPerSector:       150,
+		}
+	default:
+		return ParamsFor(Suburban)
+	}
+}
+
+// Sector is one directional cell of a base station. The fields are the
+// planning defaults; the live tunable state (current power, current tilt)
+// is carried separately by a config.Config so multiple candidate
+// configurations can share one immutable topology.
+type Sector struct {
+	// ID is the sector's index within its Network.
+	ID int
+	// Site is the index of the owning base station.
+	Site int
+	// Pos is the antenna location.
+	Pos geo.Point
+	// AzimuthDeg is the boresight compass bearing.
+	AzimuthDeg float64
+	// HeightM is the antenna height above ground.
+	HeightM float64
+	// DefaultPowerDbm is the planner-assigned transmit power.
+	DefaultPowerDbm float64
+	// MaxPowerDbm is the hardware power ceiling; MinPowerDbm the floor.
+	MaxPowerDbm float64
+	MinPowerDbm float64
+	// Pattern is the antenna radiation pattern.
+	Pattern antenna.Pattern
+	// Tilts is the table of discrete electrical tilt settings.
+	Tilts antenna.TiltTable
+}
+
+// BaseStation is a cell site hosting one or more sectors.
+type BaseStation struct {
+	ID      int
+	Pos     geo.Point
+	Sectors []int // sector IDs
+}
+
+// Network is an immutable set of base stations and sectors.
+type Network struct {
+	Class   AreaClass
+	Params  ClassParams
+	Sites   []BaseStation
+	Sectors []Sector
+	// Bounds is the area within which sites were generated.
+	Bounds geo.Rect
+}
+
+// NumSectors returns the number of sectors in the network.
+func (n *Network) NumSectors() int { return len(n.Sectors) }
+
+// SiteOf returns the base station owning sector id.
+func (n *Network) SiteOf(id int) *BaseStation { return &n.Sites[n.Sectors[id].Site] }
+
+// SectorsWithin returns the IDs of all sectors within radius meters of p,
+// appended to dst.
+func (n *Network) SectorsWithin(dst []int, p geo.Point, radius float64) []int {
+	for i := range n.Sectors {
+		if n.Sectors[i].Pos.DistanceTo(p) <= radius {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// NearestSite returns the ID of the base station closest to p, or -1 for
+// an empty network.
+func (n *Network) NearestSite(p geo.Point) int {
+	best, bestD := -1, math.Inf(1)
+	for i := range n.Sites {
+		if d := n.Sites[i].Pos.DistanceTo(p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// NeighborSectors returns the IDs of sectors other than those in exclude
+// whose sites lie within radius meters of any sector in targets. This is
+// the neighbor set B fed to the paper's search algorithm.
+func (n *Network) NeighborSectors(targets []int, radius float64) []int {
+	excluded := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		excluded[t] = true
+	}
+	var out []int
+	for i := range n.Sectors {
+		if excluded[i] {
+			continue
+		}
+		for _, t := range targets {
+			if n.Sectors[i].Pos.DistanceTo(n.Sectors[t].Pos) <= radius {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// GenConfig controls synthetic area generation.
+type GenConfig struct {
+	// Seed determines the layout; equal seeds give equal networks.
+	Seed int64
+	// Class picks the planning defaults.
+	Class AreaClass
+	// Bounds is the region to fill with sites.
+	Bounds geo.Rect
+	// Params optionally overrides ParamsFor(Class); leave zero to use
+	// defaults.
+	Params *ClassParams
+	// SectorsPerSite is the number of sectors per base station
+	// (default 3, the paper's "typically 3").
+	SectorsPerSite int
+}
+
+// Generate synthesizes a network area.
+func Generate(cfg GenConfig) (*Network, error) {
+	if cfg.Bounds.Width() <= 0 || cfg.Bounds.Height() <= 0 {
+		return nil, fmt.Errorf("topology: bounds must have positive area")
+	}
+	params := ParamsFor(cfg.Class)
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	if params.InterSiteDistanceM <= 0 {
+		return nil, fmt.Errorf("topology: inter-site distance must be positive, got %v",
+			params.InterSiteDistanceM)
+	}
+	sectorsPerSite := cfg.SectorsPerSite
+	if sectorsPerSite <= 0 {
+		sectorsPerSite = 3
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := &Network{Class: cfg.Class, Params: params, Bounds: cfg.Bounds}
+
+	isd := params.InterSiteDistanceM
+	rowPitch := isd * math.Sqrt(3) / 2
+	jitter := params.JitterFrac * isd
+
+	row := 0
+	for y := cfg.Bounds.Min.Y + rowPitch/2; y < cfg.Bounds.Max.Y; y += rowPitch {
+		xOff := 0.0
+		if row%2 == 1 {
+			xOff = isd / 2
+		}
+		for x := cfg.Bounds.Min.X + isd/2 + xOff; x < cfg.Bounds.Max.X; x += isd {
+			pos := geo.Point{
+				X: x + (rng.Float64()*2-1)*jitter,
+				Y: y + (rng.Float64()*2-1)*jitter,
+			}
+			if !cfg.Bounds.Contains(pos) {
+				continue
+			}
+			addSite(net, rng, pos, params, sectorsPerSite)
+		}
+		row++
+	}
+	if len(net.Sites) == 0 {
+		// Degenerate tiny bounds: place a single site at the center so
+		// callers always get a usable network.
+		addSite(net, rng, cfg.Bounds.Center(), params, sectorsPerSite)
+	}
+	return net, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(cfg GenConfig) *Network {
+	n, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func addSite(net *Network, rng *rand.Rand, pos geo.Point, params ClassParams, sectorsPerSite int) {
+	siteID := len(net.Sites)
+	site := BaseStation{ID: siteID, Pos: pos}
+	baseAz := rng.Float64() * 360
+	tilts := antenna.DefaultTiltTable()
+	tilts.NeutralDeg = params.NeutralTiltDeg
+	for s := 0; s < sectorsPerSite; s++ {
+		id := len(net.Sectors)
+		net.Sectors = append(net.Sectors, Sector{
+			ID:              id,
+			Site:            siteID,
+			Pos:             pos,
+			AzimuthDeg:      geo.NormalizeBearing(baseAz + float64(s)*360/float64(sectorsPerSite)),
+			HeightM:         params.HeightM,
+			DefaultPowerDbm: params.PowerDbm,
+			MaxPowerDbm:     params.MaxPowerDbm,
+			MinPowerDbm:     params.PowerDbm - 40,
+			Pattern:         antenna.DefaultPattern(),
+			Tilts:           tilts,
+		})
+		site.Sectors = append(site.Sectors, id)
+	}
+	net.Sites = append(net.Sites, site)
+}
+
+// SmallCellParams describe a low-power underlay cell.
+type SmallCellParams struct {
+	// PowerDbm is the small cell's transmit power (default 30).
+	PowerDbm float64
+	// MaxPowerDbm is its hardware ceiling (default 33).
+	MaxPowerDbm float64
+	// HeightM is the antenna height (default 6: lamppost mounting).
+	HeightM float64
+	// GainDBi is the omni antenna gain (default 5).
+	GainDBi float64
+}
+
+func (p *SmallCellParams) applyDefaults() {
+	if p.PowerDbm == 0 {
+		p.PowerDbm = 30
+	}
+	if p.MaxPowerDbm == 0 {
+		p.MaxPowerDbm = p.PowerDbm + 3
+	}
+	if p.HeightM == 0 {
+		p.HeightM = 6
+	}
+	if p.GainDBi == 0 {
+		p.GainDBi = 5
+	}
+}
+
+// AddSmallCells appends count omni-directional small cells at seeded
+// random positions within bounds — the heterogeneous-network underlay
+// the paper names among Magus's generalizations ("such as small cells
+// and UMTS", Section 1). Small cells are ordinary sectors to the rest
+// of the system: one-sector sites with an effectively omni pattern, low
+// power and low mounting height. Returns the new sector IDs.
+func (n *Network) AddSmallCells(seed int64, count int, bounds geo.Rect, params SmallCellParams) []int {
+	params.applyDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	// An "omni" pattern within the TR 36.814 parametrization: a
+	// horizontal beamwidth so wide the attenuation never accumulates.
+	omni := antenna.Pattern{
+		MaxGainDBi:        params.GainDBi,
+		HorizBeamwidthDeg: 1e6,
+		VertBeamwidthDeg:  40,
+		FrontBackDB:       25,
+		SideLobeLimitDB:   20,
+	}
+	tilts := antenna.DefaultTiltTable()
+	tilts.NeutralDeg = 0
+
+	var ids []int
+	for i := 0; i < count; i++ {
+		pos := geo.Point{
+			X: bounds.Min.X + rng.Float64()*bounds.Width(),
+			Y: bounds.Min.Y + rng.Float64()*bounds.Height(),
+		}
+		siteID := len(n.Sites)
+		id := len(n.Sectors)
+		n.Sectors = append(n.Sectors, Sector{
+			ID:              id,
+			Site:            siteID,
+			Pos:             pos,
+			AzimuthDeg:      0,
+			HeightM:         params.HeightM,
+			DefaultPowerDbm: params.PowerDbm,
+			MaxPowerDbm:     params.MaxPowerDbm,
+			MinPowerDbm:     params.PowerDbm - 40,
+			Pattern:         omni,
+			Tilts:           tilts,
+		})
+		n.Sites = append(n.Sites, BaseStation{ID: siteID, Pos: pos, Sectors: []int{id}})
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// CentralSite returns the ID of the site closest to the center of the
+// network bounds — the paper's "centrally-located base station" used for
+// upgrade scenarios (a) and (b).
+func (n *Network) CentralSite() int {
+	return n.NearestSite(n.Bounds.Center())
+}
+
+// CornerSectors returns one sector ID near each corner of rect, the
+// paper's upgrade scenario (c). Fewer than four are returned when the
+// network has too few distinct sites.
+func (n *Network) CornerSectors(rect geo.Rect) []int {
+	corners := []geo.Point{
+		rect.Min,
+		{X: rect.Max.X, Y: rect.Min.Y},
+		{X: rect.Min.X, Y: rect.Max.Y},
+		rect.Max,
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for _, c := range corners {
+		site := n.NearestSite(c)
+		if site < 0 || seen[site] {
+			continue
+		}
+		seen[site] = true
+		// Pick the site's sector facing the corner most directly.
+		bestSec, bestDiff := -1, math.Inf(1)
+		for _, sid := range n.Sites[site].Sectors {
+			sec := &n.Sectors[sid]
+			diff := geo.AngularDifference(sec.AzimuthDeg, sec.Pos.BearingTo(c))
+			if diff < bestDiff {
+				bestSec, bestDiff = sid, diff
+			}
+		}
+		if bestSec >= 0 {
+			out = append(out, bestSec)
+		}
+	}
+	return out
+}

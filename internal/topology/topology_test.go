@@ -1,0 +1,280 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"magus/internal/geo"
+)
+
+func genTest(class AreaClass, seed int64, span float64) *Network {
+	return MustGenerate(GenConfig{
+		Seed:   seed,
+		Class:  class,
+		Bounds: geo.NewRectCentered(geo.Point{}, span, span),
+	})
+}
+
+func TestClassNames(t *testing.T) {
+	if Rural.String() != "rural" || Suburban.String() != "suburban" || Urban.String() != "urban" {
+		t.Error("class names wrong")
+	}
+	if AreaClass(9).String() == "" {
+		t.Error("unknown class should produce a name")
+	}
+}
+
+func TestParamsDensityOrdering(t *testing.T) {
+	r, s, u := ParamsFor(Rural), ParamsFor(Suburban), ParamsFor(Urban)
+	if !(r.InterSiteDistanceM > s.InterSiteDistanceM && s.InterSiteDistanceM > u.InterSiteDistanceM) {
+		t.Error("ISD should decrease rural -> suburban -> urban")
+	}
+	if !(r.PowerDbm > s.PowerDbm && s.PowerDbm > u.PowerDbm) {
+		t.Error("power should decrease with density")
+	}
+	if !(r.HeightM > s.HeightM && s.HeightM > u.HeightM) {
+		t.Error("antenna height should decrease with density")
+	}
+	// Unknown classes fall back to suburban.
+	if ParamsFor(AreaClass(77)) != s {
+		t.Error("unknown class should use suburban params")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{Bounds: geo.Rect{}}); err == nil {
+		t.Error("empty bounds should fail")
+	}
+	bad := ParamsFor(Suburban)
+	bad.InterSiteDistanceM = 0
+	if _, err := Generate(GenConfig{
+		Bounds: geo.NewRectCentered(geo.Point{}, 1000, 1000),
+		Params: &bad,
+	}); err == nil {
+		t.Error("zero ISD should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genTest(Suburban, 42, 10000)
+	b := genTest(Suburban, 42, 10000)
+	if len(a.Sites) != len(b.Sites) || len(a.Sectors) != len(b.Sectors) {
+		t.Fatal("same seed produced different network sizes")
+	}
+	for i := range a.Sectors {
+		if a.Sectors[i].Pos != b.Sectors[i].Pos || a.Sectors[i].AzimuthDeg != b.Sectors[i].AzimuthDeg {
+			t.Fatalf("sector %d differs across identical seeds", i)
+		}
+	}
+	c := genTest(Suburban, 43, 10000)
+	same := len(a.Sites) == len(c.Sites)
+	if same {
+		identical := true
+		for i := range a.Sites {
+			if a.Sites[i].Pos != c.Sites[i].Pos {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical layouts")
+		}
+	}
+}
+
+func TestDensityByClass(t *testing.T) {
+	span := 12000.0
+	r := genTest(Rural, 1, span)
+	s := genTest(Suburban, 1, span)
+	u := genTest(Urban, 1, span)
+	if !(len(r.Sites) < len(s.Sites) && len(s.Sites) < len(u.Sites)) {
+		t.Errorf("site counts should increase with density: rural=%d suburban=%d urban=%d",
+			len(r.Sites), len(s.Sites), len(u.Sites))
+	}
+	// Expected counts: area / (hex cell area) approx span^2 / (ISD^2 * sqrt(3)/2).
+	for _, n := range []*Network{r, s, u} {
+		expected := span * span / (n.Params.InterSiteDistanceM * n.Params.InterSiteDistanceM * math.Sqrt(3) / 2)
+		got := float64(len(n.Sites))
+		if got < expected*0.5 || got > expected*1.6 {
+			t.Errorf("%v: %v sites, expected near %v", n.Class, got, expected)
+		}
+	}
+}
+
+func TestThreeSectorsPerSite(t *testing.T) {
+	n := genTest(Suburban, 7, 8000)
+	if len(n.Sectors) != 3*len(n.Sites) {
+		t.Fatalf("sectors = %d, want 3 x %d sites", len(n.Sectors), len(n.Sites))
+	}
+	for _, site := range n.Sites {
+		if len(site.Sectors) != 3 {
+			t.Fatalf("site %d has %d sectors", site.ID, len(site.Sectors))
+		}
+		// Azimuths must be 120 degrees apart.
+		a0 := n.Sectors[site.Sectors[0]].AzimuthDeg
+		a1 := n.Sectors[site.Sectors[1]].AzimuthDeg
+		a2 := n.Sectors[site.Sectors[2]].AzimuthDeg
+		if math.Abs(geo.AngularDifference(a0, a1)-120) > 1e-6 ||
+			math.Abs(geo.AngularDifference(a1, a2)-120) > 1e-6 {
+			t.Fatalf("site %d azimuths not 120 apart: %v %v %v", site.ID, a0, a1, a2)
+		}
+	}
+}
+
+func TestSectorInvariants(t *testing.T) {
+	n := genTest(Urban, 3, 5000)
+	for i, sec := range n.Sectors {
+		if sec.ID != i {
+			t.Fatalf("sector %d has ID %d", i, sec.ID)
+		}
+		if sec.Site < 0 || sec.Site >= len(n.Sites) {
+			t.Fatalf("sector %d references site %d out of range", i, sec.Site)
+		}
+		if sec.MaxPowerDbm < sec.DefaultPowerDbm {
+			t.Fatalf("sector %d max power below default", i)
+		}
+		if sec.MinPowerDbm >= sec.DefaultPowerDbm {
+			t.Fatalf("sector %d min power above default", i)
+		}
+		if !n.Bounds.Contains(sec.Pos) {
+			t.Fatalf("sector %d outside bounds", i)
+		}
+		if sec.AzimuthDeg < 0 || sec.AzimuthDeg >= 360 {
+			t.Fatalf("sector %d azimuth %v not normalized", i, sec.AzimuthDeg)
+		}
+		if sec.Tilts.NeutralDeg != n.Params.NeutralTiltDeg {
+			t.Fatalf("sector %d tilt table neutral mismatch", i)
+		}
+	}
+}
+
+func TestDegenerateBoundsPlacesOneSite(t *testing.T) {
+	n := MustGenerate(GenConfig{
+		Class:  Rural,
+		Bounds: geo.NewRectCentered(geo.Point{}, 100, 100), // far below rural ISD
+	})
+	if len(n.Sites) != 1 {
+		t.Fatalf("tiny bounds produced %d sites, want fallback single site", len(n.Sites))
+	}
+}
+
+func TestSectorsWithin(t *testing.T) {
+	n := genTest(Suburban, 9, 10000)
+	center := geo.Point{}
+	all := n.SectorsWithin(nil, center, 1e9)
+	if len(all) != len(n.Sectors) {
+		t.Errorf("huge radius returned %d, want all %d", len(all), len(n.Sectors))
+	}
+	near := n.SectorsWithin(nil, center, 1500)
+	if len(near) == 0 || len(near) >= len(all) {
+		t.Errorf("radius 1500 returned %d of %d sectors", len(near), len(all))
+	}
+	for _, id := range near {
+		if n.Sectors[id].Pos.DistanceTo(center) > 1500 {
+			t.Errorf("sector %d outside requested radius", id)
+		}
+	}
+}
+
+func TestNearestAndCentralSite(t *testing.T) {
+	n := genTest(Suburban, 11, 10000)
+	c := n.CentralSite()
+	if c < 0 {
+		t.Fatal("no central site")
+	}
+	center := n.Bounds.Center()
+	for i := range n.Sites {
+		if n.Sites[i].Pos.DistanceTo(center) < n.Sites[c].Pos.DistanceTo(center) {
+			t.Fatalf("site %d closer to center than CentralSite %d", i, c)
+		}
+	}
+	empty := &Network{}
+	if empty.NearestSite(center) != -1 {
+		t.Error("empty network should return -1")
+	}
+}
+
+func TestNeighborSectors(t *testing.T) {
+	n := genTest(Suburban, 13, 10000)
+	central := n.CentralSite()
+	targets := n.Sites[central].Sectors
+	nb := n.NeighborSectors(targets, 3000)
+	if len(nb) == 0 {
+		t.Fatal("no neighbors found")
+	}
+	inTargets := map[int]bool{}
+	for _, t := range targets {
+		inTargets[t] = true
+	}
+	for _, id := range nb {
+		if inTargets[id] {
+			t.Fatalf("neighbor set contains target sector %d", id)
+		}
+		// Distance check against at least one target.
+		ok := false
+		for _, tg := range targets {
+			if n.Sectors[id].Pos.DistanceTo(n.Sectors[tg].Pos) <= 3000 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("neighbor %d outside radius of all targets", id)
+		}
+	}
+	// Co-sited sectors (distance zero to each other) are always neighbors.
+	sameSite := 0
+	for _, id := range nb {
+		if n.Sectors[id].Site == central {
+			sameSite++
+		}
+	}
+	if sameSite != 0 {
+		// Targets cover all three sectors of the central site, so no
+		// co-sited sector should remain.
+		t.Errorf("found %d co-sited non-target sectors, want 0", sameSite)
+	}
+}
+
+func TestCornerSectors(t *testing.T) {
+	n := genTest(Suburban, 17, 12000)
+	inner := geo.NewRectCentered(geo.Point{}, 8000, 8000)
+	corners := n.CornerSectors(inner)
+	if len(corners) != 4 {
+		t.Fatalf("CornerSectors returned %d, want 4", len(corners))
+	}
+	seenSite := map[int]bool{}
+	for _, id := range corners {
+		if seenSite[n.Sectors[id].Site] {
+			t.Error("corner sectors share a site")
+		}
+		seenSite[n.Sectors[id].Site] = true
+	}
+}
+
+func TestCornerSectorsDegenerate(t *testing.T) {
+	n := MustGenerate(GenConfig{
+		Class:  Rural,
+		Bounds: geo.NewRectCentered(geo.Point{}, 100, 100),
+	})
+	corners := n.CornerSectors(n.Bounds)
+	if len(corners) != 1 {
+		t.Fatalf("single-site network should yield 1 corner sector, got %d", len(corners))
+	}
+}
+
+func TestSiteOf(t *testing.T) {
+	n := genTest(Urban, 19, 4000)
+	for i := range n.Sectors {
+		site := n.SiteOf(i)
+		found := false
+		for _, sid := range site.Sectors {
+			if sid == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("SiteOf(%d) returned site %d that does not list the sector", i, site.ID)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package umts
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestThresholdAndPeak(t *testing.T) {
+	m := NewLinkModel()
+	if got := m.MinSINRdB(); math.Abs(got-(-10)) > 1e-9 {
+		t.Errorf("MinSINRdB = %v, want -10", got)
+	}
+	if m.MaxRateBps(-11) != 0 {
+		t.Error("below threshold should be out of service")
+	}
+	if m.MaxRateBps(-9.9) <= 0 {
+		t.Error("just above threshold should be served")
+	}
+	if got := m.MaxRateBps(40); got != m.PeakRateBps() {
+		t.Errorf("rate at 40 dB = %v, want peak %v", got, m.PeakRateBps())
+	}
+	if m.PeakRateBps() != 14.0e6 {
+		t.Errorf("peak = %v, want category-10 14 Mb/s", m.PeakRateBps())
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	m := NewLinkModel()
+	for sinr := -10.0; sinr <= 30; sinr += 0.7 {
+		r := m.MaxRateBps(sinr)
+		if r == 0 {
+			continue
+		}
+		if q := math.Mod(r, quantumBps); q > 1e-6 && quantumBps-q > 1e-6 {
+			t.Fatalf("rate %v at %v dB not on the 0.5 Mb/s ladder", r, sinr)
+		}
+	}
+}
+
+func TestMonotoneProperty(t *testing.T) {
+	m := NewLinkModel()
+	f := func(a, b float64) bool {
+		x := math.Mod(math.Abs(a), 60) - 20
+		y := math.Mod(math.Abs(b), 60) - 20
+		if x > y {
+			x, y = y, x
+		}
+		return m.MaxRateBps(x) <= m.MaxRateBps(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearAndDbAgree(t *testing.T) {
+	m := NewLinkModel()
+	for sinr := -15.0; sinr <= 35; sinr += 1.3 {
+		lin := math.Pow(10, sinr/10)
+		if m.MaxRateBps(sinr) != m.MaxRateBpsLinear(lin) {
+			t.Fatalf("dB and linear paths disagree at %v dB", sinr)
+		}
+	}
+	if m.MaxRateBpsLinear(0) != 0 || m.MaxRateBpsLinear(-1) != 0 {
+		t.Error("non-positive linear SINR should be out of service")
+	}
+}
+
+func TestUMTSBelowLTECapacity(t *testing.T) {
+	// A 5 MHz HSDPA carrier peaks well below a 10 MHz LTE carrier —
+	// the ordering the dual-RAT experiments rely on.
+	m := NewLinkModel()
+	if m.PeakRateBps() >= 36.696e6 {
+		t.Error("HSDPA peak should be below the 10 MHz LTE peak")
+	}
+}

@@ -1,0 +1,73 @@
+// Package units provides radio-engineering unit conversions used across
+// the Magus model: decibel/linear power conversions, thermal noise, and
+// small helpers for working in the dB domain.
+//
+// Conventions used throughout the repository:
+//
+//   - Transmit and received powers are expressed in dBm.
+//   - Path losses and antenna gains are expressed in dB. Path losses are
+//     negative (a loss of 120 dB is stored as -120), matching the paper's
+//     formulation RP = P + L where L is the (negative) path loss.
+//   - Linear-domain power is expressed in milliwatts (mW).
+package units
+
+import "math"
+
+// BoltzmannNoiseDBmPerHz is the thermal noise power spectral density at
+// T = 290 K, i.e. 10*log10(k*T*1000) = -174 dBm/Hz.
+const BoltzmannNoiseDBmPerHz = -174.0
+
+// ln10over10 converts dB exponents to natural exponents: 10^(x/10) =
+// e^(x * ln(10)/10). math.Exp is markedly cheaper than math.Pow, and
+// these conversions sit on the model's hottest path.
+const ln10over10 = math.Ln10 / 10
+
+// DbmToMw converts a power in dBm to milliwatts.
+func DbmToMw(dbm float64) float64 {
+	return math.Exp(dbm * ln10over10)
+}
+
+// MwToDbm converts a power in milliwatts to dBm. MwToDbm(0) returns -Inf,
+// which is the correct identity element for dB-domain sums.
+func MwToDbm(mw float64) float64 {
+	if mw <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(mw)
+}
+
+// DbToLinear converts a ratio in dB to a linear ratio.
+func DbToLinear(db float64) float64 {
+	return math.Exp(db * ln10over10)
+}
+
+// LinearToDb converts a linear ratio to dB. LinearToDb(0) returns -Inf.
+func LinearToDb(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// ThermalNoiseDbm returns the thermal noise floor in dBm for the given
+// bandwidth in Hz and receiver noise figure in dB.
+func ThermalNoiseDbm(bandwidthHz, noiseFigureDB float64) float64 {
+	return BoltzmannNoiseDBmPerHz + 10*math.Log10(bandwidthHz) + noiseFigureDB
+}
+
+// AddDbm sums two powers expressed in dBm in the linear domain and
+// returns the result in dBm.
+func AddDbm(a, b float64) float64 {
+	return MwToDbm(DbmToMw(a) + DbmToMw(b))
+}
+
+// Clamp limits v to the inclusive range [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,128 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestDbmToMwKnownValues(t *testing.T) {
+	cases := []struct {
+		dbm, mw float64
+	}{
+		{0, 1},
+		{10, 10},
+		{20, 100},
+		{30, 1000},
+		{-10, 0.1},
+		{3, 1.9952623149688795},
+		{43, 19952.623149688797}, // typical macro sector: 43 dBm == ~20 W
+	}
+	for _, c := range cases {
+		if got := DbmToMw(c.dbm); !almostEqual(got, c.mw, 1e-9*math.Max(1, c.mw)) {
+			t.Errorf("DbmToMw(%v) = %v, want %v", c.dbm, got, c.mw)
+		}
+	}
+}
+
+func TestMwToDbmKnownValues(t *testing.T) {
+	if got := MwToDbm(1000); !almostEqual(got, 30, 1e-12) {
+		t.Errorf("MwToDbm(1000) = %v, want 30", got)
+	}
+	if got := MwToDbm(0); !math.IsInf(got, -1) {
+		t.Errorf("MwToDbm(0) = %v, want -Inf", got)
+	}
+	if got := MwToDbm(-5); !math.IsInf(got, -1) {
+		t.Errorf("MwToDbm(-5) = %v, want -Inf", got)
+	}
+}
+
+func TestLinearToDbZero(t *testing.T) {
+	if got := LinearToDb(0); !math.IsInf(got, -1) {
+		t.Errorf("LinearToDb(0) = %v, want -Inf", got)
+	}
+}
+
+func TestThermalNoise10MHz(t *testing.T) {
+	// -174 + 10*log10(10e6) + 9 = -174 + 70 + 9 = -95 dBm.
+	got := ThermalNoiseDbm(10e6, 9)
+	if !almostEqual(got, -95, 0.01) {
+		t.Errorf("ThermalNoiseDbm(10 MHz, NF 9) = %v, want approx -95", got)
+	}
+}
+
+func TestAddDbmEqualPowers(t *testing.T) {
+	// Adding two equal powers raises the level by 10*log10(2) = 3.0103 dB.
+	got := AddDbm(20, 20)
+	if !almostEqual(got, 23.0103, 1e-3) {
+		t.Errorf("AddDbm(20, 20) = %v, want approx 23.01", got)
+	}
+}
+
+func TestAddDbmDominant(t *testing.T) {
+	// Adding a power 40 dB below barely changes the total.
+	got := AddDbm(0, -40)
+	if got < 0 || got > 0.001 {
+		t.Errorf("AddDbm(0, -40) = %v, want just above 0", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 10); got != 5 {
+		t.Errorf("Clamp(5,0,10) = %v", got)
+	}
+	if got := Clamp(-5, 0, 10); got != 0 {
+		t.Errorf("Clamp(-5,0,10) = %v", got)
+	}
+	if got := Clamp(15, 0, 10); got != 10 {
+		t.Errorf("Clamp(15,0,10) = %v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(dbm float64) bool {
+		// Restrict to a sane range to avoid overflow to +Inf in linear domain.
+		d := math.Mod(math.Abs(dbm), 200) - 100
+		return almostEqual(MwToDbm(DbmToMw(d)), d, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDbLinearRoundTripProperty(t *testing.T) {
+	f := func(db float64) bool {
+		d := math.Mod(math.Abs(db), 200) - 100
+		return almostEqual(LinearToDb(DbToLinear(d)), d, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDbmCommutativeProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		x := math.Mod(math.Abs(a), 100) - 50
+		y := math.Mod(math.Abs(b), 100) - 50
+		return almostEqual(AddDbm(x, y), AddDbm(y, x), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddDbmMonotoneProperty(t *testing.T) {
+	// Adding any finite power strictly increases the total.
+	f := func(a, b float64) bool {
+		x := math.Mod(math.Abs(a), 100) - 50
+		y := math.Mod(math.Abs(b), 100) - 50
+		return AddDbm(x, y) > x && AddDbm(x, y) > y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package upgrade defines planned-upgrade scenarios and the synthetic
+// upgrade calendar.
+//
+// The three scenario kinds mirror Figure 9 of the paper: (a) upgrading a
+// single sector at a centrally-located base station, (b) upgrading all
+// three sectors of that station, and (c) upgrading four sectors at the
+// four corners of the area (a multi-sector concurrent upgrade).
+//
+// The calendar reproduces the paper's Section 1 observations from one
+// year of operational data: planned upgrades occur every day of the
+// year, are more than twice as likely on Tuesday through Friday as on
+// other days, and typically last 4-6 hours.
+package upgrade
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"magus/internal/geo"
+	"magus/internal/topology"
+)
+
+// Scenario identifies one of the paper's upgrade scenarios.
+type Scenario int
+
+const (
+	// SingleSector is scenario (a): one sector at the central site.
+	SingleSector Scenario = iota
+	// FullSite is scenario (b): all three sectors of the central site.
+	FullSite
+	// FourCorners is scenario (c): one sector near each corner of the
+	// tuning area.
+	FourCorners
+)
+
+// String returns the paper's scenario label.
+func (s Scenario) String() string {
+	switch s {
+	case SingleSector:
+		return "(a) single sector"
+	case FullSite:
+		return "(b) full site"
+	case FourCorners:
+		return "(c) four corners"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// Short returns the compact label used in Table 1 headers.
+func (s Scenario) Short() string {
+	switch s {
+	case SingleSector:
+		return "(a)"
+	case FullSite:
+		return "(b)"
+	case FourCorners:
+		return "(c)"
+	default:
+		return "(?)"
+	}
+}
+
+// AllScenarios lists the three paper scenarios in order.
+var AllScenarios = []Scenario{SingleSector, FullSite, FourCorners}
+
+// Targets returns the sector IDs taken off-air by the scenario within
+// the tuning area.
+func Targets(net *topology.Network, s Scenario, area geo.Rect) ([]int, error) {
+	switch s {
+	case SingleSector, FullSite:
+		site := net.NearestSite(area.Center())
+		if site < 0 {
+			return nil, fmt.Errorf("upgrade: network has no sites")
+		}
+		secs := net.Sites[site].Sectors
+		if len(secs) == 0 {
+			return nil, fmt.Errorf("upgrade: central site has no sectors")
+		}
+		if s == SingleSector {
+			return secs[:1], nil
+		}
+		return append([]int(nil), secs...), nil
+	case FourCorners:
+		corners := net.CornerSectors(area)
+		if len(corners) == 0 {
+			return nil, fmt.Errorf("upgrade: no corner sectors found")
+		}
+		return corners, nil
+	default:
+		return nil, fmt.Errorf("upgrade: unknown scenario %d", int(s))
+	}
+}
+
+// Event is one planned upgrade on the calendar.
+type Event struct {
+	// Day is the day index since the calendar start.
+	Day int
+	// Weekday of the event.
+	Weekday time.Weekday
+	// StartHour is the local start hour [0, 24).
+	StartHour int
+	// DurationHours is the planned work duration.
+	DurationHours float64
+	// SpillsIntoBusyHours reports whether the work window overlaps the
+	// business day (08:00-18:00).
+	SpillsIntoBusyHours bool
+}
+
+// CalendarConfig controls calendar synthesis.
+type CalendarConfig struct {
+	// Seed makes the calendar reproducible.
+	Seed int64
+	// Days is the calendar length (default 365).
+	Days int
+	// BaseRate is the expected number of upgrades on a low-activity day
+	// (Sat-Mon); Tuesday-Friday gets WeekdayBoost times this (default 3
+	// and 2.5).
+	BaseRate     float64
+	WeekdayBoost float64
+	// StartWeekday is the weekday of day 0 (default Monday).
+	StartWeekday time.Weekday
+}
+
+func (c *CalendarConfig) applyDefaults() {
+	if c.Days <= 0 {
+		c.Days = 365
+	}
+	if c.BaseRate <= 0 {
+		c.BaseRate = 3
+	}
+	if c.WeekdayBoost <= 0 {
+		c.WeekdayBoost = 2.5
+	}
+}
+
+// boosted reports whether the weekday belongs to the paper's
+// high-activity band (Tuesday through Friday).
+func boosted(d time.Weekday) bool {
+	return d >= time.Tuesday && d <= time.Friday
+}
+
+// GenerateCalendar synthesizes a year of planned upgrades matching the
+// paper's observed statistics.
+func GenerateCalendar(cfg CalendarConfig) []Event {
+	cfg.applyDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var events []Event
+	for day := 0; day < cfg.Days; day++ {
+		wd := time.Weekday((int(cfg.StartWeekday) + day) % 7)
+		rate := cfg.BaseRate
+		if boosted(wd) {
+			rate *= cfg.WeekdayBoost
+		}
+		n := poisson(rng, rate)
+		if n == 0 {
+			// The paper observes upgrades every single day of the year.
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			start := pickStartHour(rng)
+			dur := 4 + rng.Float64()*2 // 4-6 hours
+			end := float64(start) + dur
+			events = append(events, Event{
+				Day:                 day,
+				Weekday:             wd,
+				StartHour:           start,
+				DurationHours:       dur,
+				SpillsIntoBusyHours: float64(start) < 18 && end > 8,
+			})
+		}
+	}
+	return events
+}
+
+// pickStartHour prefers off-peak starts (night hours) but leaves a
+// meaningful fraction in business hours, as vendor availability forces
+// some daytime work.
+func pickStartHour(rng *rand.Rand) int {
+	if rng.Float64() < 0.7 {
+		// Night window 22:00-05:00.
+		return (22 + rng.Intn(7)) % 24
+	}
+	return 8 + rng.Intn(10) // business window
+}
+
+// poisson samples a Poisson variate by Knuth's method (fine for small
+// rates).
+func poisson(rng *rand.Rand, rate float64) int {
+	l := math.Exp(-rate)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// CalendarStats summarizes a calendar against the paper's observations.
+type CalendarStats struct {
+	// Total is the number of upgrades.
+	Total int
+	// ByWeekday counts upgrades per weekday.
+	ByWeekday [7]int
+	// DaysCovered is the number of distinct days with at least one
+	// upgrade.
+	DaysCovered int
+	// TueFriRatio is the mean daily upgrade count on Tue-Fri divided by
+	// the mean on other days.
+	TueFriRatio float64
+	// MeanDurationHours is the average work duration.
+	MeanDurationHours float64
+	// BusyHourFraction is the fraction of upgrades overlapping business
+	// hours.
+	BusyHourFraction float64
+}
+
+// AnalyzeCalendar computes summary statistics for a calendar spanning
+// the given number of days.
+func AnalyzeCalendar(events []Event, days int) CalendarStats {
+	st := CalendarStats{Total: len(events)}
+	seen := map[int]bool{}
+	sumDur := 0.0
+	busy := 0
+	for _, e := range events {
+		st.ByWeekday[e.Weekday]++
+		seen[e.Day] = true
+		sumDur += e.DurationHours
+		if e.SpillsIntoBusyHours {
+			busy++
+		}
+	}
+	st.DaysCovered = len(seen)
+	if len(events) > 0 {
+		st.MeanDurationHours = sumDur / float64(len(events))
+		st.BusyHourFraction = float64(busy) / float64(len(events))
+	}
+	// Per-weekday daily means.
+	if days > 0 {
+		var boostedSum, boostedDays, otherSum, otherDays float64
+		for wd := time.Sunday; wd <= time.Saturday; wd++ {
+			count := float64(st.ByWeekday[wd])
+			occurrences := float64(days / 7)
+			if occurrences == 0 {
+				occurrences = 1
+			}
+			if boosted(wd) {
+				boostedSum += count
+				boostedDays += occurrences
+			} else {
+				otherSum += count
+				otherDays += occurrences
+			}
+		}
+		if otherSum > 0 && boostedDays > 0 && otherDays > 0 {
+			st.TueFriRatio = (boostedSum / boostedDays) / (otherSum / otherDays)
+		}
+	}
+	return st
+}

@@ -1,0 +1,169 @@
+package upgrade
+
+import (
+	"testing"
+	"time"
+
+	"magus/internal/geo"
+	"magus/internal/topology"
+)
+
+func testNet(t *testing.T) *topology.Network {
+	t.Helper()
+	return topology.MustGenerate(topology.GenConfig{
+		Seed:   1,
+		Class:  topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 10000, 10000),
+	})
+}
+
+func TestScenarioStrings(t *testing.T) {
+	if SingleSector.Short() != "(a)" || FullSite.Short() != "(b)" || FourCorners.Short() != "(c)" {
+		t.Error("short labels wrong")
+	}
+	for _, s := range AllScenarios {
+		if s.String() == "" {
+			t.Errorf("scenario %d has empty name", s)
+		}
+	}
+	if Scenario(9).Short() != "(?)" {
+		t.Error("unknown scenario short label")
+	}
+	if Scenario(9).String() == "" {
+		t.Error("unknown scenario should produce a name")
+	}
+}
+
+func TestTargetsSingleSector(t *testing.T) {
+	net := testNet(t)
+	area := geo.NewRectCentered(geo.Point{}, 4000, 4000)
+	targets, err := Targets(net, SingleSector, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("scenario (a) yields %d targets, want 1", len(targets))
+	}
+	central := net.NearestSite(area.Center())
+	if net.Sectors[targets[0]].Site != central {
+		t.Error("target not at central site")
+	}
+}
+
+func TestTargetsFullSite(t *testing.T) {
+	net := testNet(t)
+	area := geo.NewRectCentered(geo.Point{}, 4000, 4000)
+	targets, err := Targets(net, FullSite, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 3 {
+		t.Fatalf("scenario (b) yields %d targets, want 3", len(targets))
+	}
+	site := net.Sectors[targets[0]].Site
+	for _, tg := range targets {
+		if net.Sectors[tg].Site != site {
+			t.Error("full-site targets span multiple sites")
+		}
+	}
+}
+
+func TestTargetsFourCorners(t *testing.T) {
+	net := testNet(t)
+	area := geo.NewRectCentered(geo.Point{}, 6000, 6000)
+	targets, err := Targets(net, FourCorners, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 4 {
+		t.Fatalf("scenario (c) yields %d targets, want 4", len(targets))
+	}
+	sites := map[int]bool{}
+	for _, tg := range targets {
+		sites[net.Sectors[tg].Site] = true
+	}
+	if len(sites) != 4 {
+		t.Error("corner targets should be at four distinct sites")
+	}
+}
+
+func TestTargetsUnknownScenario(t *testing.T) {
+	net := testNet(t)
+	if _, err := Targets(net, Scenario(9), net.Bounds); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+}
+
+func TestTargetsEmptyNetwork(t *testing.T) {
+	empty := &topology.Network{}
+	if _, err := Targets(empty, SingleSector, geo.NewRectCentered(geo.Point{}, 100, 100)); err == nil {
+		t.Error("empty network should fail")
+	}
+}
+
+func TestCalendarEveryDayCovered(t *testing.T) {
+	events := GenerateCalendar(CalendarConfig{Seed: 1, Days: 365})
+	st := AnalyzeCalendar(events, 365)
+	if st.DaysCovered != 365 {
+		t.Errorf("days covered = %d, want 365 (paper: upgrades every day)", st.DaysCovered)
+	}
+	if st.Total < 365 {
+		t.Errorf("total upgrades = %d, want >= 365", st.Total)
+	}
+}
+
+func TestCalendarWeekdayBias(t *testing.T) {
+	events := GenerateCalendar(CalendarConfig{Seed: 2, Days: 364})
+	st := AnalyzeCalendar(events, 364)
+	// Paper: more than twice as likely Tuesday-Friday.
+	if st.TueFriRatio < 1.8 {
+		t.Errorf("Tue-Fri ratio = %v, want around or above 2", st.TueFriRatio)
+	}
+	for wd := time.Tuesday; wd <= time.Friday; wd++ {
+		if st.ByWeekday[wd] <= st.ByWeekday[time.Sunday] {
+			t.Errorf("%v count %d not above Sunday %d",
+				wd, st.ByWeekday[wd], st.ByWeekday[time.Sunday])
+		}
+	}
+}
+
+func TestCalendarDurations(t *testing.T) {
+	events := GenerateCalendar(CalendarConfig{Seed: 3, Days: 365})
+	st := AnalyzeCalendar(events, 365)
+	// Paper: planned upgrades typically last 4-6 hours.
+	if st.MeanDurationHours < 4 || st.MeanDurationHours > 6 {
+		t.Errorf("mean duration = %v h, want within [4, 6]", st.MeanDurationHours)
+	}
+	for _, e := range events {
+		if e.DurationHours < 4 || e.DurationHours > 6 {
+			t.Fatalf("duration %v outside [4, 6]", e.DurationHours)
+		}
+		if e.StartHour < 0 || e.StartHour > 23 {
+			t.Fatalf("start hour %d invalid", e.StartHour)
+		}
+	}
+	// Some upgrades unavoidably overlap business hours.
+	if st.BusyHourFraction <= 0 || st.BusyHourFraction >= 1 {
+		t.Errorf("busy-hour fraction = %v, want strictly between 0 and 1", st.BusyHourFraction)
+	}
+}
+
+func TestCalendarDeterministic(t *testing.T) {
+	a := GenerateCalendar(CalendarConfig{Seed: 7, Days: 100})
+	b := GenerateCalendar(CalendarConfig{Seed: 7, Days: 100})
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different calendars")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestAnalyzeCalendarEmpty(t *testing.T) {
+	st := AnalyzeCalendar(nil, 0)
+	if st.Total != 0 || st.DaysCovered != 0 || st.MeanDurationHours != 0 {
+		t.Error("empty calendar stats should be zero")
+	}
+}

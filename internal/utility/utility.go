@@ -1,0 +1,88 @@
+// Package utility defines the per-UE utility functions u(·) and the
+// overall network utility f(·) of Section 5 of the paper. The overall
+// utility is additive: f(U) = Σ u(r) over all UEs, with the per-UE term
+// selected by mitigation objective:
+//
+//   - Performance (paper Formula 6): u(r) = log r for r > 0, else 0 —
+//     the proportional-fair log-rate utility of Kelly.
+//   - Coverage (paper Formula 5): u(r) = 1 if r > 0, else 0 — counts
+//     served UEs.
+//
+// Rates are expressed in kbps inside the log so that every in-service
+// LTE rate (≥ 16 kbps) yields a positive utility; the paper's utility
+// scale is arbitrary, only differences and ratios of f matter (its
+// recovery-ratio metric is scale-free).
+package utility
+
+import "math"
+
+// Func is a named per-UE utility function over the downlink rate in
+// bits/s.
+type Func struct {
+	// Name identifies the function in reports ("performance",
+	// "coverage", ...).
+	Name string
+	// U maps a UE's downlink rate in bits/s to its utility. U(0) must be
+	// 0 (an unserved UE contributes nothing).
+	U func(rateBps float64) float64
+}
+
+// Performance is the paper's log-rate service-performance utility
+// (Formula 6): the sum over UEs of log10 of the rate in kbps. It rewards
+// both throughput and fairness, matching proportional-fair scheduling.
+var Performance = Func{
+	Name: "performance",
+	U: func(rateBps float64) float64 {
+		if rateBps <= 0 {
+			return 0
+		}
+		kbps := rateBps / 1000
+		if kbps < 1 {
+			// Floor: any served UE is worth at least a little more than
+			// an unserved one, preserving monotonicity at the bottom.
+			kbps = 1
+		}
+		return math.Log10(kbps)
+	},
+}
+
+// Coverage is the paper's binary coverage utility (Formula 5): 1 per
+// served UE.
+var Coverage = Func{
+	Name: "coverage",
+	U: func(rateBps float64) float64 {
+		if rateBps <= 0 {
+			return 0
+		}
+		return 1
+	},
+}
+
+// SumRate is a plain aggregate-throughput utility in Mb/s, provided for
+// comparison; the paper discusses why it is inferior to the log utility
+// (no fairness incentive).
+var SumRate = Func{
+	Name: "sumrate",
+	U: func(rateBps float64) float64 {
+		if rateBps <= 0 {
+			return 0
+		}
+		return rateBps / 1e6
+	},
+}
+
+// RecoveryRatio computes the paper's Formula 7:
+//
+//	(f(C_after) - f(C_upgrade)) / (f(C_before) - f(C_upgrade))
+//
+// the fraction of upgrade-induced utility degradation recovered by
+// tuning. A ratio of 1 is full recovery, 0 is no recovery; negative
+// values mean tuning made matters worse on this metric. When the upgrade
+// causes no degradation the ratio is defined as 1 (nothing to recover).
+func RecoveryRatio(before, upgrade, after float64) float64 {
+	denom := before - upgrade
+	if denom <= 0 {
+		return 1
+	}
+	return (after - upgrade) / denom
+}

@@ -1,0 +1,100 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerformanceUtility(t *testing.T) {
+	if got := Performance.U(0); got != 0 {
+		t.Errorf("U(0) = %v, want 0", got)
+	}
+	if got := Performance.U(-5); got != 0 {
+		t.Errorf("U(-5) = %v, want 0", got)
+	}
+	// 1 Mb/s = 1000 kbps -> log10 = 3.
+	if got := Performance.U(1e6); math.Abs(got-3) > 1e-12 {
+		t.Errorf("U(1 Mb/s) = %v, want 3", got)
+	}
+	// 10 Mb/s -> 4.
+	if got := Performance.U(1e7); math.Abs(got-4) > 1e-12 {
+		t.Errorf("U(10 Mb/s) = %v, want 4", got)
+	}
+	// Sub-kbps rates floor at 0 but stay non-negative.
+	if got := Performance.U(500); got < 0 {
+		t.Errorf("U(500 bps) = %v, must be non-negative", got)
+	}
+}
+
+func TestPerformanceMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		x := math.Abs(math.Mod(a, 1e8))
+		y := math.Abs(math.Mod(b, 1e8))
+		if x > y {
+			x, y = y, x
+		}
+		return Performance.U(x) <= Performance.U(y)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverageUtility(t *testing.T) {
+	if Coverage.U(0) != 0 || Coverage.U(-1) != 0 {
+		t.Error("unserved UE should contribute 0")
+	}
+	if Coverage.U(1) != 1 || Coverage.U(1e9) != 1 {
+		t.Error("served UE should contribute exactly 1 regardless of rate")
+	}
+}
+
+func TestSumRateUtility(t *testing.T) {
+	if SumRate.U(5e6) != 5 {
+		t.Errorf("SumRate.U(5 Mb/s) = %v, want 5", SumRate.U(5e6))
+	}
+	if SumRate.U(0) != 0 || SumRate.U(-1) != 0 {
+		t.Error("unserved UE should contribute 0")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if Performance.Name != "performance" || Coverage.Name != "coverage" || SumRate.Name != "sumrate" {
+		t.Error("utility names wrong")
+	}
+}
+
+func TestRecoveryRatio(t *testing.T) {
+	cases := []struct {
+		before, upgrade, after, want float64
+	}{
+		{10, 5, 10, 1},    // full recovery
+		{10, 5, 5, 0},     // no recovery
+		{10, 5, 7.5, 0.5}, // half
+		{10, 5, 4, -0.2},  // made it worse
+		{10, 10, 10, 1},   // no degradation: defined as 1
+		{10, 12, 11, 1},   // upgrade improved things (degenerate): 1
+	}
+	for _, c := range cases {
+		if got := RecoveryRatio(c.before, c.upgrade, c.after); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RecoveryRatio(%v, %v, %v) = %v, want %v",
+				c.before, c.upgrade, c.after, got, c.want)
+		}
+	}
+}
+
+func TestRecoveryRatioBoundsProperty(t *testing.T) {
+	// For after between upgrade and before, ratio is within [0, 1].
+	f := func(b, u, frac float64) bool {
+		before := math.Abs(math.Mod(b, 1000)) + 10
+		upgrade := before - math.Abs(math.Mod(u, 9)) - 1
+		fr := math.Abs(math.Mod(frac, 1))
+		after := upgrade + fr*(before-upgrade)
+		r := RecoveryRatio(before, upgrade, after)
+		return r >= -1e-12 && r <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package magus_test
+
+import (
+	"testing"
+
+	"magus"
+)
+
+// TestFacadeEndToEnd exercises the public API the way a downstream user
+// would: build an engine, plan a mitigation, schedule the migration,
+// and compare against the reactive baseline.
+func TestFacadeEndToEnd(t *testing.T) {
+	engine, err := magus.NewEngine(magus.SetupConfig{
+		Seed:          7,
+		Class:         magus.Suburban,
+		RegionSpanM:   6000,
+		CellSizeM:     200,
+		EqualizeSteps: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := engine.Mitigate(magus.SingleSector, magus.Joint, magus.Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UtilityAfter < plan.UtilityUpgrade {
+		t.Errorf("mitigation made things worse: %v -> %v", plan.UtilityUpgrade, plan.UtilityAfter)
+	}
+	rr := plan.RecoveryRatio()
+	if rr < 0 || rr > 1.0001 {
+		t.Errorf("recovery ratio %v outside [0, 1]", rr)
+	}
+	if got := magus.RecoveryRatio(plan.UtilityBefore, plan.UtilityUpgrade, plan.UtilityAfter); got != rr {
+		t.Errorf("façade RecoveryRatio %v != plan's %v", got, rr)
+	}
+
+	migration, err := plan.GradualMigration(magus.MigrationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(migration.Steps) == 0 {
+		t.Fatal("empty migration plan")
+	}
+
+	baseline, err := plan.ReactiveBaseline(magus.FeedbackIdealized, magus.FeedbackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.FinalUtility < plan.UtilityUpgrade {
+		t.Error("reactive baseline should not end below f(C_upgrade)")
+	}
+}
+
+func TestFacadeConstants(t *testing.T) {
+	if magus.Rural.String() != "rural" || magus.Urban.String() != "urban" {
+		t.Error("area class aliases broken")
+	}
+	if magus.PowerOnly.String() != "power-tuning" || magus.Joint.String() != "joint" {
+		t.Error("method aliases broken")
+	}
+	if magus.SingleSector.Short() != "(a)" || magus.FourCorners.Short() != "(c)" {
+		t.Error("scenario aliases broken")
+	}
+	if magus.Performance.Name != "performance" || magus.Coverage.Name != "coverage" {
+		t.Error("utility aliases broken")
+	}
+}
