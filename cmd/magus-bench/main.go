@@ -5,6 +5,11 @@
 // Usage:
 //
 //	magus-bench [-exp all|table1|table2|fig2|fig8|fig10|fig11|fig12|fig13|maps|calendar] [-seeds 1,2,3]
+//	            [-json results.json]
+//
+// With -json, per-experiment timings are also written to the given path
+// as a JSON array of {name, iterations, ns_per_op} records — the shape
+// CI trend dashboards ingest.
 //
 // Absolute numbers differ from the paper (the substrate is a synthetic
 // market, not a production carrier); the qualitative shape — who wins,
@@ -13,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +32,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig2, fig8, fig10, fig11, fig12, fig13, maps, calendar, ext-hybrid, ext-signaling, ext-outage, ext-loadbal, ext-uedist, ext-carriers, ops-week")
 	seedsFlag := flag.String("seeds", "1,2,3", "comma-separated area replicate seeds for table1/fig13")
+	jsonPath := flag.String("json", "", "also write per-experiment timings to this path as JSON")
 	flag.Parse()
 
 	seeds, err := parseSeeds(*seedsFlag)
@@ -73,15 +80,48 @@ func main() {
 		selected = []string{*exp}
 	}
 
+	var records []benchRecord
 	for _, name := range selected {
 		start := time.Now()
 		result, err := runners[name]()
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "magus-bench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, time.Since(start).Seconds(), result)
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, elapsed.Seconds(), result)
+		records = append(records, benchRecord{Name: name, Iterations: 1, NsPerOp: elapsed.Nanoseconds()})
 	}
+
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, records); err != nil {
+			fmt.Fprintf(os.Stderr, "magus-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchRecord is one timing in the -json output, shaped like a Go
+// benchmark result so downstream tooling can treat the two alike.
+type benchRecord struct {
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	NsPerOp    int64  `json:"ns_per_op"`
+}
+
+// writeBenchJSON writes records to path as an indented JSON array.
+func writeBenchJSON(path string, records []benchRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseSeeds(s string) ([]int64, error) {

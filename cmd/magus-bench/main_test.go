@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestParseSeeds(t *testing.T) {
 	cases := []struct {
@@ -56,5 +61,27 @@ func TestRunnersCoverOrder(t *testing.T) {
 			t.Errorf("duplicate experiment %q in order", name)
 		}
 		seen[name] = true
+	}
+}
+
+func TestWriteBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := []benchRecord{
+		{Name: "table1", Iterations: 1, NsPerOp: 1_500_000_000},
+		{Name: "fig13", Iterations: 1, NsPerOp: 42},
+	}
+	if err := writeBenchJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []benchRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, data)
+	}
+	if len(out) != len(in) || out[0] != in[0] || out[1] != in[1] {
+		t.Errorf("round trip = %+v, want %+v", out, in)
 	}
 }

@@ -1,0 +1,151 @@
+// The campaign subcommand: submit a batch of planning jobs to a running
+// magusd and poll the status endpoint until every job reaches a terminal
+// state. Exits 0 only when all jobs are done.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// campaignJob mirrors httpapi's campaignJobRequest wire shape.
+type campaignJob struct {
+	Class     string `json:"class"`
+	Seed      int64  `json:"seed"`
+	Scenario  string `json:"scenario"`
+	Method    string `json:"method"`
+	Utility   string `json:"utility,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// campaignView is the subset of the status response the client renders.
+type campaignView struct {
+	Campaign struct {
+		Finished     bool           `json:"finished"`
+		Cancelled    bool           `json:"cancelled"`
+		Counts       map[string]int `json:"counts"`
+		MeanRecovery float64        `json:"mean_recovery"`
+		P50MS        float64        `json:"job_latency_p50_ms"`
+		P95MS        float64        `json:"job_latency_p95_ms"`
+		Jobs         []struct {
+			ID         int     `json:"id"`
+			Class      string  `json:"class"`
+			Seed       int64   `json:"seed"`
+			Scenario   string  `json:"scenario"`
+			Method     string  `json:"method"`
+			State      string  `json:"state"`
+			Error      string  `json:"error"`
+			DurationMS float64 `json:"duration_ms"`
+			Result     *struct {
+				Recovery         float64 `json:"recovery"`
+				SeamlessFraction float64 `json:"seamless_fraction"`
+			} `json:"result"`
+		} `json:"jobs"`
+	} `json:"campaign"`
+}
+
+func runCampaign(args []string) {
+	fs := flag.NewFlagSet("magusctl campaign", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "magusd base URL")
+	classes := fs.String("classes", "suburban", "comma-separated classes: rural,suburban,urban")
+	scenarios := fs.String("scenarios", "a", "comma-separated scenarios: a,b,c")
+	methods := fs.String("methods", "joint", "comma-separated methods: power,tilt,joint,naive,anneal")
+	seeds := fs.String("seeds", "1", "comma-separated market seeds")
+	utilFlag := fs.String("utility", "performance", "objective: performance, coverage")
+	jobTimeout := fs.Duration("timeout", 0, "per-job deadline (0 uses the server default)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "status poll interval")
+	_ = fs.Parse(args)
+
+	var jobs []campaignJob
+	for _, class := range strings.Split(*classes, ",") {
+		for _, seedStr := range strings.Split(*seeds, ",") {
+			seed, err := strconv.ParseInt(strings.TrimSpace(seedStr), 10, 64)
+			if err != nil {
+				fail("bad seed %q", seedStr)
+			}
+			for _, sc := range strings.Split(*scenarios, ",") {
+				for _, m := range strings.Split(*methods, ",") {
+					jobs = append(jobs, campaignJob{
+						Class:     strings.TrimSpace(class),
+						Seed:      seed,
+						Scenario:  strings.TrimSpace(sc),
+						Method:    strings.TrimSpace(m),
+						Utility:   *utilFlag,
+						TimeoutMS: int64(*jobTimeout / time.Millisecond),
+					})
+				}
+			}
+		}
+	}
+
+	body, err := json.Marshal(map[string]any{"jobs": jobs})
+	if err != nil {
+		fail("encode: %v", err)
+	}
+	resp, err := http.Post(*server+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fail("submit: %v", err)
+	}
+	var accepted struct {
+		ID    string `json:"id"`
+		Jobs  int    `json:"jobs"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if err != nil {
+		fail("submit: decode: %v", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		fail("submit: %s (%d)", accepted.Error, resp.StatusCode)
+	}
+	fmt.Printf("campaign %s accepted: %d jobs\n", accepted.ID, accepted.Jobs)
+
+	var view campaignView
+	for {
+		time.Sleep(*poll)
+		resp, err := http.Get(*server + "/campaigns/" + accepted.ID)
+		if err != nil {
+			fail("poll: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			fail("poll: decode: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			fail("poll: status %d", resp.StatusCode)
+		}
+		c := view.Campaign.Counts
+		fmt.Printf("  queued %d  running %d  done %d  failed %d  cancelled %d\n",
+			c["queued"], c["running"], c["done"], c["failed"], c["cancelled"])
+		if view.Campaign.Finished {
+			break
+		}
+	}
+
+	fmt.Printf("\n%-4s %-9s %-5s %-9s %-13s %-10s %9s %9s\n",
+		"job", "class", "seed", "scenario", "method", "state", "recovery", "ms")
+	for _, j := range view.Campaign.Jobs {
+		recovery := ""
+		if j.Result != nil {
+			recovery = fmt.Sprintf("%8.1f%%", 100*j.Result.Recovery)
+		}
+		fmt.Printf("%-4d %-9s %-5d %-9s %-13s %-10s %9s %9.0f\n",
+			j.ID, j.Class, j.Seed, j.Scenario, j.Method, j.State, recovery, j.DurationMS)
+		if j.Error != "" {
+			fmt.Printf("     error: %s\n", j.Error)
+		}
+	}
+	fmt.Printf("\nmean recovery %.1f%%, job latency p50 %.0f ms / p95 %.0f ms\n",
+		100*view.Campaign.MeanRecovery, view.Campaign.P50MS, view.Campaign.P95MS)
+	if c := view.Campaign.Counts; c["failed"] > 0 || c["cancelled"] > 0 {
+		fail("%d failed, %d cancelled", c["failed"], c["cancelled"])
+	}
+}

@@ -8,6 +8,13 @@
 //
 //	magusctl [-class suburban] [-scenario a] [-method joint]
 //	         [-seed 1] [-utility performance] [-migrate] [-reactive]
+//
+// The campaign subcommand instead drives a running magusd: it submits
+// the cross-product of its -classes/-scenarios/-methods/-seeds flags as
+// one asynchronous campaign and polls until every job finishes:
+//
+//	magusctl campaign [-server http://localhost:8080] [-classes rural,suburban,urban]
+//	                  [-scenarios a,b,c] [-methods power,tilt,joint] [-seeds 1]
 package main
 
 import (
@@ -23,6 +30,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "campaign" {
+		runCampaign(os.Args[2:])
+		return
+	}
 	classFlag := flag.String("class", "suburban", "area class: rural, suburban, urban")
 	scenarioFlag := flag.String("scenario", "a", "upgrade scenario: a (single sector), b (full site), c (four corners)")
 	methodFlag := flag.String("method", "joint", "tuning method: power, tilt, joint, naive, anneal")

@@ -14,7 +14,12 @@
 //	/runbook   executable runbook with rollback (same parameters)
 //	/outage    unplanned-outage response (?sector=N)
 //
-// The server shuts down cleanly on SIGINT/SIGTERM.
+// Asynchronous campaigns (POST /campaigns, GET /campaigns/{id},
+// POST /campaigns/{id}/cancel) run batches of planning jobs across
+// markets on a worker pool; see magusctl campaign for a client.
+//
+// The server shuts down cleanly on SIGINT/SIGTERM, cancelling running
+// campaigns.
 package main
 
 import (
@@ -58,10 +63,16 @@ func main() {
 		time.Since(start).Seconds(), len(engine.Net.Sites),
 		engine.Net.NumSectors(), engine.Model.TotalUE())
 
+	api := httpapi.NewServer(engine)
+	defer api.Close()
 	srv := &http.Server{
 		Addr:              *listen,
-		Handler:           httpapi.NewServer(engine),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		// Joint searches on large markets take tens of seconds; the write
+		// timeout must outlast the slowest synchronous plan.
+		WriteTimeout: 2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,39 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkCampaignThroughput meters the orchestrator end to end: a
+// 27-job campaign (3 classes x 3 scenarios x 3 methods) over miniature
+// markets per iteration. The engine cache persists across iterations, so
+// after the first the benchmark isolates queueing + planning throughput.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	cache := NewEngineCache(8)
+	o, err := New(Config{Build: testBuild(cache), Cache: cache, SkipMigration: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer o.Close()
+
+	specs := fullFactorial()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := o.Submit(specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		if err := c.Wait(ctx); err != nil {
+			cancel()
+			b.Fatal(err)
+		}
+		cancel()
+		if snap := c.Snapshot(); snap.Counts["done"] != len(specs) {
+			b.Fatalf("counts = %v", snap.Counts)
+		}
+	}
+	b.ReportMetric(float64(len(specs)), "jobs/op")
+}

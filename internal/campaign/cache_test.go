@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"magus/internal/core"
+	"magus/internal/topology"
+)
+
+func cacheKey(seed int64) EngineKey {
+	return EngineKey{Class: topology.Suburban, Seed: seed, SpecHash: SpecHash("test")}
+}
+
+// fakeEngine returns a distinct non-nil engine pointer without paying
+// for a real market build.
+func fakeEngine() *core.Engine { return &core.Engine{} }
+
+func TestCacheSingleFlight(t *testing.T) {
+	cache := NewEngineCache(4)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	engines := make([]*core.Engine, 16)
+	for i := range engines {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := cache.GetOrBuild(cacheKey(1), func() (*core.Engine, error) {
+				builds.Add(1)
+				time.Sleep(20 * time.Millisecond) // widen the race window
+				return fakeEngine(), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			engines[i] = e
+		}(i)
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("builds = %d, want 1 (single flight)", n)
+	}
+	for i := 1; i < len(engines); i++ {
+		if engines[i] != engines[0] {
+			t.Fatal("concurrent callers got different engines")
+		}
+	}
+	st := cache.Stats()
+	if st.Builds != 1 || st.Hits != 15 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 build, 15 hits, 1 miss", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	cache := NewEngineCache(2)
+	build := func() (*core.Engine, error) { return fakeEngine(), nil }
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, err := cache.GetOrBuild(cacheKey(seed), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	if st.Size != 2 || st.Evictions != 1 || st.Builds != 3 {
+		t.Fatalf("stats = %+v, want size 2 after 1 eviction", st)
+	}
+	// Seed 1 was evicted (least recently used); fetching it rebuilds.
+	if _, err := cache.GetOrBuild(cacheKey(1), build); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Builds != 4 {
+		t.Errorf("builds = %d, want 4 (evicted entry rebuilt)", st.Builds)
+	}
+	// Seed 3 is still resident: a hit, no rebuild.
+	if _, err := cache.GetOrBuild(cacheKey(3), build); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Builds != 4 {
+		t.Errorf("builds = %d, want 4 (resident entry reused)", st.Builds)
+	}
+}
+
+func TestCacheRecencyOrder(t *testing.T) {
+	cache := NewEngineCache(2)
+	build := func() (*core.Engine, error) { return fakeEngine(), nil }
+	for seed := int64(1); seed <= 2; seed++ {
+		if _, err := cache.GetOrBuild(cacheKey(seed), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch seed 1 so seed 2 becomes the LRU, then insert seed 3.
+	if _, err := cache.GetOrBuild(cacheKey(1), build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.GetOrBuild(cacheKey(3), build); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.GetOrBuild(cacheKey(1), build); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Builds != 3 {
+		t.Errorf("builds = %d, want 3 (recently used entry survived)", st.Builds)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	cache := NewEngineCache(4)
+	var calls atomic.Int64
+	build := func() (*core.Engine, error) {
+		if calls.Add(1) == 1 {
+			return nil, errors.New("flaky substrate")
+		}
+		return fakeEngine(), nil
+	}
+	if _, err := cache.GetOrBuild(cacheKey(1), build); err == nil {
+		t.Fatal("first build should fail")
+	}
+	e, err := cache.GetOrBuild(cacheKey(1), build)
+	if err != nil || e == nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	if st := cache.Stats(); st.Size != 1 || st.Builds != 2 {
+		t.Errorf("stats = %+v, want failed entry dropped then rebuilt", st)
+	}
+}
+
+func TestSpecHashDistinguishes(t *testing.T) {
+	type spec struct{ A, B int }
+	if SpecHash(spec{1, 2}) == SpecHash(spec{2, 1}) {
+		t.Error("different specs hashed alike")
+	}
+	if SpecHash(spec{1, 2}) != SpecHash(spec{1, 2}) {
+		t.Error("equal specs hashed apart")
+	}
+}

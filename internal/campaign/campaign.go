@@ -1,0 +1,700 @@
+// Package campaign orchestrates batches of upgrade-planning jobs across
+// many markets — the operational reality of Section 1 ("network upgrades
+// happen every day of the year") that a single synchronous /plan
+// endpoint cannot serve. A campaign is a set of jobs, each naming a
+// market (class + seed), an upgrade scenario, a tuning method and an
+// objective; the orchestrator runs them on a bounded worker pool,
+// shares expensively built engines through an LRU single-flight cache,
+// retries transient failures with exponential backoff, and aggregates
+// recovery ratios, handover statistics and per-job timings as jobs
+// complete.
+//
+// Job lifecycle: queued → running → done | failed | cancelled. Every job
+// runs under its own context deadline; cancelling a campaign cancels its
+// queued jobs immediately and its running jobs at the next search
+// iteration.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"magus/internal/core"
+	"magus/internal/migrate"
+	"magus/internal/topology"
+	"magus/internal/upgrade"
+	"magus/internal/utility"
+)
+
+// JobState is a job's position in the queued → running → terminal
+// lifecycle.
+type JobState int
+
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobFailed
+	JobCancelled
+)
+
+// String names the state as exposed over the HTTP API.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// JobStates lists every state in lifecycle order.
+var JobStates = []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled}
+
+// UtilityByName maps the wire names of the objectives to their
+// functions; the empty name selects performance, matching the /plan
+// endpoint's default.
+var UtilityByName = map[string]utility.Func{
+	"":            utility.Performance,
+	"performance": utility.Performance,
+	"coverage":    utility.Coverage,
+}
+
+// JobSpec names one unit of planning work: which market, which upgrade,
+// which strategy.
+type JobSpec struct {
+	Class    topology.AreaClass
+	Seed     int64
+	Scenario upgrade.Scenario
+	Method   core.Method
+	// Utility is the objective's wire name ("", "performance",
+	// "coverage"); see UtilityByName.
+	Utility string
+	// Timeout bounds the job's run (0 uses the orchestrator default).
+	Timeout time.Duration
+}
+
+// validate rejects specs the workers could only fail on.
+func (sp JobSpec) validate() error {
+	switch sp.Class {
+	case topology.Rural, topology.Suburban, topology.Urban:
+	default:
+		return fmt.Errorf("campaign: unknown class %d", int(sp.Class))
+	}
+	switch sp.Scenario {
+	case upgrade.SingleSector, upgrade.FullSite, upgrade.FourCorners:
+	default:
+		return fmt.Errorf("campaign: unknown scenario %d", int(sp.Scenario))
+	}
+	switch sp.Method {
+	case core.PowerOnly, core.TiltOnly, core.Joint, core.NaiveBaseline, core.Annealed:
+	default:
+		return fmt.Errorf("campaign: unknown method %d", int(sp.Method))
+	}
+	if _, ok := UtilityByName[sp.Utility]; !ok {
+		return fmt.Errorf("campaign: unknown utility %q", sp.Utility)
+	}
+	if sp.Timeout < 0 {
+		return fmt.Errorf("campaign: negative timeout %v", sp.Timeout)
+	}
+	return nil
+}
+
+// Result is a completed job's planning outcome.
+type Result struct {
+	Recovery       float64 `json:"recovery"`
+	UtilityBefore  float64 `json:"utility_before"`
+	UtilityUpgrade float64 `json:"utility_upgrade"`
+	UtilityAfter   float64 `json:"utility_after"`
+	Targets        int     `json:"targets"`
+	Neighbors      int     `json:"neighbors"`
+	SearchSteps    int     `json:"search_steps"`
+	Evaluations    int     `json:"evaluations"`
+	// MaxHandoverBurst and SeamlessFraction summarize the gradual
+	// migration computed for the plan (Section 6).
+	MaxHandoverBurst float64 `json:"max_handover_burst"`
+	SeamlessFraction float64 `json:"seamless_fraction"`
+}
+
+// Job is one tracked unit of work inside a campaign. All mutable fields
+// are guarded by the owning Campaign's mutex; read them via Snapshot.
+type Job struct {
+	ID   int
+	Spec JobSpec
+
+	state    JobState
+	attempts int
+	err      error
+	result   *Result
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// transientError marks an error as retryable.
+type transientError struct{ err error }
+
+func (t transientError) Error() string { return t.err.Error() }
+func (t transientError) Unwrap() error { return t.err }
+
+// Transient wraps err so the orchestrator retries the job (with backoff,
+// up to its attempt budget) instead of failing it outright. Use it for
+// failures expected to heal — resource exhaustion, a flaky backend —
+// not for validation errors.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return transientError{err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked
+// Transient.
+func IsTransient(err error) bool {
+	var t transientError
+	return errors.As(err, &t)
+}
+
+// BuildFunc builds (or fetches) the engine for a market. The default
+// used by the HTTP server delegates to experiments.BuildEngine, which
+// shares the process-wide EngineCache.
+type BuildFunc func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error)
+
+// Config tunes an Orchestrator. The zero value of every field selects a
+// sensible default except Build, which is required.
+type Config struct {
+	// Build constructs engines for job markets (required).
+	Build BuildFunc
+	// Cache, when set, is surfaced in Metrics so operators can watch
+	// hit rates; the orchestrator itself only reads its Stats. Wire the
+	// same cache into Build to actually share engines.
+	Cache *EngineCache
+	// Workers bounds concurrent jobs (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// QueueDepth bounds queued jobs across campaigns (default 1024);
+	// Submit returns ErrQueueFull beyond it.
+	QueueDepth int
+	// MaxAttempts bounds tries per job including the first (default 3).
+	MaxAttempts int
+	// RetryBackoff is the initial delay before a retry, doubling per
+	// attempt (default 50ms).
+	RetryBackoff time.Duration
+	// JobTimeout is the per-job deadline when a spec sets none
+	// (default 5m).
+	JobTimeout time.Duration
+	// SkipMigration skips the gradual-migration pass after each plan,
+	// leaving the handover fields of Result zero. Plans are what
+	// throughput benchmarks meter; migration is bookkeeping on top.
+	SkipMigration bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+}
+
+// ErrQueueFull reports that Submit would exceed the orchestrator's
+// queue bound; the campaign was not accepted.
+var ErrQueueFull = errors.New("campaign: job queue full")
+
+// Orchestrator owns the worker pool and the campaigns submitted to it.
+// Construct with New and release with Close.
+type Orchestrator struct {
+	cfg     Config
+	baseCtx context.Context
+	stop    context.CancelFunc
+	queue   chan queued
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	nextID    int
+	jobCounts map[JobState]int64
+	// durations keeps recent finished-job latencies for the quantile
+	// metrics, bounded to the last maxDurations samples.
+	durations []time.Duration
+}
+
+type queued struct {
+	c *Campaign
+	j *Job
+}
+
+const maxDurations = 4096
+
+// New starts an orchestrator and its workers.
+func New(cfg Config) (*Orchestrator, error) {
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("campaign: Config.Build is required")
+	}
+	cfg.applyDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	o := &Orchestrator{
+		cfg:       cfg,
+		baseCtx:   ctx,
+		stop:      stop,
+		queue:     make(chan queued, cfg.QueueDepth),
+		campaigns: make(map[string]*Campaign),
+		jobCounts: make(map[JobState]int64),
+	}
+	o.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go o.worker()
+	}
+	return o, nil
+}
+
+// Close cancels every campaign and stops the workers, blocking until
+// they exit. The orchestrator accepts no work afterwards.
+func (o *Orchestrator) Close() {
+	o.mu.Lock()
+	for _, c := range o.campaigns {
+		c.cancelLocked("orchestrator closed")
+	}
+	o.mu.Unlock()
+	o.stop()
+	o.wg.Wait()
+}
+
+// Submit validates specs, creates a campaign and enqueues its jobs.
+// Rejects the whole batch with ErrQueueFull if the queue cannot take
+// every job: partial admission would leave campaigns that can never
+// finish honestly.
+func (o *Orchestrator) Submit(specs []JobSpec) (*Campaign, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("campaign: no jobs")
+	}
+	for i, sp := range specs {
+		if err := sp.validate(); err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, err)
+		}
+	}
+	select {
+	case <-o.baseCtx.Done():
+		return nil, fmt.Errorf("campaign: orchestrator closed")
+	default:
+	}
+
+	ctx, cancel := context.WithCancelCause(o.baseCtx)
+	now := time.Now()
+	c := &Campaign{
+		orch:    o,
+		ctx:     ctx,
+		cancel:  cancel,
+		created: now,
+		done:    make(chan struct{}),
+		pending: len(specs),
+	}
+	c.jobs = make([]*Job, len(specs))
+	for i, sp := range specs {
+		c.jobs[i] = &Job{ID: i, Spec: sp, state: JobQueued, queued: now}
+	}
+
+	o.mu.Lock()
+	o.nextID++
+	c.ID = fmt.Sprintf("c%d", o.nextID)
+	o.campaigns[c.ID] = c
+	o.jobCounts[JobQueued] += int64(len(specs))
+	o.mu.Unlock()
+
+	for _, j := range c.jobs {
+		select {
+		case o.queue <- queued{c, j}:
+		default:
+			// Undo the admission: cancel the campaign (queued jobs flip to
+			// cancelled, including any already enqueued) and drop it.
+			c.Cancel("queue full")
+			o.mu.Lock()
+			delete(o.campaigns, c.ID)
+			o.mu.Unlock()
+			return nil, ErrQueueFull
+		}
+	}
+	return c, nil
+}
+
+// Lookup returns the campaign with the given id.
+func (o *Orchestrator) Lookup(id string) (*Campaign, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c, ok := o.campaigns[id]
+	return c, ok
+}
+
+// CampaignIDs lists known campaigns, oldest first.
+func (o *Orchestrator) CampaignIDs() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ids := make([]string, 0, len(o.campaigns))
+	for id := range o.campaigns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return len(ids[i]) < len(ids[j]) || (len(ids[i]) == len(ids[j]) && ids[i] < ids[j])
+	})
+	return ids
+}
+
+// Metrics is the orchestrator-wide counter snapshot exposed on /healthz
+// and on every campaign status response.
+type Metrics struct {
+	Workers    int              `json:"workers"`
+	QueueDepth int              `json:"queue_depth"`
+	QueueCap   int              `json:"queue_cap"`
+	Jobs       map[string]int64 `json:"jobs"`
+	P50MS      float64          `json:"job_latency_p50_ms"`
+	P95MS      float64          `json:"job_latency_p95_ms"`
+	Cache      *CacheStats      `json:"engine_cache,omitempty"`
+}
+
+// Metrics snapshots the orchestrator counters.
+func (o *Orchestrator) Metrics() Metrics {
+	o.mu.Lock()
+	m := Metrics{
+		Workers:    o.cfg.Workers,
+		QueueDepth: len(o.queue),
+		QueueCap:   o.cfg.QueueDepth,
+		Jobs:       make(map[string]int64, len(JobStates)),
+	}
+	for _, s := range JobStates {
+		m.Jobs[s.String()] = o.jobCounts[s]
+	}
+	durs := append([]time.Duration(nil), o.durations...)
+	o.mu.Unlock()
+
+	m.P50MS, m.P95MS = quantilesMS(durs)
+	if o.cfg.Cache != nil {
+		st := o.cfg.Cache.Stats()
+		m.Cache = &st
+	}
+	return m
+}
+
+// quantilesMS returns the p50 and p95 of durs in milliseconds (0, 0 when
+// empty).
+func quantilesMS(durs []time.Duration) (p50, p95 float64) {
+	if len(durs) == 0 {
+		return 0, 0
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(durs)-1))
+		return float64(durs[i]) / float64(time.Millisecond)
+	}
+	return at(0.50), at(0.95)
+}
+
+// transition moves a job between states under the campaign lock and
+// keeps the orchestrator-wide per-state counters in step.
+func (o *Orchestrator) transition(j *Job, to JobState) {
+	from := j.state
+	j.state = to
+	o.mu.Lock()
+	o.jobCounts[from]--
+	o.jobCounts[to]++
+	o.mu.Unlock()
+}
+
+func (o *Orchestrator) recordDuration(d time.Duration) {
+	o.mu.Lock()
+	o.durations = append(o.durations, d)
+	if len(o.durations) > maxDurations {
+		o.durations = o.durations[len(o.durations)-maxDurations:]
+	}
+	o.mu.Unlock()
+}
+
+func (o *Orchestrator) worker() {
+	defer o.wg.Done()
+	for {
+		select {
+		case <-o.baseCtx.Done():
+			return
+		case q := <-o.queue:
+			o.runJob(q.c, q.j)
+		}
+	}
+}
+
+// runJob drives one job through its lifecycle.
+func (o *Orchestrator) runJob(c *Campaign, j *Job) {
+	c.mu.Lock()
+	if j.state != JobQueued {
+		// Cancelled while waiting in the queue; already accounted.
+		c.mu.Unlock()
+		return
+	}
+	o.transition(j, JobRunning)
+	j.started = time.Now()
+	c.mu.Unlock()
+
+	timeout := j.Spec.Timeout
+	if timeout <= 0 {
+		timeout = o.cfg.JobTimeout
+	}
+	ctx, cancel := context.WithTimeout(c.ctx, timeout)
+	res, attempts, err := o.attempt(ctx, j.Spec)
+	cancel()
+
+	c.mu.Lock()
+	j.attempts = attempts
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.result = res
+		o.transition(j, JobDone)
+	case c.ctx.Err() != nil:
+		// The whole campaign was cancelled; the job did not fail on its
+		// own merits.
+		j.err = context.Cause(c.ctx)
+		o.transition(j, JobCancelled)
+	default:
+		j.err = err
+		o.transition(j, JobFailed)
+	}
+	c.finishLocked()
+	c.mu.Unlock()
+	o.recordDuration(j.finished.Sub(j.started))
+}
+
+// attempt runs the job's planning work with bounded retries: transient
+// failures back off exponentially until the attempt budget or the
+// context runs out.
+func (o *Orchestrator) attempt(ctx context.Context, sp JobSpec) (*Result, int, error) {
+	backoff := o.cfg.RetryBackoff
+	for n := 1; ; n++ {
+		res, err := o.execute(ctx, sp)
+		if err == nil {
+			return res, n, nil
+		}
+		if ctx.Err() != nil || n >= o.cfg.MaxAttempts || !IsTransient(err) {
+			return nil, n, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, n, ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+}
+
+// execute is one attempt: fetch the engine, plan the mitigation, and
+// (unless disabled) schedule the gradual migration for its handover
+// statistics.
+func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error) {
+	engine, err := o.cfg.Build(ctx, sp.Class, sp.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("build engine: %w", err)
+	}
+	plan, err := engine.MitigateContext(ctx, sp.Scenario, sp.Method, UtilityByName[sp.Utility])
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Recovery:       plan.RecoveryRatio(),
+		UtilityBefore:  plan.UtilityBefore,
+		UtilityUpgrade: plan.UtilityUpgrade,
+		UtilityAfter:   plan.UtilityAfter,
+		Targets:        len(plan.Targets),
+		Neighbors:      len(plan.Neighbors),
+		SearchSteps:    len(plan.Search.Steps),
+		Evaluations:    plan.Search.Evaluations,
+	}
+	if !o.cfg.SkipMigration {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		mig, err := plan.GradualMigration(migrate.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("migrate: %w", err)
+		}
+		res.MaxHandoverBurst = mig.MaxSimultaneousHandovers
+		res.SeamlessFraction = mig.SeamlessFraction()
+	}
+	return res, nil
+}
+
+// Campaign is one submitted batch of jobs.
+type Campaign struct {
+	ID      string
+	orch    *Orchestrator
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+	created time.Time
+
+	mu      sync.Mutex
+	jobs    []*Job
+	pending int
+	done    chan struct{}
+}
+
+// Cancel aborts the campaign: queued jobs flip to cancelled immediately,
+// running jobs at their next search iteration. Idempotent.
+func (c *Campaign) Cancel(reason string) {
+	c.mu.Lock()
+	c.cancelLocked(reason)
+	c.mu.Unlock()
+}
+
+func (c *Campaign) cancelLocked(reason string) {
+	if c.ctx.Err() != nil {
+		return
+	}
+	err := fmt.Errorf("campaign cancelled: %s", reason)
+	c.cancel(err)
+	// Flip still-queued jobs here rather than when a worker drains them,
+	// so status reads reflect the cancel at once; workers skip any job no
+	// longer queued.
+	now := time.Now()
+	for _, j := range c.jobs {
+		if j.state == JobQueued {
+			j.err = err
+			j.finished = now
+			c.orch.transition(j, JobCancelled)
+		}
+	}
+	c.finishLocked()
+}
+
+// finishLocked recounts unfinished jobs and closes done when none are
+// left.
+func (c *Campaign) finishLocked() {
+	n := 0
+	for _, j := range c.jobs {
+		if j.state == JobQueued || j.state == JobRunning {
+			n++
+		}
+	}
+	c.pending = n
+	if n == 0 {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+}
+
+// Done returns a channel closed once every job reached a terminal state.
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// Wait blocks until the campaign finishes or ctx expires.
+func (c *Campaign) Wait(ctx context.Context) error {
+	select {
+	case <-c.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// JobSnapshot is the immutable status view of one job.
+type JobSnapshot struct {
+	ID         int     `json:"id"`
+	Class      string  `json:"class"`
+	Seed       int64   `json:"seed"`
+	Scenario   string  `json:"scenario"`
+	Method     string  `json:"method"`
+	Utility    string  `json:"utility"`
+	State      string  `json:"state"`
+	Attempts   int     `json:"attempts,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	Result     *Result `json:"result,omitempty"`
+}
+
+// Snapshot is the status view of a campaign: per-job states and results
+// plus the aggregates the HTTP API serves incrementally while the
+// campaign runs.
+type Snapshot struct {
+	ID        string         `json:"id"`
+	Created   time.Time      `json:"created"`
+	Finished  bool           `json:"finished"`
+	Cancelled bool           `json:"cancelled"`
+	Counts    map[string]int `json:"counts"`
+	// MeanRecovery averages the recovery ratio over done jobs (0 until
+	// the first one completes).
+	MeanRecovery float64       `json:"mean_recovery"`
+	P50MS        float64       `json:"job_latency_p50_ms"`
+	P95MS        float64       `json:"job_latency_p95_ms"`
+	Jobs         []JobSnapshot `json:"jobs"`
+}
+
+// Snapshot captures the campaign's current status.
+func (c *Campaign) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		ID:        c.ID,
+		Created:   c.created,
+		Cancelled: c.ctx.Err() != nil,
+		Counts:    make(map[string]int, len(JobStates)),
+		Jobs:      make([]JobSnapshot, len(c.jobs)),
+	}
+	for _, st := range JobStates {
+		s.Counts[st.String()] = 0
+	}
+	var durs []time.Duration
+	var recovered float64
+	doneJobs := 0
+	for i, j := range c.jobs {
+		js := JobSnapshot{
+			ID:       j.ID,
+			Class:    j.Spec.Class.String(),
+			Seed:     j.Spec.Seed,
+			Scenario: j.Spec.Scenario.Short(),
+			Method:   j.Spec.Method.String(),
+			Utility:  j.Spec.Utility,
+			State:    j.state.String(),
+			Attempts: j.attempts,
+			Result:   j.result,
+		}
+		if j.err != nil {
+			js.Error = j.err.Error()
+		}
+		if !j.finished.IsZero() && !j.started.IsZero() {
+			d := j.finished.Sub(j.started)
+			js.DurationMS = float64(d) / float64(time.Millisecond)
+			durs = append(durs, d)
+		}
+		if j.state == JobDone && j.result != nil {
+			recovered += j.result.Recovery
+			doneJobs++
+		}
+		s.Counts[j.state.String()]++
+		s.Jobs[i] = js
+	}
+	s.Finished = c.pending == 0
+	if doneJobs > 0 {
+		s.MeanRecovery = recovered / float64(doneJobs)
+	}
+	s.P50MS, s.P95MS = quantilesMS(durs)
+	return s
+}

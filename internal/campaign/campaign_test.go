@@ -1,0 +1,365 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"magus/internal/core"
+	"magus/internal/topology"
+	"magus/internal/upgrade"
+	"magus/internal/utility"
+)
+
+// testSetup sizes a miniature market per class: one third the span of
+// the experiment areas at double the cell size, so engines build in
+// milliseconds while every scenario (including four-corners) still
+// finds its target sectors.
+func testSetup(class topology.AreaClass, seed int64) core.SetupConfig {
+	cfg := core.SetupConfig{Seed: seed, Class: class, EqualizeSteps: 40}
+	switch class {
+	case topology.Rural:
+		cfg.RegionSpanM, cfg.CellSizeM = 12000, 600
+	case topology.Urban:
+		cfg.RegionSpanM, cfg.CellSizeM = 2400, 150
+	default:
+		cfg.RegionSpanM, cfg.CellSizeM = 5400, 300
+	}
+	return cfg
+}
+
+// testBuild returns a BuildFunc over miniature markets that shares
+// engines through cache.
+func testBuild(cache *EngineCache) BuildFunc {
+	return func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		cfg := testSetup(class, seed)
+		key := EngineKey{Class: class, Seed: seed, SpecHash: SpecHash(cfg)}
+		return cache.GetOrBuild(key, func() (*core.Engine, error) {
+			return core.NewEngine(cfg)
+		})
+	}
+}
+
+// fullFactorial is the paper-shaped 27-job batch: 3 classes x 3
+// scenarios x 3 methods on one seed, i.e. 3 distinct markets.
+func fullFactorial() []JobSpec {
+	var specs []JobSpec
+	for _, class := range []topology.AreaClass{topology.Rural, topology.Suburban, topology.Urban} {
+		for _, sc := range upgrade.AllScenarios {
+			for _, m := range []core.Method{core.PowerOnly, core.TiltOnly, core.Joint} {
+				specs = append(specs, JobSpec{Class: class, Seed: 1, Scenario: sc, Method: m})
+			}
+		}
+	}
+	return specs
+}
+
+func TestCampaign27Jobs(t *testing.T) {
+	cache := NewEngineCache(8)
+	o, err := New(Config{Build: testBuild(cache), Cache: cache, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	c, err := o.Submit(fullFactorial())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("campaign did not finish: %v", err)
+	}
+
+	snap := c.Snapshot()
+	if !snap.Finished || snap.Cancelled {
+		t.Fatalf("finished=%v cancelled=%v", snap.Finished, snap.Cancelled)
+	}
+	if snap.Counts["done"] != 27 {
+		t.Fatalf("counts = %v, want 27 done", snap.Counts)
+	}
+	for _, j := range snap.Jobs {
+		if j.State != "done" || j.Result == nil {
+			t.Fatalf("job %d: state=%s result=%v err=%q", j.ID, j.State, j.Result, j.Error)
+		}
+		if j.Result.Recovery < 0 || j.Result.Recovery > 1.1 {
+			t.Errorf("job %d: recovery %v out of range", j.ID, j.Result.Recovery)
+		}
+		if j.Result.Targets == 0 || j.Result.Neighbors == 0 {
+			t.Errorf("job %d: empty targets/neighbors: %+v", j.ID, j.Result)
+		}
+		if j.DurationMS <= 0 {
+			t.Errorf("job %d: no timing recorded", j.ID)
+		}
+	}
+	if snap.MeanRecovery <= 0 {
+		t.Errorf("mean recovery = %v", snap.MeanRecovery)
+	}
+	if snap.P95MS < snap.P50MS || snap.P50MS <= 0 {
+		t.Errorf("latency quantiles p50=%v p95=%v", snap.P50MS, snap.P95MS)
+	}
+
+	// One build per distinct market: 27 jobs over 3 (class, seed) pairs.
+	if st := cache.Stats(); st.Builds > 3 {
+		t.Errorf("engine builds = %d, want <= 3 (stats %+v)", st.Builds, st)
+	} else if st.Hits < 24 {
+		t.Errorf("cache hits = %d, want >= 24", st.Hits)
+	}
+
+	m := o.Metrics()
+	if m.Jobs["done"] != 27 || m.Jobs["queued"] != 0 || m.Jobs["running"] != 0 {
+		t.Errorf("orchestrator job counts = %v", m.Jobs)
+	}
+	if m.Cache == nil || m.Cache.Builds == 0 {
+		t.Errorf("cache metrics missing: %+v", m)
+	}
+}
+
+func TestCampaignCancelNoLeaks(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	// Builders block until their job context is cancelled, so every
+	// worker is provably mid-job when the campaign is cancelled.
+	started := make(chan struct{}, 64)
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	o, err := New(Config{Build: build, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var specs []JobSpec
+	for i := 0; i < 9; i++ {
+		specs = append(specs, JobSpec{Class: topology.Suburban, Seed: int64(i), Scenario: upgrade.SingleSector, Method: core.Joint})
+	}
+	c, err := o.Submit(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until all three workers are inside a job, then cancel.
+	for i := 0; i < 3; i++ {
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			t.Fatal("workers never started")
+		}
+	}
+	c.Cancel("operator request")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("cancelled campaign did not drain: %v", err)
+	}
+	snap := c.Snapshot()
+	if !snap.Cancelled || !snap.Finished {
+		t.Fatalf("cancelled=%v finished=%v", snap.Cancelled, snap.Finished)
+	}
+	if snap.Counts["cancelled"] != 9 {
+		t.Fatalf("counts = %v, want 9 cancelled", snap.Counts)
+	}
+	for _, j := range snap.Jobs {
+		if j.Error == "" {
+			t.Errorf("job %d: cancelled without error detail", j.ID)
+		}
+	}
+
+	o.Close()
+	// The worker pool and job contexts must all unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+func TestRetryTransientFailure(t *testing.T) {
+	cache := NewEngineCache(4)
+	real := testBuild(cache)
+	var calls atomic.Int64
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		if calls.Add(1) <= 2 {
+			return nil, Transient(errors.New("backend hiccup"))
+		}
+		return real(ctx, class, seed)
+	}
+	o, err := New(Config{Build: build, Workers: 1, MaxAttempts: 3, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	c, err := o.Submit([]JobSpec{{Class: topology.Suburban, Seed: 1, Scenario: upgrade.SingleSector, Method: core.PowerOnly}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j := c.Snapshot().Jobs[0]
+	if j.State != "done" {
+		t.Fatalf("state = %s (err %q), want done", j.State, j.Error)
+	}
+	if j.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3", j.Attempts)
+	}
+}
+
+func TestPermanentFailureDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		calls.Add(1)
+		return nil, errors.New("corrupt market data")
+	}
+	o, err := New(Config{Build: build, Workers: 1, MaxAttempts: 5, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	c, err := o.Submit([]JobSpec{{Class: topology.Rural, Seed: 1, Scenario: upgrade.FullSite, Method: core.Joint}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j := c.Snapshot().Jobs[0]
+	if j.State != "failed" || j.Attempts != 1 || calls.Load() != 1 {
+		t.Fatalf("state=%s attempts=%d calls=%d, want one failed attempt", j.State, j.Attempts, calls.Load())
+	}
+}
+
+func TestJobTimeoutFails(t *testing.T) {
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		<-ctx.Done() // simulate a build slower than the deadline
+		return nil, ctx.Err()
+	}
+	o, err := New(Config{Build: build, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	c, err := o.Submit([]JobSpec{{
+		Class: topology.Urban, Seed: 1, Scenario: upgrade.SingleSector,
+		Method: core.TiltOnly, Timeout: 20 * time.Millisecond,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j := c.Snapshot().Jobs[0]
+	if j.State != "failed" {
+		t.Fatalf("state = %s, want failed (deadline, not campaign cancel)", j.State)
+	}
+	if !strings.Contains(j.Error, "deadline") {
+		t.Errorf("error = %q, want a deadline error", j.Error)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	o, err := New(Config{Build: testBuild(NewEngineCache(2))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	cases := []struct {
+		name  string
+		specs []JobSpec
+	}{
+		{"empty", nil},
+		{"bad class", []JobSpec{{Class: topology.AreaClass(42), Scenario: upgrade.SingleSector}}},
+		{"bad scenario", []JobSpec{{Class: topology.Rural, Scenario: upgrade.Scenario(9)}}},
+		{"bad method", []JobSpec{{Class: topology.Rural, Scenario: upgrade.SingleSector, Method: core.Method(9)}}},
+		{"bad utility", []JobSpec{{Class: topology.Rural, Scenario: upgrade.SingleSector, Utility: "latency"}}},
+		{"negative timeout", []JobSpec{{Class: topology.Rural, Scenario: upgrade.SingleSector, Timeout: -time.Second}}},
+	}
+	for _, tc := range cases {
+		if _, err := o.Submit(tc.specs); err == nil {
+			t.Errorf("%s: Submit accepted invalid specs", tc.name)
+		}
+	}
+	if _, ok := o.Lookup("c999"); ok {
+		t.Error("lookup of unknown campaign succeeded")
+	}
+}
+
+func TestQueueFullRejectsWholeCampaign(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		started <- struct{}{}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+		}
+		return nil, fmt.Errorf("blocked build")
+	}
+	o, err := New(Config{Build: build, Workers: 1, QueueDepth: 2, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	defer close(gate)
+
+	spec := JobSpec{Class: topology.Suburban, Seed: 1, Scenario: upgrade.SingleSector, Method: core.Joint}
+	// Occupy the single worker so the queue stays full.
+	first, err := o.Submit([]JobSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	if _, err := o.Submit([]JobSpec{spec, spec, spec}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	first.Cancel("test done")
+}
+
+func TestMitigateContextCancelled(t *testing.T) {
+	// The per-job context reaches the search loops: an already-expired
+	// context aborts a mitigation immediately.
+	engine, err := core.NewEngine(testSetup(topology.Suburban, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := engine.MitigateContext(ctx, upgrade.SingleSector, core.Joint, utility.Performance); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestJobStateStrings(t *testing.T) {
+	want := map[JobState]string{
+		JobQueued: "queued", JobRunning: "running", JobDone: "done",
+		JobFailed: "failed", JobCancelled: "cancelled",
+	}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), name)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"magus/internal/config"
@@ -279,15 +280,28 @@ func (p *Plan) RecoveryRatio() float64 {
 // scenario: it derives the target sectors, evaluates C_upgrade, runs the
 // selected search for C_after, and returns the complete plan.
 func (e *Engine) Mitigate(sc upgrade.Scenario, method Method, util utility.Func) (*Plan, error) {
+	return e.MitigateContext(context.Background(), sc, method, util)
+}
+
+// MitigateContext is Mitigate bounded by a context: the underlying
+// search checks ctx every iteration, so a cancelled or expired context
+// abandons the plan promptly and returns the context's error.
+func (e *Engine) MitigateContext(ctx context.Context, sc upgrade.Scenario, method Method, util utility.Func) (*Plan, error) {
 	targets, err := upgrade.Targets(e.Net, sc, e.tuningArea)
 	if err != nil {
 		return nil, err
 	}
-	return e.MitigateTargets(sc, method, util, targets)
+	return e.MitigateTargetsContext(ctx, sc, method, util, targets)
 }
 
 // MitigateTargets is Mitigate with an explicit target sector set.
 func (e *Engine) MitigateTargets(sc upgrade.Scenario, method Method, util utility.Func, targets []int) (*Plan, error) {
+	return e.MitigateTargetsContext(context.Background(), sc, method, util, targets)
+}
+
+// MitigateTargetsContext is MitigateTargets bounded by a context (see
+// MitigateContext).
+func (e *Engine) MitigateTargetsContext(ctx context.Context, sc upgrade.Scenario, method Method, util utility.Func, targets []int) (*Plan, error) {
 	if util.U == nil {
 		util = utility.Performance
 	}
@@ -302,8 +316,10 @@ func (e *Engine) MitigateTargets(sc upgrade.Scenario, method Method, util utilit
 
 	after := upgradeState.Clone()
 	// Cap the search at f(C_before): mitigation recovers the loss, it
-	// does not chase utility beyond normal operation.
-	opts := search.Options{Util: util, CapUtility: e.Before.Utility(util)}
+	// does not chase utility beyond normal operation. Before is shared by
+	// every concurrent plan on this engine, so evaluate it read-only.
+	utilityBefore := e.Before.UtilityRead(util)
+	opts := search.Options{Util: util, CapUtility: utilityBefore, Ctx: ctx}
 	var res *search.Result
 	var err error
 	switch method {
@@ -334,7 +350,7 @@ func (e *Engine) MitigateTargets(sc upgrade.Scenario, method Method, util utilit
 		Neighbors:      neighbors,
 		Upgrade:        upgradeState,
 		After:          after,
-		UtilityBefore:  e.Before.Utility(util),
+		UtilityBefore:  utilityBefore,
 		UtilityUpgrade: upgradeState.Utility(util),
 		UtilityAfter:   res.FinalUtility,
 		Search:         res,

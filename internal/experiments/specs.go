@@ -13,6 +13,7 @@ package experiments
 import (
 	"sync"
 
+	"magus/internal/campaign"
 	"magus/internal/core"
 	"magus/internal/topology"
 )
@@ -47,43 +48,29 @@ var AllClasses = []topology.AreaClass{topology.Rural, topology.Suburban, topolog
 // engineCache memoizes built engines: experiment runners share areas
 // (Table 1, Figure 13 and Figure 11 all evaluate the same markets), and
 // an Engine is immutable once built — every mitigation works on clones
-// of its baseline state. Each key builds under its own sync.Once so
+// of its baseline state. It is the campaign subsystem's single-flight
+// LRU, shared with the orchestrator (see SharedEngineCache) so the two
+// can never diverge: concurrent callers of the same key join one build,
 // distinct markets construct in parallel.
-var engineCache struct {
-	sync.Mutex
-	m map[engineKey]*engineEntry
-}
+var engineCache = campaign.NewEngineCache(0)
 
-type engineKey struct {
-	seed int64
-	spec AreaSpec
-}
+// SharedEngineCache exposes the process-wide engine cache so the
+// campaign orchestrator (and its metrics) use the same instance as the
+// experiment runners.
+func SharedEngineCache() *campaign.EngineCache { return engineCache }
 
-type engineEntry struct {
-	once   sync.Once
-	engine *core.Engine
-	err    error
+// EngineKey returns the cache key for a seed and spec.
+func EngineKey(seed int64, spec AreaSpec) campaign.EngineKey {
+	return campaign.EngineKey{Class: spec.Class, Seed: seed, SpecHash: campaign.SpecHash(spec)}
 }
 
 // BuildEngine returns the planner-optimized engine for a seed and spec,
-// building it on first use and memoizing it for the process lifetime.
+// building it on first use and memoizing it in the shared engine cache.
 // Safe for concurrent use; concurrent callers with different keys build
-// in parallel.
+// in parallel while callers of the same key share one build.
 func BuildEngine(seed int64, spec AreaSpec) (*core.Engine, error) {
-	key := engineKey{seed: seed, spec: spec}
-	engineCache.Lock()
-	if engineCache.m == nil {
-		engineCache.m = make(map[engineKey]*engineEntry)
-	}
-	entry, ok := engineCache.m[key]
-	if !ok {
-		entry = &engineEntry{}
-		engineCache.m[key] = entry
-	}
-	engineCache.Unlock()
-
-	entry.once.Do(func() {
-		entry.engine, entry.err = core.NewEngine(core.SetupConfig{
+	return engineCache.GetOrBuild(EngineKey(seed, spec), func() (*core.Engine, error) {
+		return core.NewEngine(core.SetupConfig{
 			Seed:          seed,
 			Class:         spec.Class,
 			RegionSpanM:   spec.RegionSpanM,
@@ -91,7 +78,6 @@ func BuildEngine(seed int64, spec AreaSpec) (*core.Engine, error) {
 			EqualizeSteps: 300,
 		})
 	})
-	return entry.engine, entry.err
 }
 
 // WarmEngines builds every (class, seed) engine concurrently, so a

@@ -5,39 +5,70 @@
 //
 // Endpoints:
 //
-//	GET /healthz                          liveness and market summary
-//	GET /sectors                          the topology as GeoJSON
-//	GET /coverage                         the baseline serving map as GeoJSON
-//	GET /plan?scenario=a&method=joint     plan a mitigation
-//	GET /runbook?scenario=a&method=joint  full runbook (steps + rollback)
-//	GET /outage?sector=12                 respond to an unplanned outage
-//	GET /schedule?scenario=a&hours=5      rank upgrade start times
+//	GET  /healthz                          liveness, market summary, campaign metrics
+//	GET  /sectors                          the topology as GeoJSON
+//	GET  /coverage                         the baseline serving map as GeoJSON
+//	GET  /plan?scenario=a&method=joint     plan a mitigation
+//	GET  /runbook?scenario=a&method=joint  full runbook (steps + rollback)
+//	GET  /outage?sector=12                 respond to an unplanned outage
+//	GET  /schedule?scenario=a&hours=5      rank upgrade start times
+//	POST /campaigns                        submit a batch of planning jobs
+//	GET  /campaigns                        list campaigns
+//	GET  /campaigns/{id}                   campaign status + incremental results
+//	POST /campaigns/{id}/cancel            cancel a campaign
 //
-// All handlers are read-only with respect to the engine (every plan
-// works on clones), so the server serves concurrent requests safely.
+// The synchronous endpoints plan against the server's own engine; a
+// campaign job names its market (class + seed) and is planned against an
+// engine from the shared single-flight cache, so concurrent jobs on the
+// same market pay one build. Handlers are read-only with respect to any
+// engine (every plan works on clones) and honor request contexts: a
+// disconnected client cancels its in-flight search.
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
+	"magus/internal/campaign"
 	"magus/internal/core"
+	"magus/internal/experiments"
 	"magus/internal/export"
 	"magus/internal/migrate"
 	"magus/internal/outageplan"
 	"magus/internal/runbook"
 	"magus/internal/schedule"
+	"magus/internal/topology"
 	"magus/internal/upgrade"
 	"magus/internal/utility"
+)
+
+// Wire-name tables shared by the query-parameter and campaign-body
+// parsers, so the two surfaces cannot drift apart.
+var (
+	classByName = map[string]topology.AreaClass{
+		"rural": topology.Rural, "suburban": topology.Suburban, "urban": topology.Urban,
+	}
+	scenarioByName = map[string]upgrade.Scenario{
+		"": upgrade.SingleSector, "a": upgrade.SingleSector,
+		"b": upgrade.FullSite, "c": upgrade.FourCorners,
+	}
+	methodByName = map[string]core.Method{
+		"": core.Joint, "power": core.PowerOnly, "tilt": core.TiltOnly,
+		"joint": core.Joint, "naive": core.NaiveBaseline, "anneal": core.Annealed,
+	}
 )
 
 // Server wraps an engine with HTTP handlers. Construct with NewServer;
 // it implements http.Handler.
 type Server struct {
 	engine *core.Engine
+	orch   *campaign.Orchestrator
 	mux    *http.ServeMux
 	anchor export.Anchor
 
@@ -48,12 +79,36 @@ type Server struct {
 	plannerErr  error
 }
 
-// NewServer builds the handler tree around an engine.
-func NewServer(engine *core.Engine) *Server {
+// Options tune optional server subsystems.
+type Options struct {
+	// Orchestrator overrides the campaign orchestrator (tests inject one
+	// with miniature markets). Nil builds the default: a worker pool over
+	// the experiment areas, sharing the process-wide engine cache.
+	Orchestrator *campaign.Orchestrator
+}
+
+// NewServer builds the handler tree around an engine with defaults.
+func NewServer(engine *core.Engine) *Server { return New(engine, Options{}) }
+
+// New builds the handler tree around an engine.
+func New(engine *core.Engine, opts Options) *Server {
 	s := &Server{
 		engine: engine,
+		orch:   opts.Orchestrator,
 		mux:    http.NewServeMux(),
 		anchor: export.Anchor{LatDeg: 40.7, LonDeg: -74.0},
+	}
+	if s.orch == nil {
+		var err error
+		s.orch, err = campaign.New(campaign.Config{
+			Build: func(_ context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+				return experiments.BuildEngine(seed, experiments.DefaultAreaSpec(class))
+			},
+			Cache: experiments.SharedEngineCache(),
+		})
+		if err != nil {
+			panic(err) // only reachable on a nil Build, which we set
+		}
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /sectors", s.handleSectors)
@@ -62,8 +117,15 @@ func NewServer(engine *core.Engine) *Server {
 	s.mux.HandleFunc("GET /runbook", s.handleRunbook)
 	s.mux.HandleFunc("GET /outage", s.handleOutage)
 	s.mux.HandleFunc("GET /schedule", s.handleSchedule)
+	s.mux.HandleFunc("POST /campaigns", s.handleCampaignSubmit)
+	s.mux.HandleFunc("GET /campaigns", s.handleCampaignList)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleCampaignStatus)
+	s.mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCampaignCancel)
 	return s
 }
+
+// Close stops the campaign worker pool, cancelling running campaigns.
+func (s *Server) Close() { s.orch.Close() }
 
 // ServeHTTP dispatches to the handler tree.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -86,11 +148,12 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"class":   s.engine.Net.Class.String(),
-		"sites":   len(s.engine.Net.Sites),
-		"sectors": s.engine.Net.NumSectors(),
-		"users":   s.engine.Model.TotalUE(),
+		"status":    "ok",
+		"class":     s.engine.Net.Class.String(),
+		"sites":     len(s.engine.Net.Sites),
+		"sectors":   s.engine.Net.NumSectors(),
+		"users":     s.engine.Model.TotalUE(),
+		"campaigns": s.orch.Metrics(),
 	})
 }
 
@@ -119,23 +182,15 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 
 // planParams parses the shared scenario/method/utility query parameters.
 func planParams(r *http.Request) (upgrade.Scenario, core.Method, utility.Func, error) {
-	scenario, ok := map[string]upgrade.Scenario{
-		"": upgrade.SingleSector, "a": upgrade.SingleSector,
-		"b": upgrade.FullSite, "c": upgrade.FourCorners,
-	}[r.URL.Query().Get("scenario")]
+	scenario, ok := scenarioByName[r.URL.Query().Get("scenario")]
 	if !ok {
 		return 0, 0, utility.Func{}, fmt.Errorf("unknown scenario %q", r.URL.Query().Get("scenario"))
 	}
-	method, ok := map[string]core.Method{
-		"": core.Joint, "power": core.PowerOnly, "tilt": core.TiltOnly,
-		"joint": core.Joint, "naive": core.NaiveBaseline, "anneal": core.Annealed,
-	}[r.URL.Query().Get("method")]
+	method, ok := methodByName[r.URL.Query().Get("method")]
 	if !ok {
 		return 0, 0, utility.Func{}, fmt.Errorf("unknown method %q", r.URL.Query().Get("method"))
 	}
-	util, ok := map[string]utility.Func{
-		"": utility.Performance, "performance": utility.Performance, "coverage": utility.Coverage,
-	}[r.URL.Query().Get("utility")]
+	util, ok := campaign.UtilityByName[r.URL.Query().Get("utility")]
 	if !ok {
 		return 0, 0, utility.Func{}, fmt.Errorf("unknown utility %q", r.URL.Query().Get("utility"))
 	}
@@ -156,18 +211,29 @@ type planResponse struct {
 	Evaluations    int     `json:"evaluations"`
 }
 
+// plan runs a mitigation for the request's parameters under the
+// request's context, so a disconnected client abandons the search.
 func (s *Server) plan(r *http.Request) (*core.Plan, error) {
 	scenario, method, util, err := planParams(r)
 	if err != nil {
 		return nil, err
 	}
-	return s.engine.Mitigate(scenario, method, util)
+	return s.engine.MitigateContext(r.Context(), scenario, method, util)
+}
+
+// planStatus maps a planning error to an HTTP status: parameter errors
+// are the client's fault, a cancelled context is the client hanging up.
+func planStatus(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 499 // client closed request (nginx convention)
+	}
+	return http.StatusBadRequest
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	plan, err := s.plan(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, planStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, planResponse{
@@ -187,7 +253,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRunbook(w http.ResponseWriter, r *http.Request) {
 	plan, err := s.plan(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, planStatus(err), "%v", err)
 		return
 	}
 	mig, err := plan.GradualMigration(migrate.Options{})
@@ -206,7 +272,7 @@ func (s *Server) handleRunbook(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	plan, err := s.plan(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, planStatus(err), "%v", err)
 		return
 	}
 	hours := 5
@@ -242,15 +308,21 @@ func (s *Server) handleOutage(w http.ResponseWriter, r *http.Request) {
 	}
 	s.plannerOnce.Do(func() {
 		// Lazy one-time precomputation; subsequent outages are lookups.
+		// Deliberately not bound to r.Context(): the table outlives this
+		// request, and one impatient client must not poison it for all.
 		s.planner, s.plannerErr = outageplan.New(s.engine, nil, outageplan.Options{})
 	})
 	if s.plannerErr != nil {
 		httpError(w, http.StatusInternalServerError, "outage planning: %v", s.plannerErr)
 		return
 	}
-	resp, err := s.planner.Respond(sector, 3)
+	resp, err := s.planner.RespondContext(r.Context(), sector, 3)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "respond: %v", err)
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = 499
+		}
+		httpError(w, status, "respond: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -261,4 +333,116 @@ func (s *Server) handleOutage(w http.ResponseWriter, r *http.Request) {
 		"utility_refined":  resp.UtilityRefined,
 		"refinement_steps": resp.RefinementSteps,
 	})
+}
+
+// campaignJobRequest is the wire form of one job in a POST /campaigns
+// body. Names reuse the /plan query vocabulary (scenario a|b|c, method
+// power|tilt|joint|naive|anneal, utility performance|coverage).
+type campaignJobRequest struct {
+	Class     string `json:"class"`
+	Seed      int64  `json:"seed"`
+	Scenario  string `json:"scenario"`
+	Method    string `json:"method"`
+	Utility   string `json:"utility"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+type campaignRequest struct {
+	Jobs []campaignJobRequest `json:"jobs"`
+}
+
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad campaign body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, "campaign has no jobs")
+		return
+	}
+	specs := make([]campaign.JobSpec, len(req.Jobs))
+	for i, jr := range req.Jobs {
+		class, ok := classByName[jr.Class]
+		if !ok {
+			httpError(w, http.StatusBadRequest, "job %d: unknown class %q", i, jr.Class)
+			return
+		}
+		scenario, ok := scenarioByName[jr.Scenario]
+		if !ok {
+			httpError(w, http.StatusBadRequest, "job %d: unknown scenario %q", i, jr.Scenario)
+			return
+		}
+		method, ok := methodByName[jr.Method]
+		if !ok {
+			httpError(w, http.StatusBadRequest, "job %d: unknown method %q", i, jr.Method)
+			return
+		}
+		if _, ok := campaign.UtilityByName[jr.Utility]; !ok {
+			httpError(w, http.StatusBadRequest, "job %d: unknown utility %q", i, jr.Utility)
+			return
+		}
+		if jr.TimeoutMS < 0 {
+			httpError(w, http.StatusBadRequest, "job %d: negative timeout_ms", i)
+			return
+		}
+		specs[i] = campaign.JobSpec{
+			Class:    class,
+			Seed:     jr.Seed,
+			Scenario: scenario,
+			Method:   method,
+			Utility:  jr.Utility,
+			Timeout:  time.Duration(jr.TimeoutMS) * time.Millisecond,
+		}
+	}
+	c, err := s.orch.Submit(specs)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, campaign.ErrQueueFull) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/campaigns/"+c.ID)
+	writeJSON(w, http.StatusAccepted, map[string]any{"id": c.ID, "jobs": len(specs)})
+}
+
+func (s *Server) handleCampaignList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"campaigns": s.orch.CampaignIDs(),
+		"metrics":   s.orch.Metrics(),
+	})
+}
+
+// lookupCampaign resolves {id} or writes a 404.
+func (s *Server) lookupCampaign(w http.ResponseWriter, r *http.Request) (*campaign.Campaign, bool) {
+	id := r.PathValue("id")
+	c, ok := s.orch.Lookup(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown campaign %q", id)
+	}
+	return c, ok
+}
+
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookupCampaign(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"campaign": c.Snapshot(),
+		"metrics":  s.orch.Metrics(),
+	})
+}
+
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lookupCampaign(w, r)
+	if !ok {
+		return
+	}
+	c.Cancel("client request")
+	writeJSON(w, http.StatusOK, map[string]any{"campaign": c.Snapshot()})
 }

@@ -1,13 +1,18 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"magus/internal/campaign"
 	"magus/internal/core"
 	"magus/internal/topology"
 )
@@ -24,12 +29,63 @@ func testServer(t *testing.T) *Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewServer(engine)
+	s := NewServer(engine)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// miniSetup sizes a miniature market per class so campaign tests build
+// engines in milliseconds rather than seconds.
+func miniSetup(class topology.AreaClass, seed int64) core.SetupConfig {
+	cfg := core.SetupConfig{Seed: seed, Class: class, EqualizeSteps: 40}
+	switch class {
+	case topology.Rural:
+		cfg.RegionSpanM, cfg.CellSizeM = 12000, 600
+	case topology.Urban:
+		cfg.RegionSpanM, cfg.CellSizeM = 2400, 150
+	default:
+		cfg.RegionSpanM, cfg.CellSizeM = 5400, 300
+	}
+	return cfg
+}
+
+// campaignServer builds a server whose orchestrator plans miniature
+// markets through its own cache; the sync endpoints share the suburban
+// miniature as their engine.
+func campaignServer(t *testing.T) (*Server, *campaign.EngineCache) {
+	t.Helper()
+	cache := campaign.NewEngineCache(8)
+	build := func(_ context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		cfg := miniSetup(class, seed)
+		key := campaign.EngineKey{Class: class, Seed: seed, SpecHash: campaign.SpecHash(cfg)}
+		return cache.GetOrBuild(key, func() (*core.Engine, error) {
+			return core.NewEngine(cfg)
+		})
+	}
+	orch, err := campaign.New(campaign.Config{Build: build, Cache: cache, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := build(context.Background(), topology.Suburban, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(engine, Options{Orchestrator: orch})
+	t.Cleanup(s.Close)
+	return s, cache
 }
 
 func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
 	t.Helper()
 	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func post(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	return rec
@@ -252,5 +308,197 @@ func TestScheduleEndpoint(t *testing.T) {
 	}
 	if rec := get(t, s, "/schedule?hours=99"); rec.Code != http.StatusBadRequest {
 		t.Errorf("out-of-range hours status = %d, want 400", rec.Code)
+	}
+}
+
+// factorialBody is the 27-job campaign request the acceptance criterion
+// names: 3 classes x 3 scenarios x 3 methods on one seed.
+func factorialBody() string {
+	var jobs []string
+	for _, class := range []string{"rural", "suburban", "urban"} {
+		for _, sc := range []string{"a", "b", "c"} {
+			for _, m := range []string{"power", "tilt", "joint"} {
+				jobs = append(jobs, fmt.Sprintf(
+					`{"class":%q,"seed":1,"scenario":%q,"method":%q}`, class, sc, m))
+			}
+		}
+	}
+	return `{"jobs":[` + strings.Join(jobs, ",") + `]}`
+}
+
+// campaignStatus is the GET /campaigns/{id} response shape.
+type campaignStatus struct {
+	Campaign campaign.Snapshot `json:"campaign"`
+	Metrics  campaign.Metrics  `json:"metrics"`
+}
+
+// pollCampaign polls the status endpoint until the campaign finishes.
+func pollCampaign(t *testing.T, s *Server, id string, timeout time.Duration) campaignStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		rec := get(t, s, "/campaigns/"+id)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+		var st campaignStatus
+		decode(t, rec, &st)
+		if st.Campaign.Finished {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s did not finish: %+v", id, st.Campaign.Counts)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCampaignEndToEnd(t *testing.T) {
+	s, cache := campaignServer(t)
+	rec := post(t, s, "/campaigns", factorialBody())
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var accepted struct {
+		ID   string `json:"id"`
+		Jobs int    `json:"jobs"`
+	}
+	decode(t, rec, &accepted)
+	if accepted.ID == "" || accepted.Jobs != 27 {
+		t.Fatalf("accepted = %+v", accepted)
+	}
+	if loc := rec.Header().Get("Location"); loc != "/campaigns/"+accepted.ID {
+		t.Errorf("location = %q", loc)
+	}
+
+	st := pollCampaign(t, s, accepted.ID, 2*time.Minute)
+	if st.Campaign.Cancelled {
+		t.Fatal("campaign reports cancelled")
+	}
+	if st.Campaign.Counts["done"] != 27 {
+		t.Fatalf("counts = %v, want 27 done", st.Campaign.Counts)
+	}
+	for _, j := range st.Campaign.Jobs {
+		if j.State != "done" || j.Result == nil {
+			t.Fatalf("job %d: state=%s err=%q", j.ID, j.State, j.Error)
+		}
+	}
+	if st.Campaign.MeanRecovery <= 0 {
+		t.Errorf("mean recovery = %v", st.Campaign.MeanRecovery)
+	}
+	// 27 jobs over 3 distinct markets (plus the server's own suburban
+	// engine, built through the same cache): at most 9 builds per the
+	// acceptance criterion, exactly 3 in practice.
+	if st.Metrics.Cache == nil {
+		t.Fatal("no cache stats in metrics")
+	}
+	if st.Metrics.Cache.Builds > 9 {
+		t.Errorf("engine builds = %d, want <= 9", st.Metrics.Cache.Builds)
+	}
+	if got := cache.Stats().Builds; got != 3 {
+		t.Errorf("engine builds = %d, want 3 (one per market)", got)
+	}
+	if st.Metrics.Jobs["done"] < 27 {
+		t.Errorf("orchestrator done count = %d", st.Metrics.Jobs["done"])
+	}
+
+	// The campaign shows up in the list.
+	var list struct {
+		Campaigns []string `json:"campaigns"`
+	}
+	decode(t, get(t, s, "/campaigns"), &list)
+	found := false
+	for _, id := range list.Campaigns {
+		found = found || id == accepted.ID
+	}
+	if !found {
+		t.Errorf("campaign %s missing from list %v", accepted.ID, list.Campaigns)
+	}
+}
+
+func TestCampaignCancelEndpoint(t *testing.T) {
+	// Builders that only finish on cancellation make the race-free
+	// version of "cancel a running campaign" testable.
+	orch, err := campaign.New(campaign.Config{
+		Build: func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := core.NewEngine(miniSetup(topology.Suburban, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(engine, Options{Orchestrator: orch})
+	t.Cleanup(s.Close)
+
+	body := `{"jobs":[{"class":"suburban","seed":1},{"class":"urban","seed":1},{"class":"rural","seed":1}]}`
+	rec := post(t, s, "/campaigns", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	decode(t, rec, &accepted)
+
+	rec = post(t, s, "/campaigns/"+accepted.ID+"/cancel", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cancel status = %d: %s", rec.Code, rec.Body.String())
+	}
+	st := pollCampaign(t, s, accepted.ID, 10*time.Second)
+	if !st.Campaign.Cancelled {
+		t.Error("campaign not marked cancelled")
+	}
+	if st.Campaign.Counts["cancelled"] != 3 {
+		t.Errorf("counts = %v, want 3 cancelled", st.Campaign.Counts)
+	}
+}
+
+func TestCampaignNotFound(t *testing.T) {
+	s, _ := campaignServer(t)
+	if rec := get(t, s, "/campaigns/c999"); rec.Code != http.StatusNotFound {
+		t.Errorf("status status = %d, want 404", rec.Code)
+	}
+	rec := post(t, s, "/campaigns/c999/cancel", "")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("cancel status = %d, want 404", rec.Code)
+	}
+	var body map[string]string
+	decode(t, rec, &body)
+	if body["error"] == "" {
+		t.Error("404 body carries no JSON error")
+	}
+}
+
+func TestCampaignSubmitValidation(t *testing.T) {
+	s, _ := campaignServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed", `{"jobs":[`},
+		{"unknown field", `{"jbos":[]}`},
+		{"empty", `{"jobs":[]}`},
+		{"bad class", `{"jobs":[{"class":"exurban","seed":1}]}`},
+		{"bad scenario", `{"jobs":[{"class":"urban","scenario":"z"}]}`},
+		{"bad method", `{"jobs":[{"class":"urban","method":"magic"}]}`},
+		{"bad utility", `{"jobs":[{"class":"urban","utility":"profit"}]}`},
+		{"negative timeout", `{"jobs":[{"class":"urban","timeout_ms":-5}]}`},
+	}
+	for _, tc := range cases {
+		rec := post(t, s, "/campaigns", tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, rec.Code)
+			continue
+		}
+		var body map[string]string
+		decode(t, rec, &body)
+		if body["error"] == "" {
+			t.Errorf("%s: no JSON error body", tc.name)
+		}
 	}
 }

@@ -362,6 +362,22 @@ func (s *State) Utility(u utility.Func) float64 {
 	return total
 }
 
+// UtilityRead evaluates the overall utility without touching the
+// per-grid memo. Utility amortizes u(rate) across repeated evaluations
+// of a state a search is mutating, but its memo write makes it unsafe
+// on a state shared between goroutines; UtilityRead is the
+// concurrency-safe evaluation for shared immutable states (an engine's
+// baseline), at the cost of one full u(rate) pass per call.
+func (s *State) UtilityRead(u utility.Func) float64 {
+	total := 0.0
+	for g, w := range s.Model.ue {
+		if w != 0 {
+			total += w * u.U(s.RateBps(g))
+		}
+	}
+	return total
+}
+
 // UtilityIn is Utility restricted to the given grid cells.
 func (s *State) UtilityIn(u utility.Func, grids []int) float64 {
 	total := 0.0

@@ -13,6 +13,7 @@
 package outageplan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -140,6 +141,13 @@ type Response struct {
 // precomputed configuration (or search live if the sector is not
 // covered), then optionally refine with feedback (refineSteps > 0).
 func (p *Planner) Respond(sector int, refineSteps int) (*Response, error) {
+	return p.RespondContext(context.Background(), sector, refineSteps)
+}
+
+// RespondContext is Respond with a cancellation context; ctx bounds the
+// live-search fallback for uncovered sectors (table lookups are
+// effectively instant and not interruptible).
+func (p *Planner) RespondContext(ctx context.Context, sector, refineSteps int) (*Response, error) {
 	if sector < 0 || sector >= p.engine.Net.NumSectors() {
 		return nil, fmt.Errorf("outageplan: sector %d out of range", sector)
 	}
@@ -174,7 +182,7 @@ func (p *Planner) Respond(sector int, refineSteps int) (*Response, error) {
 			p.engine.Net.NeighborSectors([]int{sector}, p.engine.NeighborRadius()),
 			[]int{sector})
 		if _, err := search.Joint(live, p.engine.Before, neighbors,
-			search.Options{Util: p.util}); err != nil {
+			search.Options{Util: p.util, Ctx: ctx}); err != nil {
 			return nil, err
 		}
 	}

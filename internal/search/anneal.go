@@ -59,6 +59,9 @@ func Anneal(st *netmodel.State, neighbors []int, opts AnnealOptions) (*Result, e
 	temp := opts.StartTemp
 
 	for i := 0; i < opts.Iterations; i++ {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		if opts.CapUtility > 0 && current >= opts.CapUtility {
 			break
 		}

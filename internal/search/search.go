@@ -13,6 +13,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -73,6 +74,19 @@ type Options struct {
 	// the ablation benchmarks: it quantifies how much work the paper's
 	// "conditionally good" pruning saves.
 	NoPruning bool
+	// Ctx, when non-nil, lets the caller abandon a long-running search:
+	// every outer iteration checks it and the search returns Ctx's error
+	// with the state left at the last committed configuration. A nil Ctx
+	// means the search runs to completion.
+	Ctx context.Context
+}
+
+// cancelled reports the context error once the caller's context is done.
+func (o *Options) cancelled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 func (o *Options) applyDefaults() {
@@ -125,12 +139,18 @@ func Power(st *netmodel.State, base *netmodel.State, neighbors []int, opts Optio
 	res := &Result{}
 	unit := opts.PowerUnitDB
 
-	baseUtility := base.Utility(opts.Util)
+	// base is typically an engine's shared C_before: evaluate it with the
+	// read-only path so concurrent searches on one engine do not race on
+	// its utility memo.
+	baseUtility := base.UtilityRead(opts.Util)
 	if opts.CapUtility > 0 && opts.CapUtility < baseUtility {
 		baseUtility = opts.CapUtility
 	}
 	current := st.Utility(opts.Util)
 	for len(res.Steps) < opts.MaxSteps {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		if current >= baseUtility {
 			// The upgrade-induced loss is fully recovered; mitigation's
 			// objective ("recover the loss in service performance which
@@ -214,6 +234,9 @@ func NaivePower(st *netmodel.State, neighbors []int, opts Options) (*Result, err
 	res := &Result{}
 	current := st.Utility(opts.Util)
 	for _, b := range neighbors {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		if st.Cfg.Off(b) {
 			continue
 		}
@@ -252,6 +275,9 @@ func Tilt(st *netmodel.State, neighbors []int, opts Options) (*Result, error) {
 	res := &Result{}
 	current := st.Utility(opts.Util)
 	for _, b := range neighbors {
+		if err := opts.cancelled(); err != nil {
+			return nil, err
+		}
 		if st.Cfg.Off(b) {
 			continue
 		}
@@ -335,6 +361,9 @@ func Equalize(st *netmodel.State, opts Options) (*Result, error) {
 	for pass := 0; ; pass++ {
 		improvedInPass := false
 		for b := 0; b < st.Cfg.NumSectors() && len(res.Steps) < opts.MaxSteps; b++ {
+			if err := opts.cancelled(); err != nil {
+				return nil, err
+			}
 			if st.Cfg.Off(b) {
 				continue
 			}
