@@ -11,6 +11,8 @@
 package magus_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"magus/internal/config"
@@ -315,6 +317,111 @@ func BenchmarkUtilityEval(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = st.Utility(utility.Performance)
+	}
+}
+
+// BenchmarkSpeculate compares the two ways to score a candidate move:
+// speculative apply/delta-evaluate/revert on the shared state versus the
+// clone-and-full-rescore it replaced (the evalengine's reason to exist).
+func BenchmarkSpeculate(b *testing.B) {
+	_, plan := benchScenario(b)
+	moves := make([]config.Change, len(plan.Neighbors))
+	for i, n := range plan.Neighbors {
+		moves[i] = config.Change{Sector: n, PowerDelta: 1}
+	}
+	b.Run("speculate", func(b *testing.B) {
+		st := plan.Upgrade.Clone()
+		st.EnableUtilityTracking(utility.Performance)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := st.Speculate(moves[i%len(moves)], utility.Performance); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clone-full", func(b *testing.B) {
+		st := plan.Upgrade.Clone()
+		st.Utility(utility.Performance)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work := st.Clone()
+			if _, err := work.Apply(moves[i%len(moves)]); err != nil {
+				b.Fatal(err)
+			}
+			_ = work.Utility(utility.Performance)
+		}
+	})
+}
+
+// BenchmarkUtilityDelta compares the tracked running-sum utility (repair
+// only the touched grids inside Apply, O(1) read) against the memoized
+// full-grid scan, after one incremental power change. The two do similar
+// per-change work — the memo scan also recomputes only dirty grids — so
+// the expected result is parity: what the running sum buys is not a
+// faster warm read but the revert-safe Speculate path, which avoids the
+// state clone that BenchmarkSpeculate shows dominating candidate cost.
+func BenchmarkUtilityDelta(b *testing.B) {
+	_, plan := benchScenario(b)
+	neighbor := plan.Neighbors[0]
+	b.Run("delta", func(b *testing.B) {
+		st := plan.Upgrade.Clone()
+		st.EnableUtilityTracking(utility.Performance)
+		delta := 1.0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Apply(config.Change{Sector: neighbor, PowerDelta: delta}); err != nil {
+				b.Fatal(err)
+			}
+			_ = st.UtilityTracked(utility.Performance)
+			delta = -delta
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		st := plan.Upgrade.Clone()
+		st.Utility(utility.Performance)
+		delta := 1.0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Apply(config.Change{Sector: neighbor, PowerDelta: delta}); err != nil {
+				b.Fatal(err)
+			}
+			_ = st.Utility(utility.Performance)
+			delta = -delta
+		}
+	})
+}
+
+// BenchmarkJointSearch compares the sequential joint search against the
+// parallel candidate-scoring variant on the four-corners scenario (the
+// largest neighbor set).
+func BenchmarkJointSearch(b *testing.B) {
+	engine, err := experiments.BuildEngine(benchSeeds[0], experiments.DefaultAreaSpec(topology.Suburban))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sweep := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		sweep = append(sweep, n)
+	} else {
+		// Single-CPU machine: still exercise the parallel path (the
+		// speedup needs real cores, the correctness doesn't).
+		sweep = append(sweep, 2)
+	}
+	for _, workers := range sweep {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				plan, err := engine.MitigatePlan(core.MitigateRequest{
+					Scenario: upgrade.FourCorners,
+					Method:   core.Joint,
+					Workers:  workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(plan.UtilityAfter, "final-utility")
+				b.ReportMetric(plan.Search.Stats.WorkerUtilization, "worker-utilization")
+			}
+		})
 	}
 }
 

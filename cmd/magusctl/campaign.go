@@ -22,6 +22,7 @@ type campaignJob struct {
 	Method    string `json:"method"`
 	Utility   string `json:"utility,omitempty"`
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	Workers   int    `json:"workers,omitempty"`
 }
 
 // campaignView is the subset of the status response the client renders.
@@ -59,6 +60,7 @@ func runCampaign(args []string) {
 	seeds := fs.String("seeds", "1", "comma-separated market seeds")
 	utilFlag := fs.String("utility", "performance", "objective: performance, coverage")
 	jobTimeout := fs.Duration("timeout", 0, "per-job deadline (0 uses the server default)")
+	workers := fs.Int("workers", 0, "per-job in-search scoring parallelism (0 = server default)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "status poll interval")
 	_ = fs.Parse(args)
 
@@ -78,6 +80,7 @@ func runCampaign(args []string) {
 						Method:    strings.TrimSpace(m),
 						Utility:   *utilFlag,
 						TimeoutMS: int64(*jobTimeout / time.Millisecond),
+						Workers:   *workers,
 					})
 				}
 			}

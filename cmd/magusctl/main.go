@@ -44,7 +44,9 @@ func main() {
 	reactiveFlag := flag.Bool("reactive", false, "compare against the reactive feedback baseline")
 	assessFlag := flag.Bool("assess", false, "print the per-sector impact assessment of the unmitigated upgrade")
 	windowFlag := flag.Int("window", 0, "rank upgrade start times for a work window of this many hours")
+	workersFlag := flag.Int("workers", 0, "in-search candidate-scoring parallelism (0 = exact sequential search)")
 	flag.Parse()
+	experiments.SetSearchWorkers(*workersFlag)
 
 	class, ok := map[string]magus.AreaClass{
 		"rural": magus.Rural, "suburban": magus.Suburban, "urban": magus.Urban,
@@ -94,6 +96,10 @@ func main() {
 	fmt.Printf("  recovery ratio:   %.1f%%\n", 100*plan.RecoveryRatio())
 	fmt.Printf("  search: %d steps, %d model evaluations\n",
 		len(plan.Search.Steps), plan.Search.Evaluations)
+	if st := plan.Search.Stats; st.Workers > 1 {
+		fmt.Printf("  engine: %d workers, %d delta / %d full evals, %.0f%% worker utilization\n",
+			st.Workers, st.DeltaEvaluations, st.FullEvaluations, 100*st.WorkerUtilization)
+	}
 	for i, st := range plan.Search.Steps {
 		if i >= 10 {
 			fmt.Printf("    ... %d more steps\n", len(plan.Search.Steps)-10)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	magusd [-listen :8080] [-class suburban] [-seed 1]
+//	magusd [-listen :8080] [-class suburban] [-seed 1] [-workers N] [-pprof :6060]
 //
 // Endpoints (all GET, JSON/GeoJSON):
 //
@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,7 +44,10 @@ func main() {
 	listen := flag.String("listen", ":8080", "address to listen on")
 	classFlag := flag.String("class", "suburban", "market class: rural, suburban, urban")
 	seed := flag.Int64("seed", 1, "market seed")
+	workers := flag.Int("workers", 0, "default in-search candidate-scoring parallelism (0 = sequential; per-request ?workers= overrides)")
+	pprofAddr := flag.String("pprof", "", "also serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
+	experiments.SetSearchWorkers(*workers)
 
 	class, ok := map[string]magus.AreaClass{
 		"rural": magus.Rural, "suburban": magus.Suburban, "urban": magus.Urban,
@@ -62,6 +66,22 @@ func main() {
 	log.Printf("market ready in %.1fs: %d sites, %d sectors, %.0f users",
 		time.Since(start).Seconds(), len(engine.Net.Sites),
 		engine.Net.NumSectors(), engine.Model.TotalUE())
+
+	if *pprofAddr != "" {
+		// A separate listener keeps the profiler off the public API port.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	api := httpapi.NewServer(engine)
 	defer api.Close()

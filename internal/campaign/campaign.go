@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"magus/internal/core"
+	"magus/internal/evalengine"
 	"magus/internal/migrate"
 	"magus/internal/topology"
 	"magus/internal/upgrade"
@@ -85,6 +86,10 @@ type JobSpec struct {
 	Utility string
 	// Timeout bounds the job's run (0 uses the orchestrator default).
 	Timeout time.Duration
+	// Workers is the candidate-scoring parallelism inside this job's
+	// search (see search.Options.Workers): 0 inherits the orchestrator's
+	// SearchWorkers, 1 forces the exact sequential path.
+	Workers int
 }
 
 // validate rejects specs the workers could only fail on.
@@ -110,6 +115,9 @@ func (sp JobSpec) validate() error {
 	if sp.Timeout < 0 {
 		return fmt.Errorf("campaign: negative timeout %v", sp.Timeout)
 	}
+	if sp.Workers < 0 {
+		return fmt.Errorf("campaign: negative workers %d", sp.Workers)
+	}
 	return nil
 }
 
@@ -127,6 +135,10 @@ type Result struct {
 	// migration computed for the plan (Section 6).
 	MaxHandoverBurst float64 `json:"max_handover_burst"`
 	SeamlessFraction float64 `json:"seamless_fraction"`
+	// SearchStats are the search engine's counters for the plan: moves
+	// proposed/accepted, delta- vs full-utility evaluations, worker
+	// utilization.
+	SearchStats *evalengine.StatsSnapshot `json:"search_stats,omitempty"`
 }
 
 // Job is one tracked unit of work inside a campaign. All mutable fields
@@ -199,6 +211,11 @@ type Config struct {
 	// leaving the handover fields of Result zero. Plans are what
 	// throughput benchmarks meter; migration is bookkeeping on top.
 	SkipMigration bool
+	// SearchWorkers is the default in-search candidate-scoring
+	// parallelism for jobs that leave JobSpec.Workers zero (default 1:
+	// campaigns already parallelize across jobs, so per-search
+	// parallelism is opt-in).
+	SearchWorkers int
 }
 
 func (c *Config) applyDefaults() {
@@ -216,6 +233,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 5 * time.Minute
+	}
+	if c.SearchWorkers <= 0 {
+		c.SearchWorkers = 1
 	}
 }
 
@@ -239,6 +259,10 @@ type Orchestrator struct {
 	// durations keeps recent finished-job latencies for the quantile
 	// metrics, bounded to the last maxDurations samples.
 	durations []time.Duration
+	// searchStats accumulates the per-plan engine counters of every
+	// completed job (see Metrics.Search).
+	searchStats  evalengine.StatsSnapshot
+	searchedJobs int64
 }
 
 type queued struct {
@@ -371,6 +395,9 @@ type Metrics struct {
 	P50MS      float64          `json:"job_latency_p50_ms"`
 	P95MS      float64          `json:"job_latency_p95_ms"`
 	Cache      *CacheStats      `json:"engine_cache,omitempty"`
+	// Search aggregates the evalengine counters over every completed
+	// job's plan (absent until the first job completes).
+	Search *evalengine.StatsSnapshot `json:"search,omitempty"`
 }
 
 // Metrics snapshots the orchestrator counters.
@@ -384,6 +411,10 @@ func (o *Orchestrator) Metrics() Metrics {
 	}
 	for _, s := range JobStates {
 		m.Jobs[s.String()] = o.jobCounts[s]
+	}
+	if o.searchedJobs > 0 {
+		agg := o.searchStats
+		m.Search = &agg
 	}
 	durs := append([]time.Duration(nil), o.durations...)
 	o.mu.Unlock()
@@ -469,6 +500,12 @@ func (o *Orchestrator) runJob(c *Campaign, j *Job) {
 	case err == nil:
 		j.result = res
 		o.transition(j, JobDone)
+		if res.SearchStats != nil {
+			o.mu.Lock()
+			o.searchStats.Merge(*res.SearchStats)
+			o.searchedJobs++
+			o.mu.Unlock()
+		}
 	case c.ctx.Err() != nil:
 		// The whole campaign was cancelled; the job did not fail on its
 		// own merits.
@@ -513,10 +550,21 @@ func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error)
 	if err != nil {
 		return nil, fmt.Errorf("build engine: %w", err)
 	}
-	plan, err := engine.MitigateContext(ctx, sp.Scenario, sp.Method, UtilityByName[sp.Utility])
+	workers := sp.Workers
+	if workers <= 0 {
+		workers = o.cfg.SearchWorkers
+	}
+	plan, err := engine.MitigatePlan(core.MitigateRequest{
+		Ctx:      ctx,
+		Scenario: sp.Scenario,
+		Method:   sp.Method,
+		Util:     UtilityByName[sp.Utility],
+		Workers:  workers,
+	})
 	if err != nil {
 		return nil, err
 	}
+	stats := plan.Search.Stats
 	res := &Result{
 		Recovery:       plan.RecoveryRatio(),
 		UtilityBefore:  plan.UtilityBefore,
@@ -526,6 +574,7 @@ func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error)
 		Neighbors:      len(plan.Neighbors),
 		SearchSteps:    len(plan.Search.Steps),
 		Evaluations:    plan.Search.Evaluations,
+		SearchStats:    &stats,
 	}
 	if !o.cfg.SkipMigration {
 		if err := ctx.Err(); err != nil {
@@ -645,6 +694,9 @@ type Snapshot struct {
 	P50MS        float64       `json:"job_latency_p50_ms"`
 	P95MS        float64       `json:"job_latency_p95_ms"`
 	Jobs         []JobSnapshot `json:"jobs"`
+	// Search aggregates the evalengine counters over done jobs (absent
+	// until the first completes).
+	Search *evalengine.StatsSnapshot `json:"search,omitempty"`
 }
 
 // Snapshot captures the campaign's current status.
@@ -687,6 +739,12 @@ func (c *Campaign) Snapshot() Snapshot {
 		if j.state == JobDone && j.result != nil {
 			recovered += j.result.Recovery
 			doneJobs++
+			if j.result.SearchStats != nil {
+				if s.Search == nil {
+					s.Search = &evalengine.StatsSnapshot{}
+				}
+				s.Search.Merge(*j.result.SearchStats)
+			}
 		}
 		s.Counts[j.state.String()]++
 		s.Jobs[i] = js

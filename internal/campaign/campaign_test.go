@@ -121,6 +121,52 @@ func TestCampaign27Jobs(t *testing.T) {
 	}
 }
 
+// TestCampaignSearchWorkers: a job's Workers spec reaches the search and
+// its engine counters surface on the result, the campaign snapshot and
+// the orchestrator metrics.
+func TestCampaignSearchWorkers(t *testing.T) {
+	cache := NewEngineCache(4)
+	o, err := New(Config{Build: testBuild(cache), Cache: cache, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	c, err := o.Submit([]JobSpec{
+		{Class: topology.Suburban, Seed: 1, Scenario: upgrade.FullSite, Method: core.PowerOnly, Workers: 2},
+		{Class: topology.Suburban, Seed: 1, Scenario: upgrade.SingleSector, Method: core.Joint},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Snapshot()
+	if snap.Counts["done"] != 2 {
+		t.Fatalf("counts = %v", snap.Counts)
+	}
+	par := snap.Jobs[0].Result.SearchStats
+	seq := snap.Jobs[1].Result.SearchStats
+	if par == nil || seq == nil {
+		t.Fatalf("missing search stats: %+v / %+v", par, seq)
+	}
+	if par.Workers != 2 {
+		t.Errorf("parallel job workers = %d, want 2", par.Workers)
+	}
+	if seq.Workers != 1 {
+		t.Errorf("sequential job workers = %d, want 1 (orchestrator default)", seq.Workers)
+	}
+	if snap.Search == nil || snap.Search.MovesProposed != par.MovesProposed+seq.MovesProposed {
+		t.Errorf("campaign aggregate = %+v, want proposed %d", snap.Search, par.MovesProposed+seq.MovesProposed)
+	}
+	if m := o.Metrics(); m.Search == nil || m.Search.MovesProposed == 0 {
+		t.Errorf("orchestrator metrics missing search aggregate: %+v", m.Search)
+	}
+}
+
 func TestCampaignCancelNoLeaks(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 

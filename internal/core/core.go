@@ -64,6 +64,12 @@ type SetupConfig struct {
 	// NeighborRadiusM overrides the neighbor-set radius (default
 	// 2.5 x the class inter-site distance).
 	NeighborRadiusM float64
+	// SearchWorkers is the default candidate-scoring parallelism for
+	// mitigation searches planned by this engine (see search.Options
+	// .Workers). Zero or one keeps the exact sequential path. The
+	// planner's Equalize pass always runs sequentially so a cached or
+	// shared baseline is identical whatever the worker setting.
+	SearchWorkers int
 	// Params optionally overrides the class planning parameters.
 	Params *topology.ClassParams
 }
@@ -302,6 +308,57 @@ func (e *Engine) MitigateTargets(sc upgrade.Scenario, method Method, util utilit
 // MitigateTargetsContext is MitigateTargets bounded by a context (see
 // MitigateContext).
 func (e *Engine) MitigateTargetsContext(ctx context.Context, sc upgrade.Scenario, method Method, util utility.Func, targets []int) (*Plan, error) {
+	if targets == nil {
+		targets = []int{} // non-nil: the request derives targets only when unset
+	}
+	return e.MitigatePlan(MitigateRequest{
+		Ctx:      ctx,
+		Scenario: sc,
+		Method:   method,
+		Util:     util,
+		Targets:  targets,
+	})
+}
+
+// MitigateRequest is the full parameter set of a mitigation plan. The
+// shorthand Mitigate* methods construct one; callers that need the
+// per-request knobs (explicit targets, worker override) build it
+// directly.
+type MitigateRequest struct {
+	// Ctx bounds the search (nil means background).
+	Ctx context.Context
+	// Scenario and Method select the upgrade and tuning strategy.
+	Scenario upgrade.Scenario
+	Method   Method
+	// Util is the objective (default utility.Performance).
+	Util utility.Func
+	// Targets are the off-air sectors; nil derives them from the
+	// scenario over the engine's tuning area.
+	Targets []int
+	// Workers overrides the engine's SearchWorkers for this plan:
+	// 0 inherits, 1 forces the exact sequential path, >1 scores
+	// candidates on that many worker-local clones.
+	Workers int
+}
+
+// MitigatePlan plans the proactive mitigation described by req.
+func (e *Engine) MitigatePlan(req MitigateRequest) (*Plan, error) {
+	ctx := req.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sc, method, util, targets := req.Scenario, req.Method, req.Util, req.Targets
+	if targets == nil {
+		var err error
+		targets, err = upgrade.Targets(e.Net, sc, e.tuningArea)
+		if err != nil {
+			return nil, err
+		}
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = e.cfg.SearchWorkers
+	}
 	if util.U == nil {
 		util = utility.Performance
 	}
@@ -319,7 +376,7 @@ func (e *Engine) MitigateTargetsContext(ctx context.Context, sc upgrade.Scenario
 	// does not chase utility beyond normal operation. Before is shared by
 	// every concurrent plan on this engine, so evaluate it read-only.
 	utilityBefore := e.Before.UtilityRead(util)
-	opts := search.Options{Util: util, CapUtility: utilityBefore, Ctx: ctx}
+	opts := search.Options{Util: util, CapUtility: utilityBefore, Ctx: ctx, Workers: workers}
 	var res *search.Result
 	var err error
 	switch method {

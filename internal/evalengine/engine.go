@@ -1,0 +1,346 @@
+// Package evalengine is the unified move → evaluate → accept pipeline
+// behind every configuration search. A strategy (Power, Tilt, Equalize,
+// annealing, ...) proposes candidate changes; the engine scores them —
+// exactly on the committed state, or speculatively in parallel across a
+// pool of worker-local clones — and the strategy decides which to
+// commit. The engine owns the bookkeeping the strategies used to
+// hand-roll: undo, the current-utility cache, clone synchronization, and
+// instrumentation counters.
+//
+// Two evaluation regimes, chosen by Workers:
+//
+//   - Workers <= 1 (exact): every score is apply → memoized full-grid
+//     Utility → invert on the committed state itself. This reproduces
+//     the seed implementations' floating-point operation sequence
+//     bit-for-bit, which the golden-equivalence tests rely on.
+//   - Workers > 1 (speculative): candidates are scored concurrently on
+//     worker-local clones via State.Speculate, whose delta-repaired
+//     running sum can differ from a full scan by float rounding (ulps).
+//     Accept decisions near epsilon thresholds may therefore differ from
+//     the sequential run; commits always re-evaluate with the exact
+//     Utility, so reported utilities are never speculative. Results are
+//     deterministic for a fixed worker count (candidate index, not
+//     goroutine timing, breaks ties).
+//
+// Clone-pool sync protocol: clones are created lazily from the committed
+// state on first parallel batch; every committed move is appended to a
+// log, and each clone replays the log suffix it has not seen before
+// scoring. Clones are never re-cloned per candidate or per step.
+package evalengine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"magus/internal/config"
+	"magus/internal/netmodel"
+	"magus/internal/utility"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the number of goroutine-local state clones used to
+	// score candidate batches. 0 or 1 means sequential exact scoring.
+	Workers int
+	// Ctx cancels long scoring runs between candidates. Optional.
+	Ctx context.Context
+}
+
+// Score is one candidate's evaluation.
+type Score struct {
+	// Move is the change as proposed; Applied is what the configuration
+	// actually absorbed after clamping (zero when the move is a no-op).
+	Move    config.Change
+	Applied config.Change
+	// Utility is the overall utility the state would have after Applied.
+	// Meaningless when Applied.IsZero() (the engine never evaluates
+	// no-ops, mirroring the seed searches).
+	Utility float64
+}
+
+// Stats holds the engine's atomic instrumentation counters.
+type Stats struct {
+	movesProposed   atomic.Int64
+	movesAccepted   atomic.Int64
+	deltaEvals      atomic.Int64
+	fullEvals       atomic.Int64
+	parallelBatches atomic.Int64
+	busyNs          atomic.Int64
+	batchCapNs      atomic.Int64 // Σ batch wall time × workers
+}
+
+// StatsSnapshot is a point-in-time copy of the counters, JSON-shaped for
+// campaign status and /healthz.
+type StatsSnapshot struct {
+	MovesProposed    int64 `json:"moves_proposed"`
+	MovesAccepted    int64 `json:"moves_accepted"`
+	DeltaEvaluations int64 `json:"delta_evaluations"`
+	FullEvaluations  int64 `json:"full_evaluations"`
+	ParallelBatches  int64 `json:"parallel_batches"`
+	Workers          int   `json:"workers"`
+	// WorkerUtilization is Σ per-worker busy time divided by
+	// Σ batch wall time × pool size: 1.0 means every clone scored
+	// candidates for the full duration of every parallel batch.
+	WorkerUtilization float64 `json:"worker_utilization,omitempty"`
+}
+
+// Merge accumulates other into s (utilization is batch-weighted).
+func (s *StatsSnapshot) Merge(other StatsSnapshot) {
+	wSelf, wOther := float64(s.ParallelBatches), float64(other.ParallelBatches)
+	if wSelf+wOther > 0 {
+		s.WorkerUtilization = (s.WorkerUtilization*wSelf + other.WorkerUtilization*wOther) / (wSelf + wOther)
+	}
+	s.MovesProposed += other.MovesProposed
+	s.MovesAccepted += other.MovesAccepted
+	s.DeltaEvaluations += other.DeltaEvaluations
+	s.FullEvaluations += other.FullEvaluations
+	s.ParallelBatches += other.ParallelBatches
+	if other.Workers > s.Workers {
+		s.Workers = other.Workers
+	}
+}
+
+// Engine drives one search run over one committed State.
+type Engine struct {
+	main    *netmodel.State
+	util    utility.Func
+	workers int
+	ctx     context.Context
+
+	clones  []*netmodel.State
+	cloneAt []int // per clone: prefix of log already replayed
+	log     []config.Change
+
+	current float64
+
+	// pending is the applied change of the last Try, awaiting Keep/Undo.
+	pending config.Change
+
+	stats Stats
+}
+
+// New builds an engine over st. It evaluates the starting utility with
+// one exact full scan (the same call the seed searches open with).
+func New(st *netmodel.State, util utility.Func, cfg Config) *Engine {
+	if util.U == nil {
+		util = utility.Performance
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Engine{
+		main:    st,
+		util:    util,
+		workers: workers,
+		ctx:     ctx,
+		current: st.Utility(util),
+	}
+}
+
+// State returns the committed state the engine mutates.
+func (e *Engine) State() *netmodel.State { return e.main }
+
+// Util returns the objective the engine scores against.
+func (e *Engine) Util() utility.Func { return e.util }
+
+// Workers returns the evaluation pool size (1 = sequential exact).
+func (e *Engine) Workers() int { return e.workers }
+
+// Current returns the utility of the committed state. It is always an
+// exact full-scan value, never a speculative delta.
+func (e *Engine) Current() float64 { return e.current }
+
+// Parallel reports whether ScoreAll batches run on the clone pool.
+func (e *Engine) Parallel() bool { return e.workers > 1 }
+
+// Snapshot copies the instrumentation counters.
+func (e *Engine) Snapshot() StatsSnapshot {
+	snap := StatsSnapshot{
+		MovesProposed:    e.stats.movesProposed.Load(),
+		MovesAccepted:    e.stats.movesAccepted.Load(),
+		DeltaEvaluations: e.stats.deltaEvals.Load(),
+		FullEvaluations:  e.stats.fullEvals.Load(),
+		ParallelBatches:  e.stats.parallelBatches.Load(),
+		Workers:          e.workers,
+	}
+	if capNs := e.stats.batchCapNs.Load(); capNs > 0 {
+		snap.WorkerUtilization = float64(e.stats.busyNs.Load()) / float64(capNs)
+	}
+	return snap
+}
+
+// ScoreAll evaluates every candidate against the committed
+// configuration (each as an independent alternative, not a sequence).
+// Order of results matches the order of moves; ties between equal
+// utilities are the caller's to break, and the slice order makes that
+// deterministic regardless of worker scheduling.
+func (e *Engine) ScoreAll(moves []config.Change) ([]Score, error) {
+	e.stats.movesProposed.Add(int64(len(moves)))
+	if !e.Parallel() || len(moves) < 2 {
+		return e.scoreSequential(moves)
+	}
+	return e.scoreParallel(moves)
+}
+
+// scoreSequential is the exact path: apply → full Utility → invert on
+// the committed state, the seed searches' candidate loop verbatim.
+func (e *Engine) scoreSequential(moves []config.Change) ([]Score, error) {
+	out := make([]Score, len(moves))
+	for i, mv := range moves {
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
+		applied, err := e.main.Apply(mv)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Score{Move: mv, Applied: applied}
+		if applied.IsZero() {
+			continue
+		}
+		out[i].Utility = e.main.Utility(e.util)
+		e.stats.fullEvals.Add(1)
+		if _, err := e.main.Apply(applied.Inverse()); err != nil {
+			return nil, fmt.Errorf("evalengine: undo candidate %v: %w", applied, err)
+		}
+	}
+	return out, nil
+}
+
+// scoreParallel fans the batch out over the clone pool with a strided
+// assignment (clone w scores candidates w, w+n, w+2n, ...).
+func (e *Engine) scoreParallel(moves []config.Change) ([]Score, error) {
+	n := e.workers
+	if len(moves) < n {
+		n = len(moves)
+	}
+	if err := e.syncClones(n); err != nil {
+		return nil, err
+	}
+	out := make([]Score, len(moves))
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := e.clones[w]
+			workStart := time.Now()
+			var evals int64
+			for i := w; i < len(moves); i += n {
+				if err := e.ctx.Err(); err != nil {
+					errs[w] = err
+					break
+				}
+				applied, u, err := st.Speculate(moves[i], e.util)
+				if err != nil {
+					errs[w] = fmt.Errorf("evalengine: speculate %v: %w", moves[i], err)
+					break
+				}
+				out[i] = Score{Move: moves[i], Applied: applied, Utility: u}
+				if !applied.IsZero() {
+					evals++
+				}
+			}
+			e.stats.deltaEvals.Add(evals)
+			e.stats.busyNs.Add(time.Since(workStart).Nanoseconds())
+		}(w)
+	}
+	wg.Wait()
+	e.stats.parallelBatches.Add(1)
+	e.stats.batchCapNs.Add(time.Since(start).Nanoseconds() * int64(n))
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// syncClones grows the pool to n clones and replays the committed-move
+// log suffix each existing clone has not yet seen.
+func (e *Engine) syncClones(n int) error {
+	for len(e.clones) < n {
+		// The committed state is, by invariant, exactly at the logged
+		// configuration, so a fresh clone starts fully synced.
+		e.clones = append(e.clones, e.main.Clone())
+		e.cloneAt = append(e.cloneAt, len(e.log))
+	}
+	for w := 0; w < n; w++ {
+		for _, ch := range e.log[e.cloneAt[w]:] {
+			if _, err := e.clones[w].Apply(ch); err != nil {
+				return fmt.Errorf("evalengine: replay %v on clone %d: %w", ch, w, err)
+			}
+		}
+		e.cloneAt[w] = len(e.log)
+	}
+	return nil
+}
+
+// Try applies mv to the committed state and returns the exact resulting
+// utility, leaving the move in place: the caller accepts it with Keep or
+// discards it with Undo. This is the sequential strategies' native
+// try/keep-or-undo shape; a no-op move is reported without evaluation
+// and needs neither Keep nor Undo.
+func (e *Engine) Try(mv config.Change) (applied config.Change, u float64, err error) {
+	e.stats.movesProposed.Add(1)
+	applied, err = e.main.Apply(mv)
+	if err != nil {
+		return applied, e.current, err
+	}
+	e.pending = applied
+	if applied.IsZero() {
+		return applied, e.current, nil
+	}
+	e.stats.fullEvals.Add(1)
+	return applied, e.main.Utility(e.util), nil
+}
+
+// Keep accepts the pending Try move at utility u (the value Try
+// returned; the state already reflects the move, so no re-evaluation).
+func (e *Engine) Keep(u float64) {
+	if !e.pending.IsZero() {
+		e.log = append(e.log, e.pending)
+		e.stats.movesAccepted.Add(1)
+		e.pending = config.Change{}
+	}
+	e.current = u
+}
+
+// Undo reverts the pending Try move.
+func (e *Engine) Undo() error {
+	if e.pending.IsZero() {
+		return nil
+	}
+	inv := e.pending.Inverse()
+	e.pending = config.Change{}
+	if _, err := e.main.Apply(inv); err != nil {
+		return fmt.Errorf("evalengine: undo %v: %w", inv, err)
+	}
+	return nil
+}
+
+// Commit applies mv to the committed state (typically a ScoreAll winner,
+// being re-applied exactly as the seed searches re-apply theirs) and
+// re-evaluates with the exact full-scan Utility.
+func (e *Engine) Commit(mv config.Change) (applied config.Change, current float64, err error) {
+	applied, err = e.main.Apply(mv)
+	if err != nil {
+		return applied, e.current, err
+	}
+	if !applied.IsZero() {
+		e.log = append(e.log, applied)
+		e.stats.movesAccepted.Add(1)
+	}
+	e.current = e.main.Utility(e.util)
+	return applied, e.current, nil
+}

@@ -1,0 +1,272 @@
+package evalengine
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/propagation"
+	"magus/internal/topology"
+	"magus/internal/utility"
+)
+
+// testState builds a small market with a degraded central sector, the
+// shape every search run starts from.
+func testState(tb testing.TB, seed int64) (*netmodel.State, []int) {
+	tb.Helper()
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed:   seed,
+		Class:  topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 5000, 5000),
+	})
+	spm := propagation.MustNewSPM(2.635e9, nil)
+	m := netmodel.MustNewModel(net, spm, net.Bounds, netmodel.Params{CellSizeM: 200})
+	st := m.NewState(config.New(net))
+	st.AssignUsersUniform()
+	central := net.CentralSite()
+	target := net.Sites[central].Sectors[0]
+	st.MustApply(config.Change{Sector: target, TurnOff: true})
+	neighbors := net.NeighborSectors([]int{target}, 3500)
+	return st, neighbors
+}
+
+// candidateMoves builds one power-up candidate per neighbor.
+func candidateMoves(neighbors []int, delta float64) []config.Change {
+	moves := make([]config.Change, len(neighbors))
+	for i, b := range neighbors {
+		moves[i] = config.Change{Sector: b, PowerDelta: delta}
+	}
+	return moves
+}
+
+func TestSequentialScoreMatchesManualLoop(t *testing.T) {
+	st, neighbors := testState(t, 3)
+	ref := st.Clone()
+	u := utility.Performance
+	e := New(st, u, Config{})
+	if got, want := e.Current(), ref.Utility(u); got != want {
+		t.Fatalf("initial current %v != %v", got, want)
+	}
+	moves := candidateMoves(neighbors, 2)
+	scores, err := e.ScoreAll(moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range scores {
+		applied, err := ref.Apply(moves[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Applied != applied {
+			t.Fatalf("candidate %d: applied %v != %v", i, sc.Applied, applied)
+		}
+		if applied.IsZero() {
+			continue
+		}
+		if want := ref.Utility(u); sc.Utility != want {
+			t.Fatalf("candidate %d: utility %v != exact %v", i, sc.Utility, want)
+		}
+		ref.MustApply(applied.Inverse())
+	}
+	// Scoring must leave the committed state untouched.
+	if !st.Cfg.Equal(ref.Cfg) {
+		t.Fatal("ScoreAll mutated the committed configuration")
+	}
+}
+
+func TestParallelScoresMatchSequential(t *testing.T) {
+	stSeq, neighbors := testState(t, 5)
+	stPar, _ := testState(t, 5)
+	u := utility.Performance
+	seq := New(stSeq, u, Config{Workers: 1})
+	par := New(stPar, u, Config{Workers: 4})
+	moves := candidateMoves(neighbors, 2)
+
+	sGot, err := seq.ScoreAll(moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pGot, err := par.ScoreAll(moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sGot {
+		if sGot[i].Applied != pGot[i].Applied {
+			t.Fatalf("candidate %d: applied %v (seq) vs %v (par)", i, sGot[i].Applied, pGot[i].Applied)
+		}
+		if sGot[i].Applied.IsZero() {
+			continue
+		}
+		if relDiff(sGot[i].Utility, pGot[i].Utility) > 1e-9 {
+			t.Fatalf("candidate %d: utility %v (seq) vs %v (par)", i, sGot[i].Utility, pGot[i].Utility)
+		}
+	}
+	snap := par.Snapshot()
+	if snap.ParallelBatches != 1 || snap.DeltaEvaluations == 0 {
+		t.Errorf("parallel stats not recorded: %+v", snap)
+	}
+	if snap.WorkerUtilization <= 0 || snap.WorkerUtilization > 1.000001 {
+		t.Errorf("utilization out of range: %v", snap.WorkerUtilization)
+	}
+	if s := seq.Snapshot(); s.DeltaEvaluations != 0 || s.FullEvaluations == 0 {
+		t.Errorf("sequential engine should full-evaluate only: %+v", s)
+	}
+}
+
+// TestCloneSyncAfterCommits: clones created before and after commits
+// must both score against the committed configuration.
+func TestCloneSyncAfterCommits(t *testing.T) {
+	st, neighbors := testState(t, 7)
+	if len(neighbors) < 3 {
+		t.Skip("not enough neighbors")
+	}
+	u := utility.Performance
+	e := New(st, u, Config{Workers: 2})
+	moves := candidateMoves(neighbors, 1)
+
+	// First batch creates the pool.
+	if _, err := e.ScoreAll(moves); err != nil {
+		t.Fatal(err)
+	}
+	// Commit two moves, then score again: clones must replay the log.
+	for i := 0; i < 2; i++ {
+		if _, _, err := e.Commit(moves[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scores, err := e.ScoreAll(moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := st.Clone() // committed state after the two commits
+	for i, sc := range scores {
+		applied, err := ref.Apply(moves[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.Applied != applied {
+			t.Fatalf("candidate %d: applied %v, want %v (clone out of sync)", i, sc.Applied, applied)
+		}
+		if !applied.IsZero() {
+			if want := ref.Utility(u); relDiff(sc.Utility, want) > 1e-9 {
+				t.Fatalf("candidate %d: utility %v, want %v (clone out of sync)", i, sc.Utility, want)
+			}
+			ref.MustApply(applied.Inverse())
+		}
+	}
+}
+
+func TestTryKeepUndo(t *testing.T) {
+	st, neighbors := testState(t, 9)
+	u := utility.Performance
+	e := New(st, u, Config{})
+	u0 := e.Current()
+
+	mv := config.Change{Sector: neighbors[0], PowerDelta: 2}
+	applied, got, err := e.Try(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.IsZero() {
+		t.Skip("first neighbor at max power")
+	}
+	if want := st.Utility(u); got != want {
+		t.Fatalf("Try utility %v != state %v", got, want)
+	}
+	if err := e.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Utility(u); got != u0 {
+		t.Fatalf("Undo did not restore: %v vs %v", got, u0)
+	}
+	if e.Current() != u0 {
+		t.Fatalf("current moved on undo: %v vs %v", e.Current(), u0)
+	}
+
+	_, got, err = e.Try(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Keep(got)
+	if e.Current() != got {
+		t.Fatalf("Keep did not install utility: %v vs %v", e.Current(), got)
+	}
+	snap := e.Snapshot()
+	if snap.MovesAccepted != 1 || snap.MovesProposed != 2 {
+		t.Errorf("stats: %+v", snap)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	st, neighbors := testState(t, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := New(st, utility.Performance, Config{Workers: 2, Ctx: ctx})
+	if _, err := e.ScoreAll(candidateMoves(neighbors, 1)); err == nil {
+		t.Fatal("cancelled context should abort scoring")
+	}
+}
+
+// TestEngineStress runs several engines concurrently — each a parallel
+// search over its own state clone hierarchy — the shape a campaign
+// worker pool produces. Run under -race this is the engine's data-race
+// certification.
+func TestEngineStress(t *testing.T) {
+	base, neighbors := testState(t, 11)
+	u := utility.Performance
+	const searches = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, searches)
+	for i := 0; i < searches; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := base.Clone()
+			e := New(st, u, Config{Workers: 3})
+			moves := candidateMoves(neighbors, float64(1+i%3))
+			for round := 0; round < 4; round++ {
+				scores, err := e.ScoreAll(moves)
+				if err != nil {
+					errc <- err
+					return
+				}
+				best, bestU := -1, e.Current()
+				for j, sc := range scores {
+					if !sc.Applied.IsZero() && sc.Utility > bestU {
+						best, bestU = j, sc.Utility
+					}
+				}
+				if best >= 0 {
+					if _, _, err := e.Commit(moves[best]); err != nil {
+						errc <- err
+						return
+					}
+				}
+				_ = e.Snapshot()
+			}
+			errc <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

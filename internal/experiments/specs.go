@@ -76,6 +76,9 @@ func BuildEngine(seed int64, spec AreaSpec) (*core.Engine, error) {
 			RegionSpanM:   spec.RegionSpanM,
 			CellSizeM:     spec.CellSizeM,
 			EqualizeSteps: 300,
+			// The process-wide default (see SetSearchWorkers); the planner
+			// pass is workers-invariant, so cached engines stay identical.
+			SearchWorkers: SearchWorkersDefault(),
 		})
 	})
 }

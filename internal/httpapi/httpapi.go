@@ -37,6 +37,7 @@ import (
 
 	"magus/internal/campaign"
 	"magus/internal/core"
+	"magus/internal/evalengine"
 	"magus/internal/experiments"
 	"magus/internal/export"
 	"magus/internal/migrate"
@@ -180,21 +181,30 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// planParams parses the shared scenario/method/utility query parameters.
-func planParams(r *http.Request) (upgrade.Scenario, core.Method, utility.Func, error) {
+// planParams parses the shared scenario/method/utility/workers query
+// parameters.
+func planParams(r *http.Request) (upgrade.Scenario, core.Method, utility.Func, int, error) {
 	scenario, ok := scenarioByName[r.URL.Query().Get("scenario")]
 	if !ok {
-		return 0, 0, utility.Func{}, fmt.Errorf("unknown scenario %q", r.URL.Query().Get("scenario"))
+		return 0, 0, utility.Func{}, 0, fmt.Errorf("unknown scenario %q", r.URL.Query().Get("scenario"))
 	}
 	method, ok := methodByName[r.URL.Query().Get("method")]
 	if !ok {
-		return 0, 0, utility.Func{}, fmt.Errorf("unknown method %q", r.URL.Query().Get("method"))
+		return 0, 0, utility.Func{}, 0, fmt.Errorf("unknown method %q", r.URL.Query().Get("method"))
 	}
 	util, ok := campaign.UtilityByName[r.URL.Query().Get("utility")]
 	if !ok {
-		return 0, 0, utility.Func{}, fmt.Errorf("unknown utility %q", r.URL.Query().Get("utility"))
+		return 0, 0, utility.Func{}, 0, fmt.Errorf("unknown utility %q", r.URL.Query().Get("utility"))
 	}
-	return scenario, method, util, nil
+	workers := 0
+	if v := r.URL.Query().Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, 0, utility.Func{}, 0, fmt.Errorf("bad workers %q", v)
+		}
+		workers = n
+	}
+	return scenario, method, util, workers, nil
 }
 
 // planResponse is the JSON shape of a mitigation plan.
@@ -209,16 +219,25 @@ type planResponse struct {
 	Recovery       float64 `json:"recovery"`
 	SearchSteps    int     `json:"search_steps"`
 	Evaluations    int     `json:"evaluations"`
+	// Search carries the engine's counters (delta vs full evaluations,
+	// worker utilization) for the plan's search.
+	Search evalengine.StatsSnapshot `json:"search"`
 }
 
 // plan runs a mitigation for the request's parameters under the
 // request's context, so a disconnected client abandons the search.
 func (s *Server) plan(r *http.Request) (*core.Plan, error) {
-	scenario, method, util, err := planParams(r)
+	scenario, method, util, workers, err := planParams(r)
 	if err != nil {
 		return nil, err
 	}
-	return s.engine.MitigateContext(r.Context(), scenario, method, util)
+	return s.engine.MitigatePlan(core.MitigateRequest{
+		Ctx:      r.Context(),
+		Scenario: scenario,
+		Method:   method,
+		Util:     util,
+		Workers:  workers,
+	})
 }
 
 // planStatus maps a planning error to an HTTP status: parameter errors
@@ -247,6 +266,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Recovery:       plan.RecoveryRatio(),
 		SearchSteps:    len(plan.Search.Steps),
 		Evaluations:    plan.Search.Evaluations,
+		Search:         plan.Search.Stats,
 	})
 }
 
@@ -345,6 +365,9 @@ type campaignJobRequest struct {
 	Method    string `json:"method"`
 	Utility   string `json:"utility"`
 	TimeoutMS int64  `json:"timeout_ms"`
+	// Workers is the in-search scoring parallelism (0 = orchestrator
+	// default, which keeps the exact sequential path).
+	Workers int `json:"workers"`
 }
 
 type campaignRequest struct {
@@ -388,6 +411,10 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "job %d: negative timeout_ms", i)
 			return
 		}
+		if jr.Workers < 0 {
+			httpError(w, http.StatusBadRequest, "job %d: negative workers", i)
+			return
+		}
 		specs[i] = campaign.JobSpec{
 			Class:    class,
 			Seed:     jr.Seed,
@@ -395,6 +422,7 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 			Method:   method,
 			Utility:  jr.Utility,
 			Timeout:  time.Duration(jr.TimeoutMS) * time.Millisecond,
+			Workers:  jr.Workers,
 		}
 	}
 	c, err := s.orch.Submit(specs)

@@ -186,10 +186,35 @@ func TestPlanValidation(t *testing.T) {
 		"/plan?scenario=z",
 		"/plan?method=bogus",
 		"/plan?utility=bogus",
+		"/plan?workers=-1",
+		"/plan?workers=abc",
 	} {
 		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
 			t.Errorf("%s status = %d, want 400", path, rec.Code)
 		}
+	}
+}
+
+// TestPlanWorkersParam: ?workers=N selects the parallel scoring path and
+// the response surfaces the engine counters.
+func TestPlanWorkersParam(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/plan?scenario=a&method=power&workers=2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Search struct {
+			Workers       int   `json:"workers"`
+			MovesProposed int64 `json:"moves_proposed"`
+		} `json:"search"`
+	}
+	decode(t, rec, &body)
+	if body.Search.Workers != 2 {
+		t.Errorf("search.workers = %d, want 2", body.Search.Workers)
+	}
+	if body.Search.MovesProposed == 0 {
+		t.Errorf("search.moves_proposed = 0, want > 0")
 	}
 }
 

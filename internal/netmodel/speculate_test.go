@@ -1,0 +1,247 @@
+package netmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/geo"
+	"magus/internal/propagation"
+	"magus/internal/topology"
+	"magus/internal/utility"
+)
+
+// randomChange draws a plausible single-sector search move.
+func randomChange(rng *rand.Rand, numSectors int) config.Change {
+	b := rng.Intn(numSectors)
+	switch rng.Intn(5) {
+	case 0:
+		return config.Change{Sector: b, PowerDelta: float64(1 + rng.Intn(4))}
+	case 1:
+		return config.Change{Sector: b, PowerDelta: -float64(1 + rng.Intn(4))}
+	case 2:
+		return config.Change{Sector: b, TiltDelta: 1 + rng.Intn(3)}
+	case 3:
+		return config.Change{Sector: b, TiltDelta: -(1 + rng.Intn(3))}
+	default:
+		return config.Change{Sector: b, TurnOff: true}
+	}
+}
+
+// TestSpeculateMatchesFullEvaluation is the core delta-utility property:
+// for a long random move sequence, Speculate's score must agree with
+// committing the move and running a full-grid Utility scan, and the
+// state must be exactly restored after each speculation.
+func TestSpeculateMatchesFullEvaluation(t *testing.T) {
+	m := testModel(t)
+	s := baseline(t, m)
+	rng := rand.New(rand.NewSource(42))
+	u := utility.Performance
+
+	cfgBefore := s.Cfg.Clone()
+	u0 := s.Utility(u)
+	nonNoop := 0
+	for i := 0; i < 300; i++ {
+		ch := randomChange(rng, m.Net.NumSectors())
+		applied, got, err := s.Speculate(ch, u)
+		if err != nil {
+			t.Fatalf("Speculate(%v): %v", ch, err)
+		}
+		// Reference: commit on a clone, full evaluation.
+		ref := s.Clone()
+		refApplied, err := ref.Apply(ch)
+		if err != nil {
+			t.Fatalf("reference Apply(%v): %v", ch, err)
+		}
+		if applied != refApplied {
+			t.Fatalf("move %d: speculated applied %v != reference %v", i, applied, refApplied)
+		}
+		want := ref.Utility(u)
+		if applied.IsZero() {
+			want = u0
+		} else {
+			nonNoop++
+		}
+		if relDiff(got, want) > 1e-9 {
+			t.Fatalf("move %d (%v): speculated utility %v, full evaluation %v", i, ch, got, want)
+		}
+		// The state must be untouched.
+		if !s.Cfg.Equal(cfgBefore) {
+			t.Fatalf("move %d: configuration mutated by Speculate", i)
+		}
+		if got := s.UtilityTracked(u); relDiff(got, u0) > 1e-12 {
+			t.Fatalf("move %d: running sum drifted: %v vs %v", i, got, u0)
+		}
+		// Occasionally commit a move so speculation is tested against many
+		// base configurations, with tracking live across commits.
+		if i%17 == 0 && !applied.IsZero() {
+			s.MustApply(ch)
+			cfgBefore = s.Cfg.Clone()
+			u0 = s.Utility(u)
+		}
+	}
+	if nonNoop < 100 {
+		t.Fatalf("only %d effective moves exercised; scenario too degenerate", nonNoop)
+	}
+	// After everything, the running sum still matches a fresh full scan.
+	if got, want := s.UtilityTracked(u), s.Utility(u); relDiff(got, want) > 1e-9 {
+		t.Fatalf("final running sum %v != full scan %v", got, want)
+	}
+}
+
+// TestSpeculateTurnOffOn covers the refreshSector path (tilt and on/off
+// moves touch every entry of the sector, including serving handoffs).
+func TestSpeculateTurnOffOn(t *testing.T) {
+	m := testModel(t)
+	s := baseline(t, m)
+	u := utility.Performance
+	central := m.Net.CentralSite()
+	target := m.Net.Sites[central].Sectors[0]
+
+	u0 := s.Utility(u)
+	_, specOff, err := s.Speculate(config.Change{Sector: target, TurnOff: true}, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := s.Clone()
+	ref.MustApply(config.Change{Sector: target, TurnOff: true})
+	if want := ref.Utility(u); relDiff(specOff, want) > 1e-9 {
+		t.Fatalf("turn-off speculation %v != full %v", specOff, want)
+	}
+	if specOff >= u0 && s.Load(target) > 0 {
+		t.Errorf("turning off a loaded sector should cost utility: %v -> %v", u0, specOff)
+	}
+	if got := s.Utility(u); got != u0 {
+		t.Fatalf("Utility changed after speculation: %v vs %v", got, u0)
+	}
+}
+
+// TestTrackingInvalidatedByReassignment: changing the UE distribution
+// must not leave a stale running sum behind.
+func TestTrackingInvalidatedByReassignment(t *testing.T) {
+	m := testModel(t)
+	s := baseline(t, m)
+	u := utility.Performance
+	s.EnableUtilityTracking(u)
+	s.MustApply(config.Change{Sector: 0, PowerDelta: 2})
+
+	s.AssignUsersUniform() // rebuilds ue weights; must switch tracking off
+	if got, want := s.UtilityTracked(u), s.Utility(u); relDiff(got, want) > 1e-9 {
+		t.Fatalf("running sum stale after reassignment: %v vs %v", got, want)
+	}
+}
+
+// TestTrackingSwitchesObjective: asking for a different utility function
+// re-derives the sum rather than mixing objectives.
+func TestTrackingSwitchesObjective(t *testing.T) {
+	m := testModel(t)
+	s := baseline(t, m)
+	if got, want := s.UtilityTracked(utility.Performance), s.Utility(utility.Performance); relDiff(got, want) > 1e-9 {
+		t.Fatalf("performance sum %v != %v", got, want)
+	}
+	if got, want := s.UtilityTracked(utility.Coverage), s.Utility(utility.Coverage); relDiff(got, want) > 1e-9 {
+		t.Fatalf("coverage sum %v != %v", got, want)
+	}
+}
+
+// TestCloneDropsTracking: a clone re-derives its own tracking and the
+// parent's sum is unaffected by the clone's moves.
+func TestCloneDropsTracking(t *testing.T) {
+	m := testModel(t)
+	s := baseline(t, m)
+	u := utility.Performance
+	parentSum := s.UtilityTracked(u)
+
+	c := s.Clone()
+	c.MustApply(config.Change{Sector: 1, PowerDelta: 3})
+	if got, want := c.UtilityTracked(u), c.Utility(u); relDiff(got, want) > 1e-9 {
+		t.Fatalf("clone sum %v != clone full scan %v", got, want)
+	}
+	if got := s.UtilityTracked(u); got != parentSum {
+		t.Fatalf("parent sum changed by clone activity: %v vs %v", got, parentSum)
+	}
+}
+
+// TestSINRImproversScratchReuse: repeated calls (including overlapping
+// affected sets) must agree with a reference map-based membership test.
+func TestSINRImproversScratchReuse(t *testing.T) {
+	m := testModel(t)
+	s := baseline(t, m)
+	base := s.Clone()
+	central := m.Net.CentralSite()
+	targets := m.Net.Sites[central].Sectors
+	for _, tg := range targets {
+		s.MustApply(config.Change{Sector: tg, TurnOff: true})
+	}
+	degraded := s.DegradedGrids(base)
+	if len(degraded) == 0 {
+		t.Skip("no degradation in this layout")
+	}
+	neighbors := m.Net.NeighborSectors(targets, 4000)
+
+	first := s.SINRImprovers(degraded, neighbors, 1)
+	// A second identical call must return the same set (scratch cleared).
+	second := s.SINRImprovers(degraded, neighbors, 1)
+	if len(first) != len(second) {
+		t.Fatalf("scratch not cleared: %v then %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("scratch not cleared: %v then %v", first, second)
+		}
+	}
+	// A disjoint affected set must not see the previous marks.
+	other := []int{}
+	seen := map[int]bool{}
+	for _, g := range degraded {
+		seen[g] = true
+	}
+	for g := 0; g < m.Grid.NumCells() && len(other) < 5; g++ {
+		if !seen[g] && m.UE(g) != 0 {
+			other = append(other, g)
+		}
+	}
+	if len(other) > 0 {
+		got := s.SINRImprovers(other, neighbors, 1)
+		for _, b := range got {
+			found := false
+			for _, ref := range m.sectorEntries[b] {
+				for _, g := range other {
+					if int(ref.Grid) == g {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("improver %d has no entry on the affected grids; stale scratch marks", b)
+			}
+		}
+	}
+}
+
+func BenchmarkSpeculateNetmodel(b *testing.B) {
+	m := testModelB(b)
+	s := m.NewState(config.New(m.Net))
+	s.AssignUsersUniform()
+	u := utility.Performance
+	s.EnableUtilityTracking(u)
+	ch := config.Change{Sector: 1, PowerDelta: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Speculate(ch, u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// testModelB mirrors testModel for benchmarks.
+func testModelB(b *testing.B) *Model {
+	b.Helper()
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed:   3,
+		Class:  topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 6000, 6000),
+	})
+	spm := propagation.MustNewSPM(2.635e9, nil)
+	return MustNewModel(net, spm, net.Bounds, Params{CellSizeM: 200})
+}

@@ -36,6 +36,24 @@ type State struct {
 	cacheRate []float64
 	cacheU    []float64
 	cacheName string
+
+	// Scratch for SINRImprovers' affected-grid membership test, reused
+	// across calls (the search hot loop calls it once per step). Always
+	// all-false between calls; never cloned.
+	affectedMark []bool
+
+	// Incremental utility tracking backing Speculate; see speculate.go.
+	// Deliberately not cloned: a clone re-derives its own running sum on
+	// first use, so it always equals a fresh full scan.
+	trackOn    bool
+	trackFn    utility.Func
+	trackSum   float64
+	trackRate  []float64
+	trackU     []float64
+	gridDirty  []bool
+	secDirty   []bool
+	dirtyGrids []int32
+	dirtySecs  []int32
 }
 
 // NewState fully evaluates cfg against the model. The state takes
@@ -72,7 +90,12 @@ func (s *State) resetUtilityMemo(name string) {
 }
 
 // Clone returns an independent snapshot of the state (the configuration
-// is deep-copied too).
+// is deep-copied too). The utility memo IS copied — it is a consistent
+// snapshot of (rate, u(rate)) pairs, so the clone's first Utility call
+// under the same objective stays incremental. The Speculate tracking
+// arrays and the SINRImprovers scratch are NOT copied: they are either
+// transient scratch or cheaper to re-derive than to keep coherent, and
+// zero values mean "off"/"unallocated" for both.
 func (s *State) Clone() *State {
 	return &State{
 		Model:     s.Model,
@@ -146,6 +169,9 @@ func (s *State) rescanGrid(g int) {
 
 // updateRate refreshes rmax[g] from the cached aggregates.
 func (s *State) updateRate(g int) {
+	if s.trackOn {
+		s.markGrid(int32(g))
+	}
 	if s.bestSec[g] < 0 || s.bestMw[g] <= 0 {
 		s.rmax[g] = 0
 		return
@@ -179,6 +205,9 @@ func (s *State) Apply(ch config.Change) (config.Change, error) {
 		s.applySectorPower(applied.Sector)
 	} else {
 		s.refreshSector(applied.Sector)
+	}
+	if s.trackOn {
+		s.repairTracking()
 	}
 	return applied, nil
 }
@@ -280,6 +309,14 @@ func (s *State) rescanBest(g int) {
 // served-grid counts.
 func (s *State) setServing(g int, sec int32, mw float64) {
 	old := s.bestSec[g]
+	if s.trackOn {
+		if old >= 0 {
+			s.markSector(old)
+		}
+		if sec >= 0 {
+			s.markSector(sec)
+		}
+	}
 	if old >= 0 {
 		s.load[old] -= s.Model.ue[g]
 		s.served[old]--
@@ -473,8 +510,11 @@ func (s *State) AssignUsersWeighted(weight func(g int) float64) {
 
 // RecomputeLoads rebuilds the per-sector loads from the current serving
 // map and UE distribution. Needed after the Model's UE distribution
-// changes beneath an existing state.
+// changes beneath an existing state. The UE weights underneath the
+// Speculate running sum may have changed, so tracking is switched off;
+// the next Speculate re-derives it.
 func (s *State) RecomputeLoads() {
+	s.trackOn = false
 	for i := range s.load {
 		s.load[i] = 0
 		s.served[i] = 0
@@ -516,9 +556,14 @@ func (s *State) SINRImprovers(affected []int, candidates []int, deltaDb float64)
 		return nil
 	}
 	m := s.Model
-	inAffected := make(map[int32]bool, len(affected))
+	// Dense membership scratch instead of a per-call map: the search hot
+	// loop calls SINRImprovers every step, and the map allocation plus
+	// hashing dominated its cost on large markets.
+	if s.affectedMark == nil {
+		s.affectedMark = make([]bool, m.Grid.NumCells())
+	}
 	for _, g := range affected {
-		inAffected[int32(g)] = true
+		s.affectedMark[g] = true
 	}
 	factor := math.Pow(10, deltaDb/10)
 	var out []int
@@ -527,7 +572,7 @@ func (s *State) SINRImprovers(affected []int, candidates []int, deltaDb float64)
 			continue
 		}
 		for _, ref := range m.sectorEntries[b] {
-			if !inAffected[ref.Grid] {
+			if !s.affectedMark[ref.Grid] {
 				continue
 			}
 			g := int(ref.Grid)
@@ -556,6 +601,9 @@ func (s *State) SINRImprovers(affected []int, candidates []int, deltaDb float64)
 				break
 			}
 		}
+	}
+	for _, g := range affected {
+		s.affectedMark[g] = false
 	}
 	return out
 }

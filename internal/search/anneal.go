@@ -5,12 +5,17 @@ import (
 	"math/rand"
 
 	"magus/internal/config"
+	"magus/internal/evalengine"
 	"magus/internal/netmodel"
 )
 
 // AnnealOptions tune the simulated-annealing search.
 type AnnealOptions struct {
-	// Options embeds the common search knobs (utility, caps).
+	// Options embeds the common search knobs (utility, caps). Workers is
+	// ignored: the Metropolis chain is inherently sequential (each
+	// proposal's acceptance depends on the previous state and the shared
+	// RNG stream), so annealing always uses the exact single-threaded
+	// evaluation path.
 	Options
 	// Seed drives the proposal sequence; equal seeds reproduce runs.
 	Seed int64
@@ -42,7 +47,8 @@ func (o *AnnealOptions) applyDefaults() {
 // power (+-1 dB) or tilt (+-1 step) moves; worsening moves are accepted
 // with the Metropolis probability under a geometric cooling schedule.
 // The best configuration seen is restored before returning, so the
-// result is never worse than the starting point.
+// result is never worse than the starting point. The engine's
+// try/keep-or-undo pipeline drives each proposal.
 func Anneal(st *netmodel.State, neighbors []int, opts AnnealOptions) (*Result, error) {
 	opts.applyDefaults()
 	res := &Result{}
@@ -52,8 +58,8 @@ func Anneal(st *netmodel.State, neighbors []int, opts AnnealOptions) (*Result, e
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
-	current := st.Utility(opts.Util)
-	best := current
+	e := evalengine.New(st, opts.Util, evalengine.Config{Workers: 1, Ctx: opts.Ctx})
+	best := e.Current()
 	bestCfg := st.Cfg.Clone()
 	cooling := math.Pow(opts.EndTemp/opts.StartTemp, 1/float64(opts.Iterations))
 	temp := opts.StartTemp
@@ -62,7 +68,7 @@ func Anneal(st *netmodel.State, neighbors []int, opts AnnealOptions) (*Result, e
 		if err := opts.cancelled(); err != nil {
 			return nil, err
 		}
-		if opts.CapUtility > 0 && current >= opts.CapUtility {
+		if opts.CapUtility > 0 && e.Current() >= opts.CapUtility {
 			break
 		}
 		b := neighbors[rng.Intn(len(neighbors))]
@@ -81,7 +87,7 @@ func Anneal(st *netmodel.State, neighbors []int, opts AnnealOptions) (*Result, e
 		case 3:
 			mv.TiltDelta = -1
 		}
-		applied, err := st.Apply(mv)
+		applied, u, err := e.Try(mv)
 		if err != nil {
 			return nil, err
 		}
@@ -90,17 +96,19 @@ func Anneal(st *netmodel.State, neighbors []int, opts AnnealOptions) (*Result, e
 			continue
 		}
 		res.Evaluations++
-		u := st.Utility(opts.Util)
-		accept := u >= current || rng.Float64() < math.Exp((u-current)/temp)
+		// Short-circuit order matters: the Metropolis draw consumes the
+		// RNG stream only for worsening moves, part of the per-seed
+		// reproducibility contract.
+		accept := u >= e.Current() || rng.Float64() < math.Exp((u-e.Current())/temp)
 		if accept {
-			current = u
+			e.Keep(u)
 			if u > best {
 				best = u
 				bestCfg = st.Cfg.Clone()
 				res.Steps = append(res.Steps, Step{Change: applied, Utility: u})
 			}
 		} else {
-			if _, err := st.Apply(applied.Inverse()); err != nil {
+			if err := e.Undo(); err != nil {
 				return nil, err
 			}
 		}
@@ -113,10 +121,11 @@ func Anneal(st *netmodel.State, neighbors []int, opts AnnealOptions) (*Result, e
 		return nil, err
 	}
 	for _, ch := range diff {
-		if _, err := st.Apply(ch); err != nil {
+		if _, _, err := e.Commit(ch); err != nil {
 			return nil, err
 		}
 	}
-	res.FinalUtility = st.Utility(opts.Util)
+	res.FinalUtility = e.Current()
+	res.Stats = e.Snapshot()
 	return res, nil
 }

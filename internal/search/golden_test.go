@@ -1,0 +1,405 @@
+package search
+
+import (
+	"runtime"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/netmodel"
+	"magus/internal/utility"
+)
+
+// This file certifies the evalengine refactor against the seed
+// implementations of the search algorithms, kept here verbatim (they use
+// only exported State APIs). With Workers <= 1 the engine-based searches
+// must reproduce the seed's results bit for bit: same steps, same
+// utilities, same evaluation counts, same final configuration. With
+// Workers > 1 results may differ by floating-point rounding of
+// speculative scores and by batch acceptance order (Equalize commits the
+// best move per sector per pass instead of every improving move); the
+// accepted nondeterminism contract is that the final utility stays
+// within a hair of — in practice at or above — the sequential result.
+
+// refPower is the seed implementation of Algorithm 1.
+func refPower(st *netmodel.State, base *netmodel.State, neighbors []int, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	res := &Result{}
+	unit := opts.PowerUnitDB
+	baseUtility := base.UtilityRead(opts.Util)
+	if opts.CapUtility > 0 && opts.CapUtility < baseUtility {
+		baseUtility = opts.CapUtility
+	}
+	current := st.Utility(opts.Util)
+	for len(res.Steps) < opts.MaxSteps {
+		if current >= baseUtility {
+			res.Recovered = true
+			break
+		}
+		affected := st.DegradedGrids(base)
+		if len(affected) == 0 {
+			res.Recovered = true
+			break
+		}
+		var beta []int
+		if opts.NoPruning {
+			for _, b := range neighbors {
+				if !st.Cfg.Off(b) && !st.Cfg.AtMaxPower(b) {
+					beta = append(beta, b)
+				}
+			}
+		} else {
+			beta = st.SINRImprovers(affected, neighbors, unit)
+		}
+		if len(beta) == 0 {
+			unit += opts.PowerUnitDB
+			if unit > opts.MaxPowerUnitDB {
+				break
+			}
+			continue
+		}
+		bestSector := -1
+		bestUtility := current
+		for _, b := range beta {
+			applied, err := st.Apply(config.Change{Sector: b, PowerDelta: unit})
+			if err != nil {
+				return nil, err
+			}
+			if applied.PowerDelta == 0 {
+				continue
+			}
+			res.Evaluations++
+			if u := st.Utility(opts.Util); u > bestUtility {
+				bestUtility = u
+				bestSector = b
+			}
+			if _, err := st.Apply(applied.Inverse()); err != nil {
+				return nil, err
+			}
+		}
+		if bestSector < 0 {
+			unit += opts.PowerUnitDB
+			if unit > opts.MaxPowerUnitDB {
+				break
+			}
+			continue
+		}
+		applied, err := st.Apply(config.Change{Sector: bestSector, PowerDelta: unit})
+		if err != nil {
+			return nil, err
+		}
+		current = st.Utility(opts.Util)
+		res.Steps = append(res.Steps, Step{Change: applied, Utility: current})
+	}
+	res.FinalUtility = st.Utility(opts.Util)
+	return res, nil
+}
+
+// refClimb is the seed per-neighbor greedy climb (Tilt / NaivePower).
+func refClimb(st *netmodel.State, neighbors []int, opts Options, unit config.Change) (*Result, error) {
+	opts.applyDefaults()
+	res := &Result{}
+	current := st.Utility(opts.Util)
+	for _, b := range neighbors {
+		if st.Cfg.Off(b) {
+			continue
+		}
+		if opts.CapUtility > 0 && current >= opts.CapUtility {
+			break
+		}
+		for len(res.Steps) < opts.MaxSteps {
+			mv := unit
+			mv.Sector = b
+			applied, err := st.Apply(mv)
+			if err != nil {
+				return nil, err
+			}
+			if applied.IsZero() {
+				break
+			}
+			res.Evaluations++
+			u := st.Utility(opts.Util)
+			if u <= current {
+				if _, err := st.Apply(applied.Inverse()); err != nil {
+					return nil, err
+				}
+				break
+			}
+			current = u
+			res.Steps = append(res.Steps, Step{Change: applied, Utility: u})
+		}
+	}
+	res.FinalUtility = st.Utility(opts.Util)
+	return res, nil
+}
+
+// refJoint is the seed alternation of tilt and power phases.
+func refJoint(st *netmodel.State, base *netmodel.State, neighbors []int, opts Options) (*Result, error) {
+	out := &Result{}
+	const maxRounds = 3
+	for round := 0; round < maxRounds; round++ {
+		tiltRes, err := refClimb(st, neighbors, opts, config.Change{TiltDelta: -1})
+		if err != nil {
+			return nil, err
+		}
+		powerRes, err := refPower(st, base, neighbors, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Steps = append(out.Steps, tiltRes.Steps...)
+		out.Steps = append(out.Steps, powerRes.Steps...)
+		out.Evaluations += tiltRes.Evaluations + powerRes.Evaluations
+		out.FinalUtility = powerRes.FinalUtility
+		out.Recovered = powerRes.Recovered
+		if len(tiltRes.Steps) == 0 && len(powerRes.Steps) == 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// refEqualize is the seed coordinate descent.
+func refEqualize(st *netmodel.State, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	res := &Result{}
+	moves := []config.Change{
+		{PowerDelta: opts.PowerUnitDB},
+		{PowerDelta: -opts.PowerUnitDB},
+		{TiltDelta: opts.TiltUnit},
+		{TiltDelta: -opts.TiltUnit},
+	}
+	current := st.Utility(opts.Util)
+	for pass := 0; ; pass++ {
+		improvedInPass := false
+		for b := 0; b < st.Cfg.NumSectors() && len(res.Steps) < opts.MaxSteps; b++ {
+			if st.Cfg.Off(b) {
+				continue
+			}
+			for _, mv := range moves {
+				mv.Sector = b
+				if opts.CapAtDefaultPower && mv.PowerDelta > 0 &&
+					st.Cfg.PowerDbm(b)+mv.PowerDelta > st.Model.Net.Sectors[b].DefaultPowerDbm {
+					continue
+				}
+				applied, err := st.Apply(mv)
+				if err != nil {
+					return nil, err
+				}
+				if applied.IsZero() {
+					continue
+				}
+				res.Evaluations++
+				u := st.Utility(opts.Util)
+				if u > current+1e-12 {
+					current = u
+					res.Steps = append(res.Steps, Step{Change: applied, Utility: u})
+					improvedInPass = true
+				} else {
+					if _, err := st.Apply(applied.Inverse()); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if !improvedInPass || len(res.Steps) >= opts.MaxSteps {
+			break
+		}
+	}
+	res.FinalUtility = current
+	return res, nil
+}
+
+// assertIdentical compares two results and final configurations bit for
+// bit.
+func assertIdentical(t *testing.T, name string, got, want *Result, gotCfg, wantCfg *config.Config) {
+	t.Helper()
+	if got.FinalUtility != want.FinalUtility {
+		t.Errorf("%s: FinalUtility %v != seed %v", name, got.FinalUtility, want.FinalUtility)
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Errorf("%s: Evaluations %d != seed %d", name, got.Evaluations, want.Evaluations)
+	}
+	if got.Recovered != want.Recovered {
+		t.Errorf("%s: Recovered %v != seed %v", name, got.Recovered, want.Recovered)
+	}
+	if len(got.Steps) != len(want.Steps) {
+		t.Fatalf("%s: %d steps != seed %d", name, len(got.Steps), len(want.Steps))
+	}
+	for i := range got.Steps {
+		if got.Steps[i].Change != want.Steps[i].Change {
+			t.Errorf("%s: step %d change %v != seed %v", name, i, got.Steps[i].Change, want.Steps[i].Change)
+		}
+		if got.Steps[i].Utility != want.Steps[i].Utility {
+			t.Errorf("%s: step %d utility %v != seed %v", name, i, got.Steps[i].Utility, want.Steps[i].Utility)
+		}
+	}
+	if !gotCfg.Equal(wantCfg) {
+		t.Errorf("%s: final configuration differs from seed", name)
+	}
+}
+
+func TestGoldenSequentialEquivalence(t *testing.T) {
+	for _, seed := range []int64{3, 5, 11} {
+		sc := makeScenario(t, seed)
+		mitOpts := Options{CapUtility: sc.base.Utility(utility.Performance)}
+
+		// Power.
+		seedSt := sc.upgrade.Clone()
+		seedRes, err := refPower(seedSt, sc.base, sc.neighbors, mitOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newSt := sc.upgrade.Clone()
+		newRes, err := Power(newSt, sc.base, sc.neighbors, mitOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "Power", newRes, seedRes, newSt.Cfg, seedSt.Cfg)
+
+		// Tilt.
+		seedSt = sc.upgrade.Clone()
+		seedRes, err = refClimb(seedSt, sc.neighbors, mitOpts, config.Change{TiltDelta: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		newSt = sc.upgrade.Clone()
+		newRes, err = Tilt(newSt, sc.neighbors, mitOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "Tilt", newRes, seedRes, newSt.Cfg, seedSt.Cfg)
+
+		// NaivePower.
+		seedSt = sc.upgrade.Clone()
+		seedRes, err = refClimb(seedSt, sc.neighbors, mitOpts, config.Change{PowerDelta: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		newSt = sc.upgrade.Clone()
+		newRes, err = NaivePower(newSt, sc.neighbors, mitOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "NaivePower", newRes, seedRes, newSt.Cfg, seedSt.Cfg)
+
+		// Joint.
+		seedSt = sc.upgrade.Clone()
+		seedRes, err = refJoint(seedSt, sc.base, sc.neighbors, mitOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newSt = sc.upgrade.Clone()
+		newRes, err = Joint(newSt, sc.base, sc.neighbors, mitOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "Joint", newRes, seedRes, newSt.Cfg, seedSt.Cfg)
+	}
+}
+
+func TestGoldenEqualizeEquivalence(t *testing.T) {
+	for _, seed := range []int64{21, 23} {
+		sc := rawScenario(t, seed)
+		seedSt := sc.base.Clone()
+		seedRes, err := refEqualize(seedSt, Options{MaxSteps: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		newSt := sc.base.Clone()
+		newRes, err := Equalize(newSt, Options{MaxSteps: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdentical(t, "Equalize", newRes, seedRes, newSt.Cfg, seedSt.Cfg)
+	}
+}
+
+// TestParallelAtLeastSequential is the Workers>1 side of the contract:
+// the parallel searches must produce valid results whose final utility
+// is not below the sequential result (beyond float rounding slack).
+func TestParallelAtLeastSequential(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	for _, seed := range []int64{3, 5} {
+		sc := makeScenario(t, seed)
+		cap := sc.base.Utility(utility.Performance)
+
+		type run struct {
+			name   string
+			search func(st *netmodel.State, w int) (*Result, error)
+		}
+		runs := []run{
+			{"Power", func(st *netmodel.State, w int) (*Result, error) {
+				return Power(st, sc.base, sc.neighbors, Options{CapUtility: cap, Workers: w})
+			}},
+			{"Tilt", func(st *netmodel.State, w int) (*Result, error) {
+				return Tilt(st, sc.neighbors, Options{CapUtility: cap, Workers: w})
+			}},
+			{"Joint", func(st *netmodel.State, w int) (*Result, error) {
+				return Joint(st, sc.base, sc.neighbors, Options{CapUtility: cap, Workers: w})
+			}},
+		}
+		for _, r := range runs {
+			seqSt := sc.upgrade.Clone()
+			seqRes, err := r.search(seqSt, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parSt := sc.upgrade.Clone()
+			parRes, err := r.search(parSt, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Accepted nondeterminism: speculative scoring can move
+			// accept decisions by float rounding, so allow a relative
+			// hair below; genuinely worse outcomes fail.
+			if parRes.FinalUtility < seqRes.FinalUtility*(1-1e-9) {
+				t.Errorf("seed %d %s: parallel utility %v below sequential %v",
+					seed, r.name, parRes.FinalUtility, seqRes.FinalUtility)
+			}
+			// The recorded steps must replay onto a fresh state to the
+			// same final configuration (validity of the parallel trace).
+			replay := sc.upgrade.Clone()
+			for _, step := range parRes.Steps {
+				if _, err := replay.Apply(step.Change); err != nil {
+					t.Fatalf("seed %d %s: parallel step %v does not replay: %v", seed, r.name, step.Change, err)
+				}
+			}
+			if !replay.Cfg.Equal(parSt.Cfg) {
+				t.Errorf("seed %d %s: replayed steps do not reproduce the final configuration", seed, r.name)
+			}
+			if w := parRes.Stats.Workers; w != workers {
+				t.Errorf("seed %d %s: stats workers %d, want %d", seed, r.name, w, workers)
+			}
+		}
+	}
+}
+
+// TestParallelEqualizeConverges: the batch variant must reach a fixed
+// point of the same move set, with utility not below the sequential one
+// beyond rounding slack.
+func TestParallelEqualizeConverges(t *testing.T) {
+	seqSc := rawScenario(t, 21)
+	seqRes, err := Equalize(seqSc.base, Options{MaxSteps: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSc := rawScenario(t, 21)
+	parRes, err := Equalize(parSc.base, Options{MaxSteps: 400, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parRes.FinalUtility < seqRes.FinalUtility*(1-1e-6) {
+		t.Errorf("parallel Equalize %v well below sequential %v", parRes.FinalUtility, seqRes.FinalUtility)
+	}
+	// A sequential pass over the parallel result finds (next to) nothing:
+	// the batch variant converged to a fixed point.
+	again, err := Equalize(parSc.base, Options{MaxSteps: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Steps) > 2 {
+		t.Errorf("parallel Equalize left %d improving moves on the table", len(again.Steps))
+	}
+}

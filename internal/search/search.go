@@ -10,6 +10,16 @@
 // invocation of the analysis model, the quantity that makes brute force
 // intractable: "10 sectors x 5 power units is over 9 million
 // configurations", Section 5).
+//
+// Every strategy is a thin proposer/acceptor over evalengine.Engine,
+// which owns candidate scoring. With Options.Workers <= 1 scoring is
+// sequential and exact — bit-identical to the historical hand-rolled
+// loops, as the golden-equivalence tests verify. With Workers > 1
+// candidates are scored concurrently on a pool of worker-local state
+// clones using speculative delta evaluation; accepted configurations may
+// then differ from the sequential run by floating-point rounding near
+// accept thresholds (never in validity, and committed utilities are
+// always exact re-evaluations). See evalengine's package comment.
 package search
 
 import (
@@ -18,6 +28,7 @@ import (
 	"sort"
 
 	"magus/internal/config"
+	"magus/internal/evalengine"
 	"magus/internal/netmodel"
 	"magus/internal/utility"
 )
@@ -26,7 +37,10 @@ import (
 type Step struct {
 	// Change is the applied configuration change.
 	Change config.Change
-	// Utility is the overall utility after applying the change.
+	// Utility is the overall utility after applying the change. In
+	// parallel runs intermediate utilities inside one accepted batch are
+	// speculative (delta-evaluated); the utility after each commit is
+	// exact.
 	Utility float64
 }
 
@@ -41,6 +55,10 @@ type Result struct {
 	// Recovered reports whether every degraded grid was restored to its
 	// baseline rate (power search only; false otherwise).
 	Recovered bool
+	// Stats are the evaluation engine's instrumentation counters for
+	// this run (moves proposed/accepted, delta vs full evaluations,
+	// parallel batches and worker utilization).
+	Stats evalengine.StatsSnapshot
 }
 
 // Options tune the search behaviour. The zero value uses defaults.
@@ -74,6 +92,11 @@ type Options struct {
 	// the ablation benchmarks: it quantifies how much work the paper's
 	// "conditionally good" pruning saves.
 	NoPruning bool
+	// Workers sets the engine's candidate-scoring parallelism: the
+	// number of worker-local state clones used per batch. 0 or 1 keeps
+	// the sequential exact path; values above 1 trade bit-exact
+	// reproducibility for wall-clock speed (see the package comment).
+	Workers int
 	// Ctx, when non-nil, lets the caller abandon a long-running search:
 	// every outer iteration checks it and the search returns Ctx's error
 	// with the state left at the last committed configuration. A nil Ctx
@@ -107,6 +130,11 @@ func (o *Options) applyDefaults() {
 	}
 }
 
+// engine builds the evaluation engine for one search run.
+func (o *Options) engine(st *netmodel.State) *evalengine.Engine {
+	return evalengine.New(st, o.Util, evalengine.Config{Workers: o.Workers, Ctx: o.Ctx})
+}
+
 // SortByDistanceTo orders sector IDs by the distance of their sites to
 // the nearest of the target sectors, closest first — the neighbor
 // ordering used by the greedy searches.
@@ -136,6 +164,21 @@ func Power(st *netmodel.State, base *netmodel.State, neighbors []int, opts Optio
 	if st.Model != base.Model {
 		return nil, fmt.Errorf("search: state and base use different models")
 	}
+	e := opts.engine(st)
+	res, err := powerPhase(e, base, neighbors, &opts)
+	if err != nil {
+		return nil, err
+	}
+	res.FinalUtility = e.Current()
+	res.Stats = e.Snapshot()
+	return res, nil
+}
+
+// powerPhase is Algorithm 1's loop over one engine. It fills a fresh
+// phase-local Result (Joint runs several phases on one engine, each with
+// its own MaxSteps budget, exactly like the historical per-call limits).
+func powerPhase(e *evalengine.Engine, base *netmodel.State, neighbors []int, opts *Options) (*Result, error) {
+	st := e.State()
 	res := &Result{}
 	unit := opts.PowerUnitDB
 
@@ -146,12 +189,11 @@ func Power(st *netmodel.State, base *netmodel.State, neighbors []int, opts Optio
 	if opts.CapUtility > 0 && opts.CapUtility < baseUtility {
 		baseUtility = opts.CapUtility
 	}
-	current := st.Utility(opts.Util)
 	for len(res.Steps) < opts.MaxSteps {
 		if err := opts.cancelled(); err != nil {
 			return nil, err
 		}
-		if current >= baseUtility {
+		if e.Current() >= baseUtility {
 			// The upgrade-induced loss is fully recovered; mitigation's
 			// objective ("recover the loss in service performance which
 			// would have occurred") is met.
@@ -184,26 +226,30 @@ func Power(st *netmodel.State, base *netmodel.State, neighbors []int, opts Optio
 			continue
 		}
 		// Line 9: evaluate each candidate globally and keep the best.
-		bestSector := -1
-		bestUtility := current
-		for _, b := range beta {
-			applied, err := st.Apply(config.Change{Sector: b, PowerDelta: unit})
-			if err != nil {
-				return nil, err
-			}
-			if applied.PowerDelta == 0 {
+		// The batch goes to the engine as one scoring round — the main
+		// parallelism win: every β member scores concurrently. Ties keep
+		// the earliest candidate, which is what the sequential argmax did.
+		moves := make([]config.Change, len(beta))
+		for i, b := range beta {
+			moves[i] = config.Change{Sector: b, PowerDelta: unit}
+		}
+		scores, err := e.ScoreAll(moves)
+		if err != nil {
+			return nil, err
+		}
+		bestIdx := -1
+		bestUtility := e.Current()
+		for i, sc := range scores {
+			if sc.Applied.PowerDelta == 0 {
 				continue
 			}
 			res.Evaluations++
-			if u := st.Utility(opts.Util); u > bestUtility {
-				bestUtility = u
-				bestSector = b
-			}
-			if _, err := st.Apply(applied.Inverse()); err != nil {
-				return nil, err
+			if sc.Utility > bestUtility {
+				bestUtility = sc.Utility
+				bestIdx = i
 			}
 		}
-		if bestSector < 0 {
+		if bestIdx < 0 {
 			// No candidate improves the overall utility at this tuning
 			// unit: grow T and retry ("increment T if needed"); only
 			// when the largest unit also fails does the search stop.
@@ -213,15 +259,15 @@ func Power(st *netmodel.State, base *netmodel.State, neighbors []int, opts Optio
 			}
 			continue
 		}
-		// Lines 10-12: commit the best change and continue.
-		applied, err := st.Apply(config.Change{Sector: bestSector, PowerDelta: unit})
+		// Lines 10-12: commit the best change and continue. Commit
+		// re-evaluates exactly, so the recorded utility is never
+		// speculative.
+		applied, current, err := e.Commit(moves[bestIdx])
 		if err != nil {
 			return nil, err
 		}
-		current = st.Utility(opts.Util)
 		res.Steps = append(res.Steps, Step{Change: applied, Utility: current})
 	}
-	res.FinalUtility = st.Utility(opts.Util)
 	return res, nil
 }
 
@@ -231,40 +277,13 @@ func Power(st *netmodel.State, base *netmodel.State, neighbors []int, opts Optio
 // worsens, then move to the next neighbor.
 func NaivePower(st *netmodel.State, neighbors []int, opts Options) (*Result, error) {
 	opts.applyDefaults()
-	res := &Result{}
-	current := st.Utility(opts.Util)
-	for _, b := range neighbors {
-		if err := opts.cancelled(); err != nil {
-			return nil, err
-		}
-		if st.Cfg.Off(b) {
-			continue
-		}
-		if opts.CapUtility > 0 && current >= opts.CapUtility {
-			break
-		}
-		for len(res.Steps) < opts.MaxSteps {
-			applied, err := st.Apply(config.Change{Sector: b, PowerDelta: opts.PowerUnitDB})
-			if err != nil {
-				return nil, err
-			}
-			if applied.PowerDelta == 0 {
-				break // at max power
-			}
-			res.Evaluations++
-			u := st.Utility(opts.Util)
-			if u <= current {
-				// Worsened (or flat): undo and move on.
-				if _, err := st.Apply(applied.Inverse()); err != nil {
-					return nil, err
-				}
-				break
-			}
-			current = u
-			res.Steps = append(res.Steps, Step{Change: applied, Utility: u})
-		}
+	e := opts.engine(st)
+	res, err := climbPhase(e, neighbors, &opts, config.Change{PowerDelta: opts.PowerUnitDB})
+	if err != nil {
+		return nil, err
 	}
-	res.FinalUtility = st.Utility(opts.Util)
+	res.FinalUtility = e.Current()
+	res.Stats = e.Snapshot()
 	return res, nil
 }
 
@@ -272,8 +291,22 @@ func NaivePower(st *netmodel.State, neighbors []int, opts Options) (*Result, err
 // step by step until the utility worsens, then the second, and so on.
 func Tilt(st *netmodel.State, neighbors []int, opts Options) (*Result, error) {
 	opts.applyDefaults()
+	e := opts.engine(st)
+	res, err := climbPhase(e, neighbors, &opts, config.Change{TiltDelta: -1})
+	if err != nil {
+		return nil, err
+	}
+	res.FinalUtility = e.Current()
+	res.Stats = e.Snapshot()
+	return res, nil
+}
+
+// climbPhase is the greedy per-neighbor hill climb shared by Tilt and
+// NaivePower: push one knob (unit, a single-step power or tilt move)
+// while the utility strictly improves, then move to the next neighbor.
+func climbPhase(e *evalengine.Engine, neighbors []int, opts *Options, unit config.Change) (*Result, error) {
+	st := e.State()
 	res := &Result{}
-	current := st.Utility(opts.Util)
 	for _, b := range neighbors {
 		if err := opts.cancelled(); err != nil {
 			return nil, err
@@ -281,59 +314,143 @@ func Tilt(st *netmodel.State, neighbors []int, opts Options) (*Result, error) {
 		if st.Cfg.Off(b) {
 			continue
 		}
-		if opts.CapUtility > 0 && current >= opts.CapUtility {
+		if opts.CapUtility > 0 && e.Current() >= opts.CapUtility {
 			break
 		}
+		if e.Parallel() {
+			if err := climbBatch(e, b, opts, res, unit); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		for len(res.Steps) < opts.MaxSteps {
-			applied, err := st.Apply(config.Change{Sector: b, TiltDelta: -1})
+			mv := unit
+			mv.Sector = b
+			applied, u, err := e.Try(mv)
 			if err != nil {
 				return nil, err
 			}
-			if applied.TiltDelta == 0 {
-				break // tilt table exhausted
+			if applied.IsZero() {
+				break // knob range exhausted
 			}
 			res.Evaluations++
-			u := st.Utility(opts.Util)
-			if u <= current {
-				if _, err := st.Apply(applied.Inverse()); err != nil {
+			if u <= e.Current() {
+				// Worsened (or flat): undo and move on.
+				if err := e.Undo(); err != nil {
 					return nil, err
 				}
 				break
 			}
-			current = u
+			e.Keep(u)
 			res.Steps = append(res.Steps, Step{Change: applied, Utility: u})
 		}
 	}
-	res.FinalUtility = st.Utility(opts.Util)
 	return res, nil
+}
+
+// climbBatch is the parallel variant of one neighbor's hill climb: score
+// the cumulative 1-step, 2-step, ..., K-step moves as one batch, accept
+// the longest strictly improving prefix, commit it as a single change,
+// and keep climbing while full batches are accepted.
+func climbBatch(e *evalengine.Engine, b int, opts *Options, res *Result, unit config.Change) error {
+	for len(res.Steps) < opts.MaxSteps {
+		k := e.Workers()
+		if rem := opts.MaxSteps - len(res.Steps); k > rem {
+			k = rem
+		}
+		moves := make([]config.Change, k)
+		for j := 0; j < k; j++ {
+			moves[j] = config.Change{
+				Sector:     b,
+				PowerDelta: unit.PowerDelta * float64(j+1),
+				TiltDelta:  unit.TiltDelta * (j + 1),
+			}
+		}
+		scores, err := e.ScoreAll(moves)
+		if err != nil {
+			return err
+		}
+		accept := 0
+		prevU := e.Current()
+		var prevApplied config.Change
+		for j := 0; j < k; j++ {
+			sc := scores[j]
+			if sc.Applied.IsZero() || (j > 0 && sc.Applied == prevApplied) {
+				break // knob range exhausted at this depth
+			}
+			res.Evaluations++
+			if sc.Utility <= prevU {
+				break
+			}
+			// Record the per-step trace the sequential climb would have
+			// produced; the deltas between consecutive cumulative applied
+			// changes handle a partially clamped last step.
+			res.Steps = append(res.Steps, Step{
+				Change: config.Change{
+					Sector:     b,
+					PowerDelta: sc.Applied.PowerDelta - prevApplied.PowerDelta,
+					TiltDelta:  sc.Applied.TiltDelta - prevApplied.TiltDelta,
+				},
+				Utility: sc.Utility,
+			})
+			prevU = sc.Utility
+			prevApplied = sc.Applied
+			accept = j + 1
+		}
+		if accept == 0 {
+			return nil
+		}
+		// Commit the accepted prefix as one cumulative change; the exact
+		// re-evaluation lands on the last recorded step.
+		_, current, err := e.Commit(config.Change{
+			Sector:     b,
+			PowerDelta: prevApplied.PowerDelta,
+			TiltDelta:  prevApplied.TiltDelta,
+		})
+		if err != nil {
+			return err
+		}
+		res.Steps[len(res.Steps)-1].Utility = current
+		if accept < k {
+			return nil // the climb found its stopping point mid-batch
+		}
+	}
+	return nil
 }
 
 // Joint runs the paper's joint strategy — tilt tuning first, then power
 // tuning on the tilted configuration ("first employing tilt-tuning,
 // followed by power-tuning", Section 5) — and keeps alternating the two
 // phases while they make progress (bounded), since a power change can
-// open new profitable tilts and vice versa.
+// open new profitable tilts and vice versa. All phases share one engine
+// (and therefore one clone pool and one set of counters).
 func Joint(st *netmodel.State, base *netmodel.State, neighbors []int, opts Options) (*Result, error) {
+	opts.applyDefaults()
+	if st.Model != base.Model {
+		return nil, fmt.Errorf("search: state and base use different models")
+	}
+	e := opts.engine(st)
 	out := &Result{}
 	const maxRounds = 3
 	for round := 0; round < maxRounds; round++ {
-		tiltRes, err := Tilt(st, neighbors, opts)
+		tiltRes, err := climbPhase(e, neighbors, &opts, config.Change{TiltDelta: -1})
 		if err != nil {
 			return nil, err
 		}
-		powerRes, err := Power(st, base, neighbors, opts)
+		powerRes, err := powerPhase(e, base, neighbors, &opts)
 		if err != nil {
 			return nil, err
 		}
 		out.Steps = append(out.Steps, tiltRes.Steps...)
 		out.Steps = append(out.Steps, powerRes.Steps...)
 		out.Evaluations += tiltRes.Evaluations + powerRes.Evaluations
-		out.FinalUtility = powerRes.FinalUtility
+		out.FinalUtility = e.Current()
 		out.Recovered = powerRes.Recovered
 		if len(tiltRes.Steps) == 0 && len(powerRes.Steps) == 0 {
 			break
 		}
 	}
+	out.Stats = e.Snapshot()
 	return out, nil
 }
 
@@ -348,8 +465,15 @@ func Joint(st *netmodel.State, base *netmodel.State, neighbors []int, opts Optio
 // synthetic substitute that turns a freshly generated topology's default
 // configuration into a locally optimal C_before, so that recovery ratios
 // measure genuine upgrade mitigation rather than leftover planning slack.
+//
+// With Workers > 1 each sector's four moves are scored as one batch and
+// only the best improving move commits per sector per pass (the
+// sequential pass can accept several moves on one sector back to back);
+// later passes pick up the rest, so both variants converge to a fixed
+// point of the same move set.
 func Equalize(st *netmodel.State, opts Options) (*Result, error) {
 	opts.applyDefaults()
+	e := opts.engine(st)
 	res := &Result{}
 	moves := []config.Change{
 		{PowerDelta: opts.PowerUnitDB},
@@ -357,7 +481,11 @@ func Equalize(st *netmodel.State, opts Options) (*Result, error) {
 		{TiltDelta: opts.TiltUnit},
 		{TiltDelta: -opts.TiltUnit},
 	}
-	current := st.Utility(opts.Util)
+	// skip reports whether a move is barred by the planner-headroom cap.
+	skip := func(b int, mv config.Change) bool {
+		return opts.CapAtDefaultPower && mv.PowerDelta > 0 &&
+			st.Cfg.PowerDbm(b)+mv.PowerDelta > st.Model.Net.Sectors[b].DefaultPowerDbm
+	}
 	for pass := 0; ; pass++ {
 		improvedInPass := false
 		for b := 0; b < st.Cfg.NumSectors() && len(res.Steps) < opts.MaxSteps; b++ {
@@ -367,13 +495,20 @@ func Equalize(st *netmodel.State, opts Options) (*Result, error) {
 			if st.Cfg.Off(b) {
 				continue
 			}
+			if e.Parallel() {
+				improved, err := equalizeSectorBatch(e, b, moves, skip, res)
+				if err != nil {
+					return nil, err
+				}
+				improvedInPass = improvedInPass || improved
+				continue
+			}
 			for _, mv := range moves {
 				mv.Sector = b
-				if opts.CapAtDefaultPower && mv.PowerDelta > 0 &&
-					st.Cfg.PowerDbm(b)+mv.PowerDelta > st.Model.Net.Sectors[b].DefaultPowerDbm {
+				if skip(b, mv) {
 					continue
 				}
-				applied, err := st.Apply(mv)
+				applied, u, err := e.Try(mv)
 				if err != nil {
 					return nil, err
 				}
@@ -381,13 +516,12 @@ func Equalize(st *netmodel.State, opts Options) (*Result, error) {
 					continue
 				}
 				res.Evaluations++
-				u := st.Utility(opts.Util)
-				if u > current+1e-12 {
-					current = u
+				if u > e.Current()+1e-12 {
+					e.Keep(u)
 					res.Steps = append(res.Steps, Step{Change: applied, Utility: u})
 					improvedInPass = true
 				} else {
-					if _, err := st.Apply(applied.Inverse()); err != nil {
+					if err := e.Undo(); err != nil {
 						return nil, err
 					}
 				}
@@ -397,94 +531,48 @@ func Equalize(st *netmodel.State, opts Options) (*Result, error) {
 			break
 		}
 	}
-	res.FinalUtility = current
+	res.FinalUtility = e.Current()
+	res.Stats = e.Snapshot()
 	return res, nil
 }
 
-// BruteForcePower exhaustively searches per-sector power levels for a
-// small sector set and commits the best configuration to st. levels[i]
-// lists the absolute powers (dBm) tried for sectors[i]. The search space
-// is capped at maxCombos (default 1e6) to keep it honest about why the
-// paper needs a heuristic.
-func BruteForcePower(st *netmodel.State, sectors []int, levels [][]float64, opts Options, maxCombos int) (*Result, error) {
-	opts.applyDefaults()
-	if len(sectors) != len(levels) {
-		return nil, fmt.Errorf("search: %d sectors but %d level sets", len(sectors), len(levels))
-	}
-	if maxCombos <= 0 {
-		maxCombos = 1_000_000
-	}
-	combos := 1
-	for _, ls := range levels {
-		if len(ls) == 0 {
-			return nil, fmt.Errorf("search: empty level set")
+// equalizeSectorBatch scores one sector's move set concurrently and
+// commits the best improving move, if any.
+func equalizeSectorBatch(e *evalengine.Engine, b int, moves []config.Change, skip func(int, config.Change) bool, res *Result) (bool, error) {
+	batch := make([]config.Change, 0, len(moves))
+	for _, mv := range moves {
+		mv.Sector = b
+		if skip(b, mv) {
+			continue
 		}
-		combos *= len(ls)
-		if combos > maxCombos {
-			return nil, fmt.Errorf("search: %d combinations exceed cap %d", combos, maxCombos)
-		}
+		batch = append(batch, mv)
 	}
-
-	res := &Result{}
-	bestUtility := st.Utility(opts.Util)
-	var bestPowers []float64
-
-	idx := make([]int, len(sectors))
-	original := make([]float64, len(sectors))
-	for i, b := range sectors {
-		original[i] = st.Cfg.PowerDbm(b)
+	if len(batch) == 0 {
+		return false, nil
 	}
-	for {
-		// Apply current combination.
-		for i, b := range sectors {
-			delta := levels[i][idx[i]] - st.Cfg.PowerDbm(b)
-			if delta != 0 {
-				if _, err := st.Apply(config.Change{Sector: b, PowerDelta: delta}); err != nil {
-					return nil, err
-				}
-			}
+	scores, err := e.ScoreAll(batch)
+	if err != nil {
+		return false, err
+	}
+	bestIdx := -1
+	bestU := e.Current()
+	for i, sc := range scores {
+		if sc.Applied.IsZero() {
+			continue
 		}
 		res.Evaluations++
-		if u := st.Utility(opts.Util); u > bestUtility {
-			bestUtility = u
-			bestPowers = make([]float64, len(sectors))
-			for i, b := range sectors {
-				bestPowers[i] = st.Cfg.PowerDbm(b)
-			}
-		}
-		// Advance the odometer.
-		i := 0
-		for ; i < len(idx); i++ {
-			idx[i]++
-			if idx[i] < len(levels[i]) {
-				break
-			}
-			idx[i] = 0
-		}
-		if i == len(idx) {
-			break
+		if sc.Utility > bestU+1e-12 {
+			bestU = sc.Utility
+			bestIdx = i
 		}
 	}
-	// Commit the winner (or restore the original when nothing improved).
-	target := bestPowers
-	if target == nil {
-		target = original
+	if bestIdx < 0 {
+		return false, nil
 	}
-	for i, b := range sectors {
-		delta := target[i] - st.Cfg.PowerDbm(b)
-		if delta != 0 {
-			applied, err := st.Apply(config.Change{Sector: b, PowerDelta: delta})
-			if err != nil {
-				return nil, err
-			}
-			if bestPowers != nil {
-				res.Steps = append(res.Steps, Step{Change: applied})
-			}
-		}
+	applied, current, err := e.Commit(batch[bestIdx])
+	if err != nil {
+		return false, err
 	}
-	res.FinalUtility = st.Utility(opts.Util)
-	if len(res.Steps) > 0 {
-		res.Steps[len(res.Steps)-1].Utility = res.FinalUtility
-	}
-	return res, nil
+	res.Steps = append(res.Steps, Step{Change: applied, Utility: current})
+	return true, nil
 }
