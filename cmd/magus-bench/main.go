@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig2, fig8, fig10, fig11, fig12, fig13, maps, calendar, ext-hybrid, ext-signaling, ext-outage, ext-loadbal, ext-uedist, ext-carriers, ops-week, parallel-joint")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig2, fig8, fig10, fig11, fig12, fig13, maps, calendar, ext-hybrid, ext-signaling, ext-outage, ext-loadbal, ext-uedist, ext-carriers, ops-week, sim-window, parallel-joint")
 	seedsFlag := flag.String("seeds", "1,2,3", "comma-separated area replicate seeds for table1/fig13")
 	jsonPath := flag.String("json", "", "also write per-experiment timings to this path as JSON")
 	workers := flag.Int("workers", 0, "in-search candidate-scoring parallelism (0 = sequential; parallel-joint defaults to NumCPU)")
@@ -67,6 +67,7 @@ func main() {
 		"ext-uedist":    func() (fmt.Stringer, error) { return experiments.RunUEDistribution(seeds[0]) },
 		"ext-carriers":  func() (fmt.Stringer, error) { return experiments.RunMultiCarrier(seeds[0]) },
 		"ops-week":      func() (fmt.Stringer, error) { return experiments.RunOpsWeek(seeds[0], 2) },
+		"sim-window":    func() (fmt.Stringer, error) { return experiments.RunSimWindow(seeds[0]) },
 		// parallel-joint is this reproduction's own throughput study
 		// (sequential vs parallel joint search, speculate vs rescore);
 		// run on demand, not part of "all".
@@ -75,7 +76,8 @@ func main() {
 		},
 	}
 	order := []string{"calendar", "fig2", "maps", "fig8", "fig10", "table1", "fig11", "fig12", "table2", "fig13",
-		"ext-hybrid", "ext-signaling", "ext-outage", "ext-loadbal", "ext-uedist", "ext-carriers", "ops-week"}
+		"ext-hybrid", "ext-signaling", "ext-outage", "ext-loadbal", "ext-uedist", "ext-carriers", "ops-week",
+		"sim-window"}
 
 	var selected []string
 	if *exp == "all" {

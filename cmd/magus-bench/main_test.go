@@ -54,7 +54,7 @@ func TestRunnersCoverOrder(t *testing.T) {
 	// The lists live in main(); replicate the order here.
 	order := []string{"calendar", "fig2", "maps", "fig8", "fig10", "table1", "fig11",
 		"fig12", "table2", "fig13", "ext-hybrid", "ext-signaling", "ext-outage",
-		"ext-loadbal", "ext-uedist", "ext-carriers", "ops-week"}
+		"ext-loadbal", "ext-uedist", "ext-carriers", "ops-week", "sim-window"}
 	seen := map[string]bool{}
 	for _, name := range order {
 		if seen[name] {

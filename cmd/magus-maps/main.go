@@ -38,22 +38,43 @@ func main() {
 	if *out == "" {
 		return
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	written, err := writeArtifacts(maps, *out, *geojson)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "magus-maps:", err)
 		os.Exit(1)
 	}
+	for _, path := range written {
+		fmt.Println("wrote", path)
+	}
+}
+
+// writeArtifacts renders the map images (and optionally the GeoJSON
+// exports) into dir, creating it if needed, and returns the paths
+// written in order.
+func writeArtifacts(maps *experiments.Maps, dir string, geojson bool) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
 	engine := maps.Engine
 	grid := engine.Model.Grid
+	var written []string
+	emit := func(name string, write func(*os.File) error) error {
+		path := filepath.Join(dir, name)
+		if err := writeFile(path, write); err != nil {
+			return err
+		}
+		written = append(written, path)
+		return nil
+	}
 
 	// Path-loss raster of the central site's first sector (Figure 3).
 	central := engine.Net.CentralSite()
 	sec := &engine.Net.Sectors[engine.Net.Sites[central].Sectors[0]]
 	mx := engine.SPM.ComputeMatrix(sec, sec.Tilts.NeutralDeg, grid)
-	if err := writeFile(filepath.Join(*out, "pathloss.pgm"), func(f *os.File) error {
+	if err := emit("pathloss.pgm", func(f *os.File) error {
 		return render.WritePGM(f, grid, mx.LossDB)
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "magus-maps:", err)
-		os.Exit(1)
+		return nil, err
 	}
 
 	// Coverage map (Figure 4).
@@ -64,32 +85,26 @@ func main() {
 			serving[g] = engine.Before.ServingSector(g)
 		}
 	}
-	if err := writeFile(filepath.Join(*out, "coverage.ppm"), func(f *os.File) error {
+	if err := emit("coverage.ppm", func(f *os.File) error {
 		return render.WritePPM(f, grid, serving)
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "magus-maps:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	fmt.Printf("wrote %s and %s\n",
-		filepath.Join(*out, "pathloss.pgm"), filepath.Join(*out, "coverage.ppm"))
 
-	if *geojson {
+	if geojson {
 		anchor := export.Anchor{LatDeg: 40.7, LonDeg: -74.0}
-		if err := writeFile(filepath.Join(*out, "topology.geojson"), func(f *os.File) error {
+		if err := emit("topology.geojson", func(f *os.File) error {
 			return export.TopologyGeoJSON(f, engine.Net, anchor)
 		}); err != nil {
-			fmt.Fprintln(os.Stderr, "magus-maps:", err)
-			os.Exit(1)
+			return nil, err
 		}
-		if err := writeFile(filepath.Join(*out, "coverage.geojson"), func(f *os.File) error {
+		if err := emit("coverage.geojson", func(f *os.File) error {
 			return export.CoverageGeoJSON(f, engine.Before, anchor, 2)
 		}); err != nil {
-			fmt.Fprintln(os.Stderr, "magus-maps:", err)
-			os.Exit(1)
+			return nil, err
 		}
-		fmt.Printf("wrote %s and %s\n",
-			filepath.Join(*out, "topology.geojson"), filepath.Join(*out, "coverage.geojson"))
 	}
+	return written, nil
 }
 
 func writeFile(path string, write func(*os.File) error) error {

@@ -15,6 +15,12 @@
 //
 //	magusctl campaign [-server http://localhost:8080] [-classes rural,suburban,urban]
 //	                  [-scenarios a,b,c] [-methods power,tilt,joint] [-seeds 1]
+//
+// The simulate subcommand executes the planned runbook through magusd's
+// upgrade-window simulator, optionally with faults and replanning:
+//
+//	magusctl simulate [-server http://localhost:8080] [-scenario a] [-method joint]
+//	                  [-faults "push-fail@2,sector-down@20:17"] [-diurnal] [-replan] [-series]
 package main
 
 import (
@@ -32,6 +38,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "campaign" {
 		runCampaign(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "simulate" {
+		runSimulate(os.Args[2:])
 		return
 	}
 	classFlag := flag.String("class", "suburban", "area class: rural, suburban, urban")

@@ -27,6 +27,9 @@ import (
 	"magus/internal/core"
 	"magus/internal/evalengine"
 	"magus/internal/migrate"
+	"magus/internal/runbook"
+	"magus/internal/schedule"
+	"magus/internal/simwindow"
 	"magus/internal/topology"
 	"magus/internal/upgrade"
 	"magus/internal/utility"
@@ -74,6 +77,35 @@ var UtilityByName = map[string]utility.Func{
 	"coverage":    utility.Coverage,
 }
 
+// Job kinds.
+const (
+	// KindPlan plans a mitigation and its gradual migration (the
+	// default; "" means the same).
+	KindPlan = "plan"
+	// KindSimulate additionally executes the resulting runbook through
+	// the upgrade-window simulator.
+	KindSimulate = "simulate"
+)
+
+// SimSpec configures a simulate job's window. JSON tags make it the
+// wire form too.
+type SimSpec struct {
+	// Seed drives the simulator's rand.Rand (load noise).
+	Seed int64 `json:"seed"`
+	// Ticks is the window length (0 = one tick per push plus settle).
+	Ticks int `json:"ticks"`
+	// Faults is a fault script in simwindow.ParseFaults syntax.
+	Faults string `json:"faults"`
+	// Diurnal evolves load along schedule.DefaultProfile.
+	Diurnal bool `json:"diurnal"`
+	// StartHour is the local hour at tick 0 (default 2).
+	StartHour float64 `json:"start_hour"`
+	// LoadNoise is the per-tick lognormal load jitter sigma.
+	LoadNoise float64 `json:"load_noise"`
+	// Replan enables the search-based replanner on floor breaches.
+	Replan bool `json:"replan"`
+}
+
 // JobSpec names one unit of planning work: which market, which upgrade,
 // which strategy.
 type JobSpec struct {
@@ -90,6 +122,13 @@ type JobSpec struct {
 	// search (see search.Options.Workers): 0 inherits the orchestrator's
 	// SearchWorkers, 1 forces the exact sequential path.
 	Workers int
+	// AnnealSeed seeds the Annealed method's random walk (0 = default).
+	AnnealSeed int64
+	// Kind selects the work: KindPlan (or "") plans; KindSimulate also
+	// executes the runbook through the simulator.
+	Kind string
+	// Sim tunes a simulate job (nil = simulator defaults).
+	Sim *SimSpec
 }
 
 // validate rejects specs the workers could only fail on.
@@ -118,6 +157,23 @@ func (sp JobSpec) validate() error {
 	if sp.Workers < 0 {
 		return fmt.Errorf("campaign: negative workers %d", sp.Workers)
 	}
+	switch sp.Kind {
+	case "", KindPlan:
+		if sp.Sim != nil {
+			return fmt.Errorf("campaign: sim config on a %q job", KindPlan)
+		}
+	case KindSimulate:
+		if sp.Sim != nil {
+			if _, err := simwindow.ParseFaults(sp.Sim.Faults); err != nil {
+				return fmt.Errorf("campaign: %w", err)
+			}
+			if sp.Sim.Ticks < 0 || sp.Sim.LoadNoise < 0 {
+				return fmt.Errorf("campaign: negative sim ticks or load noise")
+			}
+		}
+	default:
+		return fmt.Errorf("campaign: unknown kind %q", sp.Kind)
+	}
 	return nil
 }
 
@@ -139,6 +195,8 @@ type Result struct {
 	// proposed/accepted, delta- vs full-utility evaluations, worker
 	// utilization.
 	SearchStats *evalengine.StatsSnapshot `json:"search_stats,omitempty"`
+	// Sim summarizes the simulated window (simulate jobs only).
+	Sim *simwindow.Summary `json:"sim,omitempty"`
 }
 
 // Job is one tracked unit of work inside a campaign. All mutable fields
@@ -555,11 +613,12 @@ func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error)
 		workers = o.cfg.SearchWorkers
 	}
 	plan, err := engine.MitigatePlan(core.MitigateRequest{
-		Ctx:      ctx,
-		Scenario: sp.Scenario,
-		Method:   sp.Method,
-		Util:     UtilityByName[sp.Utility],
-		Workers:  workers,
+		Ctx:        ctx,
+		Scenario:   sp.Scenario,
+		Method:     sp.Method,
+		Util:       UtilityByName[sp.Utility],
+		Workers:    workers,
+		AnnealSeed: sp.AnnealSeed,
 	})
 	if err != nil {
 		return nil, err
@@ -576,7 +635,8 @@ func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error)
 		Evaluations:    plan.Search.Evaluations,
 		SearchStats:    &stats,
 	}
-	if !o.cfg.SkipMigration {
+	simulate := sp.Kind == KindSimulate
+	if !o.cfg.SkipMigration || simulate {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -586,8 +646,53 @@ func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error)
 		}
 		res.MaxHandoverBurst = mig.MaxSimultaneousHandovers
 		res.SeamlessFraction = mig.SeamlessFraction()
+		if simulate {
+			rb, err := runbook.Build(plan, mig)
+			if err != nil {
+				return nil, fmt.Errorf("runbook: %w", err)
+			}
+			out, err := simulateWindow(ctx, engine, rb, sp, workers)
+			if err != nil {
+				return nil, fmt.Errorf("simulate: %w", err)
+			}
+			res.Sim = &out.Summary
+		}
 	}
 	return res, nil
+}
+
+// simulateWindow executes the runbook through the upgrade-window
+// simulator per the job's SimSpec.
+func simulateWindow(ctx context.Context, engine *core.Engine, rb *runbook.Runbook, sp JobSpec, workers int) (*simwindow.Outcome, error) {
+	spec := sp.Sim
+	if spec == nil {
+		spec = &SimSpec{}
+	}
+	faults, err := simwindow.ParseFaults(spec.Faults)
+	if err != nil {
+		return nil, err
+	}
+	cfg := simwindow.Config{
+		Seed:      spec.Seed,
+		Ticks:     spec.Ticks,
+		StartHour: spec.StartHour,
+		LoadNoise: spec.LoadNoise,
+		Faults:    faults,
+		Workers:   workers,
+		Ctx:       ctx,
+	}
+	if spec.Diurnal {
+		profile := schedule.DefaultProfile()
+		cfg.Profile = &profile
+	}
+	if spec.Replan {
+		cfg.Replanner = &simwindow.SearchReplanner{}
+	}
+	sim, err := simwindow.New(engine.Before, rb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
 }
 
 // Campaign is one submitted batch of jobs.

@@ -339,6 +339,10 @@ type MitigateRequest struct {
 	// 0 inherits, 1 forces the exact sequential path, >1 scores
 	// candidates on that many worker-local clones.
 	Workers int
+	// AnnealSeed seeds the Annealed method's private rand.Rand, so
+	// annealing runs are reproducible per request and race-free under
+	// parallel campaigns (0 selects the historical default of 1).
+	AnnealSeed int64
 }
 
 // MitigatePlan plans the proactive mitigation described by req.
@@ -389,9 +393,13 @@ func (e *Engine) MitigatePlan(req MitigateRequest) (*Plan, error) {
 	case NaiveBaseline:
 		res, err = search.NaivePower(after, neighbors, opts)
 	case Annealed:
+		seed := req.AnnealSeed
+		if seed == 0 {
+			seed = 1
+		}
 		res, err = search.Anneal(after, neighbors, search.AnnealOptions{
 			Options: opts,
-			Seed:    1,
+			Seed:    seed,
 		})
 	default:
 		return nil, fmt.Errorf("core: unknown method %d", int(method))

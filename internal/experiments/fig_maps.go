@@ -39,11 +39,17 @@ type Maps struct {
 
 // RunMaps builds a terrain-corrected suburban area and renders the maps.
 func RunMaps(seed int64) (*Maps, error) {
+	return RunMapsSized(seed, 9000, 150)
+}
+
+// RunMapsSized is RunMaps with an explicit region span and cell size, so
+// tests can render a miniature market in milliseconds.
+func RunMapsSized(seed int64, spanM, cellM float64) (*Maps, error) {
 	engine, err := core.NewEngine(core.SetupConfig{
 		Seed:          seed,
 		Class:         topology.Suburban,
-		RegionSpanM:   9000,
-		CellSizeM:     150,
+		RegionSpanM:   spanM,
+		CellSizeM:     cellM,
 		WithTerrain:   true,
 		EqualizeSteps: 0, // maps illustrate raw planning defaults
 	})

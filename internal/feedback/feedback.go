@@ -96,6 +96,10 @@ type Result struct {
 	// UtilityTimeline holds the utility after each committed step;
 	// entry 0 is the starting (C_upgrade) utility.
 	UtilityTimeline []float64
+	// Moves are the committed tuning moves in order, so the reactive
+	// climb can be replayed (e.g. as a pseudo-runbook through the
+	// upgrade-window simulator).
+	Moves []config.Change
 	// FinalUtility is the utility at convergence.
 	FinalUtility float64
 }
@@ -163,6 +167,7 @@ func Reactive(st *netmodel.State, neighbors []int, mode Mode, opts Options) (*Re
 		}
 		current = bestUtility
 		res.Steps++
+		res.Moves = append(res.Moves, bestMove)
 		res.UtilityTimeline = append(res.UtilityTimeline, current)
 	}
 	res.FinalUtility = current

@@ -10,6 +10,7 @@
 //	GET  /coverage                         the baseline serving map as GeoJSON
 //	GET  /plan?scenario=a&method=joint     plan a mitigation
 //	GET  /runbook?scenario=a&method=joint  full runbook (steps + rollback)
+//	GET  /simulate?scenario=a&faults=...   execute the runbook through the window simulator
 //	GET  /outage?sector=12                 respond to an unplanned outage
 //	GET  /schedule?scenario=a&hours=5      rank upgrade start times
 //	POST /campaigns                        submit a batch of planning jobs
@@ -44,6 +45,7 @@ import (
 	"magus/internal/outageplan"
 	"magus/internal/runbook"
 	"magus/internal/schedule"
+	"magus/internal/simwindow"
 	"magus/internal/topology"
 	"magus/internal/upgrade"
 	"magus/internal/utility"
@@ -116,6 +118,7 @@ func New(engine *core.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /coverage", s.handleCoverage)
 	s.mux.HandleFunc("GET /plan", s.handlePlan)
 	s.mux.HandleFunc("GET /runbook", s.handleRunbook)
+	s.mux.HandleFunc("GET /simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /outage", s.handleOutage)
 	s.mux.HandleFunc("GET /schedule", s.handleSchedule)
 	s.mux.HandleFunc("POST /campaigns", s.handleCampaignSubmit)
@@ -289,6 +292,111 @@ func (s *Server) handleRunbook(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rb)
 }
 
+// handleSimulate plans the mitigation, builds its runbook, and executes
+// it through the upgrade-window simulator. Beyond the /plan parameters
+// it accepts:
+//
+//	ticks       window length (default: one tick per push + settle)
+//	sim_seed    simulator seed (load noise)
+//	faults      fault script, e.g. "push-fail@2,sector-down@20:17"
+//	diurnal=1   evolve load along the default diurnal profile
+//	noise       per-tick lognormal load jitter sigma
+//	start_hour  local hour at tick 0
+//	replan=1    enable the search-based replanner on floor breaches
+//	series=1    include the full per-tick series in the response
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cfg := simwindow.Config{Ctx: r.Context()}
+	var err error
+	if cfg.Faults, err = simwindow.ParseFaults(q.Get("faults")); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	intParam := func(name string, dst *int) bool {
+		v := q.Get(name)
+		if v == "" {
+			return true
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad %s %q", name, v)
+			return false
+		}
+		*dst = n
+		return true
+	}
+	floatParam := func(name string, dst *float64) bool {
+		v := q.Get(name)
+		if v == "" {
+			return true
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			httpError(w, http.StatusBadRequest, "bad %s %q", name, v)
+			return false
+		}
+		*dst = f
+		return true
+	}
+	if !intParam("ticks", &cfg.Ticks) ||
+		!floatParam("noise", &cfg.LoadNoise) ||
+		!floatParam("start_hour", &cfg.StartHour) {
+		return
+	}
+	if v := q.Get("sim_seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad sim_seed %q", v)
+			return
+		}
+		cfg.Seed = seed
+	}
+	if q.Get("diurnal") == "1" {
+		profile := schedule.DefaultProfile()
+		cfg.Profile = &profile
+	}
+	if q.Get("replan") == "1" {
+		cfg.Replanner = &simwindow.SearchReplanner{}
+	}
+
+	plan, err := s.plan(r)
+	if err != nil {
+		httpError(w, planStatus(err), "%v", err)
+		return
+	}
+	cfg.Workers, _ = strconv.Atoi(q.Get("workers")) // validated by planParams
+	mig, err := plan.GradualMigration(migrate.Options{})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "migrate: %v", err)
+		return
+	}
+	rb, err := runbook.Build(plan, mig)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "runbook: %v", err)
+		return
+	}
+	sim, err := simwindow.New(s.engine.Before, rb, cfg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "simulate: %v", err)
+		return
+	}
+	out, err := sim.Run()
+	if err != nil {
+		httpError(w, planStatus(err), "simulate: %v", err)
+		return
+	}
+	resp := map[string]any{
+		"scenario": plan.Scenario.String(),
+		"method":   plan.Method.String(),
+		"steps":    len(rb.Steps),
+		"summary":  out.Summary,
+	}
+	if q.Get("series") == "1" {
+		resp["series"] = out.Series
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	plan, err := s.plan(r)
 	if err != nil {
@@ -368,6 +476,11 @@ type campaignJobRequest struct {
 	// Workers is the in-search scoring parallelism (0 = orchestrator
 	// default, which keeps the exact sequential path).
 	Workers int `json:"workers"`
+	// AnnealSeed seeds the anneal method's random walk (0 = default).
+	AnnealSeed int64 `json:"anneal_seed"`
+	// Kind is "plan" (default) or "simulate"; Sim tunes simulate jobs.
+	Kind string            `json:"kind"`
+	Sim  *campaign.SimSpec `json:"sim"`
 }
 
 type campaignRequest struct {
@@ -416,13 +529,16 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		specs[i] = campaign.JobSpec{
-			Class:    class,
-			Seed:     jr.Seed,
-			Scenario: scenario,
-			Method:   method,
-			Utility:  jr.Utility,
-			Timeout:  time.Duration(jr.TimeoutMS) * time.Millisecond,
-			Workers:  jr.Workers,
+			Class:      class,
+			Seed:       jr.Seed,
+			Scenario:   scenario,
+			Method:     method,
+			Utility:    jr.Utility,
+			Timeout:    time.Duration(jr.TimeoutMS) * time.Millisecond,
+			Workers:    jr.Workers,
+			AnnealSeed: jr.AnnealSeed,
+			Kind:       jr.Kind,
+			Sim:        jr.Sim,
 		}
 	}
 	c, err := s.orch.Submit(specs)

@@ -500,6 +500,125 @@ func TestCampaignNotFound(t *testing.T) {
 	}
 }
 
+// TestSimulateEndpoint: the planner's runbook executes through the
+// upgrade-window simulator and the response carries summary + series.
+func TestSimulateEndpoint(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/simulate?scenario=a&method=power&sim_seed=7&noise=0.02&series=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var body struct {
+		Scenario string `json:"scenario"`
+		Steps    int    `json:"steps"`
+		Summary  struct {
+			Ticks          int  `json:"ticks"`
+			PushesApplied  int  `json:"pushes_applied"`
+			EndsAboveFloor bool `json:"ends_above_floor"`
+		} `json:"summary"`
+		Series []struct {
+			Utility float64 `json:"utility"`
+			Floor   float64 `json:"floor_utility"`
+		} `json:"series"`
+	}
+	decode(t, rec, &body)
+	if body.Steps == 0 || body.Summary.Ticks == 0 {
+		t.Fatalf("empty simulation: %+v", body)
+	}
+	if body.Summary.PushesApplied != body.Steps {
+		t.Errorf("pushes applied = %d, want %d (no faults)",
+			body.Summary.PushesApplied, body.Steps)
+	}
+	if !body.Summary.EndsAboveFloor {
+		t.Error("fault-free window ends below floor")
+	}
+	if len(body.Series) != body.Summary.Ticks {
+		t.Errorf("series length = %d, want %d", len(body.Series), body.Summary.Ticks)
+	}
+	// Without series=1 the per-tick data stays out of the payload.
+	rec = get(t, s, "/simulate?scenario=a&method=power&sim_seed=7")
+	var lean map[string]any
+	decode(t, rec, &lean)
+	if _, ok := lean["series"]; ok {
+		t.Error("series included without series=1")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	s := testServer(t)
+	for _, path := range []string{
+		"/simulate?faults=meteor@5",
+		"/simulate?faults=push-fail@",
+		"/simulate?ticks=-1",
+		"/simulate?ticks=abc",
+		"/simulate?noise=-0.5",
+		"/simulate?start_hour=abc",
+		"/simulate?sim_seed=abc",
+		"/simulate?scenario=z",
+		"/simulate?workers=-1",
+		"/simulate?faults=push-fail@999", // step out of runbook range
+	} {
+		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+// TestCampaignSimulateJob: a kind=simulate job runs the window and its
+// result carries the simulation summary.
+func TestCampaignSimulateJob(t *testing.T) {
+	s, _ := campaignServer(t)
+	body := `{"jobs":[{"class":"suburban","seed":1,"scenario":"a","method":"power",
+		"kind":"simulate","sim":{"seed":11,"faults":"push-fail@1","diurnal":true}}]}`
+	rec := post(t, s, "/campaigns", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var accepted struct {
+		ID string `json:"id"`
+	}
+	decode(t, rec, &accepted)
+	st := pollCampaign(t, s, accepted.ID, 2*time.Minute)
+	if st.Campaign.Counts["done"] != 1 {
+		t.Fatalf("counts = %v", st.Campaign.Counts)
+	}
+	job := st.Campaign.Jobs[0]
+	if job.Result == nil || job.Result.Sim == nil {
+		t.Fatalf("simulate job carries no sim summary: %+v", job)
+	}
+	sim := job.Result.Sim
+	if sim.Ticks == 0 {
+		t.Error("sim ran zero ticks")
+	}
+	if sim.PushesDropped != 1 {
+		t.Errorf("pushes dropped = %d, want 1 (push-fail@1)", sim.PushesDropped)
+	}
+}
+
+func TestCampaignSimulateValidation(t *testing.T) {
+	s, _ := campaignServer(t)
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown kind", `{"jobs":[{"class":"urban","kind":"dream"}]}`},
+		{"sim on plan job", `{"jobs":[{"class":"urban","sim":{"seed":1}}]}`},
+		{"bad fault script", `{"jobs":[{"class":"urban","kind":"simulate","sim":{"faults":"meteor@5"}}]}`},
+		{"negative ticks", `{"jobs":[{"class":"urban","kind":"simulate","sim":{"ticks":-3}}]}`},
+	}
+	for _, tc := range cases {
+		rec := post(t, s, "/campaigns", tc.body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, rec.Code)
+			continue
+		}
+		var body map[string]string
+		decode(t, rec, &body)
+		if body["error"] == "" {
+			t.Errorf("%s: no JSON error body", tc.name)
+		}
+	}
+}
+
 func TestCampaignSubmitValidation(t *testing.T) {
 	s, _ := campaignServer(t)
 	cases := []struct {

@@ -221,6 +221,29 @@ func (m *Model) ScaleUsers(factor float64) {
 	m.totalUE *= factor
 }
 
+// ForkUsers returns a shallow copy of the model that shares every
+// immutable substrate (grid, contributor entries, link model) but owns
+// an independent UE distribution. Simulations that evolve load over
+// time fork the model first, so a cached engine shared with concurrent
+// planners never sees their mutations. States built on the fork see the
+// fork's users; states built on m keep seeing m's.
+func (m *Model) ForkUsers() *Model {
+	fork := *m
+	fork.ue = append([]float64(nil), m.ue...)
+	return &fork
+}
+
+// ScaleUsersAt multiplies the UE weight of the given grid cells by
+// factor (a localized load surge or drain). States over m must call
+// RecomputeLoads afterwards.
+func (m *Model) ScaleUsersAt(grids []int, factor float64) {
+	for _, g := range grids {
+		old := m.ue[g]
+		m.ue[g] = old * factor
+		m.totalUE += m.ue[g] - old
+	}
+}
+
 // CopyUsersFrom installs another model's UE distribution onto m. The
 // two models must share grid dimensions (they typically differ only in
 // their propagation detail — e.g. a planning model versus a

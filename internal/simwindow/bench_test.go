@@ -1,0 +1,38 @@
+package simwindow_test
+
+import (
+	"testing"
+
+	"magus/internal/schedule"
+	"magus/internal/simwindow"
+)
+
+// BenchmarkSimWindow measures one full simulated window — runbook
+// pushes, diurnal load evolution, a fault of each timed kind, and the
+// per-tick measurement pass — against the shared suburban fixture.
+func BenchmarkSimWindow(b *testing.B) {
+	eng, _, grad, _ := fixture(b)
+	profile := schedule.DefaultProfile()
+	faults, err := simwindow.ParseFaults(
+		"sector-down@25:" + itoa(grad.TunedSectors[0]) +
+			", surge@10+8:" + itoa(grad.Targets[0]) + ":x1.8")
+	if err != nil {
+		b.Fatalf("ParseFaults: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := simwindow.New(eng.Before, grad, simwindow.Config{
+			Seed:      42,
+			Ticks:     60,
+			Profile:   &profile,
+			LoadNoise: 0.05,
+			Faults:    faults,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

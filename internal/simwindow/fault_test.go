@@ -1,0 +1,59 @@
+package simwindow
+
+import "testing"
+
+func TestParseFaultRoundTrip(t *testing.T) {
+	cases := []string{
+		"push-fail@3",
+		"push-delay@2+5",
+		"sector-down@20:17",
+		"surge@30+10:12:x1.8",
+	}
+	for _, s := range cases {
+		f, err := ParseFault(s)
+		if err != nil {
+			t.Fatalf("ParseFault(%q): %v", s, err)
+		}
+		if got := f.String(); got != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+		back, err := ParseFault(f.String())
+		if err != nil || back != f {
+			t.Fatalf("re-parse %q: %+v vs %+v (%v)", s, back, f, err)
+		}
+	}
+}
+
+func TestParseFaultsList(t *testing.T) {
+	fs, err := ParseFaults(" push-fail@1 , surge@5+2:3:x2 ")
+	if err != nil {
+		t.Fatalf("ParseFaults: %v", err)
+	}
+	if len(fs) != 2 || fs[0].Kind != FaultPushFail || fs[1].Kind != FaultLoadSurge {
+		t.Fatalf("got %+v", fs)
+	}
+	if fs[1].Factor != 2 || fs[1].DurationTicks != 2 || fs[1].Sector != 3 {
+		t.Fatalf("surge fields wrong: %+v", fs[1])
+	}
+	if got, err := ParseFaults("   "); err != nil || got != nil {
+		t.Fatalf("blank script: %v, %v", got, err)
+	}
+}
+
+func TestParseFaultErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"push-fail",
+		"push-fail@x",
+		"push-delay@3",
+		"sector-down@5",
+		"surge@5:3:x2",
+		"surge@5+2:3:xq",
+		"meteor@5",
+	}
+	for _, s := range bad {
+		if _, err := ParseFault(s); err == nil {
+			t.Fatalf("ParseFault(%q) accepted", s)
+		}
+	}
+}

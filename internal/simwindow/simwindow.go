@@ -1,0 +1,577 @@
+// Package simwindow executes an upgrade window through time. The rest
+// of the repo scores static configurations; this package takes the
+// artifact an operator actually runs — a runbook of ordered
+// configuration pushes — and plays it against the radio model tick by
+// tick: pushes land at their scheduled times, per-grid user load
+// evolves along a diurnal profile, and the simulator records a per-tick
+// time series of overall utility, handover volume, sector load, and
+// out-of-service users. A scripted fault layer perturbs the window
+// (pushes lost or delayed, a compensating neighbor failing mid-window,
+// a localized load surge), and a replanner hook re-invokes the search
+// stack from the live simulated state when utility sits below the
+// f(C_after) floor for too long, splicing the corrective pushes into
+// the remaining runbook.
+//
+// Determinism contract: given the same (starting state, runbook, Config
+// — including Seed, fault script, and worker count) the simulator
+// produces a bit-identical Outcome. Every event source is ordered
+// (faults sort by tick/kind/sector, pushes execute in runbook order),
+// the only randomness is the per-run rand.Rand, and the model's
+// incremental updates are bit-equal to full re-evaluations. CI runs the
+// determinism test twice to hold the contract.
+package simwindow
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"magus/internal/config"
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/runbook"
+	"magus/internal/schedule"
+	"magus/internal/stats"
+	"magus/internal/utility"
+)
+
+// Config tunes one simulation run. The zero value simulates the runbook
+// at constant load with no faults and no replanning.
+type Config struct {
+	// Seed drives the run's private rand.Rand (load noise). Two runs
+	// with equal Config and inputs are bit-identical.
+	Seed int64
+	// Ticks is the window length: the series covers ticks 0..Ticks
+	// (default: one tick per push plus 30 settle ticks).
+	Ticks int
+	// TickSeconds is the wall-clock length of one tick (default: the
+	// runbook's StepIntervalSec, else 60).
+	TickSeconds float64
+	// PushEveryTicks spaces consecutive runbook pushes (default 1).
+	PushEveryTicks int
+	// StartHour is the local hour of day at tick 0 (operators open
+	// windows in the night valley; default 2).
+	StartHour float64
+	// Profile evolves the load with the hour of day; nil holds load
+	// constant.
+	Profile *schedule.DiurnalProfile
+	// LoadNoise adds per-tick lognormal load jitter with this sigma
+	// (0 = none).
+	LoadNoise float64
+	// Util is the objective measured each tick (default
+	// utility.Performance).
+	Util utility.Func
+	// SINRFloorDB is the "users below SINR floor" threshold; 0 selects
+	// the link model's out-of-service threshold.
+	SINRFloorDB float64
+	// Faults is the fault script (see ParseFaults).
+	Faults []Fault
+	// SurgeRadiusM is the half-extent of a surge fault around its
+	// sector (default 1500).
+	SurgeRadiusM float64
+	// Replanner, when non-nil, is consulted after utility has sat below
+	// the floor for FloorGraceTicks consecutive ticks.
+	Replanner Replanner
+	// FloorGraceTicks is K, the consecutive below-floor ticks tolerated
+	// before replanning (default 3).
+	FloorGraceTicks int
+	// MaxReplans bounds replanner invocations (default 2).
+	MaxReplans int
+	// Workers is the candidate-scoring parallelism handed to the
+	// replanner's search (same knob as core.MitigateRequest.Workers).
+	Workers int
+	// NeighborRadiusM bounds the replanner's neighbor set around the
+	// runbook targets (default 1.6 x the class inter-site distance).
+	NeighborRadiusM float64
+	// RecordSectorLoads adds the full per-sector load matrix to the
+	// outcome (the series always carries the per-tick maximum).
+	RecordSectorLoads bool
+	// Ctx, when non-nil, aborts the simulation between ticks.
+	Ctx context.Context
+}
+
+func (c *Config) applyDefaults(rb *runbook.Runbook) {
+	if c.TickSeconds <= 0 {
+		if rb.StepIntervalSec > 0 {
+			c.TickSeconds = rb.StepIntervalSec
+		} else {
+			c.TickSeconds = 60
+		}
+	}
+	if c.PushEveryTicks <= 0 {
+		c.PushEveryTicks = 1
+	}
+	if c.Ticks <= 0 {
+		c.Ticks = len(rb.Steps)*c.PushEveryTicks + 30
+	}
+	if c.StartHour == 0 {
+		c.StartHour = 2
+	}
+	if c.Util.U == nil {
+		c.Util = utility.Performance
+	}
+	if c.FloorGraceTicks <= 0 {
+		c.FloorGraceTicks = 3
+	}
+	if c.MaxReplans <= 0 {
+		c.MaxReplans = 2
+	}
+	if c.SurgeRadiusM <= 0 {
+		c.SurgeRadiusM = 1500
+	}
+}
+
+// Tick is one sample of the simulated time series.
+type Tick struct {
+	Tick int `json:"tick"`
+	// HourOfDay is the local time of the sample.
+	HourOfDay float64 `json:"hour_of_day"`
+	// LoadFactor is the diurnal (plus noise) multiplier in effect.
+	LoadFactor float64 `json:"load_factor"`
+	// Utility is f(C_live) at the tick's load.
+	Utility float64 `json:"utility"`
+	// FloorUtility is f(C_after) — the planned configuration — at the
+	// same load: the paper's migration floor, tracked dynamically.
+	FloorUtility float64 `json:"floor_utility"`
+	// Handovers is the UE weight whose serving sector changed since the
+	// previous tick.
+	Handovers float64 `json:"handovers"`
+	// MaxSectorLoad is the busiest sector's UE load.
+	MaxSectorLoad float64 `json:"max_sector_load"`
+	// UsersBelowFloor is the UE weight at SINR below the floor
+	// (out-of-service users).
+	UsersBelowFloor float64 `json:"users_below_floor"`
+	// PushedChanges counts configuration changes applied this tick.
+	PushedChanges int `json:"pushed_changes"`
+	// Events narrates pushes, faults, and replans landing this tick.
+	Events []string `json:"events,omitempty"`
+}
+
+// Summary condenses an Outcome for wire transport and reports.
+type Summary struct {
+	Ticks            int     `json:"ticks"`
+	FinalUtility     float64 `json:"final_utility"`
+	FinalFloor       float64 `json:"final_floor"`
+	EndsAboveFloor   bool    `json:"ends_above_floor"`
+	MinFloorGap      float64 `json:"min_floor_gap"`
+	TicksBelowFloor  int     `json:"ticks_below_floor"`
+	MaxTickHandovers float64 `json:"max_tick_handovers"`
+	TotalHandovers   float64 `json:"total_handovers"`
+	PushesApplied    int     `json:"pushes_applied"`
+	PushesDropped    int     `json:"pushes_dropped"`
+	PushesDelayed    int     `json:"pushes_delayed"`
+	FaultsInjected   int     `json:"faults_injected"`
+	Replans          int     `json:"replans"`
+	ReplanPushes     int     `json:"replan_pushes"`
+	// UtilityStats and HandoverStats summarize the two headline series.
+	UtilityStats  stats.Summary `json:"utility_stats"`
+	HandoverStats stats.Summary `json:"handover_stats"`
+}
+
+// Outcome is the full result of one simulated window.
+type Outcome struct {
+	Series  []Tick  `json:"series"`
+	Summary Summary `json:"summary"`
+	// SectorLoads[t][b] is sector b's load at tick t (only with
+	// Config.RecordSectorLoads).
+	SectorLoads [][]float64 `json:"sector_loads,omitempty"`
+}
+
+// push is one pending configuration push (runbook step or spliced
+// replan correction).
+type push struct {
+	tick    int // earliest tick it may execute
+	step    int // 1-based runbook index; 0 for replan pushes
+	kind    runbook.StepKind
+	replan  bool
+	changes []config.Change
+}
+
+// surge tracks an active load-surge fault so it can be unwound.
+type surge struct {
+	endTick int
+	grids   []int
+	factor  float64
+}
+
+// Simulator holds the mutable state of one run. Build with New, run
+// once with Run.
+type Simulator struct {
+	cfg Config
+	rb  *runbook.Runbook
+
+	// model is a private fork: load evolution must never leak into the
+	// (possibly cached and shared) planning model.
+	model *netmodel.Model
+	// live is the configuration actually in the field.
+	live *netmodel.State
+	// afterRef holds the planned C_after; its utility at the current
+	// load is the tick's floor.
+	afterRef *netmodel.State
+	// beforeRef holds C_before for the replanner's degraded-grid set.
+	beforeRef *netmodel.State
+
+	rng       *rand.Rand
+	pending   []push
+	pendingRe int // replan pushes still in pending
+	pushFail  map[int]bool
+	pushDelay map[int]int
+	timed     []Fault // sector-down and surge faults, sorted
+	surgeGrid map[int][]int
+	neighbors []int
+}
+
+// New prepares a simulation of rb starting from base (the C_before
+// state the runbook was planned against). The base state and its model
+// are not mutated: the simulator forks the model's user distribution
+// and builds private states.
+func New(base *netmodel.State, rb *runbook.Runbook, cfg Config) (*Simulator, error) {
+	if base == nil || rb == nil {
+		return nil, fmt.Errorf("simwindow: nil state or runbook")
+	}
+	cfg.applyDefaults(rb)
+
+	model := base.Model.ForkUsers()
+	live := model.NewState(base.Cfg.Clone())
+	s := &Simulator{
+		cfg:       cfg,
+		rb:        rb,
+		model:     model,
+		live:      live,
+		beforeRef: live.Clone(),
+		afterRef:  live.Clone(),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		pushFail:  map[int]bool{},
+		pushDelay: map[int]int{},
+		surgeGrid: map[int][]int{},
+	}
+	for i, step := range rb.Steps {
+		s.pending = append(s.pending, push{
+			tick:    (i + 1) * cfg.PushEveryTicks,
+			step:    step.Index,
+			kind:    step.Kind,
+			changes: step.Changes,
+		})
+		for _, ch := range step.Changes {
+			if _, err := s.afterRef.Apply(ch); err != nil {
+				return nil, fmt.Errorf("simwindow: step %d: %w", step.Index, err)
+			}
+		}
+	}
+
+	numSectors := model.Net.NumSectors()
+	for i, f := range cfg.Faults {
+		switch f.Kind {
+		case FaultPushFail, FaultPushDelay:
+			if f.Step < 1 || f.Step > len(rb.Steps) {
+				return nil, fmt.Errorf("simwindow: fault %v: runbook has %d steps", f, len(rb.Steps))
+			}
+			if f.Kind == FaultPushFail {
+				s.pushFail[f.Step] = true
+			} else if f.DelayTicks > 0 {
+				s.pushDelay[f.Step] = f.DelayTicks
+			}
+		case FaultSectorDown, FaultLoadSurge:
+			if f.Sector < 0 || f.Sector >= numSectors {
+				return nil, fmt.Errorf("simwindow: fault %v: sector out of range [0, %d)", f, numSectors)
+			}
+			if f.Kind == FaultLoadSurge {
+				if f.Factor <= 0 {
+					return nil, fmt.Errorf("simwindow: fault %v: factor must be positive", f)
+				}
+				r := f.RadiusM
+				if r <= 0 {
+					r = cfg.SurgeRadiusM
+				}
+				rect := geo.NewRectCentered(model.Net.Sectors[f.Sector].Pos, 2*r, 2*r)
+				s.surgeGrid[i] = model.GridsIn(nil, rect)
+			}
+			s.timed = append(s.timed, f)
+		default:
+			return nil, fmt.Errorf("simwindow: unknown fault kind %d", int(f.Kind))
+		}
+	}
+	sortFaults(s.timed)
+
+	if cfg.Replanner != nil {
+		radius := cfg.NeighborRadiusM
+		if radius <= 0 {
+			radius = 1.6 * model.Net.Params.InterSiteDistanceM
+		}
+		s.neighbors = model.Net.NeighborSectors(rb.Targets, radius)
+	}
+	return s, nil
+}
+
+// profileFactor returns the diurnal load multiplier at tick t.
+func (s *Simulator) profileFactor(t int) float64 {
+	if s.cfg.Profile == nil {
+		return 1
+	}
+	h := math.Mod(s.cfg.StartHour+float64(t)*s.cfg.TickSeconds/3600, 24)
+	lo := int(h) % 24
+	frac := h - math.Floor(h)
+	p := s.cfg.Profile
+	return p[lo]*(1-frac) + p[(lo+1)%24]*frac
+}
+
+// recomputeLoads refreshes every private state after the model's UE
+// distribution changed.
+func (s *Simulator) recomputeLoads() {
+	s.live.RecomputeLoads()
+	s.afterRef.RecomputeLoads()
+	s.beforeRef.RecomputeLoads()
+}
+
+// floorEps is the tolerance used when comparing utility to the floor:
+// the floor is itself a model evaluation, so exact ties count as "at
+// the floor".
+func floorEps(floor float64) float64 { return 1e-9 * (1 + math.Abs(floor)) }
+
+// Run executes the window and returns the recorded time series. A
+// Simulator is single-use: Run may be called once.
+func (s *Simulator) Run() (*Outcome, error) {
+	cfg := &s.cfg
+	out := &Outcome{}
+	sinrFloor := cfg.SINRFloorDB
+	if sinrFloor == 0 {
+		sinrFloor = s.model.Link.MinSINRdB()
+	}
+
+	numGrids := s.model.Grid.NumCells()
+	prevServing := make([]int32, numGrids)
+	for g := 0; g < numGrids; g++ {
+		prevServing[g] = int32(s.live.ServingSector(g))
+	}
+
+	curFactor := 1.0
+	var active []surge
+	timedNext := 0
+	belowStreak := 0
+	replans := 0
+	sum := &out.Summary
+	sum.MinFloorGap = math.Inf(1)
+
+	for t := 0; t <= cfg.Ticks; t++ {
+		if cfg.Ctx != nil {
+			if err := cfg.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		var events []string
+
+		// 1. Load evolution: diurnal profile, noise, surge expiry.
+		factor := s.profileFactor(t)
+		if cfg.LoadNoise > 0 {
+			factor *= math.Exp(cfg.LoadNoise * s.rng.NormFloat64())
+		}
+		loadChanged := factor != curFactor
+		if loadChanged {
+			s.model.ScaleUsers(factor / curFactor)
+			curFactor = factor
+		}
+		for i := 0; i < len(active); {
+			if t >= active[i].endTick {
+				s.model.ScaleUsersAt(active[i].grids, 1/active[i].factor)
+				events = append(events, fmt.Sprintf("surge over %d grids ends", len(active[i].grids)))
+				active = append(active[:i], active[i+1:]...)
+				loadChanged = true
+				continue
+			}
+			i++
+		}
+
+		// 2. Timed faults scheduled for this tick.
+		for timedNext < len(s.timed) && s.timed[timedNext].Tick <= t {
+			f := s.timed[timedNext]
+			timedNext++
+			sum.FaultsInjected++
+			switch f.Kind {
+			case FaultSectorDown:
+				if _, err := s.live.Apply(config.Change{Sector: f.Sector, TurnOff: true}); err != nil {
+					return nil, fmt.Errorf("simwindow: %v: %w", f, err)
+				}
+				events = append(events, fmt.Sprintf("fault: sector %d off-air", f.Sector))
+			case FaultLoadSurge:
+				grids := s.surgeGrid[s.faultIndex(f)]
+				dur := f.DurationTicks
+				if dur <= 0 {
+					dur = cfg.Ticks + 1 - t
+				}
+				s.model.ScaleUsersAt(grids, f.Factor)
+				active = append(active, surge{endTick: t + dur, grids: grids, factor: f.Factor})
+				loadChanged = true
+				events = append(events, fmt.Sprintf("fault: x%g load surge over %d grids", f.Factor, len(grids)))
+			}
+		}
+		if loadChanged {
+			s.recomputeLoads()
+		}
+
+		// 3. At most one configuration push per tick, in order.
+		pushed := 0
+		if len(s.pending) > 0 && s.pending[0].tick <= t {
+			p := s.pending[0]
+			switch {
+			case !p.replan && s.pushDelay[p.step] > 0:
+				delay := s.pushDelay[p.step]
+				delete(s.pushDelay, p.step)
+				s.pending[0].tick = t + delay
+				sum.PushesDelayed++
+				sum.FaultsInjected++
+				events = append(events, fmt.Sprintf("fault: push %d held for %d ticks", p.step, delay))
+			case !p.replan && s.pushFail[p.step]:
+				delete(s.pushFail, p.step)
+				s.pending = s.pending[1:]
+				sum.PushesDropped++
+				sum.FaultsInjected++
+				events = append(events, fmt.Sprintf("fault: push %d lost", p.step))
+			default:
+				s.pending = s.pending[1:]
+				for _, ch := range p.changes {
+					if _, err := s.live.Apply(ch); err != nil {
+						return nil, fmt.Errorf("simwindow: push %d: %w", p.step, err)
+					}
+				}
+				pushed = len(p.changes)
+				sum.PushesApplied++
+				if p.replan {
+					s.pendingRe--
+					events = append(events, fmt.Sprintf("replan push: %d changes", len(p.changes)))
+				} else {
+					events = append(events, fmt.Sprintf("push %d [%s]: %d changes", p.step, p.kind, len(p.changes)))
+				}
+			}
+		}
+
+		// 4. Measure the tick.
+		u := s.live.Utility(cfg.Util)
+		floor := s.afterRef.Utility(cfg.Util)
+		handovers := 0.0
+		for g := 0; g < numGrids; g++ {
+			cur := int32(s.live.ServingSector(g))
+			if cur != prevServing[g] {
+				handovers += s.model.UE(g)
+				prevServing[g] = cur
+			}
+		}
+		maxLoad := 0.0
+		for b := 0; b < s.model.Net.NumSectors(); b++ {
+			if l := s.live.Load(b); l > maxLoad {
+				maxLoad = l
+			}
+		}
+		below := 0.0
+		for g := 0; g < numGrids; g++ {
+			if w := s.model.UE(g); w != 0 && s.live.SINRdB(g) < sinrFloor {
+				below += w
+			}
+		}
+
+		// 5. Floor watch and replanning.
+		if u < floor-floorEps(floor) {
+			belowStreak++
+			sum.TicksBelowFloor++
+		} else {
+			belowStreak = 0
+		}
+		if belowStreak >= cfg.FloorGraceTicks && cfg.Replanner != nil &&
+			replans < cfg.MaxReplans && s.pendingRe == 0 {
+			batches, err := s.replan(floor)
+			if err != nil {
+				return nil, fmt.Errorf("simwindow: replan at tick %d: %w", t, err)
+			}
+			replans++
+			belowStreak = 0
+			if len(batches) > 0 {
+				// Splice the corrections ahead of the remaining runbook.
+				spliced := make([]push, 0, len(batches)+len(s.pending))
+				for i, changes := range batches {
+					spliced = append(spliced, push{tick: t + 1 + i, replan: true, changes: changes})
+				}
+				s.pending = append(spliced, s.pending...)
+				s.pendingRe += len(batches)
+				sum.ReplanPushes += len(batches)
+				events = append(events, fmt.Sprintf("replan: %d corrective pushes spliced", len(batches)))
+			} else {
+				events = append(events, "replan: no corrective moves found")
+			}
+		}
+
+		gap := u - floor
+		if gap < sum.MinFloorGap {
+			sum.MinFloorGap = gap
+		}
+		sum.TotalHandovers += handovers
+		if handovers > sum.MaxTickHandovers {
+			sum.MaxTickHandovers = handovers
+		}
+		out.Series = append(out.Series, Tick{
+			Tick:            t,
+			HourOfDay:       math.Mod(cfg.StartHour+float64(t)*cfg.TickSeconds/3600, 24),
+			LoadFactor:      curFactor,
+			Utility:         u,
+			FloorUtility:    floor,
+			Handovers:       handovers,
+			MaxSectorLoad:   maxLoad,
+			UsersBelowFloor: below,
+			PushedChanges:   pushed,
+			Events:          events,
+		})
+		if cfg.RecordSectorLoads {
+			loads := make([]float64, s.model.Net.NumSectors())
+			for b := range loads {
+				loads[b] = s.live.Load(b)
+			}
+			out.SectorLoads = append(out.SectorLoads, loads)
+		}
+	}
+
+	sum.Ticks = len(out.Series)
+	sum.Replans = replans
+	last := out.Series[len(out.Series)-1]
+	sum.FinalUtility = last.Utility
+	sum.FinalFloor = last.FloorUtility
+	sum.EndsAboveFloor = last.Utility >= last.FloorUtility-floorEps(last.FloorUtility)
+	us := make([]float64, len(out.Series))
+	hs := make([]float64, len(out.Series))
+	for i, tk := range out.Series {
+		us[i] = tk.Utility
+		hs[i] = tk.Handovers
+	}
+	sum.UtilityStats = stats.Summarize(us)
+	sum.HandoverStats = stats.Summarize(hs)
+	return out, nil
+}
+
+// faultIndex recovers the Config.Faults index of a timed fault (the
+// surge grid sets are precomputed per original index).
+func (s *Simulator) faultIndex(f Fault) int {
+	for i := range s.cfg.Faults {
+		if s.cfg.Faults[i] == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the outcome as a compact operator report.
+func (o *Outcome) String() string {
+	var b []byte
+	sum := o.Summary
+	b = fmt.Appendf(b, "simulated %d ticks: utility %.1f -> %.1f (floor %.1f, %s)\n",
+		sum.Ticks, o.Series[0].Utility, sum.FinalUtility, sum.FinalFloor,
+		map[bool]string{true: "ends above floor", false: "ENDS BELOW FLOOR"}[sum.EndsAboveFloor])
+	b = fmt.Appendf(b, "pushes: %d applied, %d dropped, %d delayed; faults: %d; replans: %d (+%d pushes)\n",
+		sum.PushesApplied, sum.PushesDropped, sum.PushesDelayed,
+		sum.FaultsInjected, sum.Replans, sum.ReplanPushes)
+	b = fmt.Appendf(b, "handovers: %.0f total, max %.0f/tick; %d ticks below floor (min gap %.2f)\n",
+		sum.TotalHandovers, sum.MaxTickHandovers, sum.TicksBelowFloor, sum.MinFloorGap)
+	for _, tk := range o.Series {
+		for _, ev := range tk.Events {
+			b = fmt.Appendf(b, "  t=%-4d %s\n", tk.Tick, ev)
+		}
+	}
+	return string(b)
+}

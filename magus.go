@@ -30,7 +30,9 @@ import (
 	"magus/internal/multicarrier"
 	"magus/internal/netmodel"
 	"magus/internal/outageplan"
+	"magus/internal/runbook"
 	"magus/internal/signaling"
+	"magus/internal/simwindow"
 	"magus/internal/topology"
 	"magus/internal/upgrade"
 	"magus/internal/utility"
@@ -184,6 +186,30 @@ type (
 
 // DefaultCarriers returns a typical two-carrier deployment.
 func DefaultCarriers() []CarrierSpec { return multicarrier.DefaultCarriers() }
+
+// SimWindowConfig configures a discrete-event simulation of an upgrade
+// window; SimOutcome is its per-tick series plus summary accounting.
+type (
+	SimWindowConfig = simwindow.Config
+	SimOutcome      = simwindow.Outcome
+	SimFault        = simwindow.Fault
+)
+
+// ParseFaults parses a comma-separated fault script (e.g.
+// "push-fail@2,sector-down@20:17,surge@10+8:5:x1.8") for a simulated
+// upgrade window.
+func ParseFaults(script string) ([]SimFault, error) { return simwindow.ParseFaults(script) }
+
+// SimulateWindow executes a runbook tick by tick from the engine's
+// C_before state: scheduled pushes, diurnal load, fault injection, and
+// (when cfg.Replanner is set) corrective replanning on floor breaches.
+func SimulateWindow(engine *Engine, rb *runbook.Runbook, cfg SimWindowConfig) (*SimOutcome, error) {
+	sim, err := simwindow.New(engine.Before, rb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
+}
 
 // NewEngine synthesizes a market area per cfg and prepares the
 // planner-optimized baseline.
