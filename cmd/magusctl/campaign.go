@@ -62,7 +62,10 @@ func runCampaign(args []string) {
 	jobTimeout := fs.Duration("timeout", 0, "per-job deadline (0 uses the server default)")
 	workers := fs.Int("workers", 0, "per-job in-search scoring parallelism (0 = server default)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "status poll interval")
+	retries := fs.Int("retries", 3, "attempts per request when the server is draining or unreachable")
+	retryBackoff := fs.Duration("retry-backoff", 500*time.Millisecond, "initial retry delay (doubles per attempt, jittered)")
 	_ = fs.Parse(args)
+	r := newRetrier(*retries, *retryBackoff)
 
 	var jobs []campaignJob
 	for _, class := range strings.Split(*classes, ",") {
@@ -91,10 +94,9 @@ func runCampaign(args []string) {
 	if err != nil {
 		fail("encode: %v", err)
 	}
-	resp, err := http.Post(*server+"/campaigns", "application/json", bytes.NewReader(body))
-	if err != nil {
-		fail("submit: %v", err)
-	}
+	resp := r.do("submit", func() (*http.Response, error) {
+		return http.Post(*server+"/campaigns", "application/json", bytes.NewReader(body))
+	})
 	var accepted struct {
 		ID    string `json:"id"`
 		Jobs  int    `json:"jobs"`
@@ -113,10 +115,9 @@ func runCampaign(args []string) {
 	var view campaignView
 	for {
 		time.Sleep(*poll)
-		resp, err := http.Get(*server + "/campaigns/" + accepted.ID)
-		if err != nil {
-			fail("poll: %v", err)
-		}
+		resp := r.do("poll", func() (*http.Response, error) {
+			return http.Get(*server + "/campaigns/" + accepted.ID)
+		})
 		err = json.NewDecoder(resp.Body).Decode(&view)
 		resp.Body.Close()
 		if err != nil {

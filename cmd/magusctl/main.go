@@ -8,6 +8,11 @@
 //
 //	magusctl [-class suburban] [-scenario a] [-method joint]
 //	         [-seed 1] [-utility performance] [-migrate] [-reactive]
+//	         [-data market.json] [-data-policy repair] [-export-data market.json]
+//
+// With -data, the engine plans from an operational dataset (sanitized
+// under -data-policy) instead of its synthetic link budgets;
+// -export-data writes the engine's own data in that exchange format.
 //
 // The campaign subcommand instead drives a running magusd: it submits
 // the cross-product of its -classes/-scenarios/-methods/-seeds flags as
@@ -55,6 +60,9 @@ func main() {
 	assessFlag := flag.Bool("assess", false, "print the per-sector impact assessment of the unmitigated upgrade")
 	windowFlag := flag.Int("window", 0, "rank upgrade start times for a work window of this many hours")
 	workersFlag := flag.Int("workers", 0, "in-search candidate-scoring parallelism (0 = exact sequential search)")
+	dataFlag := flag.String("data", "", "operational dataset JSON to plan from (see -export-data)")
+	dataPolicyFlag := flag.String("data-policy", "repair", "sanitizer policy for -data: strict, repair, quarantine")
+	exportFlag := flag.String("export-data", "", "write the engine's operational dataset to this file and exit")
 	flag.Parse()
 	experiments.SetSearchWorkers(*workersFlag)
 
@@ -89,6 +97,41 @@ func main() {
 	engine, err := experiments.BuildEngine(*seed, experiments.DefaultAreaSpec(class))
 	if err != nil {
 		fail("build engine: %v", err)
+	}
+
+	if *dataFlag != "" {
+		policy, err := magus.ParseSanitizePolicy(*dataPolicyFlag)
+		if err != nil {
+			fail("%v", err)
+		}
+		ds, err := magus.LoadDataset(*dataFlag)
+		if err != nil {
+			fail("load dataset: %v", err)
+		}
+		rep, err := engine.UseDataset(ds, policy)
+		if err != nil {
+			if rep != nil {
+				fail("dataset rejected: %v (%d defects)", err, rep.Found)
+			}
+			fail("dataset: %v", err)
+		}
+		fmt.Printf("dataset %s: policy %s, %d defects found, %d repaired, %d sectors quarantined\n",
+			*dataFlag, rep.Policy, rep.Found, rep.Repaired, len(rep.Quarantined))
+		for i, is := range rep.Issues {
+			if i >= 5 {
+				fmt.Printf("  ... %d more issues\n", rep.Found-5)
+				break
+			}
+			fmt.Printf("  %s sector %d -> %s: %s\n", is.Kind, is.Sector, is.Action, is.Detail)
+		}
+	}
+
+	if *exportFlag != "" {
+		if err := magus.SaveDataset(*exportFlag, engine.ExportDataset()); err != nil {
+			fail("export dataset: %v", err)
+		}
+		fmt.Printf("wrote operational dataset to %s\n", *exportFlag)
+		return
 	}
 
 	plan, err := engine.Mitigate(scenario, method, util)

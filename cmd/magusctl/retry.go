@@ -1,0 +1,113 @@
+// HTTP retry support for the subcommands that talk to magusd. A
+// draining or restarting daemon answers 503 + Retry-After (or refuses
+// the connection entirely, mid-restart); those outcomes are worth a few
+// jittered retries before giving up, and when magusctl does give up it
+// exits 3 so wrappers can distinguish "try again shortly" from a
+// permanent usage or planning error (exit 2).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"time"
+)
+
+// failTransient aborts with exit code 3: the failure was transient
+// (server draining, connection refused) and a later invocation may
+// succeed without any change by the operator.
+func failTransient(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "magusctl: "+format+"\n", args...)
+	os.Exit(3)
+}
+
+// retrier re-issues idempotent HTTP calls on transient failures with
+// exponential backoff: the wait doubles per attempt (capped) and is
+// jittered to 50–150% so retrying clients do not stampede a daemon
+// that just came back.
+type retrier struct {
+	attempts int
+	backoff  time.Duration
+	maxWait  time.Duration
+	rng      *rand.Rand
+}
+
+func newRetrier(attempts int, backoff time.Duration) *retrier {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = 500 * time.Millisecond
+	}
+	return &retrier{
+		attempts: attempts,
+		backoff:  backoff,
+		maxWait:  15 * time.Second,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// transientStatus reports response codes a healthy replacement server
+// would not produce: the drain refusal and proxy-level gateway errors.
+func transientStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// transientErr classifies connection-level failures. Timeouts and
+// refused/reset connections are the restart window; anything else (bad
+// URL, unsupported scheme) will not fix itself.
+func transientErr(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// do runs fn until it yields a non-transient outcome and returns that
+// response (the caller consumes its body). fn must build a fresh
+// request per call: request bodies cannot be replayed. Permanent
+// transport errors abort with exit 2, exhausted retries with exit 3.
+func (r *retrier) do(op string, fn func() (*http.Response, error)) *http.Response {
+	wait := r.backoff
+	for attempt := 1; ; attempt++ {
+		resp, err := fn()
+		if err == nil && !transientStatus(resp.StatusCode) {
+			return resp
+		}
+		var cause string
+		if err != nil {
+			if !transientErr(err) {
+				fail("%s: %v", op, err)
+			}
+			cause = err.Error()
+		} else {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			cause = resp.Status
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				cause += ", Retry-After " + ra + "s"
+			}
+		}
+		if attempt >= r.attempts {
+			failTransient("%s: %s (gave up after %d attempts)", op, cause, attempt)
+		}
+		jittered := time.Duration(float64(wait) * (0.5 + r.rng.Float64()))
+		fmt.Fprintf(os.Stderr, "magusctl: %s: %s; retrying in %s (%d/%d)\n",
+			op, cause, jittered.Round(time.Millisecond), attempt, r.attempts-1)
+		time.Sleep(jittered)
+		if wait *= 2; wait > r.maxWait {
+			wait = r.maxWait
+		}
+	}
+}

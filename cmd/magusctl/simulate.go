@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 )
 
 // simulateView is the subset of the /simulate response the client
@@ -64,6 +65,8 @@ func runSimulate(args []string) {
 	startHour := fs.Float64("start-hour", -1, "local hour at tick 0 (default 02:00)")
 	replan := fs.Bool("replan", false, "enable the search-based replanner on floor breaches")
 	series := fs.Bool("series", false, "print the per-tick time series")
+	retries := fs.Int("retries", 3, "attempts when the server is draining or unreachable")
+	retryBackoff := fs.Duration("retry-backoff", 500*time.Millisecond, "initial retry delay (doubles per attempt, jittered)")
 	_ = fs.Parse(args)
 
 	q := url.Values{}
@@ -98,12 +101,11 @@ func runSimulate(args []string) {
 		q.Set("replan", "1")
 	}
 
-	resp, err := http.Get(*server + "/simulate?" + q.Encode())
-	if err != nil {
-		fail("simulate: %v", err)
-	}
+	resp := newRetrier(*retries, *retryBackoff).do("simulate", func() (*http.Response, error) {
+		return http.Get(*server + "/simulate?" + q.Encode())
+	})
 	var view simulateView
-	err = json.NewDecoder(resp.Body).Decode(&view)
+	err := json.NewDecoder(resp.Body).Decode(&view)
 	resp.Body.Close()
 	if err != nil {
 		fail("simulate: decode: %v", err)

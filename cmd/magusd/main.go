@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	magusd [-listen :8080] [-class suburban] [-seed 1] [-workers N] [-pprof :6060]
+//	magusd [-listen :8080] [-class suburban] [-seed 1] [-workers N]
+//	       [-journal campaigns.wal] [-drain-timeout 15s]
+//	       [-data market.json] [-data-policy repair] [-pprof :6060]
 //
 // Endpoints (all GET, JSON/GeoJSON):
 //
-//	/healthz   liveness + market summary
+//	/healthz   liveness + market summary ("draining" during shutdown)
 //	/sectors   topology as GeoJSON
 //	/coverage  baseline serving map as GeoJSON (?stride=N)
 //	/plan      mitigation plan (?scenario=a|b|c&method=power|tilt|joint|naive|anneal)
@@ -18,8 +20,18 @@
 // POST /campaigns/{id}/cancel) run batches of planning jobs across
 // markets on a worker pool; see magusctl campaign for a client.
 //
-// The server shuts down cleanly on SIGINT/SIGTERM, cancelling running
-// campaigns.
+// Durability: with -journal, every campaign job is journaled to an
+// append-only log before it becomes runnable, and jobs left queued or
+// in flight by a crash are resubmitted at the next startup. On
+// SIGINT/SIGTERM the daemon drains instead of dying: admission stops
+// (503 + Retry-After), running jobs get -drain-timeout to finish, and
+// whatever remains is journaled for the restart to pick up.
+//
+// Degraded data: with -data, the engine plans from an operational
+// dataset (per-tilt link-budget matrices, configuration, user density)
+// instead of its synthetic link budgets. The dataset passes through the
+// sanitizer under -data-policy first; the report is surfaced in
+// /healthz and on every plan.
 package main
 
 import (
@@ -36,8 +48,11 @@ import (
 	"time"
 
 	"magus"
+	"magus/internal/campaign"
 	"magus/internal/experiments"
 	"magus/internal/httpapi"
+	"magus/internal/journal"
+	"magus/internal/topology"
 )
 
 func main() {
@@ -45,6 +60,10 @@ func main() {
 	classFlag := flag.String("class", "suburban", "market class: rural, suburban, urban")
 	seed := flag.Int64("seed", 1, "market seed")
 	workers := flag.Int("workers", 0, "default in-search candidate-scoring parallelism (0 = sequential; per-request ?workers= overrides)")
+	journalPath := flag.String("journal", "", "campaign journal file; enables crash recovery of queued and in-flight jobs (empty disables)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long running campaign jobs may finish during graceful shutdown")
+	dataPath := flag.String("data", "", "operational dataset JSON to plan from (empty: synthetic link budgets)")
+	dataPolicy := flag.String("data-policy", "repair", "sanitizer policy for -data: strict, repair, quarantine")
 	pprofAddr := flag.String("pprof", "", "also serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	flag.Parse()
 	experiments.SetSearchWorkers(*workers)
@@ -67,6 +86,56 @@ func main() {
 		time.Since(start).Seconds(), len(engine.Net.Sites),
 		engine.Net.NumSectors(), engine.Model.TotalUE())
 
+	if *dataPath != "" {
+		policy, err := magus.ParseSanitizePolicy(*dataPolicy)
+		if err != nil {
+			log.Fatalf("%v", err)
+		}
+		ds, err := magus.LoadDataset(*dataPath)
+		if err != nil {
+			log.Fatalf("load dataset: %v", err)
+		}
+		rep, err := engine.UseDataset(ds, policy)
+		if err != nil {
+			log.Fatalf("dataset %s rejected: %v", *dataPath, err)
+		}
+		log.Printf("dataset %s: policy %s, %d defects found, %d repaired, %d sectors quarantined",
+			*dataPath, rep.Policy, rep.Found, rep.Repaired, len(rep.Quarantined))
+	}
+
+	// Replay the journal before opening it for appending: jobs the last
+	// process left unfinished are resubmitted through the fresh
+	// orchestrator below.
+	var pending []campaign.PendingJob
+	var jr *journal.Journal
+	if *journalPath != "" {
+		pending, err = campaign.ReplayJournal(*journalPath)
+		if err != nil {
+			log.Fatalf("journal replay: %v", err)
+		}
+		jr, err = journal.Open(*journalPath, journal.Options{})
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+	}
+	orch, err := campaign.New(campaign.Config{
+		Build: func(_ context.Context, class topology.AreaClass, seed int64) (*magus.Engine, error) {
+			return experiments.BuildEngine(seed, experiments.DefaultAreaSpec(class))
+		},
+		Cache:   experiments.SharedEngineCache(),
+		Journal: jr,
+	})
+	if err != nil {
+		log.Fatalf("orchestrator: %v", err)
+	}
+	if len(pending) > 0 {
+		recovered, err := orch.Resubmit(pending)
+		if err != nil {
+			log.Fatalf("resubmit journaled jobs: %v", err)
+		}
+		log.Printf("recovered %d journaled jobs into %d campaigns", len(pending), len(recovered))
+	}
+
 	if *pprofAddr != "" {
 		// A separate listener keeps the profiler off the public API port.
 		pmux := http.NewServeMux()
@@ -83,8 +152,7 @@ func main() {
 		}()
 	}
 
-	api := httpapi.NewServer(engine)
-	defer api.Close()
+	api := httpapi.New(engine, httpapi.Options{Orchestrator: orch})
 	srv := &http.Server{
 		Addr:              *listen,
 		Handler:           api,
@@ -97,8 +165,22 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
+		log.Printf("draining: admission stopped, running jobs get %s", *drainTimeout)
+		api.BeginDrain()
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		report := orch.Drain(dctx)
+		cancel()
+		log.Printf("drain: %d jobs finished, %d journaled for restart", report.Completed, report.Requeued)
+		api.Close()
+		if jr != nil {
+			if err := jr.Close(); err != nil {
+				log.Printf("journal close: %v", err)
+			}
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -110,5 +192,6 @@ func main() {
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)
 	}
+	<-drained
 	log.Print("bye")
 }

@@ -22,10 +22,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"magus/internal/core"
 	"magus/internal/evalengine"
+	"magus/internal/journal"
 	"magus/internal/migrate"
 	"magus/internal/runbook"
 	"magus/internal/schedule"
@@ -212,6 +214,9 @@ type Job struct {
 	queued   time.Time
 	started  time.Time
 	finished time.Time
+	// requeue marks a job cut short by a shutdown: no terminal record
+	// was journaled, so a restart replays it (see Drain).
+	requeue bool
 }
 
 // transientError marks an error as retryable.
@@ -274,6 +279,24 @@ type Config struct {
 	// campaigns already parallelize across jobs, so per-search
 	// parallelism is opt-in).
 	SearchWorkers int
+	// Journal, when set, records every job's lifecycle
+	// (submitted/attempt/result) as a write-ahead log: a campaign is
+	// durably journaled before Submit returns, and after a crash
+	// ReplayJournal identifies the jobs that never reached a terminal
+	// state so Resubmit can re-enqueue them.
+	Journal *journal.Journal
+	// BreakerThreshold is the number of consecutive engine-build
+	// failures per market before the build circuit opens and jobs
+	// against that market fail fast with ErrCircuitOpen (0 = default 5,
+	// negative = breaker disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects builds before
+	// admitting a half-open probe (default 30s).
+	BreakerCooldown time.Duration
+	// CompactRecords triggers a journal compaction when a campaign
+	// finishes with more than this many records in the log (default
+	// 4096).
+	CompactRecords int64
 }
 
 func (c *Config) applyDefaults() {
@@ -295,20 +318,36 @@ func (c *Config) applyDefaults() {
 	if c.SearchWorkers <= 0 {
 		c.SearchWorkers = 1
 	}
+	if c.CompactRecords <= 0 {
+		c.CompactRecords = 4096
+	}
 }
 
 // ErrQueueFull reports that Submit would exceed the orchestrator's
 // queue bound; the campaign was not accepted.
 var ErrQueueFull = errors.New("campaign: job queue full")
 
+// ErrDraining reports that the orchestrator is shutting down gracefully
+// and no longer admits campaigns; the HTTP layer maps it to 503 with a
+// Retry-After.
+var ErrDraining = errors.New("campaign: orchestrator draining")
+
 // Orchestrator owns the worker pool and the campaigns submitted to it.
 // Construct with New and release with Close.
 type Orchestrator struct {
 	cfg     Config
+	breaker *breaker
 	baseCtx context.Context
 	stop    context.CancelFunc
 	queue   chan queued
 	wg      sync.WaitGroup
+	// draining stops admission and makes workers park queued jobs for
+	// journal replay instead of starting them; shuttingDown additionally
+	// suppresses terminal journal records for shutdown-cancelled jobs so
+	// a restart re-runs them.
+	draining     atomic.Bool
+	shuttingDown atomic.Bool
+	compacting   atomic.Bool
 
 	mu        sync.Mutex
 	campaigns map[string]*Campaign
@@ -345,6 +384,10 @@ func New(cfg Config) (*Orchestrator, error) {
 		campaigns: make(map[string]*Campaign),
 		jobCounts: make(map[JobState]int64),
 	}
+	if cfg.BreakerThreshold >= 0 {
+		o.breaker = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+		o.cfg.Build = o.breaker.wrapBuild(o.cfg.Build)
+	}
 	o.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go o.worker()
@@ -353,13 +396,21 @@ func New(cfg Config) (*Orchestrator, error) {
 }
 
 // Close cancels every campaign and stops the workers, blocking until
-// they exit. The orchestrator accepts no work afterwards.
+// they exit. The orchestrator accepts no work afterwards. With a
+// journal configured, jobs cut short here leave no terminal record, so
+// a restart re-runs them; use Drain first to let running jobs finish.
 func (o *Orchestrator) Close() {
+	o.shuttingDown.Store(true)
+	o.draining.Store(true)
 	o.mu.Lock()
+	cs := make([]*Campaign, 0, len(o.campaigns))
 	for _, c := range o.campaigns {
-		c.cancelLocked("orchestrator closed")
+		cs = append(cs, c)
 	}
 	o.mu.Unlock()
+	for _, c := range cs {
+		c.Cancel("orchestrator closed")
+	}
 	o.stop()
 	o.wg.Wait()
 }
@@ -367,7 +418,9 @@ func (o *Orchestrator) Close() {
 // Submit validates specs, creates a campaign and enqueues its jobs.
 // Rejects the whole batch with ErrQueueFull if the queue cannot take
 // every job: partial admission would leave campaigns that can never
-// finish honestly.
+// finish honestly. With a journal configured, every job is durably
+// recorded (fsynced) before Submit returns: an accepted campaign
+// survives a crash.
 func (o *Orchestrator) Submit(specs []JobSpec) (*Campaign, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("campaign: no jobs")
@@ -376,6 +429,9 @@ func (o *Orchestrator) Submit(specs []JobSpec) (*Campaign, error) {
 		if err := sp.validate(); err != nil {
 			return nil, fmt.Errorf("job %d: %w", i, err)
 		}
+	}
+	if o.draining.Load() {
+		return nil, ErrDraining
 	}
 	select {
 	case <-o.baseCtx.Done():
@@ -405,12 +461,24 @@ func (o *Orchestrator) Submit(specs []JobSpec) (*Campaign, error) {
 	o.jobCounts[JobQueued] += int64(len(specs))
 	o.mu.Unlock()
 
+	// Journal before enqueueing: once a worker can see a job, its
+	// submitted record must already be on disk, or a crash could replay
+	// nothing for a job that ran.
+	if err := o.journalSubmitted(c); err != nil {
+		o.mu.Lock()
+		delete(o.campaigns, c.ID)
+		o.jobCounts[JobQueued] -= int64(len(specs))
+		o.mu.Unlock()
+		return nil, err
+	}
+
 	for _, j := range c.jobs {
 		select {
 		case o.queue <- queued{c, j}:
 		default:
 			// Undo the admission: cancel the campaign (queued jobs flip to
-			// cancelled, including any already enqueued) and drop it.
+			// cancelled, including any already enqueued, with terminal
+			// journal records so replay skips them) and drop it.
 			c.Cancel("queue full")
 			o.mu.Lock()
 			delete(o.campaigns, c.ID)
@@ -456,6 +524,14 @@ type Metrics struct {
 	// Search aggregates the evalengine counters over every completed
 	// job's plan (absent until the first job completes).
 	Search *evalengine.StatsSnapshot `json:"search,omitempty"`
+	// Draining reports that the orchestrator no longer admits campaigns.
+	Draining bool `json:"draining,omitempty"`
+	// Journal is the write-ahead log's record count (absent when no
+	// journal is configured).
+	Journal *int64 `json:"journal_records,omitempty"`
+	// Breaker is the engine-build circuit breaker snapshot (absent when
+	// disabled).
+	Breaker *BreakerStats `json:"build_breaker,omitempty"`
 }
 
 // Metrics snapshots the orchestrator counters.
@@ -466,6 +542,7 @@ func (o *Orchestrator) Metrics() Metrics {
 		QueueDepth: len(o.queue),
 		QueueCap:   o.cfg.QueueDepth,
 		Jobs:       make(map[string]int64, len(JobStates)),
+		Draining:   o.draining.Load(),
 	}
 	for _, s := range JobStates {
 		m.Jobs[s.String()] = o.jobCounts[s]
@@ -481,6 +558,14 @@ func (o *Orchestrator) Metrics() Metrics {
 	if o.cfg.Cache != nil {
 		st := o.cfg.Cache.Stats()
 		m.Cache = &st
+	}
+	if o.cfg.Journal != nil {
+		n := o.cfg.Journal.Records()
+		m.Journal = &n
+	}
+	if o.breaker != nil {
+		st := o.breaker.stats()
+		m.Breaker = &st
 	}
 	return m
 }
@@ -526,6 +611,11 @@ func (o *Orchestrator) worker() {
 		case <-o.baseCtx.Done():
 			return
 		case q := <-o.queue:
+			if o.draining.Load() {
+				// Park the job: it stays queued with no terminal journal
+				// record, so a restart replays it.
+				continue
+			}
 			o.runJob(q.c, q.j)
 		}
 	}
@@ -548,15 +638,17 @@ func (o *Orchestrator) runJob(c *Campaign, j *Job) {
 		timeout = o.cfg.JobTimeout
 	}
 	ctx, cancel := context.WithTimeout(c.ctx, timeout)
-	res, attempts, err := o.attempt(ctx, j.Spec)
+	res, attempts, err := o.attempt(ctx, c.ID, j.ID, j.Spec)
 	cancel()
 
 	c.mu.Lock()
 	j.attempts = attempts
 	j.finished = time.Now()
+	var final JobState
 	switch {
 	case err == nil:
 		j.result = res
+		final = JobDone
 		o.transition(j, JobDone)
 		if res.SearchStats != nil {
 			o.mu.Lock()
@@ -568,11 +660,26 @@ func (o *Orchestrator) runJob(c *Campaign, j *Job) {
 		// The whole campaign was cancelled; the job did not fail on its
 		// own merits.
 		j.err = context.Cause(c.ctx)
+		final = JobCancelled
 		o.transition(j, JobCancelled)
 	default:
 		j.err = err
+		final = JobFailed
 		o.transition(j, JobFailed)
 	}
+	// A job cancelled by a shutdown keeps no terminal record: the
+	// restart should run it again. Any other outcome is journaled —
+	// outside the lock (appends can fsync), and before finishLocked so
+	// the campaign only reads as finished once its last result is in the
+	// log.
+	skipJournal := final == JobCancelled && o.shuttingDown.Load()
+	j.requeue = skipJournal
+	jerr := j.err
+	c.mu.Unlock()
+	if !skipJournal {
+		o.journalResult(c.ID, j.ID, final, jerr)
+	}
+	c.mu.Lock()
 	c.finishLocked()
 	c.mu.Unlock()
 	o.recordDuration(j.finished.Sub(j.started))
@@ -580,10 +687,13 @@ func (o *Orchestrator) runJob(c *Campaign, j *Job) {
 
 // attempt runs the job's planning work with bounded retries: transient
 // failures back off exponentially until the attempt budget or the
-// context runs out.
-func (o *Orchestrator) attempt(ctx context.Context, sp JobSpec) (*Result, int, error) {
+// context runs out. The backoff wait selects on the job context (which
+// derives from the campaign and orchestrator contexts), so a cancelled
+// job stops waiting immediately.
+func (o *Orchestrator) attempt(ctx context.Context, campaignID string, jobID int, sp JobSpec) (*Result, int, error) {
 	backoff := o.cfg.RetryBackoff
 	for n := 1; ; n++ {
+		o.journalAttempt(campaignID, jobID, n)
 		res, err := o.execute(ctx, sp)
 		if err == nil {
 			return res, n, nil
@@ -710,16 +820,25 @@ type Campaign struct {
 }
 
 // Cancel aborts the campaign: queued jobs flip to cancelled immediately,
-// running jobs at their next search iteration. Idempotent.
+// running jobs at their next search iteration. Idempotent. A
+// deliberately cancelled job is terminal in the journal (a restart does
+// not resurrect it) unless the orchestrator is shutting down, in which
+// case the job replays instead.
 func (c *Campaign) Cancel(reason string) {
 	c.mu.Lock()
-	c.cancelLocked(reason)
+	flipped, err := c.cancelLocked(reason)
 	c.mu.Unlock()
+	for _, j := range flipped {
+		c.orch.journalResult(c.ID, j.ID, JobCancelled, err)
+	}
 }
 
-func (c *Campaign) cancelLocked(reason string) {
+// cancelLocked cancels the campaign and flips queued jobs to cancelled,
+// returning the jobs whose terminal state still needs journaling (the
+// caller must do so after releasing c.mu — journal appends can fsync).
+func (c *Campaign) cancelLocked(reason string) ([]*Job, error) {
 	if c.ctx.Err() != nil {
-		return
+		return nil, nil
 	}
 	err := fmt.Errorf("campaign cancelled: %s", reason)
 	c.cancel(err)
@@ -727,14 +846,21 @@ func (c *Campaign) cancelLocked(reason string) {
 	// so status reads reflect the cancel at once; workers skip any job no
 	// longer queued.
 	now := time.Now()
+	shutdown := c.orch.shuttingDown.Load()
+	var flipped []*Job
 	for _, j := range c.jobs {
 		if j.state == JobQueued {
 			j.err = err
 			j.finished = now
+			j.requeue = shutdown
 			c.orch.transition(j, JobCancelled)
+			if !shutdown {
+				flipped = append(flipped, j)
+			}
 		}
 	}
 	c.finishLocked()
+	return flipped, err
 }
 
 // finishLocked recounts unfinished jobs and closes done when none are
@@ -752,6 +878,9 @@ func (c *Campaign) finishLocked() {
 		case <-c.done:
 		default:
 			close(c.done)
+			// First completion of this campaign: a natural moment to shed
+			// dead journal weight. Runs async — finishLocked holds c.mu.
+			go c.orch.maybeCompact()
 		}
 	}
 }

@@ -1,0 +1,367 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"magus/internal/core"
+	"magus/internal/journal"
+	"magus/internal/topology"
+	"magus/internal/upgrade"
+)
+
+// sixJobs is a six-job single-market campaign (engines build once and
+// cache-hit after).
+func sixJobs() []JobSpec {
+	specs := make([]JobSpec, 6)
+	for i := range specs {
+		specs[i] = JobSpec{Class: topology.Suburban, Seed: 1, Scenario: upgrade.SingleSector, Method: core.PowerOnly}
+	}
+	return specs
+}
+
+// TestCrashRecovery is the crash-recovery integration test of the
+// lifecycle WAL: run 1 completes two jobs and dies with one in flight
+// and three queued; run 2 replays the journal, re-enqueues exactly the
+// four unfinished jobs, and finishes them. No job that completed in run
+// 1 runs again.
+func TestCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	jr, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Builds 1-2 (jobs 0 and 1; the second is a cache hit) succeed; any
+	// later build hangs until its context dies — the job the crash
+	// catches in flight.
+	cache := NewEngineCache(4)
+	var builds atomic.Int32
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		if builds.Add(1) > 2 {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return testBuild(cache)(ctx, class, seed)
+	}
+	o, err := New(Config{Build: build, Workers: 1, Journal: jr, BreakerThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Submit(sixJobs()); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the single worker is stuck inside job 2's build: jobs 0
+	// and 1 are then done and journaled.
+	deadline := time.Now().Add(30 * time.Second)
+	for builds.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never reached the blocking build")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Hard stop: like a crash, shutdown-cancelled jobs leave no terminal
+	// record.
+	o.Close()
+	jr.Close()
+
+	pending, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatalf("ReplayJournal: %v", err)
+	}
+	if len(pending) != 4 {
+		t.Fatalf("replayed %d pending jobs, want 4: %+v", len(pending), pending)
+	}
+	for _, p := range pending {
+		if p.Job < 2 {
+			t.Errorf("job %d completed in run 1 but was replayed (would run twice)", p.Job)
+		}
+		if p.Spec.Class != topology.Suburban || p.Spec.Seed != 1 {
+			t.Errorf("job %d spec corrupted in replay: %+v", p.Job, p.Spec)
+		}
+	}
+
+	// Run 2: fresh orchestrator over the same journal finishes the
+	// recovered jobs.
+	jr2, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr2.Close()
+	o2, err := New(Config{Build: testBuild(cache), Workers: 2, Journal: jr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o2.Close()
+	cs, err := o2.Resubmit(pending)
+	if err != nil {
+		t.Fatalf("Resubmit: %v", err)
+	}
+	if len(cs) != 1 {
+		t.Fatalf("resubmitted %d campaigns, want 1 (all pending jobs shared one)", len(cs))
+	}
+	if err := o2.CompactJournal(); err != nil {
+		t.Fatalf("CompactJournal: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	for _, c := range cs {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatalf("recovered campaign did not finish: %v", err)
+		}
+		snap := c.Snapshot()
+		if snap.Counts["done"] != 4 {
+			t.Fatalf("recovered campaign counts = %v, want 4 done", snap.Counts)
+		}
+	}
+
+	// Every journaled job is now terminal: a further replay finds
+	// nothing to do.
+	if err := jr2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatalf("ReplayJournal after recovery: %v", err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("%d jobs still pending after recovery: %+v", len(left), left)
+	}
+}
+
+// TestDrainParksUnfinishedJobs: a drain whose deadline expires with a
+// job mid-run parks everything unfinished for replay and refuses new
+// admissions.
+func TestDrainParksUnfinishedJobs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	jr, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	o, err := New(Config{Build: build, Workers: 1, Journal: jr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Submit(sixJobs()[:3]); err != nil {
+		t.Fatal(err)
+	}
+	// Let the worker pick up job 0 before draining.
+	waitForRunning(t, o, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	rep := o.Drain(ctx)
+	if rep.Requeued != 3 || rep.Completed != 0 {
+		t.Fatalf("drain report = %+v, want 3 requeued, 0 completed", rep)
+	}
+	if _, err := o.Submit(sixJobs()[:1]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit during drain: %v, want ErrDraining", err)
+	}
+	if !o.Metrics().Draining {
+		t.Error("metrics do not report draining")
+	}
+
+	pending, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 3 {
+		t.Fatalf("replayed %d pending jobs after drain, want 3", len(pending))
+	}
+}
+
+// TestDrainLetsRunningJobsFinish: with a generous deadline, in-flight
+// work completes and is journaled terminal; nothing is requeued.
+func TestDrainLetsRunningJobsFinish(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	jr, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+
+	cache := NewEngineCache(4)
+	gate := make(chan struct{})
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return testBuild(cache)(ctx, class, seed)
+	}
+	o, err := New(Config{Build: build, Workers: 2, Journal: jr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := o.Submit(sixJobs()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both jobs must be in flight before the drain starts, or it would
+	// (correctly) park them as queued instead of waiting them out.
+	waitForRunning(t, o, 2)
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep := o.Drain(ctx)
+	if rep.Requeued != 0 {
+		t.Fatalf("drain report = %+v, want 0 requeued", rep)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("campaign not finished after drain")
+	}
+	if got := c.Snapshot().Counts["done"]; got != 2 {
+		t.Fatalf("done = %d, want 2", got)
+	}
+	pending, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("replayed %d pending jobs after clean drain, want 0", len(pending))
+	}
+}
+
+// TestCancelledJobsAreTerminalInJournal: a user cancel is deliberate —
+// replay must not resurrect the cancelled jobs.
+func TestCancelledJobsAreTerminalInJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	jr, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	o, err := New(Config{Build: build, Workers: 1, Journal: jr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	c, err := o.Submit(sixJobs()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForRunning(t, o, 1)
+	c.Cancel("operator says no")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("cancelled campaign did not settle: %v", err)
+	}
+	if err := jr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	pending, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("cancelled jobs replayed as pending: %+v", pending)
+	}
+}
+
+// TestBackoffWaitHonorsCancellation is the regression test for the
+// retry backoff: with a multi-second backoff pending, cancelling the
+// campaign must end the job immediately, not after the backoff expires.
+func TestBackoffWaitHonorsCancellation(t *testing.T) {
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		return nil, Transient(errors.New("flaky backend"))
+	}
+	o, err := New(Config{Build: build, Workers: 1, MaxAttempts: 5, RetryBackoff: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	c, err := o.Submit(sixJobs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForRunning(t, o, 1)
+	// The first attempt fails instantly; the worker is now in the 30s
+	// backoff wait.
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	c.Cancel("user abort")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatalf("job still waiting out its backoff after cancel: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v to cut the backoff wait short", elapsed)
+	}
+	if got := c.Snapshot().Counts["cancelled"]; got != 1 {
+		t.Fatalf("counts = %v, want 1 cancelled", c.Snapshot().Counts)
+	}
+}
+
+// TestJournalCompactionThreshold: finishing a campaign past the record
+// threshold compacts the log down to just the still-pending jobs.
+func TestJournalCompactionThreshold(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	jr, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+
+	cache := NewEngineCache(4)
+	o, err := New(Config{Build: testBuild(cache), Workers: 1, Journal: jr, CompactRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	c, err := o.Submit(sixJobs()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// finishLocked kicked off an async compaction; with nothing pending
+	// the log should shrink to zero records.
+	deadline := time.Now().Add(10 * time.Second)
+	for jr.Records() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("journal still has %d records, compaction never ran", jr.Records())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitForRunning polls until n jobs are running.
+func waitForRunning(t *testing.T, o *Orchestrator, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		o.mu.Lock()
+		running := o.jobCounts[JobRunning]
+		o.mu.Unlock()
+		if running >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d jobs running, want %d", running, n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

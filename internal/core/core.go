@@ -23,6 +23,7 @@ import (
 	"magus/internal/migrate"
 	"magus/internal/netmodel"
 	"magus/internal/propagation"
+	"magus/internal/sanitize"
 	"magus/internal/search"
 	"magus/internal/terrain"
 	"magus/internal/topology"
@@ -104,6 +105,11 @@ type Engine struct {
 
 	cfg        SetupConfig
 	tuningArea geo.Rect
+
+	// Sanitation state of the last UseDataset call (see dataset.go):
+	// quarantined sectors are excluded from plan neighbor sets.
+	sanitation  *sanitize.Report
+	quarantined map[int]bool
 }
 
 // NewEngine synthesizes an area per cfg and prepares the baseline.
@@ -273,6 +279,10 @@ type Plan struct {
 	Search *search.Result
 	// Util is the objective the plan optimized.
 	Util utility.Func
+	// Sanitation carries the engine's operational-data report when the
+	// plan was computed from an ingested dataset (see Engine.UseDataset);
+	// nil on purely synthetic engines.
+	Sanitation *sanitize.Report
 
 	engine *Engine
 }
@@ -374,6 +384,16 @@ func (e *Engine) MitigatePlan(req MitigateRequest) (*Plan, error) {
 	}
 	neighbors := search.SortByDistanceTo(upgradeState,
 		e.Net.NeighborSectors(targets, e.NeighborRadius()), targets)
+	if len(e.quarantined) > 0 {
+		// Quarantined sectors have untrustworthy data: never tune them.
+		kept := neighbors[:0]
+		for _, b := range neighbors {
+			if !e.quarantined[b] {
+				kept = append(kept, b)
+			}
+		}
+		neighbors = kept
+	}
 
 	after := upgradeState.Clone()
 	// Cap the search at f(C_before): mitigation recovers the loss, it
@@ -420,6 +440,7 @@ func (e *Engine) MitigatePlan(req MitigateRequest) (*Plan, error) {
 		UtilityAfter:   res.FinalUtility,
 		Search:         res,
 		Util:           util,
+		Sanitation:     e.sanitation,
 		engine:         e,
 	}, nil
 }

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"magus/internal/sanitize"
+	"magus/internal/upgrade"
+	"magus/internal/utility"
+)
+
+func testScenario() upgrade.Scenario {
+	return upgrade.SingleSector
+}
+
+// planKey captures everything that must match for two plans to count as
+// identical.
+func planEqual(t *testing.T, a, b *Plan) {
+	t.Helper()
+	if a.UtilityBefore != b.UtilityBefore || a.UtilityUpgrade != b.UtilityUpgrade || a.UtilityAfter != b.UtilityAfter {
+		t.Fatalf("utilities differ: (%v %v %v) vs (%v %v %v)",
+			a.UtilityBefore, a.UtilityUpgrade, a.UtilityAfter,
+			b.UtilityBefore, b.UtilityUpgrade, b.UtilityAfter)
+	}
+	if len(a.Search.Steps) != len(b.Search.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(a.Search.Steps), len(b.Search.Steps))
+	}
+	for i := range a.Search.Steps {
+		if a.Search.Steps[i].Change != b.Search.Steps[i].Change {
+			t.Fatalf("step %d differs: %v vs %v", i, a.Search.Steps[i].Change, b.Search.Steps[i].Change)
+		}
+	}
+	if !a.After.Cfg.Equal(b.After.Cfg) {
+		t.Fatal("final configurations differ")
+	}
+}
+
+// TestCleanDatasetRoundtripPlansBitIdentically is the determinism
+// acceptance criterion: exporting an engine's data and feeding it back
+// through the sanitizer must not change any plan in any bit.
+func TestCleanDatasetRoundtripPlansBitIdentically(t *testing.T) {
+	e := testEngine(t)
+	ref, err := e.Mitigate(testScenario(), Joint, utility.Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds := e.ExportDataset()
+	rep, err := e.UseDataset(ds, sanitize.Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean || rep.Found != 0 || len(rep.Quarantined) != 0 {
+		t.Fatalf("exported dataset not clean: %+v", rep)
+	}
+
+	got, err := e.Mitigate(testScenario(), Joint, utility.Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planEqual(t, ref, got)
+	if got.Sanitation == nil || !got.Sanitation.Clean {
+		t.Fatal("plan does not carry the sanitation report")
+	}
+}
+
+// TestCorruptedDatasetStillPlans is the degraded-data acceptance
+// criterion: NaN matrix cells, a missing per-tilt matrix, and an
+// orphaned neighbor reference must be repaired (or quarantined) and the
+// resulting plan must still recover utility over the untuned C_upgrade
+// baseline.
+func TestCorruptedDatasetStillPlans(t *testing.T) {
+	e := testEngine(t)
+	ds := e.ExportDataset()
+
+	// Corrupt sector 0: a stripe of NaN cells at one tilt.
+	for c := 0; c < len(ds.Sectors[0].LinkDB[2])/4; c++ {
+		ds.Sectors[0].LinkDB[2][c] = math.NaN()
+	}
+	// Corrupt sector 1: one tilt matrix missing entirely.
+	ds.Sectors[1].LinkDB[3] = nil
+	// Corrupt sector 2: orphaned neighbor reference.
+	ds.Sectors[2].Neighbors = append(ds.Sectors[2].Neighbors, 9999)
+
+	rep, err := e.UseDataset(ds, sanitize.Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean || rep.Found == 0 {
+		t.Fatalf("corruption not detected: %+v", rep)
+	}
+	kinds := map[string]bool{}
+	for _, is := range rep.Issues {
+		kinds[is.Kind] = true
+	}
+	for _, want := range []string{"bad-cell", "missing-matrix", "orphan-neighbor"} {
+		if !kinds[want] {
+			t.Errorf("report missing %q issue: %+v", want, rep.Issues)
+		}
+	}
+	if rep.Repaired == 0 {
+		t.Error("nothing repaired under Repair policy")
+	}
+
+	plan, err := e.Mitigate(testScenario(), Joint, utility.Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UtilityAfter < plan.UtilityUpgrade {
+		t.Fatalf("plan on repaired data lost utility: after %v < upgrade %v",
+			plan.UtilityAfter, plan.UtilityUpgrade)
+	}
+	if plan.Sanitation != rep {
+		t.Error("plan does not reference the sanitation report")
+	}
+}
+
+// TestQuarantinedSectorExcludedFromNeighbors: a sector with hopeless
+// data must not appear in any plan's tuned set.
+func TestQuarantinedSectorExcludedFromNeighbors(t *testing.T) {
+	e := testEngine(t)
+	ds := e.ExportDataset()
+
+	// Find a sector that the reference plan tunes, then destroy its data.
+	ref, err := e.Mitigate(testScenario(), Joint, utility.Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Neighbors) == 0 {
+		t.Skip("no neighbors in reference plan")
+	}
+	victim := ref.Neighbors[0]
+	for ti := range ds.Sectors[victim].LinkDB {
+		ds.Sectors[victim].LinkDB[ti] = nil
+	}
+
+	rep, err := e.UseDataset(ds, sanitize.Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, q := range rep.Quarantined {
+		if q == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sector %d with no matrices not quarantined: %+v", victim, rep)
+	}
+	if got := e.QuarantinedSectors(); len(got) == 0 {
+		t.Fatal("engine does not report quarantined sectors")
+	}
+
+	plan, err := e.Mitigate(testScenario(), Joint, utility.Performance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range plan.Neighbors {
+		if b == victim {
+			t.Fatalf("quarantined sector %d in neighbor set %v", victim, plan.Neighbors)
+		}
+	}
+}
+
+func TestStrictDatasetRejected(t *testing.T) {
+	e := testEngine(t)
+	before := e.Before
+	ds := e.ExportDataset()
+	ds.Sectors[0].LinkDB[0][0] = math.NaN()
+
+	rep, err := e.UseDataset(ds, sanitize.Strict)
+	if !errors.Is(err, sanitize.ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if rep == nil || rep.Clean {
+		t.Fatalf("report = %+v, want defects listed", rep)
+	}
+	if e.Before != before || e.Sanitation() != nil {
+		t.Fatal("Strict rejection mutated the engine")
+	}
+}
+
+func TestUseDatasetRejectsForeignSectors(t *testing.T) {
+	e := testEngine(t)
+	ds := e.ExportDataset()
+	ds.Sectors[0].ID = 10 * e.Net.NumSectors()
+	if _, err := e.UseDataset(ds, sanitize.Repair); err == nil {
+		t.Fatal("dataset with out-of-network sector accepted")
+	}
+}
+
+// TestDatasetConfigMoves: the dataset's power/tilt settings become the
+// engine's baseline configuration.
+func TestDatasetConfigMoves(t *testing.T) {
+	e := testEngine(t)
+	ds := e.ExportDataset()
+	topoSec := &e.Net.Sectors[0]
+	want := topoSec.MinPowerDbm + 1
+	ds.Sectors[0].PowerDbm = want
+
+	if _, err := e.UseDataset(ds, sanitize.Repair); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Before.Cfg.PowerDbm(0); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("baseline power = %v, want dataset's %v", got, want)
+	}
+}

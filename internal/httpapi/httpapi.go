@@ -34,6 +34,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"magus/internal/campaign"
@@ -80,6 +81,10 @@ type Server struct {
 	plannerOnce sync.Once
 	planner     *outageplan.Planner
 	plannerErr  error
+
+	// draining stops admission of new planning work (see BeginDrain)
+	// while status endpoints keep answering.
+	draining atomic.Bool
 }
 
 // Options tune optional server subsystems.
@@ -131,6 +136,77 @@ func New(engine *core.Engine, opts Options) *Server {
 // Close stops the campaign worker pool, cancelling running campaigns.
 func (s *Server) Close() { s.orch.Close() }
 
+// Orchestrator exposes the server's campaign orchestrator (the daemon
+// drains it on shutdown).
+func (s *Server) Orchestrator() *campaign.Orchestrator { return s.orch }
+
+// BeginDrain flips the server into drain mode: endpoints that admit new
+// planning work answer 503 with a Retry-After header, while status and
+// read-only endpoints (healthz, campaign status, cancel) keep working so
+// operators and load balancers can watch the drain complete.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// drainRetryAfter is the Retry-After hint handed to refused clients: by
+// then the replacement instance should be up.
+const drainRetryAfter = "30"
+
+// admit guards an admission endpoint. A refusal is written for the
+// caller when the server is draining.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return true
+	}
+	w.Header().Set("Retry-After", drainRetryAfter)
+	httpError(w, http.StatusServiceUnavailable, "server is draining")
+	return false
+}
+
+// maxBodyBytes caps request bodies: a campaign submission is a few KB,
+// so anything over 1 MB is a client bug or abuse, not a bigger batch.
+const maxBodyBytes = 1 << 20
+
+// decodeBody decodes a JSON request body under the size cap, writing a
+// structured error on failure: 413 for oversized bodies, 400 with the
+// offending offset or field for malformed ones.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	err := dec.Decode(dst)
+	if err == nil && dec.More() {
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "malformed JSON body", "detail": "trailing data after JSON value",
+		})
+		return false
+	}
+	if err == nil {
+		return true
+	}
+	var maxErr *http.MaxBytesError
+	var syntaxErr *json.SyntaxError
+	var typeErr *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &maxErr):
+		httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", maxErr.Limit)
+	case errors.As(err, &syntaxErr):
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "malformed JSON body", "offset": syntaxErr.Offset, "detail": err.Error(),
+		})
+	case errors.As(err, &typeErr):
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "malformed JSON body", "field": typeErr.Field, "detail": err.Error(),
+		})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]any{
+			"error": "malformed JSON body", "detail": err.Error(),
+		})
+	}
+	return false
+}
+
 // ServeHTTP dispatches to the handler tree.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -151,14 +227,28 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	resp := map[string]any{
+		"status":    status,
 		"class":     s.engine.Net.Class.String(),
 		"sites":     len(s.engine.Net.Sites),
 		"sectors":   s.engine.Net.NumSectors(),
 		"users":     s.engine.Model.TotalUE(),
 		"campaigns": s.orch.Metrics(),
-	})
+	}
+	if rep := s.engine.Sanitation(); rep != nil {
+		resp["sanitation"] = map[string]any{
+			"policy":      rep.Policy,
+			"clean":       rep.Clean,
+			"found":       rep.Found,
+			"repaired":    rep.Repaired,
+			"quarantined": len(rep.Quarantined),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSectors(w http.ResponseWriter, r *http.Request) {
@@ -253,6 +343,9 @@ func planStatus(err error) int {
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
 	plan, err := s.plan(r)
 	if err != nil {
 		httpError(w, planStatus(err), "%v", err)
@@ -274,6 +367,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRunbook(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
 	plan, err := s.plan(r)
 	if err != nil {
 		httpError(w, planStatus(err), "%v", err)
@@ -305,6 +401,9 @@ func (s *Server) handleRunbook(w http.ResponseWriter, r *http.Request) {
 //	replan=1    enable the search-based replanner on floor breaches
 //	series=1    include the full per-tick series in the response
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
 	q := r.URL.Query()
 	cfg := simwindow.Config{Ctx: r.Context()}
 	var err error
@@ -398,6 +497,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
 	plan, err := s.plan(r)
 	if err != nil {
 		httpError(w, planStatus(err), "%v", err)
@@ -425,6 +527,9 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleOutage(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
 	sector, err := strconv.Atoi(r.URL.Query().Get("sector"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad sector %q", r.URL.Query().Get("sector"))
@@ -488,11 +593,11 @@ type campaignRequest struct {
 }
 
 func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
 	var req campaignRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad campaign body: %v", err)
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Jobs) == 0 {
@@ -546,6 +651,10 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusBadRequest
 		if errors.Is(err, campaign.ErrQueueFull) {
 			status = http.StatusServiceUnavailable
+		}
+		if errors.Is(err, campaign.ErrDraining) {
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", drainRetryAfter)
 		}
 		httpError(w, status, "%v", err)
 		return

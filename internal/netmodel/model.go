@@ -119,6 +119,13 @@ type Model struct {
 	// sectorEntries[b] lists every contributor entry owned by sector b.
 	sectorEntries [][]entryRef
 
+	// Tabulated per-tilt link budgets (InstallLinkTable): when
+	// curveSettings[b] is non-nil, entries of sector b with a non-nil
+	// entryCurve answer entryLinkDB from the table instead of the
+	// analytic pattern. Nil until the first install.
+	curveSettings [][]float64
+	entryCurve    [][]float64
+
 	// ue is the per-grid UE count (fractional), set by AssignUsersUniform.
 	ue      []float64
 	totalUE float64
@@ -264,6 +271,11 @@ func (m *Model) CopyUsersFrom(other *Model) error {
 // is then transmit power + link budget.
 func (m *Model) entryLinkDB(pos int, tiltDeg float64) float64 {
 	b := m.contribSector[pos]
+	if m.entryCurve != nil {
+		if curve := m.entryCurve[pos]; curve != nil {
+			return interpCurve(m.curveSettings[b], curve, tiltDeg)
+		}
+	}
 	sec := &m.Net.Sectors[b]
 	vatt := sec.Pattern.VerticalAttenuation(float64(m.contribElev[pos]), tiltDeg)
 	return float64(m.contribBaseDB[pos]) + vatt

@@ -221,6 +221,19 @@ func (s *State) MustApply(ch config.Change) config.Change {
 	return applied
 }
 
+// RefreshSector re-derives sector b's link budgets and received powers
+// from the model under the state's current configuration — needed after
+// InstallLinkTable replaces the sector's link-budget source beneath an
+// existing state. Entries whose received power is unchanged are left
+// untouched, so refreshing against identical data cannot perturb the
+// state.
+func (s *State) RefreshSector(b int) {
+	s.refreshSector(b)
+	if s.trackOn {
+		s.repairTracking()
+	}
+}
+
 // refreshSector recomputes every contributor entry of sector b under the
 // current configuration and incrementally fixes the affected grids.
 func (s *State) refreshSector(b int) {

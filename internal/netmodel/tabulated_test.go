@@ -1,0 +1,189 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+
+	"magus/internal/config"
+	"magus/internal/utility"
+)
+
+// tiltDegreesOf enumerates every discrete tilt setting of sector b in
+// ascending degrees.
+func tiltDegreesOf(m *Model, b int) []float64 {
+	tt := m.Net.Sectors[b].Tilts
+	settings := make([]float64, 0, tt.NumSettings())
+	for idx := tt.MinIndex(); idx <= tt.MaxIndex(); idx++ {
+		settings = append(settings, tt.Degrees(idx))
+	}
+	return settings
+}
+
+// TestTabulatedRoundtripBitIdentical is the determinism contract: a
+// model whose link budgets are sampled at every discrete tilt setting
+// and installed back as tables must evaluate bit-identically to the
+// analytic original at every discrete configuration. Sanitized-clean
+// operational data therefore plans exactly like the synthetic model.
+func TestTabulatedRoundtripBitIdentical(t *testing.T) {
+	m := testModel(t)
+	base := baseline(t, m)
+	u0 := base.Utility(utility.Performance)
+
+	// Record analytic link budgets at a non-neutral tilt before install.
+	probe := make(map[int32]float64)
+	for b := range m.Net.Sectors {
+		for _, ref := range m.sectorEntries[b] {
+			probe[ref.Pos] = m.entryLinkDB(int(ref.Pos), tiltDegreesOf(m, b)[1])
+		}
+	}
+
+	for b := range m.Net.Sectors {
+		settings := tiltDegreesOf(m, b)
+		cells := m.SectorCells(b)
+		rows := m.SampleLinkDB(b, settings)
+		if err := m.InstallLinkTable(b, settings, cells, rows); err != nil {
+			t.Fatalf("sector %d: %v", b, err)
+		}
+		if !m.HasLinkTable(b) {
+			t.Fatalf("sector %d: HasLinkTable false after install", b)
+		}
+	}
+
+	for b := range m.Net.Sectors {
+		want := tiltDegreesOf(m, b)[1]
+		for _, ref := range m.sectorEntries[b] {
+			if got := m.entryLinkDB(int(ref.Pos), want); got != probe[ref.Pos] {
+				t.Fatalf("sector %d pos %d: tabulated %v != analytic %v", b, ref.Pos, got, probe[ref.Pos])
+			}
+		}
+	}
+
+	tab := baseline(t, m)
+	if u := tab.Utility(utility.Performance); u != u0 {
+		t.Fatalf("tabulated utility %v != analytic %v (must be bit-identical)", u, u0)
+	}
+	for g := 0; g < m.Grid.NumCells(); g++ {
+		if tab.MaxRateBps(g) != base.MaxRateBps(g) {
+			t.Fatalf("grid %d: tabulated rate %v != analytic %v", g, tab.MaxRateBps(g), base.MaxRateBps(g))
+		}
+		if tab.ServingSector(g) != base.ServingSector(g) {
+			t.Fatalf("grid %d: serving sector changed under tabulation", g)
+		}
+	}
+
+	// Incremental updates must agree too: retilt a sector on both states.
+	base.MustApply(config.Change{Sector: 0, TiltDelta: 2})
+	tab.MustApply(config.Change{Sector: 0, TiltDelta: 2})
+	if ub, ut := base.Utility(utility.Performance), tab.Utility(utility.Performance); ub != ut {
+		t.Fatalf("after retilt: tabulated utility %v != analytic %v", ut, ub)
+	}
+}
+
+// TestTabulatedMidpointInterpolation checks linear interpolation between
+// tabulated settings and clamping outside them.
+func TestTabulatedMidpointInterpolation(t *testing.T) {
+	m := testModel(t)
+	cells := m.SectorCells(0)
+	if len(cells) == 0 {
+		t.Skip("sector 0 has no coverage")
+	}
+	rows := [][]float64{make([]float64, len(cells)), make([]float64, len(cells))}
+	for c := range cells {
+		rows[0][c] = -80 - float64(c)
+		rows[1][c] = -90 - float64(c)
+	}
+	if err := m.InstallLinkTable(0, []float64{0, 10}, cells, rows); err != nil {
+		t.Fatal(err)
+	}
+	pos := int(m.sectorEntries[0][0].Pos)
+	if got := m.entryLinkDB(pos, 5); got != -85 {
+		t.Fatalf("midpoint = %v, want -85", got)
+	}
+	if got := m.entryLinkDB(pos, 0); got != -80 {
+		t.Fatalf("exact setting = %v, want stored -80", got)
+	}
+	if got := m.entryLinkDB(pos, -4); got != -80 {
+		t.Fatalf("below range = %v, want clamped -80", got)
+	}
+	if got := m.entryLinkDB(pos, 99); got != -90 {
+		t.Fatalf("above range = %v, want clamped -90", got)
+	}
+}
+
+func TestInstallLinkTableValidation(t *testing.T) {
+	m := testModel(t)
+	cells := m.SectorCells(0)
+	good := [][]float64{make([]float64, len(cells))}
+	for _, tc := range []struct {
+		name     string
+		sector   int
+		settings []float64
+		cells    []int
+		rows     [][]float64
+	}{
+		{"bad-sector", 999, []float64{1}, cells, good},
+		{"no-settings", 0, nil, cells, good},
+		{"non-ascending", 0, []float64{3, 1}, cells, [][]float64{good[0], good[0]}},
+		{"row-count", 0, []float64{1, 2}, cells, good},
+		{"row-width", 0, []float64{1}, cells, [][]float64{{-80}}},
+	} {
+		if err := m.InstallLinkTable(tc.sector, tc.settings, tc.cells, tc.rows); err == nil {
+			t.Errorf("%s: install accepted", tc.name)
+		}
+	}
+	if m.HasLinkTable(0) {
+		t.Error("failed installs must not mark the sector tabulated")
+	}
+}
+
+// TestTabulatedPartialCoverage: cells absent from the table keep the
+// analytic link budget.
+func TestTabulatedPartialCoverage(t *testing.T) {
+	m := testModel(t)
+	refs := m.sectorEntries[0]
+	if len(refs) < 2 {
+		t.Skip("sector 0 too small")
+	}
+	settings := tiltDegreesOf(m, 0)
+	full := m.SampleLinkDB(0, settings)
+	// Drop the last covered cell from the install.
+	cells := m.SectorCells(0)
+	n := len(cells) - 1
+	part := make([][]float64, len(full))
+	for i, row := range full {
+		part[i] = row[:n]
+	}
+	if err := m.InstallLinkTable(0, settings, cells[:n], part); err != nil {
+		t.Fatal(err)
+	}
+	last := int(refs[len(refs)-1].Pos)
+	if m.entryCurve[last] != nil {
+		t.Fatal("uncovered entry got a curve")
+	}
+	tilt := settings[3] + 0.25 // off-grid tilt: analytic path must answer
+	sec := &m.Net.Sectors[0]
+	want := float64(m.contribBaseDB[last]) + sec.Pattern.VerticalAttenuation(float64(m.contribElev[last]), tilt)
+	if got := m.entryLinkDB(last, tilt); got != want {
+		t.Fatalf("uncovered entry = %v, want analytic %v", got, want)
+	}
+}
+
+func TestSetUsers(t *testing.T) {
+	m := testModel(t)
+	if err := m.SetUsers([]float64{1, 2, 3}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	ue := make([]float64, m.Grid.NumCells())
+	for i := range ue {
+		ue[i] = 0.5
+	}
+	if err := m.SetUsers(ue); err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.5 * float64(m.Grid.NumCells()); math.Abs(m.TotalUE()-want) > 1e-9 {
+		t.Fatalf("TotalUE = %v, want %v", m.TotalUE(), want)
+	}
+	if m.UE(0) != 0.5 {
+		t.Fatalf("UE(0) = %v", m.UE(0))
+	}
+}

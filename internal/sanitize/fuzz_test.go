@@ -1,0 +1,156 @@
+package sanitize
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzRun drives the sanitizer with adversarial datasets decoded from
+// raw bytes and checks its invariants: no panic, and under Repair every
+// non-quarantined sector comes out with fully valid matrices and
+// in-range configuration, whatever went in.
+func FuzzRun(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{3, 4, 0x7f, 0xc0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(1))
+	f.Add([]byte{1, 2, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 9, 9}, uint8(0))
+	f.Add([]byte{2, 3, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(2))
+
+	f.Fuzz(func(t *testing.T, raw []byte, policyByte uint8) {
+		ds := decodeDataset(raw)
+		policy := Policy(policyByte % 3)
+
+		rep, err := Run(ds, policy)
+		if rep == nil {
+			t.Fatal("nil report")
+		}
+		if policy == Strict {
+			if (err != nil) == rep.Clean {
+				t.Fatalf("Strict: clean=%v but err=%v", rep.Clean, err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("%v policy returned error: %v", policy, err)
+		}
+
+		// Post-conditions of a mutating run: anything not quarantined is
+		// safe to install.
+		for _, sec := range ds.Sectors {
+			if sec.Quarantined {
+				continue
+			}
+			if policy == Quarantine {
+				continue // untouched by design; defective ones are quarantined
+			}
+			if len(sec.TiltSettings) == 0 && len(sec.LinkDB) == 0 {
+				continue
+			}
+			if len(sec.LinkDB) != len(sec.TiltSettings) {
+				t.Fatalf("sector %d: %d rows for %d settings survived Repair", sec.ID, len(sec.LinkDB), len(sec.TiltSettings))
+			}
+			for ti, row := range sec.LinkDB {
+				if row == nil {
+					t.Fatalf("sector %d: missing matrix %d survived Repair", sec.ID, ti)
+				}
+				for c, v := range row {
+					if !validCell(v) {
+						t.Fatalf("sector %d tilt %d cell %d: invalid %g survived Repair", sec.ID, ti, c, v)
+					}
+				}
+			}
+			if sec.PowerDbm < sec.MinPowerDbm || sec.PowerDbm > sec.MaxPowerDbm || math.IsNaN(sec.PowerDbm) {
+				t.Fatalf("sector %d: power %g outside [%g, %g] survived Repair", sec.ID, sec.PowerDbm, sec.MinPowerDbm, sec.MaxPowerDbm)
+			}
+		}
+		for i, v := range ds.UE {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("density %d: invalid %g survived sanitation", i, v)
+			}
+		}
+		if rep.Found > 0 && rep.Clean {
+			t.Fatalf("clean=true with %d defects", rep.Found)
+		}
+	})
+}
+
+// decodeDataset deterministically builds a small Dataset from raw
+// bytes, deliberately allowing structural nonsense (mismatched rows,
+// weird bounds, NaN payloads) so the sanitizer sees realistic garbage.
+func decodeDataset(raw []byte) *Dataset {
+	r := &byteReader{raw: raw}
+	nSectors := int(r.byte() % 5)
+	nTilts := int(r.byte() % 5)
+	nCells := int(r.byte()%5) + 1
+	ds := &Dataset{}
+	for s := 0; s < nSectors; s++ {
+		sec := SectorData{
+			ID:          s,
+			PowerDbm:    r.value(),
+			MinPowerDbm: r.value(),
+			MaxPowerDbm: r.value(),
+			TiltDeg:     r.value(),
+		}
+		for t := 0; t < nTilts; t++ {
+			sec.TiltSettings = append(sec.TiltSettings, r.value())
+		}
+		for c := 0; c < nCells; c++ {
+			sec.Cells = append(sec.Cells, c)
+		}
+		rows := int(r.byte() % 6) // may disagree with nTilts on purpose
+		for t := 0; t < rows; t++ {
+			if r.byte()%4 == 0 {
+				sec.LinkDB = append(sec.LinkDB, nil)
+				continue
+			}
+			row := make([]float64, nCells)
+			for c := range row {
+				row[c] = r.value()
+			}
+			sec.LinkDB = append(sec.LinkDB, row)
+		}
+		refs := int(r.byte() % 4)
+		for n := 0; n < refs; n++ {
+			sec.Neighbors = append(sec.Neighbors, int(r.byte()%8))
+		}
+		ds.Sectors = append(ds.Sectors, sec)
+	}
+	cells := int(r.byte() % 8)
+	for c := 0; c < cells; c++ {
+		ds.UE = append(ds.UE, r.value())
+	}
+	return ds
+}
+
+type byteReader struct {
+	raw []byte
+	pos int
+}
+
+func (r *byteReader) byte() byte {
+	if r.pos >= len(r.raw) {
+		return 0
+	}
+	b := r.raw[r.pos]
+	r.pos++
+	return b
+}
+
+// value maps two bytes onto a spread of interesting floats: plausible
+// link budgets, out-of-range magnitudes, NaN and infinities.
+func (r *byteReader) value() float64 {
+	b := r.byte()
+	switch b % 16 {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1)
+	case 2:
+		return math.Inf(-1)
+	case 3:
+		return 1e9
+	case 4:
+		return -1e9
+	default:
+		return -float64(r.byte()) - float64(b)/256
+	}
+}

@@ -1,0 +1,627 @@
+// Package sanitize validates and repairs the operational data Magus
+// plans from. The paper is explicit that this data is imperfect in
+// practice: path-loss matrices exist only for some tilt settings,
+// user densities lag reality, and exported configurations drift out of
+// range. Planning over such inputs silently optimizes garbage, so every
+// dataset passes through Run before it reaches the network model.
+//
+// Three policies cover the operational spectrum:
+//
+//   - Strict rejects the dataset on the first class of defect — nothing
+//     is mutated. Use it in CI and pre-flight checks.
+//   - Repair fixes what it defensibly can (interpolating missing tilt
+//     matrices from adjacent settings, patching NaN cells, clamping
+//     out-of-range power/tilt, zeroing negative densities) and
+//     quarantines the sectors it cannot.
+//   - Quarantine rewrites nothing sector-local: any sector with a
+//     defective matrix or configuration is quarantined wholesale, so the
+//     planner works from measured data only, on fewer sectors.
+//
+// Quarantined sectors stay in the network (they keep serving in the
+// model with whatever data they had) but are excluded from the
+// candidate moves of the joint search — the planner will not tune a
+// sector whose model is known to be wrong. Every decision lands in the
+// machine-readable Report that rides along the plan, the campaign API,
+// and magusctl.
+package sanitize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Policy selects how defects are handled.
+type Policy int
+
+const (
+	// Strict rejects a defective dataset outright, mutating nothing.
+	Strict Policy = iota
+	// Repair fixes defects where a defensible reconstruction exists and
+	// quarantines the sectors where none does.
+	Repair
+	// Quarantine never rewrites sector data: defective sectors are
+	// excluded from tuning wholesale.
+	Quarantine
+)
+
+// String returns the policy's wire name.
+func (p Policy) String() string {
+	switch p {
+	case Strict:
+		return "strict"
+	case Repair:
+		return "repair"
+	case Quarantine:
+		return "quarantine"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a wire name to its Policy ("" selects Repair, the
+// operational default).
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "repair":
+		return Repair, nil
+	case "strict":
+		return Strict, nil
+	case "quarantine":
+		return Quarantine, nil
+	default:
+		return 0, fmt.Errorf("sanitize: unknown policy %q (want strict, repair or quarantine)", s)
+	}
+}
+
+// Link-budget plausibility bounds for one matrix cell, in dB: a cell is
+// the received-power contribution (power + gains - path loss) relative
+// to the sector's configured power, so positive values (gain exceeding
+// path loss) and absurd attenuations are both physical nonsense.
+const (
+	MaxLinkDB = 0.0
+	MinLinkDB = -300.0
+)
+
+// quarantineFraction is the invalid-cell share past which a matrix is
+// considered unreconstructable and its sector quarantined even under
+// Repair.
+const quarantineFraction = 0.5
+
+// maxIssues bounds the report; past it, Truncated is set and counting
+// continues without detail.
+const maxIssues = 1000
+
+// SectorData is the sanitizer's view of one sector's operational data.
+// The JSON names define the on-disk dataset exchange format.
+type SectorData struct {
+	// ID is the sector's identifier in the network model.
+	ID int `json:"id"`
+	// PowerDbm is the configured transmit power, bounded by
+	// [MinPowerDbm, MaxPowerDbm].
+	PowerDbm    float64 `json:"power_dbm"`
+	MinPowerDbm float64 `json:"min_power_dbm"`
+	MaxPowerDbm float64 `json:"max_power_dbm"`
+	// TiltDeg is the configured downtilt, expected within the span of
+	// TiltSettings.
+	TiltDeg float64 `json:"tilt_deg"`
+	// TiltSettings are the tilt angles (degrees, ascending) the per-tilt
+	// matrices were tabulated at.
+	TiltSettings []float64 `json:"tilt_settings"`
+	// Cells indexes the grid cells the matrices cover.
+	Cells []int `json:"cells"`
+	// LinkDB holds one link-budget row per tilt setting over Cells; a
+	// nil row is a missing matrix (the paper: matrices exist only for
+	// some tilt settings).
+	LinkDB [][]float64 `json:"link_db"`
+	// Neighbors are sector IDs this sector's records reference.
+	Neighbors []int `json:"neighbors,omitempty"`
+	// Quarantined is set by Run when the sector must not be tuned.
+	Quarantined bool `json:"quarantined,omitempty"`
+}
+
+// Dataset is a full operational snapshot: per-sector records plus the
+// user-density grid.
+type Dataset struct {
+	Sectors []SectorData `json:"sectors"`
+	// UE is per-grid-cell user density.
+	UE []float64 `json:"ue,omitempty"`
+}
+
+// Issue is one recorded defect and what was done about it.
+type Issue struct {
+	// Kind classifies the defect: "bad-cell", "missing-matrix",
+	// "bad-matrix", "power-range", "tilt-range", "orphan-neighbor",
+	// "bad-density", "zero-density".
+	Kind string `json:"kind"`
+	// Sector is the sector ID (-1 for dataset-wide issues).
+	Sector int `json:"sector"`
+	// Tilt is the tilt-setting index (-1 when not applicable).
+	Tilt int `json:"tilt,omitempty"`
+	// Cell is the grid-cell position within the sector's coverage (-1
+	// when not applicable).
+	Cell int `json:"cell,omitempty"`
+	// Action records the resolution: "rejected", "repaired",
+	// "interpolated", "clamped", "quarantined", "dropped", "zeroed",
+	// "kept-existing".
+	Action string `json:"action"`
+	// Detail is a human-readable specific.
+	Detail string `json:"detail,omitempty"`
+}
+
+// Report is the machine-readable outcome of a Run.
+type Report struct {
+	// Policy is the wire name of the policy applied.
+	Policy string `json:"policy"`
+	// Sectors is the dataset size inspected.
+	Sectors int `json:"sectors"`
+	// Issues enumerates the defects found (bounded; see Truncated).
+	Issues []Issue `json:"issues,omitempty"`
+	// Found counts every defect, including those past the Issues bound.
+	Found int `json:"found"`
+	// Repaired counts values rewritten (interpolations, clamps, zeroed
+	// densities, dropped references).
+	Repaired int `json:"repaired"`
+	// Quarantined lists the sector IDs excluded from tuning, ascending.
+	Quarantined []int `json:"quarantined,omitempty"`
+	// Clean reports a defect-free dataset.
+	Clean bool `json:"clean"`
+	// Truncated is set when Issues hit the reporting bound.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// ErrRejected wraps the defect summary a Strict run fails with.
+var ErrRejected = errors.New("sanitize: dataset rejected")
+
+// Run validates ds under policy. Under Repair and Quarantine the
+// dataset is mutated in place per the package rules and the returned
+// error is always nil; under Strict nothing is mutated and any defect
+// returns an error wrapping ErrRejected (alongside the full report).
+func Run(ds *Dataset, policy Policy) (*Report, error) {
+	s := &sanitizer{
+		policy: policy,
+		report: &Report{Policy: policy.String(), Sectors: len(ds.Sectors)},
+	}
+	s.ids = make(map[int]bool, len(ds.Sectors))
+	for i := range ds.Sectors {
+		s.ids[ds.Sectors[i].ID] = true
+	}
+	for i := range ds.Sectors {
+		s.sector(&ds.Sectors[i])
+	}
+	s.density(ds)
+
+	for i := range ds.Sectors {
+		if ds.Sectors[i].Quarantined {
+			s.report.Quarantined = append(s.report.Quarantined, ds.Sectors[i].ID)
+		}
+	}
+	sort.Ints(s.report.Quarantined)
+	s.report.Clean = s.report.Found == 0
+	if policy == Strict && !s.report.Clean {
+		return s.report, fmt.Errorf("%w: %d defects across %d sectors (first: %s)",
+			ErrRejected, s.report.Found, len(ds.Sectors), describe(s.report.Issues))
+	}
+	return s.report, nil
+}
+
+func describe(issues []Issue) string {
+	if len(issues) == 0 {
+		return "none"
+	}
+	i := issues[0]
+	return fmt.Sprintf("%s sector %d: %s", i.Kind, i.Sector, i.Detail)
+}
+
+type sanitizer struct {
+	policy Policy
+	report *Report
+	ids    map[int]bool
+}
+
+func (s *sanitizer) issue(i Issue) {
+	s.report.Found++
+	if len(s.report.Issues) >= maxIssues {
+		s.report.Truncated = true
+		return
+	}
+	s.report.Issues = append(s.report.Issues, i)
+}
+
+// repaired records a defect that was fixed in place.
+func (s *sanitizer) repaired(i Issue) {
+	s.report.Repaired++
+	s.issue(i)
+}
+
+// action names what this run's policy does about a sector-local defect
+// when Repair would use fix.
+func (s *sanitizer) action(fix string) string {
+	switch s.policy {
+	case Strict:
+		return "rejected"
+	case Quarantine:
+		return "quarantined"
+	default:
+		return fix
+	}
+}
+
+// sector checks one sector's matrices, configuration and references.
+func (s *sanitizer) sector(sec *SectorData) {
+	s.neighbors(sec)
+	s.config(sec)
+	s.matrices(sec)
+}
+
+// neighbors drops references to sectors absent from the dataset.
+func (s *sanitizer) neighbors(sec *SectorData) {
+	kept := sec.Neighbors[:0]
+	for _, n := range sec.Neighbors {
+		if s.ids[n] {
+			kept = append(kept, n)
+			continue
+		}
+		// An orphan reference is stale bookkeeping, not broken sector
+		// data: dropped under every mutating policy.
+		act := "dropped"
+		if s.policy == Strict {
+			act = "rejected"
+		}
+		s.record(Issue{
+			Kind: "orphan-neighbor", Sector: sec.ID, Tilt: -1, Cell: -1,
+			Action: act, Detail: fmt.Sprintf("references unknown sector %d", n),
+		}, act)
+		if s.policy == Strict {
+			kept = append(kept, n)
+		}
+	}
+	sec.Neighbors = kept
+}
+
+// record books an issue, counting it as a repair when the action
+// mutated data.
+func (s *sanitizer) record(i Issue, action string) {
+	switch action {
+	case "rejected", "quarantined", "kept-existing":
+		s.issue(i)
+	default:
+		s.repaired(i)
+	}
+}
+
+// config validates power and tilt against their ranges.
+func (s *sanitizer) config(sec *SectorData) {
+	if sec.MinPowerDbm > sec.MaxPowerDbm || !finite(sec.MinPowerDbm) || !finite(sec.MaxPowerDbm) {
+		s.issue(Issue{
+			Kind: "power-range", Sector: sec.ID, Tilt: -1, Cell: -1,
+			Action: s.action("quarantined"),
+			Detail: fmt.Sprintf("invalid power bounds [%g, %g]", sec.MinPowerDbm, sec.MaxPowerDbm),
+		})
+		s.quarantine(sec)
+		return
+	}
+	if !finite(sec.PowerDbm) || sec.PowerDbm < sec.MinPowerDbm || sec.PowerDbm > sec.MaxPowerDbm {
+		act := s.action("clamped")
+		s.record(Issue{
+			Kind: "power-range", Sector: sec.ID, Tilt: -1, Cell: -1, Action: act,
+			Detail: fmt.Sprintf("power %g outside [%g, %g]", sec.PowerDbm, sec.MinPowerDbm, sec.MaxPowerDbm),
+		}, act)
+		switch s.policy {
+		case Repair:
+			sec.PowerDbm = clamp(sec.PowerDbm, sec.MinPowerDbm, sec.MaxPowerDbm)
+		case Quarantine:
+			s.quarantine(sec)
+		}
+	}
+	if len(sec.TiltSettings) == 0 {
+		return // tilt validated against settings; matrices() flags missing settings
+	}
+	lo, hi := sec.TiltSettings[0], sec.TiltSettings[len(sec.TiltSettings)-1]
+	if !finite(sec.TiltDeg) || sec.TiltDeg < lo || sec.TiltDeg > hi {
+		act := s.action("clamped")
+		s.record(Issue{
+			Kind: "tilt-range", Sector: sec.ID, Tilt: -1, Cell: -1, Action: act,
+			Detail: fmt.Sprintf("tilt %g outside [%g, %g]", sec.TiltDeg, lo, hi),
+		}, act)
+		switch s.policy {
+		case Repair:
+			sec.TiltDeg = clamp(sec.TiltDeg, lo, hi)
+		case Quarantine:
+			s.quarantine(sec)
+		}
+	}
+}
+
+// matrices validates the per-tilt link-budget tables.
+func (s *sanitizer) matrices(sec *SectorData) {
+	if len(sec.TiltSettings) == 0 && len(sec.LinkDB) == 0 {
+		return // sector carries no tabulated data; nothing to check
+	}
+	if len(sec.LinkDB) != len(sec.TiltSettings) || !ascending(sec.TiltSettings) {
+		s.issue(Issue{
+			Kind: "bad-matrix", Sector: sec.ID, Tilt: -1, Cell: -1,
+			Action: s.action("quarantined"),
+			Detail: fmt.Sprintf("%d matrices for %d tilt settings (settings must ascend)", len(sec.LinkDB), len(sec.TiltSettings)),
+		})
+		s.quarantine(sec)
+		return
+	}
+	width := len(sec.Cells)
+	present := 0
+	for t, row := range sec.LinkDB {
+		if row == nil {
+			continue
+		}
+		if len(row) != width {
+			s.issue(Issue{
+				Kind: "bad-matrix", Sector: sec.ID, Tilt: t, Cell: -1,
+				Action: s.action("quarantined"),
+				Detail: fmt.Sprintf("matrix row has %d cells, coverage has %d", len(row), width),
+			})
+			s.quarantine(sec)
+			return
+		}
+		present++
+	}
+	if present == 0 {
+		s.issue(Issue{
+			Kind: "missing-matrix", Sector: sec.ID, Tilt: -1, Cell: -1,
+			Action: s.action("quarantined"),
+			Detail: "no tilt setting has a matrix",
+		})
+		s.quarantine(sec)
+		return
+	}
+
+	// Cell-level defects within present rows.
+	bad := 0
+	total := 0
+	for t, row := range sec.LinkDB {
+		if row == nil {
+			continue
+		}
+		total += len(row)
+		for c, v := range row {
+			if validCell(v) {
+				continue
+			}
+			bad++
+			act := s.action("interpolated")
+			s.record(Issue{
+				Kind: "bad-cell", Sector: sec.ID, Tilt: t, Cell: c, Action: act,
+				Detail: fmt.Sprintf("link %g dB not in [%g, %g]", v, MinLinkDB, MaxLinkDB),
+			}, act)
+		}
+	}
+	if total > 0 && float64(bad) > quarantineFraction*float64(total) {
+		s.issue(Issue{
+			Kind: "bad-matrix", Sector: sec.ID, Tilt: -1, Cell: -1,
+			Action: s.action("quarantined"),
+			Detail: fmt.Sprintf("%d of %d cells invalid: matrix unreconstructable", bad, total),
+		})
+		s.quarantine(sec)
+		return
+	}
+	if s.policy == Quarantine && bad > 0 {
+		s.quarantine(sec)
+		return
+	}
+	if s.policy == Repair && bad > 0 {
+		if !repairCells(sec) {
+			s.issue(Issue{
+				Kind: "bad-matrix", Sector: sec.ID, Tilt: -1, Cell: -1,
+				Action: "quarantined", Detail: "cell repair found no valid values to interpolate from",
+			})
+			s.quarantine(sec)
+			return
+		}
+	}
+
+	// Missing rows (after cell repair, so interpolation sources are
+	// clean).
+	if present < len(sec.LinkDB) {
+		for t, row := range sec.LinkDB {
+			if row != nil {
+				continue
+			}
+			act := s.action("interpolated")
+			s.record(Issue{
+				Kind: "missing-matrix", Sector: sec.ID, Tilt: t, Cell: -1, Action: act,
+				Detail: fmt.Sprintf("no matrix for tilt %g°", sec.TiltSettings[t]),
+			}, act)
+		}
+		switch s.policy {
+		case Repair:
+			fillMissingRows(sec)
+		case Quarantine:
+			s.quarantine(sec)
+		}
+	}
+}
+
+func (s *sanitizer) quarantine(sec *SectorData) {
+	if s.policy != Strict {
+		sec.Quarantined = true
+	}
+}
+
+// density zeroes invalid user densities and flags an all-zero grid.
+func (s *sanitizer) density(ds *Dataset) {
+	total := 0.0
+	for i, v := range ds.UE {
+		if finite(v) && v >= 0 {
+			total += v
+			continue
+		}
+		act := "zeroed"
+		if s.policy == Strict {
+			act = "rejected"
+		}
+		s.record(Issue{
+			Kind: "bad-density", Sector: -1, Tilt: -1, Cell: i, Action: act,
+			Detail: fmt.Sprintf("density %g", v),
+		}, act)
+		if s.policy != Strict {
+			ds.UE[i] = 0
+		}
+	}
+	if len(ds.UE) > 0 && total <= 0 {
+		// A grid with no users anywhere is stale telemetry, not an empty
+		// market; the installer keeps the model's existing densities.
+		act := "kept-existing"
+		if s.policy == Strict {
+			act = "rejected"
+		}
+		s.issue(Issue{
+			Kind: "zero-density", Sector: -1, Tilt: -1, Cell: -1, Action: act,
+			Detail: "total user density is zero",
+		})
+	}
+}
+
+// repairCells patches invalid cells in place: linear interpolation from
+// the same cell at adjacent valid tilts, falling back to the row mean.
+// Reports false when a row ends up with nothing valid at all.
+func repairCells(sec *SectorData) bool {
+	for t, row := range sec.LinkDB {
+		if row == nil {
+			continue
+		}
+		for c, v := range row {
+			if validCell(v) {
+				continue
+			}
+			if rep, ok := interpAcrossTilts(sec, t, c); ok {
+				row[c] = rep
+			} else if mean, ok := rowMean(row); ok {
+				row[c] = mean
+			} else {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// interpAcrossTilts reconstructs cell c of tilt row t from the nearest
+// valid values of the same cell at other tilt settings.
+func interpAcrossTilts(sec *SectorData, t, c int) (float64, bool) {
+	lo, hi := -1, -1
+	for i := t - 1; i >= 0; i-- {
+		if sec.LinkDB[i] != nil && validCell(sec.LinkDB[i][c]) {
+			lo = i
+			break
+		}
+	}
+	for i := t + 1; i < len(sec.LinkDB); i++ {
+		if sec.LinkDB[i] != nil && validCell(sec.LinkDB[i][c]) {
+			hi = i
+			break
+		}
+	}
+	switch {
+	case lo >= 0 && hi >= 0:
+		x0, x1 := sec.TiltSettings[lo], sec.TiltSettings[hi]
+		y0, y1 := sec.LinkDB[lo][c], sec.LinkDB[hi][c]
+		if x1 == x0 {
+			return y0, true
+		}
+		frac := (sec.TiltSettings[t] - x0) / (x1 - x0)
+		return y0 + frac*(y1-y0), true
+	case lo >= 0:
+		return sec.LinkDB[lo][c], true
+	case hi >= 0:
+		return sec.LinkDB[hi][c], true
+	default:
+		return 0, false
+	}
+}
+
+// rowMean averages the valid cells of a row.
+func rowMean(row []float64) (float64, bool) {
+	sum, n := 0.0, 0
+	for _, v := range row {
+		if validCell(v) {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// fillMissingRows reconstructs nil tilt rows by linear interpolation
+// between the nearest present rows (copying the single nearest at the
+// edges). Callers guarantee at least one present row.
+func fillMissingRows(sec *SectorData) {
+	for t, row := range sec.LinkDB {
+		if row != nil {
+			continue
+		}
+		lo, hi := -1, -1
+		for i := t - 1; i >= 0; i-- {
+			if sec.LinkDB[i] != nil {
+				lo = i
+				break
+			}
+		}
+		for i := t + 1; i < len(sec.LinkDB); i++ {
+			if sec.LinkDB[i] != nil {
+				hi = i
+				break
+			}
+		}
+		fresh := make([]float64, len(sec.Cells))
+		switch {
+		case lo >= 0 && hi >= 0:
+			x0, x1 := sec.TiltSettings[lo], sec.TiltSettings[hi]
+			frac := 0.0
+			if x1 != x0 {
+				frac = (sec.TiltSettings[t] - x0) / (x1 - x0)
+			}
+			for c := range fresh {
+				y0, y1 := sec.LinkDB[lo][c], sec.LinkDB[hi][c]
+				fresh[c] = y0 + frac*(y1-y0)
+			}
+		case lo >= 0:
+			copy(fresh, sec.LinkDB[lo])
+		default:
+			copy(fresh, sec.LinkDB[hi])
+		}
+		sec.LinkDB[t] = fresh
+	}
+}
+
+func validCell(v float64) bool {
+	return finite(v) && v >= MinLinkDB && v <= MaxLinkDB
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if math.IsNaN(v) {
+		return (lo + hi) / 2
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func ascending(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if !(xs[i] > xs[i-1]) || !finite(xs[i]) {
+			return false
+		}
+	}
+	return len(xs) == 0 || finite(xs[0])
+}

@@ -1,0 +1,313 @@
+package sanitize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// cleanSector builds a well-formed 3-tilt, 4-cell sector.
+func cleanSector(id int) SectorData {
+	return SectorData{
+		ID:           id,
+		PowerDbm:     43,
+		MinPowerDbm:  3,
+		MaxPowerDbm:  46,
+		TiltDeg:      4,
+		TiltSettings: []float64{2, 4, 6},
+		Cells:        []int{10, 11, 12, 13},
+		LinkDB: [][]float64{
+			{-80, -90, -100, -110},
+			{-82, -92, -102, -112},
+			{-84, -94, -104, -114},
+		},
+		Neighbors: []int{},
+	}
+}
+
+func cleanDataset() *Dataset {
+	s0, s1 := cleanSector(0), cleanSector(1)
+	s0.Neighbors = []int{1}
+	s1.Neighbors = []int{0}
+	return &Dataset{Sectors: []SectorData{s0, s1}, UE: []float64{1, 2, 3, 4}}
+}
+
+func TestCleanDatasetPassesEveryPolicy(t *testing.T) {
+	for _, p := range []Policy{Strict, Repair, Quarantine} {
+		ds := cleanDataset()
+		rep, err := Run(ds, p)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if !rep.Clean || rep.Found != 0 || len(rep.Quarantined) != 0 {
+			t.Fatalf("%v: report = %+v, want clean", p, rep)
+		}
+	}
+}
+
+func TestStrictRejectsWithoutMutating(t *testing.T) {
+	ds := cleanDataset()
+	ds.Sectors[0].LinkDB[1][2] = math.NaN()
+	ds.Sectors[0].PowerDbm = 99
+	ds.UE[0] = -5
+	before := ds.Sectors[0].PowerDbm
+
+	rep, err := Run(ds, Strict)
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if rep.Clean || rep.Found != 3 {
+		t.Fatalf("report = %+v, want 3 defects", rep)
+	}
+	if ds.Sectors[0].PowerDbm != before || ds.UE[0] != -5 {
+		t.Fatal("Strict mutated the dataset")
+	}
+	if !math.IsNaN(ds.Sectors[0].LinkDB[1][2]) {
+		t.Fatal("Strict repaired a cell")
+	}
+	if ds.Sectors[0].Quarantined {
+		t.Fatal("Strict quarantined a sector")
+	}
+}
+
+func TestRepairInterpolatesNaNCell(t *testing.T) {
+	ds := cleanDataset()
+	ds.Sectors[0].LinkDB[1][2] = math.Inf(-1)
+	rep, err := Run(ds, Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same cell at tilts 2° and 6° is -100 and -104: the 4° midpoint is
+	// exactly -102.
+	if got := ds.Sectors[0].LinkDB[1][2]; got != -102 {
+		t.Fatalf("repaired cell = %g, want -102 (linear in tilt)", got)
+	}
+	if rep.Repaired != 1 || len(rep.Quarantined) != 0 {
+		t.Fatalf("report = %+v, want 1 repair, 0 quarantined", rep)
+	}
+	if len(rep.Issues) != 1 || rep.Issues[0].Kind != "bad-cell" || rep.Issues[0].Action != "interpolated" {
+		t.Fatalf("issues = %+v", rep.Issues)
+	}
+}
+
+func TestRepairFillsMissingTiltMatrix(t *testing.T) {
+	ds := cleanDataset()
+	ds.Sectors[0].LinkDB[1] = nil
+	rep, err := Run(ds, Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := ds.Sectors[0].LinkDB[1]
+	if row == nil {
+		t.Fatal("missing matrix not reconstructed")
+	}
+	want := []float64{-82, -92, -102, -112} // midpoints of the 2° and 6° rows
+	for c, v := range row {
+		if v != want[c] {
+			t.Fatalf("cell %d = %g, want %g", c, v, want[c])
+		}
+	}
+	if rep.Repaired != 1 {
+		t.Fatalf("report = %+v, want 1 repair", rep)
+	}
+}
+
+func TestRepairCopiesEdgeMatrix(t *testing.T) {
+	ds := cleanDataset()
+	ds.Sectors[0].LinkDB[0] = nil // no lower neighbor: copy the 4° row
+	if _, err := Run(ds, Repair); err != nil {
+		t.Fatal(err)
+	}
+	row := ds.Sectors[0].LinkDB[0]
+	for c, v := range row {
+		if want := ds.Sectors[0].LinkDB[1][c]; v != want {
+			t.Fatalf("edge cell %d = %g, want nearest row's %g", c, v, want)
+		}
+	}
+}
+
+func TestRepairQuarantinesHopelessMatrix(t *testing.T) {
+	ds := cleanDataset()
+	// Over half the cells invalid: unreconstructable.
+	for t := range ds.Sectors[0].LinkDB {
+		for c := range ds.Sectors[0].LinkDB[t] {
+			ds.Sectors[0].LinkDB[t][c] = math.NaN()
+		}
+	}
+	rep, err := Run(ds, Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Sectors[0].Quarantined {
+		t.Fatal("hopeless sector not quarantined")
+	}
+	if len(rep.Quarantined) != 1 || rep.Quarantined[0] != 0 {
+		t.Fatalf("quarantined = %v, want [0]", rep.Quarantined)
+	}
+	if ds.Sectors[1].Quarantined {
+		t.Fatal("healthy sector quarantined")
+	}
+}
+
+func TestRepairQuarantinesAllMissingMatrices(t *testing.T) {
+	ds := cleanDataset()
+	for t := range ds.Sectors[1].LinkDB {
+		ds.Sectors[1].LinkDB[t] = nil
+	}
+	rep, err := Run(ds, Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Sectors[1].Quarantined || len(rep.Quarantined) != 1 {
+		t.Fatalf("sector with no matrices at all must quarantine; report %+v", rep)
+	}
+}
+
+func TestRepairClampsPowerAndTilt(t *testing.T) {
+	ds := cleanDataset()
+	ds.Sectors[0].PowerDbm = 99
+	ds.Sectors[1].TiltDeg = -3
+	rep, err := Run(ds, Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Sectors[0].PowerDbm; got != 46 {
+		t.Fatalf("power = %g, want clamped to 46", got)
+	}
+	if got := ds.Sectors[1].TiltDeg; got != 2 {
+		t.Fatalf("tilt = %g, want clamped to 2", got)
+	}
+	if rep.Repaired != 2 || len(rep.Quarantined) != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestQuarantinePolicyRewritesNothing(t *testing.T) {
+	ds := cleanDataset()
+	ds.Sectors[0].LinkDB[1][2] = math.NaN()
+	ds.Sectors[1].PowerDbm = 99
+	rep, err := Run(ds, Quarantine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(ds.Sectors[0].LinkDB[1][2]) {
+		t.Fatal("Quarantine policy rewrote a matrix cell")
+	}
+	if ds.Sectors[1].PowerDbm != 99 {
+		t.Fatal("Quarantine policy clamped power")
+	}
+	if len(rep.Quarantined) != 2 {
+		t.Fatalf("quarantined = %v, want both defective sectors", rep.Quarantined)
+	}
+	if rep.Repaired != 0 {
+		t.Fatalf("repaired = %d, want 0 under Quarantine", rep.Repaired)
+	}
+}
+
+func TestOrphanNeighborsDropped(t *testing.T) {
+	ds := cleanDataset()
+	ds.Sectors[0].Neighbors = []int{1, 999}
+	rep, err := Run(ds, Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Sectors[0].Neighbors; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("neighbors = %v, want [1]", got)
+	}
+	if len(rep.Issues) != 1 || rep.Issues[0].Kind != "orphan-neighbor" {
+		t.Fatalf("issues = %+v", rep.Issues)
+	}
+	// Orphan references never quarantine: the sector's own data is fine.
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("quarantined = %v, want none", rep.Quarantined)
+	}
+}
+
+func TestNegativeDensityZeroed(t *testing.T) {
+	ds := cleanDataset()
+	ds.UE[2] = -1
+	ds.UE[3] = math.NaN()
+	rep, err := Run(ds, Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.UE[2] != 0 || ds.UE[3] != 0 {
+		t.Fatalf("densities = %v, want invalid entries zeroed", ds.UE)
+	}
+	if rep.Repaired != 2 {
+		t.Fatalf("repaired = %d, want 2", rep.Repaired)
+	}
+}
+
+func TestAllZeroDensityKeptExisting(t *testing.T) {
+	ds := cleanDataset()
+	for i := range ds.UE {
+		ds.UE[i] = 0
+	}
+	rep, err := Run(ds, Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found *Issue
+	for i := range rep.Issues {
+		if rep.Issues[i].Kind == "zero-density" {
+			found = &rep.Issues[i]
+		}
+	}
+	if found == nil || found.Action != "kept-existing" {
+		t.Fatalf("issues = %+v, want zero-density/kept-existing", rep.Issues)
+	}
+}
+
+func TestStructuralMatrixDefectQuarantines(t *testing.T) {
+	for name, mutate := range map[string]func(*SectorData){
+		"row-count":     func(s *SectorData) { s.LinkDB = s.LinkDB[:2] },
+		"row-width":     func(s *SectorData) { s.LinkDB[1] = s.LinkDB[1][:2] },
+		"non-ascending": func(s *SectorData) { s.TiltSettings[2] = 1 },
+		"nan-setting":   func(s *SectorData) { s.TiltSettings[0] = math.NaN() },
+		"power-bounds":  func(s *SectorData) { s.MinPowerDbm, s.MaxPowerDbm = 46, 3 },
+	} {
+		ds := cleanDataset()
+		mutate(&ds.Sectors[0])
+		rep, err := Run(ds, Repair)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !ds.Sectors[0].Quarantined {
+			t.Errorf("%s: structural defect did not quarantine; report %+v", name, rep)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{
+		"": Repair, "repair": Repair, "strict": Strict, "quarantine": Quarantine,
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("yolo"); err == nil {
+		t.Error("ParsePolicy accepted garbage")
+	}
+}
+
+func TestReportTruncation(t *testing.T) {
+	ds := cleanDataset()
+	ds.UE = make([]float64, 2*maxIssues)
+	for i := range ds.UE {
+		ds.UE[i] = -1
+	}
+	rep, err := Run(ds, Repair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || len(rep.Issues) != maxIssues {
+		t.Fatalf("issues = %d truncated = %v", len(rep.Issues), rep.Truncated)
+	}
+	// Every density zeroed plus the resulting zero-density issue.
+	if rep.Found != 2*maxIssues+1 {
+		t.Fatalf("found = %d, want %d (counting continues past the cap)", rep.Found, 2*maxIssues+1)
+	}
+}

@@ -1,0 +1,51 @@
+package simwindow
+
+import "testing"
+
+// FuzzParseFaults hammers the fault-script parser with arbitrary
+// operator input: it must never panic, must return nil faults alongside
+// an error, and every fault it does accept must round-trip through its
+// String form (the syntax magusctl prints back at operators).
+func FuzzParseFaults(f *testing.F) {
+	for _, s := range []string{
+		"",
+		"push-fail@2",
+		"push-delay@1+3",
+		"sector-down@20:17",
+		"surge@10+8:5:x1.8",
+		"push-fail@2,sector-down@20:17,surge@10+8:5:x1.8",
+		"surge@1+0:0:x0",
+		" push-fail@1 , push-fail@2 ",
+		"bogus@1",
+		"push-fail@",
+		"surge@1:2:x3",
+		"sector-down@5",
+		"push-delay@+",
+		"surge@-1+-2:-3:x-1.5",
+		"surge@1+1:2:xInf",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, script string) {
+		faults, err := ParseFaults(script)
+		if err != nil {
+			if faults != nil {
+				t.Fatalf("ParseFaults(%q) returned faults %v alongside error %v", script, faults, err)
+			}
+			return
+		}
+		for _, fa := range faults {
+			rendered := fa.String()
+			back, err := ParseFault(rendered)
+			if err != nil {
+				t.Fatalf("accepted fault %v (from %q) does not re-parse: %v", fa, script, err)
+			}
+			// Compare rendered forms, not structs: a NaN factor is
+			// unequal to itself but must still round-trip textually.
+			if back.String() != rendered {
+				t.Fatalf("round-trip changed %q to %q (from %q)", rendered, back.String(), script)
+			}
+		}
+		sortFaults(faults)
+	})
+}

@@ -22,6 +22,10 @@
 package magus
 
 import (
+	"encoding/json"
+	"fmt"
+	"os"
+
 	"magus/internal/core"
 	"magus/internal/feedback"
 	"magus/internal/hybrid"
@@ -31,6 +35,7 @@ import (
 	"magus/internal/netmodel"
 	"magus/internal/outageplan"
 	"magus/internal/runbook"
+	"magus/internal/sanitize"
 	"magus/internal/signaling"
 	"magus/internal/simwindow"
 	"magus/internal/topology"
@@ -209,6 +214,60 @@ func SimulateWindow(engine *Engine, rb *runbook.Runbook, cfg SimWindowConfig) (*
 		return nil, err
 	}
 	return sim.Run()
+}
+
+// Dataset is an operational data snapshot (per-tilt link-budget
+// matrices, configuration, user densities) in the sanitizer's exchange
+// form; see Engine.ExportDataset and Engine.UseDataset.
+type Dataset = sanitize.Dataset
+
+// SanitizePolicy selects how dataset defects are handled.
+type SanitizePolicy = sanitize.Policy
+
+// Sanitize policies: Strict rejects defective data outright, Repair
+// reconstructs what it defensibly can, Quarantine excludes defective
+// sectors from tuning without rewriting their data.
+const (
+	SanitizeStrict     = sanitize.Strict
+	SanitizeRepair     = sanitize.Repair
+	SanitizeQuarantine = sanitize.Quarantine
+)
+
+// SanitationReport enumerates the defects a sanitizer run found and
+// what was done about each.
+type SanitationReport = sanitize.Report
+
+// ErrDataRejected is returned (wrapped) when a Strict sanitizer run
+// finds any defect.
+var ErrDataRejected = sanitize.ErrRejected
+
+// ParseSanitizePolicy maps a wire name (strict, repair, quarantine; ""
+// selects repair) to its policy.
+func ParseSanitizePolicy(s string) (SanitizePolicy, error) { return sanitize.ParsePolicy(s) }
+
+// LoadDataset reads an operational dataset from a JSON file in the
+// exchange format written by SaveDataset.
+func LoadDataset(path string) (*Dataset, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ds Dataset
+	if err := json.Unmarshal(raw, &ds); err != nil {
+		return nil, fmt.Errorf("magus: dataset %s: %w", path, err)
+	}
+	return &ds, nil
+}
+
+// SaveDataset writes a dataset as indented JSON, the inverse of
+// LoadDataset. Datasets holding NaN or infinite cells cannot be
+// serialized (JSON has no encoding for them) — sanitize first.
+func SaveDataset(path string, ds *Dataset) error {
+	raw, err := json.MarshalIndent(ds, "", " ")
+	if err != nil {
+		return fmt.Errorf("magus: dataset %s: %w", path, err)
+	}
+	return os.WriteFile(path, raw, 0o644)
 }
 
 // NewEngine synthesizes a market area per cfg and prepares the
