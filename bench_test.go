@@ -21,6 +21,7 @@ import (
 	"magus/internal/geo"
 	"magus/internal/hybrid"
 	"magus/internal/migrate"
+	"magus/internal/modelcache"
 	"magus/internal/netmodel"
 	"magus/internal/outageplan"
 	"magus/internal/propagation"
@@ -263,17 +264,73 @@ func BenchmarkAblationGradualStepSize(b *testing.B) {
 }
 
 // BenchmarkModelBuild measures analysis-model construction (grid +
-// contributor entries) for a suburban area.
+// contributor entries) for a suburban area, sequential versus parallel
+// at two grid resolutions. The parallel build is bit-identical to the
+// sequential one (netmodel's golden test enforces it), so the sub-
+// benchmarks differ only in wall clock; the speedup needs real cores.
 func BenchmarkModelBuild(b *testing.B) {
 	engine, _ := benchScenario(b)
 	region := engine.Net.Bounds
-	for i := 0; i < b.N; i++ {
-		_, err := netmodel.NewModel(engine.Net, engine.SPM, region,
-			netmodel.Params{CellSizeM: 200})
-		if err != nil {
-			b.Fatal(err)
+	parWorkers := runtime.NumCPU()
+	if parWorkers < 4 {
+		// Single-core machines still exercise the sharded code path; the
+		// measured speedup is then ~1x by construction.
+		parWorkers = 4
+	}
+	for _, grid := range []struct {
+		name      string
+		cellSizeM float64
+	}{{"small-400m", 400}, {"medium-150m", 150}} {
+		for _, w := range []struct {
+			name    string
+			workers int
+		}{{"seq", 1}, {fmt.Sprintf("par%d", parWorkers), parWorkers}} {
+			b.Run(grid.name+"/"+w.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m, err := netmodel.NewModel(engine.Net, engine.SPM, region,
+						netmodel.Params{CellSizeM: grid.cellSizeM, BuildWorkers: w.workers})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(m.NumContributors()), "contributors")
+				}
+			})
 		}
 	}
+}
+
+// BenchmarkModelSnapshotLoad compares a cold model build against
+// reloading the same model from an on-disk snapshot — the cost a warm
+// magusd restart pays per market with -model-cache set.
+func BenchmarkModelSnapshotLoad(b *testing.B) {
+	engine, _ := benchScenario(b)
+	region := engine.Net.Bounds
+	params := netmodel.Params{CellSizeM: 200}
+	cache, err := modelcache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prime the snapshot once so the load sub-benchmark hits every time.
+	if _, err := cache.LoadOrBuild(engine.Net, engine.SPM, region, params); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := netmodel.NewModel(engine.Net, engine.SPM, region, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("snapshot-load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.LoadOrBuild(engine.Net, engine.SPM, region, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if st := cache.Stats(); st.Builds != 1 {
+			b.Fatalf("snapshot-load rebuilt the model: %+v", st)
+		}
+	})
 }
 
 // BenchmarkStateApplyPower measures the incremental power-change fast

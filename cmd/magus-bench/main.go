@@ -5,7 +5,8 @@
 // Usage:
 //
 //	magus-bench [-exp all|table1|table2|fig2|fig8|fig10|fig11|fig12|fig13|maps|calendar] [-seeds 1,2,3]
-//	            [-json results.json]
+//	            [-json results.json] [-model-cache dir]
+//	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
 //
 // With -json, per-experiment timings are also written to the given path
 // as a JSON array of {name, iterations, ns_per_op} records — the shape
@@ -22,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -29,18 +32,62 @@ import (
 	"magus/internal/experiments"
 )
 
+// main delegates to run so deferred profile writers execute before the
+// process exits (os.Exit skips defers).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig2, fig8, fig10, fig11, fig12, fig13, maps, calendar, ext-hybrid, ext-signaling, ext-outage, ext-loadbal, ext-uedist, ext-carriers, ops-week, sim-window, parallel-joint")
 	seedsFlag := flag.String("seeds", "1,2,3", "comma-separated area replicate seeds for table1/fig13")
 	jsonPath := flag.String("json", "", "also write per-experiment timings to this path as JSON")
 	workers := flag.Int("workers", 0, "in-search candidate-scoring parallelism (0 = sequential; parallel-joint defaults to NumCPU)")
+	modelCacheDir := flag.String("model-cache", "", "directory for on-disk model snapshots; repeat runs over the same markets skip the model build")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	experiments.SetSearchWorkers(*workers)
+	if err := experiments.SetModelCacheDir(*modelCacheDir); err != nil {
+		fmt.Fprintln(os.Stderr, "magus-bench:", err)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "magus-bench:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "magus-bench:", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "magus-bench:", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "magus-bench:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	seeds, err := parseSeeds(*seedsFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "magus-bench:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	runners := map[string]func() (fmt.Stringer, error){
@@ -85,7 +132,7 @@ func main() {
 	} else {
 		if _, ok := runners[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "magus-bench: unknown experiment %q\n", *exp)
-			os.Exit(2)
+			return 2
 		}
 		selected = []string{*exp}
 	}
@@ -97,7 +144,7 @@ func main() {
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "magus-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("==== %s (%.1fs) ====\n%s\n", name, elapsed.Seconds(), result)
 		records = append(records, benchRecord{Name: name, Iterations: 1, NsPerOp: elapsed.Nanoseconds()})
@@ -111,9 +158,10 @@ func main() {
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath, records); err != nil {
 			fmt.Fprintf(os.Stderr, "magus-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
 // benchRecord is one timing in the -json output, shaped like a Go

@@ -26,7 +26,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "market seed")
 	out := flag.String("out", "", "directory for PGM/PPM image output (optional)")
 	geojson := flag.Bool("geojson", false, "also write topology.geojson and coverage.geojson into -out")
+	modelCacheDir := flag.String("model-cache", "", "directory for on-disk model snapshots; repeat invocations over the same market skip the model build")
 	flag.Parse()
+	if err := experiments.SetModelCacheDir(*modelCacheDir); err != nil {
+		fmt.Fprintln(os.Stderr, "magus-maps:", err)
+		os.Exit(2)
+	}
 
 	maps, err := experiments.RunMaps(*seed)
 	if err != nil {

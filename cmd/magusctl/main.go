@@ -63,8 +63,12 @@ func main() {
 	dataFlag := flag.String("data", "", "operational dataset JSON to plan from (see -export-data)")
 	dataPolicyFlag := flag.String("data-policy", "repair", "sanitizer policy for -data: strict, repair, quarantine")
 	exportFlag := flag.String("export-data", "", "write the engine's operational dataset to this file and exit")
+	modelCacheFlag := flag.String("model-cache", "", "directory for on-disk model snapshots; repeat invocations over the same market skip the model build")
 	flag.Parse()
 	experiments.SetSearchWorkers(*workersFlag)
+	if err := experiments.SetModelCacheDir(*modelCacheFlag); err != nil {
+		fail("model cache: %v", err)
+	}
 
 	class, ok := map[string]magus.AreaClass{
 		"rural": magus.Rural, "suburban": magus.Suburban, "urban": magus.Urban,

@@ -65,8 +65,12 @@ func main() {
 	dataPath := flag.String("data", "", "operational dataset JSON to plan from (empty: synthetic link budgets)")
 	dataPolicy := flag.String("data-policy", "repair", "sanitizer policy for -data: strict, repair, quarantine")
 	pprofAddr := flag.String("pprof", "", "also serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
+	modelCacheDir := flag.String("model-cache", "", "directory for on-disk model snapshots; restarts over a seen market skip the model build (empty disables)")
 	flag.Parse()
 	experiments.SetSearchWorkers(*workers)
+	if err := experiments.SetModelCacheDir(*modelCacheDir); err != nil {
+		log.Fatalf("model cache: %v", err)
+	}
 
 	class, ok := map[string]magus.AreaClass{
 		"rural": magus.Rural, "suburban": magus.Suburban, "urban": magus.Urban,

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"magus/internal/core"
+	"magus/internal/modelcache"
 	"magus/internal/topology"
 )
 
@@ -44,6 +46,9 @@ type CacheStats struct {
 	Evictions int64 `json:"evictions"`
 	Size      int   `json:"size"`
 	Capacity  int   `json:"capacity"`
+	// Snapshot reports the attached on-disk model snapshot cache (see
+	// AttachSnapshots); nil when engines build their models directly.
+	Snapshot *modelcache.Stats `json:"snapshot,omitempty"`
 }
 
 // EngineCache is a bounded LRU of built engines with single-flight
@@ -58,6 +63,12 @@ type EngineCache struct {
 	entries map[EngineKey]*cacheEntry
 	order   *list.List // front = most recently used; values are *cacheEntry
 	stats   CacheStats
+
+	// snapshots is the model snapshot cache the engines built through
+	// this cache draw from, attached so Stats can report both layers
+	// together (an engine-cache miss that hits a snapshot still skips the
+	// expensive model build).
+	snapshots atomic.Pointer[modelcache.Cache]
 }
 
 type cacheEntry struct {
@@ -140,12 +151,28 @@ func (c *EngineCache) evictLocked() {
 	}
 }
 
+// AttachSnapshots associates the model snapshot cache used by this
+// cache's engine builds, so Stats reports both caching layers. A nil
+// argument detaches.
+func (c *EngineCache) AttachSnapshots(mc *modelcache.Cache) {
+	c.snapshots.Store(mc)
+}
+
+// Snapshots returns the attached model snapshot cache (nil when none).
+func (c *EngineCache) Snapshots() *modelcache.Cache {
+	return c.snapshots.Load()
+}
+
 // Stats snapshots the cache counters.
 func (c *EngineCache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	s := c.stats
 	s.Size = c.order.Len()
 	s.Capacity = c.cap
+	c.mu.Unlock()
+	if mc := c.snapshots.Load(); mc != nil {
+		snap := mc.Stats()
+		s.Snapshot = &snap
+	}
 	return s
 }

@@ -21,6 +21,7 @@ import (
 	"magus/internal/feedback"
 	"magus/internal/geo"
 	"magus/internal/migrate"
+	"magus/internal/modelcache"
 	"magus/internal/netmodel"
 	"magus/internal/propagation"
 	"magus/internal/sanitize"
@@ -73,6 +74,11 @@ type SetupConfig struct {
 	SearchWorkers int
 	// Params optionally overrides the class planning parameters.
 	Params *topology.ClassParams
+	// ModelCache optionally supplies an on-disk snapshot cache for the
+	// contributor arrays — the dominant cost of NewEngine. Nil builds
+	// directly. The cache keys on the model inputs, so a stale snapshot
+	// can never be served for a changed topology, SPM or grid.
+	ModelCache *modelcache.Cache
 }
 
 func (c *SetupConfig) applyDefaults() {
@@ -149,7 +155,7 @@ func NewEngine(cfg SetupConfig) (*Engine, error) {
 		spm.DiffractionWeight = 0
 	}
 
-	model, err := netmodel.NewModel(net, spm, region, netmodel.Params{CellSizeM: cfg.CellSizeM})
+	model, err := cfg.ModelCache.LoadOrBuild(net, spm, region, netmodel.Params{CellSizeM: cfg.CellSizeM})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -1,0 +1,43 @@
+// Process-wide model snapshot cache: the on-disk companion to the
+// in-memory engine cache. The engine cache saves rebuilding within one
+// process; the snapshot cache saves the contributor-array construction
+// across processes and restarts (magusd restarting with a warm cache
+// directory rebuilds no models for markets it has seen before).
+package experiments
+
+import (
+	"sync/atomic"
+
+	"magus/internal/modelcache"
+)
+
+// modelCache is the process-wide default snapshot cache, applied to
+// engines built by BuildEngine after it is set. Nil (the default)
+// builds models directly.
+var modelCache atomic.Pointer[modelcache.Cache]
+
+// SetModelCacheDir opens (creating if needed) an on-disk model snapshot
+// cache rooted at dir and installs it as the process-wide default used
+// by BuildEngine; the magusd/magusctl/magus-bench -model-cache flags
+// call this at startup. The cache is also attached to the shared engine
+// cache so both layers report through one Stats call. An empty dir
+// detaches (engines build models directly again).
+func SetModelCacheDir(dir string) error {
+	if dir == "" {
+		modelCache.Store(nil)
+		engineCache.AttachSnapshots(nil)
+		return nil
+	}
+	mc, err := modelcache.Open(dir)
+	if err != nil {
+		return err
+	}
+	modelCache.Store(mc)
+	engineCache.AttachSnapshots(mc)
+	return nil
+}
+
+// ModelCache returns the process-wide snapshot cache (nil when unset).
+// The returned *modelcache.Cache is nil-safe: passing it on via
+// core.SetupConfig.ModelCache needs no nil check.
+func ModelCache() *modelcache.Cache { return modelCache.Load() }

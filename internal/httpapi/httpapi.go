@@ -239,6 +239,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"users":     s.engine.Model.TotalUE(),
 		"campaigns": s.orch.Metrics(),
 	}
+	if mc := experiments.ModelCache(); mc != nil {
+		resp["model_snapshots"] = mc.Stats()
+	}
 	if rep := s.engine.Sanitation(); rep != nil {
 		resp["sanitation"] = map[string]any{
 			"policy":      rep.Policy,

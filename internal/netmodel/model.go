@@ -48,6 +48,12 @@ type Params struct {
 	// thermal noise floor; they can affect neither signal nor
 	// interference materially. Default 20.
 	FloorBelowNoiseDB float64
+	// BuildWorkers bounds the goroutines used to construct the
+	// contributor entries (0 = GOMAXPROCS, 1 = sequential). Every value
+	// yields bit-identical models (see build.go); the knob exists for
+	// benchmarks and golden tests, and is not part of a model's identity
+	// (the snapshot cache excludes it from its key).
+	BuildWorkers int
 	// ApproxTiltElevation reproduces the paper's tilt simplification
 	// (Section 5): instead of the terrain-aware elevation angle per
 	// (sector, grid) pair, the vertical-pattern angle is derived from a
@@ -109,6 +115,12 @@ type Model struct {
 	params  Params
 	noiseMw float64
 
+	// cellCenters is the flat per-cell center table, precomputed once so
+	// the build loop and the per-cell queries (GridsIn,
+	// InterferingSectorCount) skip the div/mod plus float math of
+	// Grid.CellCenterIdx per lookup.
+	cellCenters []geo.Point
+
 	// Contributor entries, grouped by grid: entries for grid g occupy
 	// positions gridStart[g] .. gridStart[g+1].
 	contribSector []int32
@@ -134,6 +146,18 @@ type Model struct {
 // NewModel builds the analysis model for net over region. The SPM
 // supplies path loss; params may be zero for defaults.
 func NewModel(net *topology.Network, spm *propagation.SPM, region geo.Rect, params Params) (*Model, error) {
+	m, err := newModelShell(net, spm, region, params)
+	if err != nil {
+		return nil, err
+	}
+	m.buildContributors()
+	return m, nil
+}
+
+// newModelShell constructs everything of a Model except the contributor
+// arrays — shared by NewModel (which builds them) and
+// NewModelFromContributors (which adopts a snapshot's).
+func newModelShell(net *topology.Network, spm *propagation.SPM, region geo.Rect, params Params) (*Model, error) {
 	params.applyDefaults()
 	grid, err := geo.NewGrid(region, params.CellSizeM)
 	if err != nil {
@@ -154,10 +178,13 @@ func NewModel(net *topology.Network, spm *propagation.SPM, region geo.Rect, para
 		Grid:          grid,
 		params:        params,
 		noiseMw:       units.DbmToMw(units.ThermalNoiseDbm(params.BandwidthHz, params.NoiseFigureDB)),
+		cellCenters:   make([]geo.Point, grid.NumCells()),
 		sectorEntries: make([][]entryRef, net.NumSectors()),
 		ue:            make([]float64, grid.NumCells()),
 	}
-	m.buildContributors()
+	for g := range m.cellCenters {
+		m.cellCenters[g] = grid.CellCenterIdx(g)
+	}
 	return m, nil
 }
 
@@ -168,38 +195,6 @@ func MustNewModel(net *topology.Network, spm *propagation.SPM, region geo.Rect, 
 		panic(err)
 	}
 	return m
-}
-
-func (m *Model) buildContributors() {
-	numCells := m.Grid.NumCells()
-	m.gridStart = make([]int32, numCells+1)
-	floorDbm := units.MwToDbm(m.noiseMw) - m.params.FloorBelowNoiseDB
-	cutoff := m.params.CutoffRadiusM
-
-	for g := 0; g < numCells; g++ {
-		center := m.Grid.CellCenterIdx(g)
-		for b := range m.Net.Sectors {
-			sec := &m.Net.Sectors[b]
-			if sec.Pos.DistanceTo(center) > cutoff {
-				continue
-			}
-			base := m.SPM.SectorBase(sec, center)
-			// Best-case RP: max power, zero vertical attenuation.
-			if sec.MaxPowerDbm+base < floorDbm {
-				continue
-			}
-			elev := m.SPM.ElevationDeg(sec, center)
-			if m.params.ApproxTiltElevation {
-				elev = propagation.FlatEarthElevationDeg(sec, center)
-			}
-			pos := int32(len(m.contribSector))
-			m.contribSector = append(m.contribSector, int32(b))
-			m.contribBaseDB = append(m.contribBaseDB, float32(base))
-			m.contribElev = append(m.contribElev, float32(elev))
-			m.sectorEntries[b] = append(m.sectorEntries[b], entryRef{Grid: int32(g), Pos: pos})
-		}
-		m.gridStart[g+1] = int32(len(m.contribSector))
-	}
 }
 
 // NumContributors returns the total number of (grid, sector) contributor
@@ -291,8 +286,7 @@ func (m *Model) InterferingSectorCount(region geo.Rect, marginDB float64) int {
 	for b := range m.Net.Sectors {
 		sec := &m.Net.Sectors[b]
 		for _, ref := range m.sectorEntries[b] {
-			center := m.Grid.CellCenterIdx(int(ref.Grid))
-			if !region.Contains(center) {
+			if !region.Contains(m.cellCenters[ref.Grid]) {
 				continue
 			}
 			if sec.MaxPowerDbm+float64(m.contribBaseDB[ref.Pos]) >= floorDbm {
@@ -307,13 +301,16 @@ func (m *Model) InterferingSectorCount(region geo.Rect, marginDB float64) int {
 // GridsIn returns the flat indices of all grid cells whose centers lie
 // inside region, appended to dst.
 func (m *Model) GridsIn(dst []int, region geo.Rect) []int {
-	for g := 0; g < m.Grid.NumCells(); g++ {
-		if region.Contains(m.Grid.CellCenterIdx(g)) {
+	for g, center := range m.cellCenters {
+		if region.Contains(center) {
 			dst = append(dst, g)
 		}
 	}
 	return dst
 }
+
+// CellCenter returns the precomputed center point of grid cell g.
+func (m *Model) CellCenter(g int) geo.Point { return m.cellCenters[g] }
 
 // rateFromSinr converts a linear SINR to the achievable max rate.
 func (m *Model) rateFromSinr(sinrLin float64) float64 {

@@ -1,0 +1,151 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+
+	"magus/internal/geo"
+	"magus/internal/propagation"
+	"magus/internal/terrain"
+	"magus/internal/topology"
+)
+
+// buildInputs returns inputs whose model exercises both the cutoff
+// pruning (small radius relative to the region) and terrain-dependent
+// elevation, so a parallel-build bug in either path shows up.
+func buildInputs(t testing.TB) (*topology.Network, *propagation.SPM, geo.Rect, Params) {
+	t.Helper()
+	bounds := geo.NewRectCentered(geo.Point{}, 8000, 8000)
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed:   7,
+		Class:  topology.Suburban,
+		Bounds: bounds,
+	})
+	terr := terrain.MustGenerate(terrain.Config{Seed: 7, Bounds: bounds, Resolution: 400})
+	spm := propagation.MustNewSPM(2.635e9, terr)
+	return net, spm, net.Bounds, Params{CellSizeM: 250, CutoffRadiusM: 2500}
+}
+
+// TestParallelBuildGolden asserts the tentpole invariant: every worker
+// count produces contributor arrays bit-identical to the sequential
+// build — same entries, same order, same float bits.
+func TestParallelBuildGolden(t *testing.T) {
+	net, spm, region, params := buildInputs(t)
+	params.BuildWorkers = 1
+	seq := MustNewModel(net, spm, region, params)
+	if seq.NumContributors() == 0 {
+		t.Fatal("sequential build produced no contributors")
+	}
+
+	for _, workers := range []int{2, 3, 5, 8, 64} {
+		params.BuildWorkers = workers
+		par := MustNewModel(net, spm, region, params)
+
+		if len(par.contribSector) != len(seq.contribSector) {
+			t.Fatalf("workers=%d: %d entries, want %d", workers,
+				len(par.contribSector), len(seq.contribSector))
+		}
+		for i := range seq.contribSector {
+			if par.contribSector[i] != seq.contribSector[i] {
+				t.Fatalf("workers=%d: sector[%d] = %d, want %d", workers, i,
+					par.contribSector[i], seq.contribSector[i])
+			}
+			if math.Float32bits(par.contribBaseDB[i]) != math.Float32bits(seq.contribBaseDB[i]) {
+				t.Fatalf("workers=%d: baseDB[%d] bits differ: %v vs %v", workers, i,
+					par.contribBaseDB[i], seq.contribBaseDB[i])
+			}
+			if math.Float32bits(par.contribElev[i]) != math.Float32bits(seq.contribElev[i]) {
+				t.Fatalf("workers=%d: elev[%d] bits differ: %v vs %v", workers, i,
+					par.contribElev[i], seq.contribElev[i])
+			}
+		}
+		for g := range seq.gridStart {
+			if par.gridStart[g] != seq.gridStart[g] {
+				t.Fatalf("workers=%d: gridStart[%d] = %d, want %d", workers, g,
+					par.gridStart[g], seq.gridStart[g])
+			}
+		}
+		if len(par.sectorEntries) != len(seq.sectorEntries) {
+			t.Fatalf("workers=%d: sectorEntries length differs", workers)
+		}
+		for b := range seq.sectorEntries {
+			if len(par.sectorEntries[b]) != len(seq.sectorEntries[b]) {
+				t.Fatalf("workers=%d: sector %d has %d entries, want %d", workers, b,
+					len(par.sectorEntries[b]), len(seq.sectorEntries[b]))
+			}
+			for j, ref := range seq.sectorEntries[b] {
+				if par.sectorEntries[b][j] != ref {
+					t.Fatalf("workers=%d: sectorEntries[%d][%d] = %+v, want %+v",
+						workers, b, j, par.sectorEntries[b][j], ref)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBuildApproxTilt repeats the golden check under the
+// paper's flat-earth tilt approximation, the other elevation code path.
+func TestParallelBuildApproxTilt(t *testing.T) {
+	net, spm, region, params := buildInputs(t)
+	params.ApproxTiltElevation = true
+	params.BuildWorkers = 1
+	seq := MustNewModel(net, spm, region, params)
+	params.BuildWorkers = 4
+	par := MustNewModel(net, spm, region, params)
+	if len(par.contribSector) != len(seq.contribSector) {
+		t.Fatalf("%d entries, want %d", len(par.contribSector), len(seq.contribSector))
+	}
+	for i := range seq.contribElev {
+		if math.Float32bits(par.contribElev[i]) != math.Float32bits(seq.contribElev[i]) {
+			t.Fatalf("elev[%d] bits differ: %v vs %v", i, par.contribElev[i], seq.contribElev[i])
+		}
+	}
+}
+
+// TestSectorIndexCandidates cross-checks the spatial bucket index
+// against a brute-force scan: for every cell center, the candidate list
+// must include every sector within the cutoff radius, in ascending
+// sector order.
+func TestSectorIndexCandidates(t *testing.T) {
+	net, spm, region, params := buildInputs(t)
+	params.applyDefaults()
+	grid, err := geo.NewGrid(region, params.CellSizeM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = spm
+	idx := newSectorIndex(net, grid, params.CutoffRadiusM)
+
+	for g := 0; g < grid.NumCells(); g++ {
+		center := grid.CellCenterIdx(g)
+		cand := idx.candidates(center)
+		inCand := make(map[int32]bool, len(cand))
+		prev := int32(-1)
+		for _, b := range cand {
+			if b <= prev {
+				t.Fatalf("cell %d: candidates not strictly ascending at %d", g, b)
+			}
+			prev = b
+			inCand[b] = true
+		}
+		for b := range net.Sectors {
+			within := net.Sectors[b].Pos.DistanceTo(center) <= params.CutoffRadiusM
+			if within && !inCand[int32(b)] {
+				t.Fatalf("cell %d: sector %d within cutoff but not a candidate", g, b)
+			}
+		}
+	}
+}
+
+// TestBuildWorkersOutOfRange checks degenerate worker counts behave:
+// negative and huge values clamp rather than crash.
+func TestBuildWorkersOutOfRange(t *testing.T) {
+	net, spm, region, params := buildInputs(t)
+	for _, w := range []int{-5, 0, 1000000} {
+		params.BuildWorkers = w
+		m := MustNewModel(net, spm, region, params)
+		if m.NumContributors() == 0 {
+			t.Fatalf("workers=%d produced empty model", w)
+		}
+	}
+}

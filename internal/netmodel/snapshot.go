@@ -1,0 +1,68 @@
+// Snapshot access to the model's immutable core: the contributor
+// arrays are the expensive-to-build, cheap-to-serialize part of a
+// Model, and internal/modelcache persists them to disk keyed by a hash
+// of the inputs so warm restarts skip the build entirely.
+package netmodel
+
+import (
+	"fmt"
+
+	"magus/internal/geo"
+	"magus/internal/propagation"
+	"magus/internal/topology"
+)
+
+// Contributors exposes the built contributor arrays for serialization.
+// The returned slices are the model's own backing arrays: callers must
+// treat them as read-only.
+func (m *Model) Contributors() (sector []int32, baseDB, elev []float32, gridStart []int32) {
+	return m.contribSector, m.contribBaseDB, m.contribElev, m.gridStart
+}
+
+// NewModelFromContributors reconstructs a model from previously built
+// contributor arrays, skipping the O(gridCells x sectors) construction.
+// The arrays are validated for shape and adopted without copying, so
+// the caller must not mutate them afterwards. net, spm, region and
+// params must be the inputs the arrays were originally built from — the
+// snapshot cache guarantees this by keying snapshots on a hash of them;
+// handing mismatched arrays that happen to pass the shape checks yields
+// a silently wrong model.
+func NewModelFromContributors(net *topology.Network, spm *propagation.SPM, region geo.Rect, params Params,
+	sector []int32, baseDB, elev []float32, gridStart []int32) (*Model, error) {
+	m, err := newModelShell(net, spm, region, params)
+	if err != nil {
+		return nil, err
+	}
+	numCells := m.Grid.NumCells()
+	if len(gridStart) != numCells+1 {
+		return nil, fmt.Errorf("netmodel: snapshot gridStart has %d entries, grid has %d cells", len(gridStart), numCells)
+	}
+	if gridStart[0] != 0 {
+		return nil, fmt.Errorf("netmodel: snapshot gridStart does not begin at 0")
+	}
+	if len(baseDB) != len(sector) || len(elev) != len(sector) {
+		return nil, fmt.Errorf("netmodel: snapshot column lengths disagree: %d/%d/%d",
+			len(sector), len(baseDB), len(elev))
+	}
+	if int(gridStart[numCells]) != len(sector) {
+		return nil, fmt.Errorf("netmodel: snapshot gridStart ends at %d, have %d entries",
+			gridStart[numCells], len(sector))
+	}
+	for g := 0; g < numCells; g++ {
+		if gridStart[g+1] < gridStart[g] {
+			return nil, fmt.Errorf("netmodel: snapshot gridStart decreases at cell %d", g)
+		}
+	}
+	numSectors := int32(net.NumSectors())
+	for _, b := range sector {
+		if b < 0 || b >= numSectors {
+			return nil, fmt.Errorf("netmodel: snapshot references sector %d of %d", b, numSectors)
+		}
+	}
+	m.contribSector = sector
+	m.contribBaseDB = baseDB
+	m.contribElev = elev
+	m.gridStart = gridStart
+	m.indexSectorEntries()
+	return m, nil
+}

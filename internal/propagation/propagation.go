@@ -31,6 +31,15 @@ const SpeedOfLight = 299792458.0
 const UEHeightM = 1.5
 
 // SPM is a Standard Propagation Model instance. Construct with NewSPM.
+//
+// Concurrency: an SPM is immutable once its fields are set (callers
+// adjust ClutterWeight etc. at construction time, before sharing it),
+// and every query method — PathLossDB, SectorBase, ElevationDeg,
+// SectorPathLossDB — is a pure read of the SPM and its terrain map,
+// which is likewise immutable after terrain.Generate. All of them are
+// therefore safe to call from any number of goroutines without
+// synchronization; the parallel model build (netmodel build.go) and the
+// race-mode test TestSPMConcurrentReaders depend on this.
 type SPM struct {
 	// K1 is the fixed intercept in dB (frequency-dependent).
 	K1 float64

@@ -13,7 +13,9 @@
 package terrain
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -372,6 +374,35 @@ func (m *Map) latticePoint(x, y int) geo.Point {
 
 // Bounds returns the area covered by the map.
 func (m *Map) Bounds() geo.Rect { return m.bounds }
+
+// Fingerprint returns a content hash of the map — lattice geometry,
+// elevations and clutter classes. Model snapshot caches fold it into
+// their keys so a model built over different terrain can never be
+// mistaken for a cached one. A Map is immutable after Generate, so the
+// fingerprint is stable and safe to compute concurrently.
+func (m *Map) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	writeF(m.bounds.Min.X)
+	writeF(m.bounds.Min.Y)
+	writeF(m.bounds.Max.X)
+	writeF(m.bounds.Max.Y)
+	writeF(m.step)
+	writeF(float64(m.n))
+	for _, v := range m.elev {
+		writeF(v)
+	}
+	cb := make([]byte, len(m.clutter))
+	for i, c := range m.clutter {
+		cb[i] = byte(c)
+	}
+	h.Write(cb)
+	return h.Sum64()
+}
 
 // ElevationAt returns the terrain elevation in meters at p, bilinearly
 // interpolated. Points outside the bounds are clamped to the boundary.
