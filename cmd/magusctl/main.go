@@ -49,6 +49,10 @@ func main() {
 		runSimulate(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		runFleet(os.Args[2:])
+		return
+	}
 	classFlag := flag.String("class", "suburban", "area class: rural, suburban, urban")
 	scenarioFlag := flag.String("scenario", "a", "upgrade scenario: a (single sector), b (full site), c (four corners)")
 	methodFlag := flag.String("method", "joint", "tuning method: power, tilt, joint, naive, anneal")

@@ -86,6 +86,7 @@ func (r *retrier) do(op string, fn func() (*http.Response, error)) *http.Respons
 			return resp
 		}
 		var cause string
+		hinted := time.Duration(0)
 		if err != nil {
 			if !transientErr(err) {
 				fail("%s: %v", op, err)
@@ -96,6 +97,7 @@ func (r *retrier) do(op string, fn func() (*http.Response, error)) *http.Respons
 			resp.Body.Close()
 			cause = resp.Status
 			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				hinted = parseRetryAfter(ra)
 				cause += ", Retry-After " + ra + "s"
 			}
 		}
@@ -103,6 +105,15 @@ func (r *retrier) do(op string, fn func() (*http.Response, error)) *http.Respons
 			failTransient("%s: %s (gave up after %d attempts)", op, cause, attempt)
 		}
 		jittered := time.Duration(float64(wait) * (0.5 + r.rng.Float64()))
+		// A Retry-After hint is the server stating when it expects to be
+		// ready; waiting less just burns an attempt. Jitter only upward
+		// (0–25%) so simultaneous clients still spread out.
+		if hinted > 0 {
+			jittered = hinted + time.Duration(float64(hinted)*0.25*r.rng.Float64())
+			if jittered > r.maxWait {
+				jittered = r.maxWait
+			}
+		}
 		fmt.Fprintf(os.Stderr, "magusctl: %s: %s; retrying in %s (%d/%d)\n",
 			op, cause, jittered.Round(time.Millisecond), attempt, r.attempts-1)
 		time.Sleep(jittered)
@@ -110,4 +121,15 @@ func (r *retrier) do(op string, fn func() (*http.Response, error)) *http.Respons
 			wait = r.maxWait
 		}
 	}
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After value (the only
+// form magusd emits). HTTP-date form or garbage yields zero, falling
+// back to the exponential schedule.
+func parseRetryAfter(v string) time.Duration {
+	var secs int
+	if _, err := fmt.Sscanf(v, "%d", &secs); err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := map[string]time.Duration{
+		"1":                             time.Second,
+		"7":                             7 * time.Second,
+		"0":                             0,
+		"-2":                            0,
+		"":                              0,
+		"soon":                          0,
+		"Wed, 21 Oct 2026 07:28:00 GMT": 0,
+	}
+	for in, want := range cases {
+		if got := parseRetryAfter(in); got != want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestRetrierHonorsRetryAfter serves one 503 with a Retry-After hint
+// larger than the configured backoff and checks the retrier waits the
+// hinted second rather than its own 10ms schedule.
+func TestRetrierHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	r := newRetrier(3, 10*time.Millisecond)
+	start := time.Now()
+	resp := r.do("test", func() (*http.Response, error) { return http.Get(srv.URL) })
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final status %d, want 200", resp.StatusCode)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("%d requests, want 2", got)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("retried after %v; the 1s Retry-After hint should set the wait", elapsed)
+	}
+}

@@ -285,6 +285,16 @@ type Config struct {
 	// ReplayJournal identifies the jobs that never reached a terminal
 	// state so Resubmit can re-enqueue them.
 	Journal *journal.Journal
+	// Epoch is the orchestrator's fencing token over Journal (claim one
+	// with Journal.ClaimEpoch before New). When nonzero, every journal
+	// record carries it, and Submit/Resubmit and terminal-result appends
+	// first verify it is still the journal's current epoch: an
+	// orchestrator superseded by a later claimant — a replacement process
+	// over the same log, a fleet coordinator that re-placed its leases —
+	// is fenced, refusing new admissions with journal.ErrStaleEpoch and
+	// suppressing terminal records so it cannot double-commit work that
+	// now belongs to someone else. Zero disables fencing.
+	Epoch int64
 	// BreakerThreshold is the number of consecutive engine-build
 	// failures per market before the build circuit opens and jobs
 	// against that market fail fast with ErrCircuitOpen (0 = default 5,
@@ -348,6 +358,9 @@ type Orchestrator struct {
 	draining     atomic.Bool
 	shuttingDown atomic.Bool
 	compacting   atomic.Bool
+	// fencedResults counts terminal journal records suppressed because
+	// the orchestrator's epoch went stale (see Config.Epoch).
+	fencedResults atomic.Int64
 
 	mu        sync.Mutex
 	campaigns map[string]*Campaign
@@ -518,9 +531,16 @@ type Metrics struct {
 	QueueDepth int              `json:"queue_depth"`
 	QueueCap   int              `json:"queue_cap"`
 	Jobs       map[string]int64 `json:"jobs"`
-	P50MS      float64          `json:"job_latency_p50_ms"`
-	P95MS      float64          `json:"job_latency_p95_ms"`
-	Cache      *CacheStats      `json:"engine_cache,omitempty"`
+	// Queued and InFlight are the current not-yet-running and running
+	// job counts, captured under the same lock as Jobs so the pair is an
+	// atomic snapshot (capacity-aware fleet placement subtracts them from
+	// Workers; summing the Jobs map would mix current and lifetime-total
+	// states).
+	Queued   int64       `json:"queued"`
+	InFlight int64       `json:"in_flight"`
+	P50MS    float64     `json:"job_latency_p50_ms"`
+	P95MS    float64     `json:"job_latency_p95_ms"`
+	Cache    *CacheStats `json:"engine_cache,omitempty"`
 	// Search aggregates the evalengine counters over every completed
 	// job's plan (absent until the first job completes).
 	Search *evalengine.StatsSnapshot `json:"search,omitempty"`
@@ -532,6 +552,11 @@ type Metrics struct {
 	// Breaker is the engine-build circuit breaker snapshot (absent when
 	// disabled).
 	Breaker *BreakerStats `json:"build_breaker,omitempty"`
+	// Epoch is the orchestrator's journal fencing token (absent when
+	// unfenced); FencedResults counts terminal records suppressed because
+	// the token had gone stale.
+	Epoch         int64 `json:"epoch,omitempty"`
+	FencedResults int64 `json:"journal_fenced,omitempty"`
 }
 
 // Metrics snapshots the orchestrator counters.
@@ -547,6 +572,8 @@ func (o *Orchestrator) Metrics() Metrics {
 	for _, s := range JobStates {
 		m.Jobs[s.String()] = o.jobCounts[s]
 	}
+	m.Queued = o.jobCounts[JobQueued]
+	m.InFlight = o.jobCounts[JobRunning]
 	if o.searchedJobs > 0 {
 		agg := o.searchStats
 		m.Search = &agg
@@ -567,6 +594,8 @@ func (o *Orchestrator) Metrics() Metrics {
 		st := o.breaker.stats()
 		m.Breaker = &st
 	}
+	m.Epoch = o.cfg.Epoch
+	m.FencedResults = o.fencedResults.Load()
 	return m
 }
 

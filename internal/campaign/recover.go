@@ -11,14 +11,29 @@ import (
 
 // --- journal recording -------------------------------------------------
 
+// verifyEpoch checks the orchestrator's fencing token against the
+// journal's current epoch (nil when unfenced). A non-nil error means
+// another process has claimed the journal since this orchestrator
+// started: it must not commit anything further.
+func (o *Orchestrator) verifyEpoch() error {
+	if o.cfg.Journal == nil || o.cfg.Epoch == 0 {
+		return nil
+	}
+	return o.cfg.Journal.VerifyEpoch(o.cfg.Epoch)
+}
+
 // journalSubmitted durably records every job of a freshly admitted
 // campaign (one submitted record per job, then one fsync for the
 // batch). Called before the jobs are enqueued: once a worker can see a
-// job, its record is already on disk.
+// job, its record is already on disk. A fenced orchestrator admits
+// nothing: the jobs would belong to a journal someone else now owns.
 func (o *Orchestrator) journalSubmitted(c *Campaign) error {
 	j := o.cfg.Journal
 	if j == nil {
 		return nil
+	}
+	if err := o.verifyEpoch(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
 	}
 	for _, job := range c.jobs {
 		spec, err := json.Marshal(job.Spec)
@@ -29,6 +44,7 @@ func (o *Orchestrator) journalSubmitted(c *Campaign) error {
 			Type:     journal.TypeSubmitted,
 			Campaign: c.ID,
 			Job:      job.ID,
+			Epoch:    o.cfg.Epoch,
 			Spec:     spec,
 		}); err != nil {
 			return err
@@ -49,14 +65,24 @@ func (o *Orchestrator) journalAttempt(campaignID string, jobID, attempt int) {
 		Campaign: campaignID,
 		Job:      jobID,
 		Attempt:  attempt,
+		Epoch:    o.cfg.Epoch,
 	})
 }
 
 // journalResult records a job's terminal state (batched; a result lost
 // in a crash re-runs the job — at-least-once, never silently dropped).
+// When the orchestrator's epoch has gone stale the record is suppressed
+// instead: the journal's pending work now belongs to a later claimant,
+// and committing a terminal state here could mark done a job the new
+// owner is (correctly) about to re-run — the double-commit the fencing
+// exists to prevent.
 func (o *Orchestrator) journalResult(campaignID string, jobID int, state JobState, jerr error) {
 	j := o.cfg.Journal
 	if j == nil {
+		return
+	}
+	if err := o.verifyEpoch(); err != nil {
+		o.fencedResults.Add(1)
 		return
 	}
 	rec := journal.Record{
@@ -64,6 +90,7 @@ func (o *Orchestrator) journalResult(campaignID string, jobID int, state JobStat
 		Campaign: campaignID,
 		Job:      jobID,
 		State:    state.String(),
+		Epoch:    o.cfg.Epoch,
 	}
 	if jerr != nil {
 		rec.Error = jerr.Error()
@@ -281,7 +308,16 @@ func ReplayJournal(path string) ([]PendingJob, error) {
 // journal is compacted: a fresh orchestrator reuses campaign IDs, so
 // the dead process's records must not linger to collide with them on a
 // later replay.
+//
+// With Config.Epoch set, Resubmit first verifies the token is still the
+// journal's current epoch. Two orchestrators replaying the same journal
+// is exactly the double-execution hazard the fencing targets: only the
+// latest claimant may resubmit; the stale one is rejected with
+// journal.ErrStaleEpoch and must discard its replayed pending set.
 func (o *Orchestrator) Resubmit(pending []PendingJob) ([]*Campaign, error) {
+	if err := o.verifyEpoch(); err != nil {
+		return nil, fmt.Errorf("campaign: resubmit: %w", err)
+	}
 	groups := make(map[string][]JobSpec)
 	var order []string
 	for _, p := range pending {

@@ -348,6 +348,203 @@ func TestJournalCompactionThreshold(t *testing.T) {
 	}
 }
 
+// TestJournalFencedRecovery: two orchestrators replay the same journal
+// after a crash — the split-brain a hung-but-alive process or a doubled
+// restart produces. Only the latest epoch claimant may resubmit; the
+// stale claimant's Resubmit is rejected outright, so every recovered
+// job produces exactly one set of campaign results.
+func TestJournalFencedRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	jr, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 1 crashes with every job still pending: builds hang until the
+	// crash (Close) cancels them.
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	o, err := New(Config{Build: build, Workers: 1, Journal: jr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Submit(sixJobs()[:3]); err != nil {
+		t.Fatal(err)
+	}
+	waitForRunning(t, o, 1)
+	o.Close()
+	jr.Close()
+
+	// Both would-be successors replay the same log and see the same
+	// pending work.
+	pendingA, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pendingB, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pendingA) != 3 || len(pendingB) != 3 {
+		t.Fatalf("replayed %d/%d pending jobs, want 3/3", len(pendingA), len(pendingB))
+	}
+
+	jrA, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jrA.Close()
+	epochA, err := jrA.ClaimEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buildsA atomic.Int32
+	countingBuildA := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		buildsA.Add(1)
+		return testBuild(NewEngineCache(4))(ctx, class, seed)
+	}
+	orchA, err := New(Config{Build: countingBuildA, Workers: 1, Journal: jrA, Epoch: epochA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orchA.Close()
+
+	// B claims after A: A is now the stale epoch.
+	jrB, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jrB.Close()
+	epochB, err := jrB.ClaimEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochB <= epochA {
+		t.Fatalf("epochs not increasing: A=%d B=%d", epochA, epochB)
+	}
+	cache := NewEngineCache(4)
+	orchB, err := New(Config{Build: testBuild(cache), Workers: 2, Journal: jrB, Epoch: epochB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer orchB.Close()
+
+	// The stale claimant is fenced: Resubmit rejected, nothing runs, no
+	// fresh admissions either.
+	if _, err := orchA.Resubmit(pendingA); !errors.Is(err, journal.ErrStaleEpoch) {
+		t.Fatalf("stale Resubmit = %v, want ErrStaleEpoch", err)
+	}
+	if _, err := orchA.Submit(sixJobs()[:1]); !errors.Is(err, journal.ErrStaleEpoch) {
+		t.Fatalf("stale Submit = %v, want ErrStaleEpoch", err)
+	}
+	if got := buildsA.Load(); got != 0 {
+		t.Fatalf("fenced orchestrator executed %d builds, want 0", got)
+	}
+
+	// The current claimant recovers and finishes the work, exactly once.
+	cs, err := orchB.Resubmit(pendingB)
+	if err != nil {
+		t.Fatalf("current-epoch Resubmit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	done := 0
+	for _, c := range cs {
+		if err := c.Wait(ctx); err != nil {
+			t.Fatalf("recovered campaign did not finish: %v", err)
+		}
+		done += c.Snapshot().Counts["done"]
+	}
+	if done != 3 {
+		t.Fatalf("recovered %d done jobs, want 3", done)
+	}
+	if err := jrB.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("%d jobs still pending after fenced recovery: %+v", len(left), left)
+	}
+}
+
+// TestFencingSuppressesStaleResults: an orchestrator whose epoch goes
+// stale mid-run must not journal the terminal states of jobs it still
+// finishes — the new claimant owns those jobs now, and a late "done"
+// record would erase them from its replay.
+func TestFencingSuppressesStaleResults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.journal")
+	jr, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	epoch, err := jr.ClaimEpoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewEngineCache(4)
+	gate := make(chan struct{})
+	build := func(ctx context.Context, class topology.AreaClass, seed int64) (*core.Engine, error) {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return testBuild(cache)(ctx, class, seed)
+	}
+	o, err := New(Config{Build: build, Workers: 1, Journal: jr, Epoch: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	c, err := o.Submit(sixJobs()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForRunning(t, o, 1)
+
+	// Another process claims the journal while the job is mid-build.
+	jr2, err := journal.Open(path, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr2.Close()
+	if _, err := jr2.ClaimEpoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	close(gate)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := c.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot().Counts["done"]; got != 1 {
+		t.Fatalf("done = %d, want 1 (execution itself is not fenced)", got)
+	}
+	if got := o.Metrics().FencedResults; got != 1 {
+		t.Fatalf("FencedResults = %d, want 1", got)
+	}
+	// The suppressed terminal record leaves the job pending for the new
+	// owner's replay.
+	if err := jr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	pending, err := ReplayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 {
+		t.Fatalf("replay found %d pending jobs, want 1 (stale result must not commit)", len(pending))
+	}
+}
+
 // waitForRunning polls until n jobs are running.
 func waitForRunning(t *testing.T, o *Orchestrator, n int64) {
 	t.Helper()

@@ -26,6 +26,9 @@ type AreaSpec struct {
 	Class       topology.AreaClass
 	RegionSpanM float64
 	CellSizeM   float64
+	// EqualizeSteps overrides the baseline load-equalization iteration
+	// count; zero keeps the evaluation default (300).
+	EqualizeSteps int
 }
 
 // DefaultAreaSpec returns the evaluation geometry for a class. Grid
@@ -39,6 +42,20 @@ func DefaultAreaSpec(class topology.AreaClass) AreaSpec {
 		return AreaSpec{Class: class, RegionSpanM: 5400, CellSizeM: 100}
 	default:
 		return AreaSpec{Class: topology.Suburban, RegionSpanM: 10800, CellSizeM: 200}
+	}
+}
+
+// MiniAreaSpec returns a miniature geometry for a class: engines build
+// in milliseconds instead of seconds. Used by magusd -mini for fleet
+// smoke tests and demos; planning quality is not representative.
+func MiniAreaSpec(class topology.AreaClass) AreaSpec {
+	switch class {
+	case topology.Rural:
+		return AreaSpec{Class: class, RegionSpanM: 12000, CellSizeM: 600, EqualizeSteps: 40}
+	case topology.Urban:
+		return AreaSpec{Class: class, RegionSpanM: 2400, CellSizeM: 150, EqualizeSteps: 40}
+	default:
+		return AreaSpec{Class: topology.Suburban, RegionSpanM: 5400, CellSizeM: 300, EqualizeSteps: 40}
 	}
 }
 
@@ -69,13 +86,17 @@ func EngineKey(seed int64, spec AreaSpec) campaign.EngineKey {
 // Safe for concurrent use; concurrent callers with different keys build
 // in parallel while callers of the same key share one build.
 func BuildEngine(seed int64, spec AreaSpec) (*core.Engine, error) {
+	equalize := spec.EqualizeSteps
+	if equalize == 0 {
+		equalize = 300
+	}
 	return engineCache.GetOrBuild(EngineKey(seed, spec), func() (*core.Engine, error) {
 		return core.NewEngine(core.SetupConfig{
 			Seed:          seed,
 			Class:         spec.Class,
 			RegionSpanM:   spec.RegionSpanM,
 			CellSizeM:     spec.CellSizeM,
-			EqualizeSteps: 300,
+			EqualizeSteps: equalize,
 			// The process-wide default (see SetSearchWorkers); the planner
 			// pass is workers-invariant, so cached engines stay identical.
 			SearchWorkers: SearchWorkersDefault(),

@@ -1,0 +1,225 @@
+// Package fleet shards campaign work across a cluster of magusd
+// processes. One process runs as the coordinator: workers join it over
+// HTTP (POST /fleet/join), heartbeat their load and cache statistics
+// (POST /fleet/heartbeat), and receive campaign jobs grouped by market.
+// Placement is sticky by market — all jobs for (class, seed) land on
+// the same worker while it lives — so each worker's engine cache and
+// model snapshots stay hot for the markets it owns, and every
+// per-process scaling win (parallel scoring, snapshot cache) multiplies
+// across boxes.
+//
+// Ownership is lease-based and epoch-fenced: each (market → worker)
+// placement carries a monotonically increasing epoch, bumped every time
+// the market is re-placed. A worker that misses heartbeats is evicted
+// and its in-flight jobs are re-dispatched to a survivor under the next
+// epoch; results arriving later under the superseded epoch are rejected,
+// so a slow-but-alive "dead" worker cannot double-commit a job that has
+// already been handed to someone else. Lease grants are journaled via
+// internal/journal (TypeLease records) when the coordinator is given a
+// log, and the same epoch discipline fences a worker's own journal
+// replay (see campaign.Config.Epoch).
+//
+// The operational shape — join, heartbeat, drain, evict, fleet-health
+// CLI — follows the agent-mesh pattern: a draining worker hands its
+// leases back gracefully (POST /fleet/leave after its local jobs
+// finish), an evicted one has them taken.
+package fleet
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"magus/internal/campaign"
+	"magus/internal/topology"
+)
+
+// MarketKey identifies the unit of placement: one market (class +
+// seed). Every job for the same market is dispatched to the market's
+// current lease holder.
+type MarketKey struct {
+	Class topology.AreaClass
+	Seed  int64
+}
+
+// String renders the key in the "class/seed" form used on the wire and
+// in logs.
+func (m MarketKey) String() string { return fmt.Sprintf("%s/%d", m.Class, m.Seed) }
+
+// MarketOf returns the placement key for a job spec.
+func MarketOf(sp campaign.JobSpec) MarketKey { return MarketKey{Class: sp.Class, Seed: sp.Seed} }
+
+// ParseMarket parses the "class/seed" form String renders, the shape
+// journaled lease records carry.
+func ParseMarket(s string) (MarketKey, bool) {
+	class, seedStr, ok := strings.Cut(s, "/")
+	if !ok {
+		return MarketKey{}, false
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return MarketKey{}, false
+	}
+	for _, c := range []topology.AreaClass{topology.Rural, topology.Suburban, topology.Urban} {
+		if c.String() == class {
+			return MarketKey{Class: c, Seed: seed}, true
+		}
+	}
+	return MarketKey{}, false
+}
+
+// --- wire types ---------------------------------------------------------
+
+// JoinRequest is the body of POST /fleet/join: a worker announcing
+// itself to the coordinator. Rejoining with a known NodeID replaces the
+// previous registration (the worker restarted).
+type JoinRequest struct {
+	// NodeID is the worker's stable identity (see LoadOrCreateNodeID);
+	// it survives restarts so a bounced worker reclaims its name, not a
+	// ghost seat.
+	NodeID string `json:"node_id"`
+	// URL is the base URL the coordinator dispatches to and polls.
+	URL string `json:"url"`
+	// Capacity is the worker's campaign worker-pool size.
+	Capacity int `json:"capacity"`
+}
+
+// JoinResponse acknowledges a join.
+type JoinResponse struct {
+	// Coordinator is the coordinator's own node ID.
+	Coordinator string `json:"coordinator"`
+	// HeartbeatMS is the interval the coordinator expects heartbeats at.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// Heartbeat is the body of POST /fleet/heartbeat: the worker's load and
+// cache counters, the inputs to capacity-aware placement and the
+// fleet-wide cache aggregation.
+type Heartbeat struct {
+	NodeID   string  `json:"node_id"`
+	UptimeS  float64 `json:"uptime_s"`
+	Capacity int     `json:"capacity"`
+	// Queued and InFlight are the worker orchestrator's atomic queue
+	// depth and running-job count (campaign.Metrics.Queued/InFlight).
+	Queued   int64 `json:"queued"`
+	InFlight int64 `json:"in_flight"`
+	// Draining reports the worker is shutting down gracefully: the
+	// coordinator stops placing new markets on it.
+	Draining bool `json:"draining"`
+	// Cache is the worker's engine-cache snapshot (hits, misses, builds,
+	// attached model-snapshot counters).
+	Cache *campaign.CacheStats `json:"engine_cache,omitempty"`
+}
+
+// LeaveRequest is the body of POST /fleet/leave: a draining worker
+// handing its leases back after its local drain finished.
+type LeaveRequest struct {
+	NodeID string `json:"node_id"`
+}
+
+// NodeRequest is the body of the operator endpoints POST /fleet/drain
+// and POST /fleet/evict.
+type NodeRequest struct {
+	NodeID string `json:"node_id"`
+}
+
+// DispatchRequest is the body of POST /fleet/jobs, the internal
+// endpoint a coordinator dispatches a market's job group to. Jobs are
+// raw campaign specs (the same serialization the journal uses), so no
+// wire-name round-trip is involved.
+type DispatchRequest struct {
+	// Campaign is the coordinator's fleet campaign ID (audit only; the
+	// worker assigns its own local campaign ID).
+	Campaign string `json:"campaign"`
+	// Market names the placement unit every job in this dispatch belongs
+	// to.
+	Market string `json:"market"`
+	// Epoch is the lease's fencing token. A worker that has already seen
+	// a dispatch for this market under a higher epoch rejects the request
+	// with 409: it is a delayed replay of a superseded lease.
+	Epoch int64 `json:"epoch"`
+	// Jobs are the specs to run.
+	Jobs []campaign.JobSpec `json:"jobs"`
+}
+
+// DispatchResponse acknowledges an accepted dispatch.
+type DispatchResponse struct {
+	// ID is the worker-local campaign ID the coordinator polls.
+	ID string `json:"id"`
+	// Jobs echoes the accepted job count.
+	Jobs int `json:"jobs"`
+}
+
+// --- errors -------------------------------------------------------------
+
+// ErrUnknownNode reports a heartbeat, leave, drain or evict for a node
+// the coordinator does not know — evicted, or never joined. A worker
+// receiving this for its own heartbeat should re-join.
+var ErrUnknownNode = errors.New("fleet: unknown node")
+
+// ErrNoWorkers reports that no live, non-draining worker is available
+// to place a market on. The HTTP layer maps it to 503 with Retry-After:
+// capacity may be joining momentarily.
+var ErrNoWorkers = errors.New("fleet: no workers available")
+
+// ErrUnknownCampaign reports a status or cancel for a fleet campaign ID
+// the coordinator has never issued.
+var ErrUnknownCampaign = errors.New("fleet: unknown campaign")
+
+// --- node identity ------------------------------------------------------
+
+// NewNodeID generates a fresh random node identity ("n-" + 8 random
+// bytes, hex).
+func NewNodeID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Entropy exhaustion is not worth dying over; fall back to time.
+		return fmt.Sprintf("n-%016x", time.Now().UnixNano())
+	}
+	return "n-" + hex.EncodeToString(b[:])
+}
+
+// LoadOrCreateNodeID returns the node identity persisted at path,
+// creating (and durably writing) a fresh one on first start. The ID is
+// stored next to the journal so a restarted worker rejoins the fleet
+// under the same name and reclaims its seat rather than leaving a ghost
+// entry to be evicted.
+func LoadOrCreateNodeID(path string) (string, error) {
+	if raw, err := os.ReadFile(path); err == nil {
+		id := strings.TrimSpace(string(raw))
+		if id != "" {
+			return id, nil
+		}
+	}
+	id := NewNodeID()
+	tmp := fmt.Sprintf("%s.tmp.%d", path, os.Getpid())
+	if err := os.WriteFile(tmp, []byte(id+"\n"), 0o644); err != nil {
+		return "", fmt.Errorf("fleet: node id: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("fleet: node id: %w", err)
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return id, nil
+}
+
+// rendezvous scores (market, node) for deterministic tie-breaking in
+// placement: among equally loaded candidates the highest score wins, so
+// the same membership always yields the same choice (highest random
+// weight hashing).
+func rendezvous(market MarketKey, node string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s", market, node)
+	return h.Sum64()
+}

@@ -42,6 +42,7 @@ import (
 	"magus/internal/evalengine"
 	"magus/internal/experiments"
 	"magus/internal/export"
+	"magus/internal/fleet"
 	"magus/internal/migrate"
 	"magus/internal/outageplan"
 	"magus/internal/runbook"
@@ -71,10 +72,23 @@ var (
 // Server wraps an engine with HTTP handlers. Construct with NewServer;
 // it implements http.Handler.
 type Server struct {
-	engine *core.Engine
-	orch   *campaign.Orchestrator
-	mux    *http.ServeMux
-	anchor export.Anchor
+	engine  *core.Engine
+	orch    *campaign.Orchestrator
+	mux     *http.ServeMux
+	anchor  export.Anchor
+	nodeID  string
+	started time.Time
+
+	// coord, when set, makes this server the fleet coordinator: the
+	// /fleet/* control endpoints come up and /campaigns fans out across
+	// the fleet instead of the local orchestrator.
+	coord *fleet.Coordinator
+
+	// marketEpochs is the worker-side fencing memory: the highest lease
+	// epoch seen per market on POST /fleet/jobs. A dispatch under a lower
+	// epoch is a delayed replay of a superseded lease and is refused.
+	fleetMu      sync.Mutex
+	marketEpochs map[string]int64
 
 	// planner is built lazily (and exactly once) on the first /outage
 	// request; precomputation takes seconds.
@@ -93,6 +107,13 @@ type Options struct {
 	// with miniature markets). Nil builds the default: a worker pool over
 	// the experiment areas, sharing the process-wide engine cache.
 	Orchestrator *campaign.Orchestrator
+	// NodeID is the process's stable fleet identity, reported by
+	// /healthz; empty generates a fresh (unpersisted) one.
+	NodeID string
+	// Coordinator, when set, runs this server in coordinator mode: the
+	// /fleet control surface is exposed and /campaigns submissions are
+	// sharded across the fleet rather than run locally.
+	Coordinator *fleet.Coordinator
 }
 
 // NewServer builds the handler tree around an engine with defaults.
@@ -101,10 +122,17 @@ func NewServer(engine *core.Engine) *Server { return New(engine, Options{}) }
 // New builds the handler tree around an engine.
 func New(engine *core.Engine, opts Options) *Server {
 	s := &Server{
-		engine: engine,
-		orch:   opts.Orchestrator,
-		mux:    http.NewServeMux(),
-		anchor: export.Anchor{LatDeg: 40.7, LonDeg: -74.0},
+		engine:       engine,
+		orch:         opts.Orchestrator,
+		mux:          http.NewServeMux(),
+		anchor:       export.Anchor{LatDeg: 40.7, LonDeg: -74.0},
+		nodeID:       opts.NodeID,
+		started:      time.Now(),
+		coord:        opts.Coordinator,
+		marketEpochs: make(map[string]int64),
+	}
+	if s.nodeID == "" {
+		s.nodeID = fleet.NewNodeID()
 	}
 	if s.orch == nil {
 		var err error
@@ -126,10 +154,27 @@ func New(engine *core.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /outage", s.handleOutage)
 	s.mux.HandleFunc("GET /schedule", s.handleSchedule)
-	s.mux.HandleFunc("POST /campaigns", s.handleCampaignSubmit)
-	s.mux.HandleFunc("GET /campaigns", s.handleCampaignList)
-	s.mux.HandleFunc("GET /campaigns/{id}", s.handleCampaignStatus)
-	s.mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCampaignCancel)
+	if s.coord != nil {
+		// Coordinator mode: the campaign surface fans out across the
+		// fleet, and the fleet control endpoints come up.
+		s.mux.HandleFunc("POST /campaigns", s.handleFleetSubmit)
+		s.mux.HandleFunc("GET /campaigns", s.handleFleetList)
+		s.mux.HandleFunc("GET /campaigns/{id}", s.handleFleetCampaign)
+		s.mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleFleetCancel)
+		s.mux.HandleFunc("POST /fleet/join", s.handleFleetJoin)
+		s.mux.HandleFunc("POST /fleet/heartbeat", s.handleFleetHeartbeat)
+		s.mux.HandleFunc("POST /fleet/leave", s.handleFleetLeave)
+		s.mux.HandleFunc("POST /fleet/drain", s.handleFleetDrain)
+		s.mux.HandleFunc("POST /fleet/evict", s.handleFleetEvict)
+		s.mux.HandleFunc("GET /fleet/status", s.handleFleetStatus)
+	} else {
+		s.mux.HandleFunc("POST /campaigns", s.handleCampaignSubmit)
+		s.mux.HandleFunc("GET /campaigns", s.handleCampaignList)
+		s.mux.HandleFunc("GET /campaigns/{id}", s.handleCampaignStatus)
+		s.mux.HandleFunc("POST /campaigns/{id}/cancel", s.handleCampaignCancel)
+		// Worker-side dispatch sink; epoch-fenced per market.
+		s.mux.HandleFunc("POST /fleet/jobs", s.handleFleetDispatch)
+	}
 	return s
 }
 
@@ -233,11 +278,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := map[string]any{
 		"status":    status,
+		"node_id":   s.nodeID,
+		"uptime_s":  time.Since(s.started).Seconds(),
 		"class":     s.engine.Net.Class.String(),
 		"sites":     len(s.engine.Net.Sites),
 		"sectors":   s.engine.Net.NumSectors(),
 		"users":     s.engine.Model.TotalUE(),
 		"campaigns": s.orch.Metrics(),
+	}
+	if s.coord != nil {
+		resp["role"] = "coordinator"
 	}
 	if mc := experiments.ModelCache(); mc != nil {
 		resp["model_snapshots"] = mc.Stats()
@@ -595,46 +645,47 @@ type campaignRequest struct {
 	Jobs []campaignJobRequest `json:"jobs"`
 }
 
-func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
-	if !s.admit(w) {
-		return
-	}
+// parseCampaignSpecs decodes and validates a POST /campaigns body,
+// writing the error response itself on failure. Shared by the local
+// orchestrator path and the fleet coordinator path so the two surfaces
+// accept exactly the same wire format.
+func parseCampaignSpecs(w http.ResponseWriter, r *http.Request) ([]campaign.JobSpec, bool) {
 	var req campaignRequest
 	if !decodeBody(w, r, &req) {
-		return
+		return nil, false
 	}
 	if len(req.Jobs) == 0 {
 		httpError(w, http.StatusBadRequest, "campaign has no jobs")
-		return
+		return nil, false
 	}
 	specs := make([]campaign.JobSpec, len(req.Jobs))
 	for i, jr := range req.Jobs {
 		class, ok := classByName[jr.Class]
 		if !ok {
 			httpError(w, http.StatusBadRequest, "job %d: unknown class %q", i, jr.Class)
-			return
+			return nil, false
 		}
 		scenario, ok := scenarioByName[jr.Scenario]
 		if !ok {
 			httpError(w, http.StatusBadRequest, "job %d: unknown scenario %q", i, jr.Scenario)
-			return
+			return nil, false
 		}
 		method, ok := methodByName[jr.Method]
 		if !ok {
 			httpError(w, http.StatusBadRequest, "job %d: unknown method %q", i, jr.Method)
-			return
+			return nil, false
 		}
 		if _, ok := campaign.UtilityByName[jr.Utility]; !ok {
 			httpError(w, http.StatusBadRequest, "job %d: unknown utility %q", i, jr.Utility)
-			return
+			return nil, false
 		}
 		if jr.TimeoutMS < 0 {
 			httpError(w, http.StatusBadRequest, "job %d: negative timeout_ms", i)
-			return
+			return nil, false
 		}
 		if jr.Workers < 0 {
 			httpError(w, http.StatusBadRequest, "job %d: negative workers", i)
-			return
+			return nil, false
 		}
 		specs[i] = campaign.JobSpec{
 			Class:      class,
@@ -648,6 +699,17 @@ func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
 			Kind:       jr.Kind,
 			Sim:        jr.Sim,
 		}
+	}
+	return specs, true
+}
+
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	specs, ok := parseCampaignSpecs(w, r)
+	if !ok {
+		return
 	}
 	c, err := s.orch.Submit(specs)
 	if err != nil {

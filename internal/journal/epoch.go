@@ -1,0 +1,179 @@
+package journal
+
+// Epoch fencing. A journal's epoch is a monotonically increasing token
+// stored in a small sidecar file beside the log (Path() + ".epoch").
+// Whoever intends to act on the journal's contents — resubmit its
+// pending jobs, commit terminal results — first claims the epoch
+// (ClaimEpoch), and verifies the claim is still current (VerifyEpoch)
+// before every commit. A process that claimed earlier and was since
+// superseded (its box hung, a replacement took over the journal, a
+// fleet coordinator re-placed its leases) observes ErrStaleEpoch and
+// must stop committing: this is the classic fencing-token discipline
+// that keeps a "dead" worker that comes back from double-committing
+// work that has already been handed to someone else.
+//
+// ClaimEpoch is designed for sequential handoff (crash → restart,
+// drain → replacement), not as a distributed lock: two processes
+// claiming at the same instant race on the read-increment-rename, and
+// the loser is only discovered at its next VerifyEpoch. That is exactly
+// the guarantee fencing needs — losers cannot commit — but it is not
+// mutual exclusion, and both may burn CPU until they verify.
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// randUint64 draws claimant-nonce entropy, degrading to the clock if
+// the system source fails (the nonce only disambiguates racers).
+func randUint64() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// ErrStaleEpoch reports that the caller's fencing token has been
+// superseded: another process claimed a later epoch over the same
+// journal, and the caller must not commit further work.
+var ErrStaleEpoch = errors.New("journal: stale epoch")
+
+// epochFile is the sidecar's JSON shape. The nonce identifies the
+// claimant so a racing writer can detect that its rename lost.
+type epochFile struct {
+	Epoch int64  `json:"epoch"`
+	Nonce string `json:"nonce"`
+}
+
+// epochPath returns the sidecar path for a journal at path.
+func epochPath(path string) string { return path + ".epoch" }
+
+// readEpochFile loads the sidecar (zero value when missing or
+// unreadable: a journal that has never been claimed is at epoch 0).
+func readEpochFile(path string) epochFile {
+	raw, err := os.ReadFile(epochPath(path))
+	if err != nil {
+		return epochFile{}
+	}
+	var ef epochFile
+	if json.Unmarshal(raw, &ef) != nil {
+		return epochFile{}
+	}
+	return ef
+}
+
+// CurrentEpoch reports the journal's current fencing epoch: the highest
+// token any process has claimed over the log at path (0 when none has).
+func CurrentEpoch(path string) int64 {
+	return readEpochFile(path).Epoch
+}
+
+// writeEpochFile atomically replaces the sidecar (unique temp + rename,
+// fsynced) so a crash mid-claim leaves either the old or the new token,
+// never a torn one.
+func writeEpochFile(path string, ef epochFile) error {
+	raw, err := json.Marshal(ef)
+	if err != nil {
+		return fmt.Errorf("journal: epoch encode: %w", err)
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d.%s", epochPath(path), os.Getpid(), ef.Nonce)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: epoch: %w", err)
+	}
+	if _, err := f.Write(append(raw, '\n')); err == nil {
+		err = f.Sync()
+	} else {
+		f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: epoch: %w", err)
+	}
+	if err := os.Rename(tmp, epochPath(path)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: epoch: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}
+
+// epochLockStale is how old an orphaned claim lock may grow before a
+// new claimant steals it: a claim holds the lock for microseconds, so
+// anything older is the debris of a crash mid-claim.
+const epochLockStale = 5 * time.Second
+
+// acquireEpochLock serializes epoch claims over one journal path with
+// an O_EXCL lock file, so concurrent claimants receive distinct,
+// strictly increasing tokens. A lock left behind by a crashed claimant
+// is stolen once it looks stale.
+func acquireEpochLock(path string) (release func(), err error) {
+	lock := epochPath(path) + ".lock"
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(lock) }, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("journal: epoch lock: %w", err)
+		}
+		if info, serr := os.Stat(lock); serr == nil && time.Since(info.ModTime()) > epochLockStale {
+			os.Remove(lock) // crashed claimant; at worst a racer re-removes a fresh lock once
+			continue
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("journal: epoch lock: timed out waiting on %s", lock)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// ClaimEpoch claims the next fencing epoch over this journal and
+// returns the token. The claim is durable (sidecar fsynced) and
+// recorded in the log itself as a TypeEpoch record, so the takeover is
+// visible on replay. Concurrent claimants serialize on a lock file and
+// receive distinct tokens; every claimant but the last is fenced, which
+// it discovers at its next VerifyEpoch.
+func (j *Journal) ClaimEpoch() (int64, error) {
+	release, err := acquireEpochLock(j.path)
+	if err != nil {
+		return 0, err
+	}
+	next := epochFile{
+		Epoch: readEpochFile(j.path).Epoch + 1,
+		Nonce: fmt.Sprintf("%d-%d", os.Getpid(), randUint64()),
+	}
+	err = writeEpochFile(j.path, next)
+	release()
+	if err != nil {
+		return 0, err
+	}
+	if err := j.Append(Record{Type: TypeEpoch, Epoch: next.Epoch}); err != nil {
+		return 0, err
+	}
+	return next.Epoch, j.Sync()
+}
+
+// VerifyEpoch checks that epoch is still the journal's current fencing
+// token, returning ErrStaleEpoch (wrapped with both tokens) when a
+// later claim has superseded it. Reads the sidecar from disk on every
+// call: the whole point is observing another process's takeover.
+func (j *Journal) VerifyEpoch(epoch int64) error {
+	cur := CurrentEpoch(j.path)
+	if cur > epoch {
+		return fmt.Errorf("%w: held %d, current %d", ErrStaleEpoch, epoch, cur)
+	}
+	return nil
+}

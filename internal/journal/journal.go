@@ -44,6 +44,15 @@ const (
 	// process; like the absence of a result, it means "re-enqueue on
 	// restart", but makes the drain visible in the log.
 	TypeRequeue = "requeue"
+	// TypeEpoch records a fencing-epoch claim (see Journal.ClaimEpoch):
+	// the process appending it took ownership of the journal's pending
+	// work away from every earlier claimant.
+	TypeEpoch = "epoch"
+	// TypeLease records a fleet coordinator granting (or re-granting) a
+	// market's job lease to a worker node; Epoch is the lease's fencing
+	// token, bumped on every re-placement so results from a superseded
+	// lease are rejected.
+	TypeLease = "lease"
 )
 
 // Record is one JSONL line of the log.
@@ -63,6 +72,13 @@ type Record struct {
 	// State and Error describe the terminal outcome (result records).
 	State string `json:"state,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Epoch is the fencing token under which the record was written
+	// (epoch and lease records; job records of a fenced orchestrator).
+	Epoch int64 `json:"epoch,omitempty"`
+	// Market and Node identify a fleet lease's market and owning worker
+	// (lease records).
+	Market string `json:"market,omitempty"`
+	Node   string `json:"node,omitempty"`
 	// Spec is the job's serialized spec (submitted records), opaque to
 	// this package so it carries no dependency on the campaign types.
 	Spec json.RawMessage `json:"spec,omitempty"`
