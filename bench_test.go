@@ -315,6 +315,7 @@ func BenchmarkModelSnapshotLoad(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("cold-build", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := netmodel.NewModel(engine.Net, engine.SPM, region, params); err != nil {
 				b.Fatal(err)
@@ -322,6 +323,7 @@ func BenchmarkModelSnapshotLoad(b *testing.B) {
 		}
 	})
 	b.Run("snapshot-load", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cache.LoadOrBuild(engine.Net, engine.SPM, region, params); err != nil {
 				b.Fatal(err)
@@ -408,6 +410,27 @@ func BenchmarkSpeculate(b *testing.B) {
 			_ = work.Utility(utility.Performance)
 		}
 	})
+	// The batched read-only paths score the same per-move candidates
+	// without the apply/revert round-trip; "batch-fixed" additionally
+	// replaces the per-entry exponentials with centi-dB table lookups.
+	for _, mode := range []struct {
+		name  string
+		fixed bool
+	}{{"batch-float", false}, {"batch-fixed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			st := plan.Upgrade.Clone()
+			st.EnableUtilityTracking(utility.Performance)
+			out := make([]netmodel.BatchResult, 0, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mv := i % len(moves)
+				out = st.SpeculateBatch(moves[mv:mv+1], utility.Performance, mode.fixed, out[:0])
+				if out[0].Err != nil {
+					b.Fatal(out[0].Err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkUtilityDelta compares the tracked running-sum utility (repair
@@ -446,6 +469,26 @@ func BenchmarkUtilityDelta(b *testing.B) {
 			delta = -delta
 		}
 	})
+	// The batch paths answer the same "utility after this change"
+	// question read-only — no Apply, no tracking repair.
+	for _, mode := range []struct {
+		name  string
+		fixed bool
+	}{{"batch-float", false}, {"batch-fixed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			st := plan.Upgrade.Clone()
+			st.EnableUtilityTracking(utility.Performance)
+			moves := []config.Change{{Sector: neighbor, PowerDelta: 1}}
+			out := make([]netmodel.BatchResult, 0, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = st.SpeculateBatch(moves, utility.Performance, mode.fixed, out[:0])
+				if out[0].Err != nil {
+					b.Fatal(out[0].Err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkJointSearch compares the sequential joint search against the

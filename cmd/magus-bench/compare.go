@@ -1,0 +1,195 @@
+// Benchmark comparison mode: magus-bench -compare old.json new.json
+// prints per-benchmark ns/op deltas and exits non-zero when a gated
+// benchmark regressed by more than -regress-pct percent.
+//
+// Either input may be a -json record array or raw `go test -bench`
+// output (CI pipes the fresh run in as text and gates it against a
+// checked-in BENCH_PR*.json baseline).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// goBenchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSpeculate/batch-fixed-4   85191   15238 ns/op   0 B/op
+//
+// capturing the name (GOMAXPROCS suffix stripped), iteration count and
+// the ns/op value.
+var goBenchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// readBench loads one timing file in either supported format.
+func readBench(path string) ([]benchRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var recs []benchRecord
+		if err := json.Unmarshal(data, &recs); err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		out := recs[:0]
+		for _, r := range recs {
+			// Skip free-form annotations like the "_note" records the
+			// checked-in baselines carry.
+			if strings.HasPrefix(r.Name, "_") || r.NsPerOp <= 0 {
+				continue
+			}
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	var recs []benchRecord
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		m := goBenchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		recs = append(recs, benchRecord{Name: m[1], Iterations: iters, NsPerOp: int64(ns + 0.5)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark records found (expected a -json array or `go test -bench` output)", path)
+	}
+	return recs, nil
+}
+
+// compareResult is one matched benchmark's delta.
+type compareResult struct {
+	name     string
+	oldNs    int64
+	newNs    int64
+	deltaPct float64
+}
+
+// compareBench matches records by name (old-file order) and reports the
+// per-benchmark deltas plus the names present on only one side.
+func compareBench(old, new []benchRecord) (matched []compareResult, oldOnly, newOnly []string) {
+	newByName := make(map[string]benchRecord, len(new))
+	for _, r := range new {
+		newByName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(old))
+	for _, o := range old {
+		if seen[o.Name] {
+			continue
+		}
+		seen[o.Name] = true
+		n, ok := newByName[o.Name]
+		if !ok {
+			oldOnly = append(oldOnly, o.Name)
+			continue
+		}
+		matched = append(matched, compareResult{
+			name:     o.Name,
+			oldNs:    o.NsPerOp,
+			newNs:    n.NsPerOp,
+			deltaPct: 100 * (float64(n.NsPerOp) - float64(o.NsPerOp)) / float64(o.NsPerOp),
+		})
+	}
+	for _, n := range new {
+		if !seen[n.Name] && !containsName(newOnly, n.Name) {
+			newOnly = append(newOnly, n.Name)
+		}
+	}
+	return matched, oldOnly, newOnly
+}
+
+func containsName(names []string, s string) bool {
+	for _, n := range names {
+		if n == s {
+			return true
+		}
+	}
+	return false
+}
+
+// runCompare implements the -compare mode; returns the process exit
+// code (0 ok, 1 gated regression, 2 usage/input error).
+func runCompare(paths []string, gatePattern string, regressPct float64) int {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "magus-bench: -compare needs exactly two files: old.json new.json")
+		return 2
+	}
+	var gate *regexp.Regexp
+	if gatePattern != "" {
+		var err error
+		if gate, err = regexp.Compile(gatePattern); err != nil {
+			fmt.Fprintf(os.Stderr, "magus-bench: bad -gate pattern: %v\n", err)
+			return 2
+		}
+	}
+	old, err := readBench(paths[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "magus-bench:", err)
+		return 2
+	}
+	cur, err := readBench(paths[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "magus-bench:", err)
+		return 2
+	}
+	matched, oldOnly, newOnly := compareBench(old, cur)
+
+	var failures []string
+	fmt.Printf("%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range matched {
+		gated := gate != nil && gate.MatchString(r.name)
+		mark := ""
+		if gated {
+			mark = "  [gated]"
+			if r.deltaPct > regressPct {
+				mark = "  [FAIL]"
+				failures = append(failures, fmt.Sprintf("%s +%.1f%%", r.name, r.deltaPct))
+			}
+		}
+		fmt.Printf("%-52s %14d %14d %+8.1f%%%s\n", r.name, r.oldNs, r.newNs, r.deltaPct, mark)
+	}
+	for _, n := range oldOnly {
+		fmt.Printf("%-52s %14s\n", n, "(only in old)")
+	}
+	for _, n := range newOnly {
+		fmt.Printf("%-52s %14s\n", n, "(only in new)")
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "magus-bench: %d gated benchmark(s) regressed by more than %.1f%%:\n", len(failures), regressPct)
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  ", f)
+		}
+		return 1
+	}
+	if gate != nil {
+		gatedAny := false
+		for _, r := range matched {
+			if gate.MatchString(r.name) {
+				gatedAny = true
+				break
+			}
+		}
+		if !gatedAny {
+			// A gate that matches nothing is a misconfigured CI step, not
+			// a pass — fail loudly instead of green-lighting silently.
+			fmt.Fprintf(os.Stderr, "magus-bench: -gate %q matched no benchmark present in both files\n", gatePattern)
+			return 2
+		}
+	}
+	return 0
+}

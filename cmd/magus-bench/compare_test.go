@@ -1,0 +1,113 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadBenchJSONSkipsNotes(t *testing.T) {
+	path := writeTemp(t, "old.json", `[
+		{"name": "BenchmarkSpeculate/speculate", "iterations": 10, "ns_per_op": 164000},
+		{"name": "_note", "iterations": 0, "ns_per_op": 0, "note": "context"},
+		{"name": "BenchmarkSpeculate/batch-fixed", "iterations": 100, "ns_per_op": 15000}
+	]`)
+	recs, err := readBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2 (note skipped): %+v", len(recs), recs)
+	}
+	if recs[0].Name != "BenchmarkSpeculate/speculate" || recs[0].NsPerOp != 164000 {
+		t.Errorf("first record = %+v", recs[0])
+	}
+}
+
+func TestReadBenchGoTestOutput(t *testing.T) {
+	path := writeTemp(t, "new.txt", `goos: linux
+goarch: amd64
+pkg: magus
+BenchmarkSpeculate/speculate-4         	    6942	    176307 ns/op
+BenchmarkSpeculate/batch-fixed-4       	   85191	     15238 ns/op	       0 B/op	       0 allocs/op
+PASS
+`)
+	recs, err := readBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2: %+v", len(recs), recs)
+	}
+	if recs[0].Name != "BenchmarkSpeculate/speculate" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", recs[0].Name)
+	}
+	if recs[1].NsPerOp != 15238 || recs[1].Iterations != 85191 {
+		t.Errorf("second record = %+v", recs[1])
+	}
+}
+
+func TestCompareBenchDeltas(t *testing.T) {
+	old := []benchRecord{
+		{Name: "a", NsPerOp: 1000},
+		{Name: "b", NsPerOp: 2000},
+		{Name: "gone", NsPerOp: 5},
+	}
+	cur := []benchRecord{
+		{Name: "a", NsPerOp: 1500},
+		{Name: "b", NsPerOp: 1000},
+		{Name: "fresh", NsPerOp: 7},
+	}
+	matched, oldOnly, newOnly := compareBench(old, cur)
+	if len(matched) != 2 {
+		t.Fatalf("matched = %+v", matched)
+	}
+	if matched[0].deltaPct != 50 {
+		t.Errorf("a delta = %v, want +50", matched[0].deltaPct)
+	}
+	if matched[1].deltaPct != -50 {
+		t.Errorf("b delta = %v, want -50", matched[1].deltaPct)
+	}
+	if len(oldOnly) != 1 || oldOnly[0] != "gone" {
+		t.Errorf("oldOnly = %v", oldOnly)
+	}
+	if len(newOnly) != 1 || newOnly[0] != "fresh" {
+		t.Errorf("newOnly = %v", newOnly)
+	}
+}
+
+func TestRunCompareGate(t *testing.T) {
+	old := writeTemp(t, "old.json", `[
+		{"name": "BenchmarkX/hot", "iterations": 1, "ns_per_op": 1000},
+		{"name": "BenchmarkX/cold", "iterations": 1, "ns_per_op": 1000}
+	]`)
+	// hot regresses 50%, cold improves.
+	cur := writeTemp(t, "new.json", `[
+		{"name": "BenchmarkX/hot", "iterations": 1, "ns_per_op": 1500},
+		{"name": "BenchmarkX/cold", "iterations": 1, "ns_per_op": 500}
+	]`)
+	if code := runCompare([]string{old, cur}, "", 20); code != 0 {
+		t.Errorf("ungated compare exit = %d, want 0", code)
+	}
+	if code := runCompare([]string{old, cur}, "BenchmarkX/hot", 20); code != 1 {
+		t.Errorf("gated regression exit = %d, want 1", code)
+	}
+	if code := runCompare([]string{old, cur}, "BenchmarkX/hot", 60); code != 0 {
+		t.Errorf("within-threshold exit = %d, want 0", code)
+	}
+	if code := runCompare([]string{old, cur}, "BenchmarkNoSuch", 20); code != 2 {
+		t.Errorf("gate matching nothing exit = %d, want 2", code)
+	}
+	if code := runCompare([]string{old}, "", 20); code != 2 {
+		t.Errorf("missing file arg exit = %d, want 2", code)
+	}
+}

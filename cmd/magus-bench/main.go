@@ -7,10 +7,16 @@
 //	magus-bench [-exp all|table1|table2|fig2|fig8|fig10|fig11|fig12|fig13|maps|calendar] [-seeds 1,2,3]
 //	            [-json results.json] [-model-cache dir]
 //	            [-cpuprofile cpu.prof] [-memprofile mem.prof]
+//	magus-bench -compare [-gate regexp] [-regress-pct 20] old.json new.json
 //
 // With -json, per-experiment timings are also written to the given path
 // as a JSON array of {name, iterations, ns_per_op} records — the shape
 // CI trend dashboards ingest.
+//
+// With -compare, no experiments run: the two timing files (either the
+// -json record shape or raw `go test -bench` output) are diffed
+// per-benchmark, and the process exits non-zero when a benchmark
+// matching -gate regressed its ns/op by more than -regress-pct percent.
 //
 // Absolute numbers differ from the paper (the substrate is a synthetic
 // market, not a production carrier); the qualitative shape — who wins,
@@ -46,7 +52,13 @@ func run() int {
 	modelCacheDir := flag.String("model-cache", "", "directory for on-disk model snapshots; repeat runs over the same markets skip the model build")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	compareMode := flag.Bool("compare", false, "compare two timing files (old new) instead of running experiments")
+	gatePattern := flag.String("gate", "", "with -compare: regexp of benchmark names whose regression fails the run (empty = report only)")
+	regressPct := flag.Float64("regress-pct", 20, "with -compare: max tolerated ns/op increase, percent, for gated benchmarks")
 	flag.Parse()
+	if *compareMode {
+		return runCompare(flag.Args(), *gatePattern, *regressPct)
+	}
 	experiments.SetSearchWorkers(*workers)
 	if err := experiments.SetModelCacheDir(*modelCacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, "magus-bench:", err)

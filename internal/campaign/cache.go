@@ -9,6 +9,7 @@ import (
 
 	"magus/internal/core"
 	"magus/internal/modelcache"
+	"magus/internal/netmodel"
 	"magus/internal/topology"
 )
 
@@ -49,6 +50,20 @@ type CacheStats struct {
 	// Snapshot reports the attached on-disk model snapshot cache (see
 	// AttachSnapshots); nil when engines build their models directly.
 	Snapshot *modelcache.Stats `json:"snapshot,omitempty"`
+	// SharedCores reports the immutable model substrate behind the cached
+	// engines; nil when no cached engine carries a model.
+	SharedCores *SharedCoreStats `json:"shared_cores,omitempty"`
+}
+
+// SharedCoreStats aggregates the distinct netmodel.ModelCores referenced
+// by the cached engines. Cores counts distinct substrates, Refs the
+// Models attached across all of them (a GC-lazy upper bound — see
+// ModelCore.Refs), Bytes the resident substrate size paid once per core
+// no matter how many engines, workers or forks share it.
+type SharedCoreStats struct {
+	Cores int   `json:"cores"`
+	Refs  int64 `json:"refs"`
+	Bytes int64 `json:"bytes"`
 }
 
 // EngineCache is a bounded LRU of built engines with single-flight
@@ -169,6 +184,30 @@ func (c *EngineCache) Stats() CacheStats {
 	s := c.stats
 	s.Size = c.order.Len()
 	s.Capacity = c.cap
+	var cores SharedCoreStats
+	seen := make(map[*netmodel.ModelCore]bool)
+	for elem := c.order.Front(); elem != nil; elem = elem.Next() {
+		e := elem.Value.(*cacheEntry)
+		select {
+		case <-e.ready:
+		default:
+			continue // still building
+		}
+		if e.engine == nil || e.engine.Model == nil {
+			continue
+		}
+		mc := e.engine.Model.Core()
+		if mc == nil || seen[mc] {
+			continue
+		}
+		seen[mc] = true
+		cores.Cores++
+		cores.Refs += mc.Refs()
+		cores.Bytes += mc.Bytes()
+	}
+	if cores.Cores > 0 {
+		s.SharedCores = &cores
+	}
 	c.mu.Unlock()
 	if mc := c.snapshots.Load(); mc != nil {
 		snap := mc.Stats()

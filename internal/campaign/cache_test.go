@@ -8,6 +8,9 @@ import (
 	"time"
 
 	"magus/internal/core"
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/propagation"
 	"magus/internal/topology"
 )
 
@@ -133,5 +136,47 @@ func TestSpecHashDistinguishes(t *testing.T) {
 	}
 	if SpecHash(spec{1, 2}) != SpecHash(spec{1, 2}) {
 		t.Error("equal specs hashed apart")
+	}
+}
+
+// TestSharedCoreStats asserts the cache reports the substrate behind its
+// engines once per distinct core: two cached engines whose models fork
+// from one market must show one core with both models attached, and the
+// fake (model-less) engines must not panic the accounting.
+func TestSharedCoreStats(t *testing.T) {
+	net := topology.MustGenerate(topology.GenConfig{
+		Seed:   7,
+		Class:  topology.Suburban,
+		Bounds: geo.NewRectCentered(geo.Point{}, 3000, 3000),
+	})
+	spm := propagation.MustNewSPM(2.635e9, nil)
+	m := netmodel.MustNewModel(net, spm, net.Bounds, netmodel.Params{CellSizeM: 400})
+
+	cache := NewEngineCache(4)
+	for seed, model := range map[int64]*netmodel.Model{1: m, 2: m.ForkUsers()} {
+		if _, err := cache.GetOrBuild(cacheKey(seed), func() (*core.Engine, error) {
+			return &core.Engine{Model: model}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cache.GetOrBuild(cacheKey(3), func() (*core.Engine, error) {
+		return fakeEngine(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st := cache.Stats()
+	if st.SharedCores == nil {
+		t.Fatal("SharedCores not reported")
+	}
+	if st.SharedCores.Cores != 1 {
+		t.Errorf("Cores = %d, want 1 (fork shares its parent's core)", st.SharedCores.Cores)
+	}
+	if st.SharedCores.Refs < 2 {
+		t.Errorf("Refs = %d, want >= 2 (model + fork)", st.SharedCores.Refs)
+	}
+	if st.SharedCores.Bytes <= 0 {
+		t.Errorf("Bytes = %d, want > 0", st.SharedCores.Bytes)
 	}
 }

@@ -124,6 +124,10 @@ type JobSpec struct {
 	// search (see search.Options.Workers): 0 inherits the orchestrator's
 	// SearchWorkers, 1 forces the exact sequential path.
 	Workers int
+	// FixedPoint scores this job's candidates on the batched quantized
+	// path (shared read-only state, int16 centi-dB inner loop); see
+	// core.MitigateRequest.FixedPoint.
+	FixedPoint bool
 	// AnnealSeed seeds the Annealed method's random walk (0 = default).
 	AnnealSeed int64
 	// Kind selects the work: KindPlan (or "") plans; KindSimulate also
@@ -757,6 +761,7 @@ func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error)
 		Method:     sp.Method,
 		Util:       UtilityByName[sp.Utility],
 		Workers:    workers,
+		FixedPoint: sp.FixedPoint,
 		AnnealSeed: sp.AnnealSeed,
 	})
 	if err != nil {

@@ -72,6 +72,10 @@ type SetupConfig struct {
 	// planner's Equalize pass always runs sequentially so a cached or
 	// shared baseline is identical whatever the worker setting.
 	SearchWorkers int
+	// FixedPoint makes mitigation searches default to the batched
+	// quantized scoring path (see MitigateRequest.FixedPoint, which can
+	// also enable it per plan). Planning (Equalize) is unaffected.
+	FixedPoint bool
 	// Params optionally overrides the class planning parameters.
 	Params *topology.ClassParams
 	// ModelCache optionally supplies an on-disk snapshot cache for the
@@ -355,6 +359,12 @@ type MitigateRequest struct {
 	// 0 inherits, 1 forces the exact sequential path, >1 scores
 	// candidates on that many worker-local clones.
 	Workers int
+	// FixedPoint scores candidates on the engine's batched quantized
+	// path (shared read-only state, int16 centi-dB inner loop, no clone
+	// pool). Candidate ranking may deviate from the exact path by ≤0.1%
+	// utility quantization error; committed plan utilities remain exact
+	// full-scan values.
+	FixedPoint bool
 	// AnnealSeed seeds the Annealed method's private rand.Rand, so
 	// annealing runs are reproducible per request and race-free under
 	// parallel campaigns (0 selects the historical default of 1).
@@ -406,7 +416,7 @@ func (e *Engine) MitigatePlan(req MitigateRequest) (*Plan, error) {
 	// does not chase utility beyond normal operation. Before is shared by
 	// every concurrent plan on this engine, so evaluate it read-only.
 	utilityBefore := e.Before.UtilityRead(util)
-	opts := search.Options{Util: util, CapUtility: utilityBefore, Ctx: ctx, Workers: workers}
+	opts := search.Options{Util: util, CapUtility: utilityBefore, Ctx: ctx, Workers: workers, FixedPoint: req.FixedPoint || e.cfg.FixedPoint}
 	var res *search.Result
 	var err error
 	switch method {

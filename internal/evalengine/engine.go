@@ -42,9 +42,19 @@ import (
 
 // Config parameterizes an Engine.
 type Config struct {
-	// Workers is the number of goroutine-local state clones used to
-	// score candidate batches. 0 or 1 means sequential exact scoring.
+	// Workers is the number of goroutines used to score candidate
+	// batches. 0 or 1 means sequential exact scoring.
 	Workers int
+	// FixedPoint selects the batched read-only scoring path
+	// (State.SpeculateBatch) with the quantized centi-dB inner loop. All
+	// workers share ONE state — no clone pool, no per-clone radio-array
+	// copies — because batch scoring never mutates. Scores may deviate
+	// from the exact path by the fixed-point quantization (≤0.1% utility
+	// relative error, see netmodel/fixedpoint.go); commits still
+	// re-evaluate exactly, so reported plan utilities are never
+	// quantized. Under the magus_nofixed build tag the batch path still
+	// runs but evaluates in float.
+	FixedPoint bool
 	// Ctx cancels long scoring runs between candidates. Optional.
 	Ctx context.Context
 }
@@ -81,6 +91,7 @@ type StatsSnapshot struct {
 	FullEvaluations  int64 `json:"full_evaluations"`
 	ParallelBatches  int64 `json:"parallel_batches"`
 	Workers          int   `json:"workers"`
+	FixedPoint       bool  `json:"fixed_point,omitempty"`
 	// WorkerUtilization is Σ per-worker busy time divided by
 	// Σ batch wall time × pool size: 1.0 means every clone scored
 	// candidates for the full duration of every parallel batch.
@@ -101,6 +112,7 @@ func (s *StatsSnapshot) Merge(other StatsSnapshot) {
 	if other.Workers > s.Workers {
 		s.Workers = other.Workers
 	}
+	s.FixedPoint = s.FixedPoint || other.FixedPoint
 }
 
 // Engine drives one search run over one committed State.
@@ -108,6 +120,7 @@ type Engine struct {
 	main    *netmodel.State
 	util    utility.Func
 	workers int
+	fixed   bool
 	ctx     context.Context
 
 	clones  []*netmodel.State
@@ -140,6 +153,7 @@ func New(st *netmodel.State, util utility.Func, cfg Config) *Engine {
 		main:    st,
 		util:    util,
 		workers: workers,
+		fixed:   cfg.FixedPoint,
 		ctx:     ctx,
 		current: st.Utility(util),
 	}
@@ -158,8 +172,12 @@ func (e *Engine) Workers() int { return e.workers }
 // exact full-scan value, never a speculative delta.
 func (e *Engine) Current() float64 { return e.current }
 
-// Parallel reports whether ScoreAll batches run on the clone pool.
+// Parallel reports whether ScoreAll batches run concurrently (on the
+// clone pool, or over the shared state in fixed-point mode).
 func (e *Engine) Parallel() bool { return e.workers > 1 }
+
+// FixedPoint reports whether ScoreAll uses the batched quantized path.
+func (e *Engine) FixedPoint() bool { return e.fixed }
 
 // Snapshot copies the instrumentation counters.
 func (e *Engine) Snapshot() StatsSnapshot {
@@ -174,6 +192,7 @@ func (e *Engine) Snapshot() StatsSnapshot {
 	if capNs := e.stats.batchCapNs.Load(); capNs > 0 {
 		snap.WorkerUtilization = float64(e.stats.busyNs.Load()) / float64(capNs)
 	}
+	snap.FixedPoint = e.fixed
 	return snap
 }
 
@@ -184,6 +203,9 @@ func (e *Engine) Snapshot() StatsSnapshot {
 // deterministic regardless of worker scheduling.
 func (e *Engine) ScoreAll(moves []config.Change) ([]Score, error) {
 	e.stats.movesProposed.Add(int64(len(moves)))
+	if e.fixed {
+		return e.scoreBatch(moves)
+	}
 	if !e.Parallel() || len(moves) < 2 {
 		return e.scoreSequential(moves)
 	}
@@ -263,6 +285,77 @@ func (e *Engine) scoreParallel(moves []config.Change) ([]Score, error) {
 			return nil, err
 		}
 	}
+	return out, nil
+}
+
+// scoreBatch is the fixed-point regime: all workers score read-only
+// batches over the ONE committed state via SpeculateBatch — no clones,
+// no replay log, no per-worker copy of the radio arrays. Tracking is
+// enabled single-threaded before the fan-out; after that every access
+// on the scoring path is a read, so a contiguous chunk per worker is
+// race-free (verified by TestSharedStateConcurrentScoring under -race).
+func (e *Engine) scoreBatch(moves []config.Change) ([]Score, error) {
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.main.EnableUtilityTracking(e.util)
+	out := make([]Score, len(moves))
+	n := e.workers
+	if n > len(moves) {
+		n = len(moves)
+	}
+	if n <= 1 {
+		res := e.main.SpeculateBatch(moves, e.util, true, nil)
+		return e.foldBatch(out, moves, res, 0)
+	}
+	chunk := (len(moves) + n - 1) / n
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(moves) {
+			hi = len(moves)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			workStart := time.Now()
+			res := e.main.SpeculateBatch(moves[lo:hi], e.util, true, nil)
+			_, errs[w] = e.foldBatch(out, moves, res, lo)
+			e.stats.busyNs.Add(time.Since(workStart).Nanoseconds())
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	e.stats.parallelBatches.Add(1)
+	e.stats.batchCapNs.Add(time.Since(start).Nanoseconds() * int64(n))
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// foldBatch copies one worker's batch results into out at offset,
+// counting evaluations and surfacing the first per-move error.
+func (e *Engine) foldBatch(out []Score, moves []config.Change, res []netmodel.BatchResult, offset int) ([]Score, error) {
+	var evals int64
+	for i, r := range res {
+		if r.Err != nil {
+			e.stats.deltaEvals.Add(evals)
+			return nil, fmt.Errorf("evalengine: speculate %v: %w", moves[offset+i], r.Err)
+		}
+		out[offset+i] = Score{Move: moves[offset+i], Applied: r.Applied, Utility: r.Utility}
+		if !r.Applied.IsZero() {
+			evals++
+		}
+	}
+	e.stats.deltaEvals.Add(evals)
 	return out, nil
 }
 

@@ -117,6 +117,101 @@ func TestParallelScoresMatchSequential(t *testing.T) {
 	}
 }
 
+// TestFixedPointScoresMatchSequential pins the fixed-point regime to
+// the exact path within the quantization budget: same applied changes,
+// utilities within 0.1%, and no clone pool (the whole point — every
+// worker scores the one shared state read-only).
+func TestFixedPointScoresMatchSequential(t *testing.T) {
+	stSeq, neighbors := testState(t, 5)
+	stFix, _ := testState(t, 5)
+	u := utility.Performance
+	seq := New(stSeq, u, Config{Workers: 1})
+	fix := New(stFix, u, Config{Workers: 4, FixedPoint: true})
+	if !fix.FixedPoint() {
+		t.Fatal("FixedPoint() must report the configured mode")
+	}
+	moves := candidateMoves(neighbors, 2)
+
+	sGot, err := seq.ScoreAll(moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fGot, err := fix.ScoreAll(moves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sGot {
+		if sGot[i].Applied != fGot[i].Applied {
+			t.Fatalf("candidate %d: applied %v (seq) vs %v (fixed)", i, sGot[i].Applied, fGot[i].Applied)
+		}
+		if sGot[i].Applied.IsZero() {
+			continue
+		}
+		if relDiff(sGot[i].Utility, fGot[i].Utility) > 1e-3 {
+			t.Fatalf("candidate %d: utility %v (seq) vs %v (fixed) beyond 0.1%%", i, sGot[i].Utility, fGot[i].Utility)
+		}
+	}
+	if len(fix.clones) != 0 {
+		t.Fatalf("fixed-point scoring built %d clones; the shared-state path must not clone", len(fix.clones))
+	}
+	snap := fix.Snapshot()
+	if !snap.FixedPoint || snap.ParallelBatches != 1 || snap.DeltaEvaluations == 0 {
+		t.Errorf("fixed-point stats not recorded: %+v", snap)
+	}
+}
+
+// TestSharedStateConcurrentScoring drives a fixed-point engine through
+// interleaved score/commit rounds — every ScoreAll fans goroutines out
+// over the ONE committed state. Run under -race this is the proof the
+// batch scoring path never writes shared state after the single-threaded
+// tracking enable.
+func TestSharedStateConcurrentScoring(t *testing.T) {
+	st, neighbors := testState(t, 11)
+	if len(neighbors) < 2 {
+		t.Skip("not enough neighbors")
+	}
+	u := utility.Performance
+	e := New(st, u, Config{Workers: 8, FixedPoint: true})
+	exact := New(st.Clone(), u, Config{Workers: 1})
+	deltas := []float64{-2, -1, 1, 2}
+	for round := 0; round < 6; round++ {
+		var moves []config.Change
+		for _, b := range neighbors {
+			for _, d := range deltas {
+				moves = append(moves, config.Change{Sector: b, PowerDelta: d})
+			}
+		}
+		scores, err := e.ScoreAll(moves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Commit the best-scoring move; the next round scores against the
+		// mutated state, exercising tracking repair between fan-outs.
+		best := -1
+		for i, sc := range scores {
+			if sc.Applied.IsZero() {
+				continue
+			}
+			if best < 0 || sc.Utility > scores[best].Utility {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if _, _, err := e.Commit(scores[best].Applied); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := exact.Commit(scores[best].Applied); err != nil {
+			t.Fatal(err)
+		}
+		// Committed utilities are exact full scans in both engines.
+		if e.Current() != exact.Current() {
+			t.Fatalf("round %d: committed utility %v (fixed engine) != %v (exact engine)", round, e.Current(), exact.Current())
+		}
+	}
+}
+
 // TestCloneSyncAfterCommits: clones created before and after commits
 // must both score against the committed configuration.
 func TestCloneSyncAfterCommits(t *testing.T) {

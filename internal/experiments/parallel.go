@@ -39,6 +39,19 @@ func SetSearchWorkers(n int) {
 // SearchWorkersDefault returns the current process-wide default.
 func SearchWorkersDefault() int { return int(searchWorkers.Load()) }
 
+// fixedPoint is the process-wide default for the batched quantized
+// candidate-scoring path (see core.SetupConfig.FixedPoint).
+var fixedPoint atomic.Bool
+
+// SetFixedPointScoring sets the process-wide fixed-point scoring
+// default for engines built by BuildEngine from now on (the
+// magusd/magusctl -fixed flags do this at start). Per-request overrides
+// still apply on engines built either way.
+func SetFixedPointScoring(on bool) { fixedPoint.Store(on) }
+
+// FixedPointDefault returns the current process-wide default.
+func FixedPointDefault() bool { return fixedPoint.Load() }
+
 // BenchTiming is one extra timing a study exports into magus-bench's
 // -json records, shaped like a Go benchmark result.
 type BenchTiming struct {

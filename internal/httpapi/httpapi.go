@@ -292,6 +292,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if mc := experiments.ModelCache(); mc != nil {
 		resp["model_snapshots"] = mc.Stats()
 	}
+	if core := s.engine.Model.Core(); core != nil {
+		// The immutable substrate behind this node's serving engine; refs
+		// counts every Model sharing it (campaign engines appear under
+		// campaigns.engine_cache.shared_cores as well).
+		resp["shared_core"] = map[string]any{
+			"refs":  core.Refs(),
+			"bytes": core.Bytes(),
+		}
+	}
 	if rep := s.engine.Sanitation(); rep != nil {
 		resp["sanitation"] = map[string]any{
 			"policy":      rep.Policy,
@@ -327,30 +336,38 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// planParams parses the shared scenario/method/utility/workers query
-// parameters.
-func planParams(r *http.Request) (upgrade.Scenario, core.Method, utility.Func, int, error) {
+// planParams parses the shared scenario/method/utility/workers/fixed
+// query parameters.
+func planParams(r *http.Request) (upgrade.Scenario, core.Method, utility.Func, int, bool, error) {
 	scenario, ok := scenarioByName[r.URL.Query().Get("scenario")]
 	if !ok {
-		return 0, 0, utility.Func{}, 0, fmt.Errorf("unknown scenario %q", r.URL.Query().Get("scenario"))
+		return 0, 0, utility.Func{}, 0, false, fmt.Errorf("unknown scenario %q", r.URL.Query().Get("scenario"))
 	}
 	method, ok := methodByName[r.URL.Query().Get("method")]
 	if !ok {
-		return 0, 0, utility.Func{}, 0, fmt.Errorf("unknown method %q", r.URL.Query().Get("method"))
+		return 0, 0, utility.Func{}, 0, false, fmt.Errorf("unknown method %q", r.URL.Query().Get("method"))
 	}
 	util, ok := campaign.UtilityByName[r.URL.Query().Get("utility")]
 	if !ok {
-		return 0, 0, utility.Func{}, 0, fmt.Errorf("unknown utility %q", r.URL.Query().Get("utility"))
+		return 0, 0, utility.Func{}, 0, false, fmt.Errorf("unknown utility %q", r.URL.Query().Get("utility"))
 	}
 	workers := 0
 	if v := r.URL.Query().Get("workers"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			return 0, 0, utility.Func{}, 0, fmt.Errorf("bad workers %q", v)
+			return 0, 0, utility.Func{}, 0, false, fmt.Errorf("bad workers %q", v)
 		}
 		workers = n
 	}
-	return scenario, method, util, workers, nil
+	fixed := false
+	switch v := r.URL.Query().Get("fixed"); v {
+	case "", "0", "false":
+	case "1", "true":
+		fixed = true
+	default:
+		return 0, 0, utility.Func{}, 0, false, fmt.Errorf("bad fixed %q", v)
+	}
+	return scenario, method, util, workers, fixed, nil
 }
 
 // planResponse is the JSON shape of a mitigation plan.
@@ -373,16 +390,17 @@ type planResponse struct {
 // plan runs a mitigation for the request's parameters under the
 // request's context, so a disconnected client abandons the search.
 func (s *Server) plan(r *http.Request) (*core.Plan, error) {
-	scenario, method, util, workers, err := planParams(r)
+	scenario, method, util, workers, fixed, err := planParams(r)
 	if err != nil {
 		return nil, err
 	}
 	return s.engine.MitigatePlan(core.MitigateRequest{
-		Ctx:      r.Context(),
-		Scenario: scenario,
-		Method:   method,
-		Util:     util,
-		Workers:  workers,
+		Ctx:        r.Context(),
+		Scenario:   scenario,
+		Method:     method,
+		Util:       util,
+		Workers:    workers,
+		FixedPoint: fixed,
 	})
 }
 
@@ -634,6 +652,8 @@ type campaignJobRequest struct {
 	// Workers is the in-search scoring parallelism (0 = orchestrator
 	// default, which keeps the exact sequential path).
 	Workers int `json:"workers"`
+	// FixedPoint scores candidates on the batched quantized path.
+	FixedPoint bool `json:"fixed_point"`
 	// AnnealSeed seeds the anneal method's random walk (0 = default).
 	AnnealSeed int64 `json:"anneal_seed"`
 	// Kind is "plan" (default) or "simulate"; Sim tunes simulate jobs.
@@ -695,6 +715,7 @@ func parseCampaignSpecs(w http.ResponseWriter, r *http.Request) ([]campaign.JobS
 			Utility:    jr.Utility,
 			Timeout:    time.Duration(jr.TimeoutMS) * time.Millisecond,
 			Workers:    jr.Workers,
+			FixedPoint: jr.FixedPoint,
 			AnnealSeed: jr.AnnealSeed,
 			Kind:       jr.Kind,
 			Sim:        jr.Sim,

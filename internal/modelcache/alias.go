@@ -1,0 +1,78 @@
+// Zero-copy array decoding: the snapshot payload IS the contributor
+// arrays (little-endian int32/float32 columns at a 4-byte-aligned
+// offset), so on little-endian hosts the typed slices simply alias the
+// snapshot buffer — no per-element decode, no second allocation. The
+// historical copying decoder remains as the big-endian fallback.
+package modelcache
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// hostLittleEndian reports whether the native byte order matches the
+// snapshot format's.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// snapshotArrays is the decoded (or aliased) payload of one snapshot.
+type snapshotArrays struct {
+	sector    []int32
+	baseDB    []float32
+	elev      []float32
+	gridStart []int32
+	// aliased reports whether the slices point into the snapshot buffer
+	// (true on little-endian hosts) rather than owning fresh memory.
+	aliased bool
+}
+
+// decodeArrays extracts the contributor columns from a validated
+// payload (caller guarantees len(p) == nEntry*12 + nGrid*4).
+func decodeArrays(p []byte, nEntry, nGrid int) snapshotArrays {
+	if hostLittleEndian {
+		return snapshotArrays{
+			sector:    aliasSlice[int32](p[:nEntry*4]),
+			baseDB:    aliasSlice[float32](p[nEntry*4 : nEntry*8]),
+			elev:      aliasSlice[float32](p[nEntry*8 : nEntry*12]),
+			gridStart: aliasSlice[int32](p[nEntry*12:]),
+			aliased:   true,
+		}
+	}
+	a := snapshotArrays{
+		sector:    make([]int32, nEntry),
+		baseDB:    make([]float32, nEntry),
+		elev:      make([]float32, nEntry),
+		gridStart: make([]int32, nGrid),
+	}
+	for i := range a.sector {
+		a.sector[i] = int32(binary.LittleEndian.Uint32(p[i*4:]))
+	}
+	p = p[nEntry*4:]
+	for i := range a.baseDB {
+		a.baseDB[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[i*4:]))
+	}
+	p = p[nEntry*4:]
+	for i := range a.elev {
+		a.elev[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[i*4:]))
+	}
+	p = p[nEntry*4:]
+	for i := range a.gridStart {
+		a.gridStart[i] = int32(binary.LittleEndian.Uint32(p[i*4:]))
+	}
+	return a
+}
+
+// aliasSlice reinterprets b as a []T without copying. b must be aligned
+// for T and sized to a whole number of elements — both guaranteed here:
+// the payload offset (60-byte header) and every column width are
+// multiples of 4, and mmap regions and Go allocations are at least
+// 4-byte aligned.
+func aliasSlice[T int32 | float32](b []byte) []T {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/4)
+}

@@ -25,7 +25,6 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 
@@ -117,64 +116,88 @@ func storeSnapshot(path, key string, m *netmodel.Model) (int64, error) {
 	return total, nil
 }
 
-// loadSnapshot reads and validates path, reconstructing a model from
-// its arrays. Any framing, checksum, version or key mismatch returns an
-// error (the caller treats all of them as "rebuild"). Returns the bytes
-// read on success.
-func loadSnapshot(path, key string, net *topology.Network, spm *propagation.SPM, region geo.Rect, params netmodel.Params) (*netmodel.Model, int64, error) {
-	raw, err := os.ReadFile(path)
+// loadSnapshot reads and validates path, reconstructing a model whose
+// core aliases the snapshot bytes directly (mmap where the platform
+// supports it, one os.ReadFile allocation otherwise — never a second
+// materialization of the arrays). Any framing, checksum, version or key
+// mismatch returns an error (the caller treats all of them as
+// "rebuild"). Returns the bytes read and whether they are memory-mapped.
+func loadSnapshot(path, key string, net *topology.Network, spm *propagation.SPM, region geo.Rect, params netmodel.Params) (m *netmodel.Model, n int64, mapped bool, err error) {
+	raw, release, mapped, err := readSnapshotBytes(path)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
+	}
+	// Until the arrays are adopted by a core, this function owns the
+	// backing; release it on every validation failure.
+	fail := func(err error) (*netmodel.Model, int64, bool, error) {
+		if release != nil {
+			release()
+		}
+		return nil, 0, false, err
 	}
 	const header = 8 + 4 + 32 + 8 + 8
 	if len(raw) < header+4 {
-		return nil, 0, fmt.Errorf("modelcache: snapshot truncated (%d bytes)", len(raw))
+		return fail(fmt.Errorf("modelcache: snapshot truncated (%d bytes)", len(raw)))
 	}
 	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
-		return nil, 0, fmt.Errorf("modelcache: snapshot checksum mismatch")
+		return fail(fmt.Errorf("modelcache: snapshot checksum mismatch"))
 	}
 	if [8]byte(body[:8]) != snapshotMagic {
-		return nil, 0, fmt.Errorf("modelcache: bad snapshot magic")
+		return fail(fmt.Errorf("modelcache: bad snapshot magic"))
 	}
 	if v := binary.LittleEndian.Uint32(body[8:12]); v != snapshotVersion {
-		return nil, 0, fmt.Errorf("modelcache: snapshot version %d, want %d", v, snapshotVersion)
+		return fail(fmt.Errorf("modelcache: snapshot version %d, want %d", v, snapshotVersion))
 	}
 	if hex.EncodeToString(body[12:44]) != key {
-		return nil, 0, fmt.Errorf("modelcache: snapshot key mismatch")
+		return fail(fmt.Errorf("modelcache: snapshot key mismatch"))
 	}
 	nEntry := binary.LittleEndian.Uint64(body[44:52])
 	nGrid := binary.LittleEndian.Uint64(body[52:60])
 	payload := uint64(len(body) - header)
 	want := nEntry*(4+4+4) + nGrid*4
 	if want != payload || nEntry > uint64(len(raw)) || nGrid > uint64(len(raw)) {
-		return nil, 0, fmt.Errorf("modelcache: snapshot payload is %d bytes, frame says %d", payload, want)
+		return fail(fmt.Errorf("modelcache: snapshot payload is %d bytes, frame says %d", payload, want))
 	}
-	p := body[header:]
-	sector := make([]int32, nEntry)
-	baseDB := make([]float32, nEntry)
-	elev := make([]float32, nEntry)
-	gridStart := make([]int32, nGrid)
-	for i := range sector {
-		sector[i] = int32(binary.LittleEndian.Uint32(p[i*4:]))
-	}
-	p = p[nEntry*4:]
-	for i := range baseDB {
-		baseDB[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[i*4:]))
-	}
-	p = p[nEntry*4:]
-	for i := range elev {
-		elev[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[i*4:]))
-	}
-	p = p[nEntry*4:]
-	for i := range gridStart {
-		gridStart[i] = int32(binary.LittleEndian.Uint32(p[i*4:]))
-	}
-	m, err := netmodel.NewModelFromContributors(net, spm, region, params, sector, baseDB, elev, gridStart)
+	arrays := decodeArrays(body[header:], int(nEntry), int(nGrid))
+	m, err = netmodel.NewModelFromContributors(net, spm, region, params,
+		arrays.sector, arrays.baseDB, arrays.elev, arrays.gridStart)
 	if err != nil {
-		return nil, 0, err
+		return fail(err)
 	}
-	return m, int64(len(raw)), nil
+	if arrays.aliased {
+		// The core's arrays alias raw: record the backing size and hand
+		// over the release (munmap) for the core's end of life. For the
+		// heap-read path release is nil — the GC frees the buffer with
+		// the core.
+		m.Core().SetBacking(int64(len(raw)), release)
+	} else if release != nil {
+		// Big-endian host copied the arrays out; the backing can go now.
+		release()
+	}
+	return m, int64(len(raw)), mapped, nil
+}
+
+// readSnapshotBytes returns the file's contents, preferring a read-only
+// memory mapping (zero heap allocation, page cache shared across
+// processes) and falling back to one os.ReadFile allocation. release is
+// nil when the GC owns the buffer.
+func readSnapshotBytes(path string) (raw []byte, release func(), mapped bool, err error) {
+	if mmapSupported {
+		if raw, release, err = mapFile(path); err == nil {
+			return raw, release, true, nil
+		}
+		if os.IsNotExist(err) {
+			return nil, nil, false, err
+		}
+		// Mapping can fail where plain reads succeed (e.g. filesystems
+		// without mmap support); fall through.
+	}
+	raw, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	return raw, nil, false, nil
 }
 
 // countWriter counts bytes passed through to w.

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package modelcache
+
+import "errors"
+
+// Platforms without a usable mmap read snapshots with one os.ReadFile
+// allocation instead (still zero-copy from there: the arrays alias the
+// read buffer).
+const mmapSupported = false
+
+func mapFile(path string) ([]byte, func(), error) {
+	return nil, nil, errors.New("modelcache: mmap unsupported")
+}

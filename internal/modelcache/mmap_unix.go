@@ -1,0 +1,37 @@
+//go:build unix
+
+package modelcache
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy memory-mapped snapshot path.
+const mmapSupported = true
+
+// mapFile maps path read-only and returns the bytes plus the function
+// that unmaps them. The mapping is private and read-only: the kernel
+// shares the page-cache pages across every process planning the same
+// market, and a store to the mapped region faults instead of corrupting
+// the snapshot.
+func mapFile(path string) (data []byte, release func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := info.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

@@ -121,11 +121,11 @@ type buildShard struct {
 
 // buildCellRange evaluates cells [lo, hi) exactly as the historical
 // sequential loop did, restricted to the index's candidate sectors.
-func (m *Model) buildCellRange(idx *sectorIndex, lo, hi int, floorDbm float64) *buildShard {
+func (m *Model) buildCellRange(centers []geo.Point, idx *sectorIndex, lo, hi int, floorDbm float64) *buildShard {
 	sh := &buildShard{counts: make([]int32, hi-lo)}
 	cutoff := m.params.CutoffRadiusM
 	for g := lo; g < hi; g++ {
-		center := m.cellCenters[g]
+		center := centers[g]
 		for _, b := range idx.candidates(center) {
 			sec := &m.Net.Sectors[b]
 			if sec.Pos.DistanceTo(center) > cutoff {
@@ -151,11 +151,13 @@ func (m *Model) buildCellRange(idx *sectorIndex, lo, hi int, floorDbm float64) *
 
 // buildContributors constructs the contributor arrays, sharding the grid
 // over row ranges across params.BuildWorkers goroutines (0 = GOMAXPROCS,
-// 1 = sequential). Every worker count produces bit-identical arrays.
-func (m *Model) buildContributors() {
+// 1 = sequential). Every worker count produces bit-identical arrays. The
+// result is an immutable ModelCore ready to be shared.
+func (m *Model) buildContributors() *ModelCore {
 	numCells := m.Grid.NumCells()
 	floorDbm := units.MwToDbm(m.noiseMw) - m.params.FloorBelowNoiseDB
 	idx := newSectorIndex(m.Net, m.Grid, m.params.CutoffRadiusM)
+	centers := cellCenterTable(m.Grid)
 
 	workers := m.params.BuildWorkers
 	if workers <= 0 {
@@ -170,7 +172,7 @@ func (m *Model) buildContributors() {
 
 	shards := make([]*buildShard, workers)
 	if workers == 1 {
-		shards[0] = m.buildCellRange(idx, 0, numCells, floorDbm)
+		shards[0] = m.buildCellRange(centers, idx, 0, numCells, floorDbm)
 	} else {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -179,7 +181,7 @@ func (m *Model) buildContributors() {
 			wg.Add(1)
 			go func(w, lo, hi int) {
 				defer wg.Done()
-				shards[w] = m.buildCellRange(idx, lo, hi, floorDbm)
+				shards[w] = m.buildCellRange(centers, idx, lo, hi, floorDbm)
 			}(w, lo, hi)
 		}
 		wg.Wait()
@@ -191,38 +193,19 @@ func (m *Model) buildContributors() {
 	for _, sh := range shards {
 		total += len(sh.sector)
 	}
-	m.contribSector = make([]int32, 0, total)
-	m.contribBaseDB = make([]float32, 0, total)
-	m.contribElev = make([]float32, 0, total)
-	m.gridStart = make([]int32, numCells+1)
+	sector := make([]int32, 0, total)
+	baseDB := make([]float32, 0, total)
+	elev := make([]float32, 0, total)
+	gridStart := make([]int32, numCells+1)
 	g := 0
 	for _, sh := range shards {
-		m.contribSector = append(m.contribSector, sh.sector...)
-		m.contribBaseDB = append(m.contribBaseDB, sh.baseDB...)
-		m.contribElev = append(m.contribElev, sh.elev...)
+		sector = append(sector, sh.sector...)
+		baseDB = append(baseDB, sh.baseDB...)
+		elev = append(elev, sh.elev...)
 		for _, n := range sh.counts {
-			m.gridStart[g+1] = m.gridStart[g] + n
+			gridStart[g+1] = gridStart[g] + n
 			g++
 		}
 	}
-	m.indexSectorEntries()
-}
-
-// indexSectorEntries derives the per-sector entry lists from the merged
-// contributor arrays, in the same order the historical per-cell append
-// produced: cell-major, ascending sector ID within a cell.
-func (m *Model) indexSectorEntries() {
-	counts := make([]int32, len(m.sectorEntries))
-	for _, b := range m.contribSector {
-		counts[b]++
-	}
-	for b := range m.sectorEntries {
-		m.sectorEntries[b] = make([]entryRef, 0, counts[b])
-	}
-	for g := 0; g < m.Grid.NumCells(); g++ {
-		for pos := m.gridStart[g]; pos < m.gridStart[g+1]; pos++ {
-			b := m.contribSector[pos]
-			m.sectorEntries[b] = append(m.sectorEntries[b], entryRef{Grid: int32(g), Pos: pos})
-		}
-	}
+	return newCoreUnchecked(m.Grid, m.Net.NumSectors(), centers, sector, baseDB, elev, gridStart)
 }

@@ -1,0 +1,7 @@
+//go:build magus_nofixed
+
+package netmodel
+
+// Under magus_nofixed the quantized scorer is compiled out:
+// SpeculateBatch(fixed=true) silently evaluates with the float variant.
+const fixedPointEnabled = false

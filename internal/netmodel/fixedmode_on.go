@@ -1,0 +1,9 @@
+//go:build !magus_nofixed
+
+package netmodel
+
+// fixedPointEnabled gates the quantized SpeculateBatch variant. The
+// magus_nofixed build tag turns it off, forcing every batch through the
+// float path — the golden tests build both ways to separate quantization
+// error from batch-evaluation error.
+const fixedPointEnabled = true

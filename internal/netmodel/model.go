@@ -4,15 +4,23 @@
 // sector (Eq. 1), the serving sector and SINR (Eq. 2), the sector load
 // (Eq. 3), and the per-UE rate (Eq. 4) via the LTE MCS/TBS pipeline.
 //
-// A Model holds the immutable, configuration-independent data: the grid,
-// the per-(grid, sector) "contributor" entries (tilt-independent link
-// budget base and elevation angle, the in-memory analogue of the paper's
-// Atoll path-loss matrices), and the UE density. A State evaluates one
-// configuration against the Model and supports fast incremental updates
-// when a single sector's power, tilt, or on-air status changes — this is
-// what lets the search algorithm explore thousands of candidate
-// configurations quickly ("quickly estimate the best power and tilt
-// configuration", Section 1).
+// The data splits three ways by mutability and sharing:
+//
+//   - ModelCore (core.go) is the immutable, configuration-independent
+//     substrate — the per-(grid, sector) "contributor" entries (the
+//     in-memory analogue of the paper's Atoll path-loss matrices), the
+//     per-sector entry index and the cell-center table. It is built (or
+//     snapshot-loaded, zero-copy) once per market and shared read-only,
+//     reference-counted, by every engine, worker and simulation fork.
+//   - Model is a thin per-use view over a core: the grid, link model and
+//     noise floor plus the small mutable parts — the UE density and the
+//     tabulated link-table overrides. Forking a model (ForkUsers) shares
+//     the core and copies only the UE distribution.
+//   - State evaluates one configuration against a Model and supports
+//     fast incremental updates when a single sector's power, tilt, or
+//     on-air status changes — this is what lets the search algorithm
+//     explore thousands of candidate configurations quickly ("quickly
+//     estimate the best power and tilt configuration", Section 1).
 package netmodel
 
 import (
@@ -104,8 +112,9 @@ type RateMapper interface {
 	MinSINRdB() float64
 }
 
-// Model is the immutable analysis substrate for one network over one
-// region.
+// Model is one view over a market's analysis substrate: an immutable
+// shared core plus this view's own mutable UE distribution and link
+// table overrides.
 type Model struct {
 	Net  *topology.Network
 	SPM  *propagation.SPM
@@ -115,26 +124,15 @@ type Model struct {
 	params  Params
 	noiseMw float64
 
-	// cellCenters is the flat per-cell center table, precomputed once so
-	// the build loop and the per-cell queries (GridsIn,
-	// InterferingSectorCount) skip the div/mod plus float math of
-	// Grid.CellCenterIdx per lookup.
-	cellCenters []geo.Point
-
-	// Contributor entries, grouped by grid: entries for grid g occupy
-	// positions gridStart[g] .. gridStart[g+1].
-	contribSector []int32
-	contribBaseDB []float32
-	contribElev   []float32
-	gridStart     []int32
-
-	// sectorEntries[b] lists every contributor entry owned by sector b.
-	sectorEntries [][]entryRef
+	// core is the shared immutable substrate; see core.go.
+	core *ModelCore
 
 	// Tabulated per-tilt link budgets (InstallLinkTable): when
 	// curveSettings[b] is non-nil, entries of sector b with a non-nil
 	// entryCurve answer entryLinkDB from the table instead of the
-	// analytic pattern. Nil until the first install.
+	// analytic pattern. Nil until the first install. Per-Model, not on
+	// the core: ingesting operational matrices for one engine must not
+	// leak into other engines sharing the core.
 	curveSettings [][]float64
 	entryCurve    [][]float64
 
@@ -150,13 +148,13 @@ func NewModel(net *topology.Network, spm *propagation.SPM, region geo.Rect, para
 	if err != nil {
 		return nil, err
 	}
-	m.buildContributors()
+	m.adoptCore(m.buildContributors())
 	return m, nil
 }
 
-// newModelShell constructs everything of a Model except the contributor
-// arrays — shared by NewModel (which builds them) and
-// NewModelFromContributors (which adopts a snapshot's).
+// newModelShell constructs everything of a Model except the core —
+// shared by NewModel (which builds one) and NewModelFromCore (which
+// attaches an existing one).
 func newModelShell(net *topology.Network, spm *propagation.SPM, region geo.Rect, params Params) (*Model, error) {
 	params.applyDefaults()
 	grid, err := geo.NewGrid(region, params.CellSizeM)
@@ -171,22 +169,25 @@ func newModelShell(net *topology.Network, spm *propagation.SPM, region geo.Rect,
 		}
 		link = lteLink
 	}
-	m := &Model{
-		Net:           net,
-		SPM:           spm,
-		Link:          link,
-		Grid:          grid,
-		params:        params,
-		noiseMw:       units.DbmToMw(units.ThermalNoiseDbm(params.BandwidthHz, params.NoiseFigureDB)),
-		cellCenters:   make([]geo.Point, grid.NumCells()),
-		sectorEntries: make([][]entryRef, net.NumSectors()),
-		ue:            make([]float64, grid.NumCells()),
-	}
-	for g := range m.cellCenters {
-		m.cellCenters[g] = grid.CellCenterIdx(g)
-	}
-	return m, nil
+	return &Model{
+		Net:     net,
+		SPM:     spm,
+		Link:    link,
+		Grid:    grid,
+		params:  params,
+		noiseMw: units.DbmToMw(units.ThermalNoiseDbm(params.BandwidthHz, params.NoiseFigureDB)),
+		ue:      make([]float64, grid.NumCells()),
+	}, nil
 }
+
+// adoptCore attaches core to the model, registering the reference.
+func (m *Model) adoptCore(core *ModelCore) {
+	m.core = core
+	core.attach(m)
+}
+
+// Core returns the model's shared immutable substrate.
+func (m *Model) Core() *ModelCore { return m.core }
 
 // MustNewModel is NewModel that panics on error.
 func MustNewModel(net *topology.Network, spm *propagation.SPM, region geo.Rect, params Params) *Model {
@@ -199,7 +200,7 @@ func MustNewModel(net *topology.Network, spm *propagation.SPM, region geo.Rect, 
 
 // NumContributors returns the total number of (grid, sector) contributor
 // entries, a measure of the model's radio coupling density.
-func (m *Model) NumContributors() int { return len(m.contribSector) }
+func (m *Model) NumContributors() int { return len(m.core.contribSector) }
 
 // NoiseMw returns the thermal noise floor in milliwatts.
 func (m *Model) NoiseMw() float64 { return m.noiseMw }
@@ -223,15 +224,17 @@ func (m *Model) ScaleUsers(factor float64) {
 	m.totalUE *= factor
 }
 
-// ForkUsers returns a shallow copy of the model that shares every
-// immutable substrate (grid, contributor entries, link model) but owns
-// an independent UE distribution. Simulations that evolve load over
-// time fork the model first, so a cached engine shared with concurrent
+// ForkUsers returns a shallow copy of the model that shares the
+// immutable core (grid, contributor entries, link model) but owns an
+// independent UE distribution. Simulations that evolve load over time
+// fork the model first, so a cached engine shared with concurrent
 // planners never sees their mutations. States built on the fork see the
-// fork's users; states built on m keep seeing m's.
+// fork's users; states built on m keep seeing m's. The fork holds its
+// own core reference (visible in ModelCore.Refs).
 func (m *Model) ForkUsers() *Model {
 	fork := *m
 	fork.ue = append([]float64(nil), m.ue...)
+	fork.adoptCore(m.core)
 	return &fork
 }
 
@@ -265,15 +268,15 @@ func (m *Model) CopyUsersFrom(other *Model) error {
 // boresight gain) plus vertical pattern attenuation. The received power
 // is then transmit power + link budget.
 func (m *Model) entryLinkDB(pos int, tiltDeg float64) float64 {
-	b := m.contribSector[pos]
+	b := m.core.contribSector[pos]
 	if m.entryCurve != nil {
 		if curve := m.entryCurve[pos]; curve != nil {
 			return interpCurve(m.curveSettings[b], curve, tiltDeg)
 		}
 	}
 	sec := &m.Net.Sectors[b]
-	vatt := sec.Pattern.VerticalAttenuation(float64(m.contribElev[pos]), tiltDeg)
-	return float64(m.contribBaseDB[pos]) + vatt
+	vatt := sec.Pattern.VerticalAttenuation(float64(m.core.contribElev[pos]), tiltDeg)
+	return float64(m.core.contribBaseDB[pos]) + vatt
 }
 
 // InterferingSectorCount counts the sectors whose best-case received
@@ -285,11 +288,11 @@ func (m *Model) InterferingSectorCount(region geo.Rect, marginDB float64) int {
 	count := 0
 	for b := range m.Net.Sectors {
 		sec := &m.Net.Sectors[b]
-		for _, ref := range m.sectorEntries[b] {
-			if !region.Contains(m.cellCenters[ref.Grid]) {
+		for _, ref := range m.core.sectorEntries[b] {
+			if !region.Contains(m.core.cellCenters[ref.Grid]) {
 				continue
 			}
-			if sec.MaxPowerDbm+float64(m.contribBaseDB[ref.Pos]) >= floorDbm {
+			if sec.MaxPowerDbm+float64(m.core.contribBaseDB[ref.Pos]) >= floorDbm {
 				count++
 				break
 			}
@@ -301,7 +304,7 @@ func (m *Model) InterferingSectorCount(region geo.Rect, marginDB float64) int {
 // GridsIn returns the flat indices of all grid cells whose centers lie
 // inside region, appended to dst.
 func (m *Model) GridsIn(dst []int, region geo.Rect) []int {
-	for g, center := range m.cellCenters {
+	for g, center := range m.core.cellCenters {
 		if region.Contains(center) {
 			dst = append(dst, g)
 		}
@@ -310,7 +313,7 @@ func (m *Model) GridsIn(dst []int, region geo.Rect) []int {
 }
 
 // CellCenter returns the precomputed center point of grid cell g.
-func (m *Model) CellCenter(g int) geo.Point { return m.cellCenters[g] }
+func (m *Model) CellCenter(g int) geo.Point { return m.core.cellCenters[g] }
 
 // rateFromSinr converts a linear SINR to the achievable max rate.
 func (m *Model) rateFromSinr(sinrLin float64) float64 {
@@ -318,4 +321,19 @@ func (m *Model) rateFromSinr(sinrLin float64) float64 {
 		return 0
 	}
 	return m.Link.MaxRateBpsLinear(sinrLin)
+}
+
+// rateBounds additionally reports the linear-SINR interval [lo, hi)
+// over which the mapper returns the same quantized rate. Mappers that
+// cannot (rate curves without a bounds method) get a degenerate empty
+// interval, which disables SpeculateBatch's same-bucket fast path but
+// changes no result. sinrLin must be > 0.
+func (m *Model) rateBounds(sinrLin float64) (rate, lo, hi float64) {
+	type boundsMapper interface {
+		MaxRateBpsLinearBounds(sinrLin float64) (rate, lo, hi float64)
+	}
+	if bm, ok := m.Link.(boundsMapper); ok {
+		return bm.MaxRateBpsLinearBounds(sinrLin)
+	}
+	return m.Link.MaxRateBpsLinear(sinrLin), 0, 0
 }

@@ -73,7 +73,7 @@ func TestStateInvariants(t *testing.T) {
 		if s.bestSec[g] >= 0 {
 			servedGrids++
 			// best must be the true argmax over entries.
-			start, end := m.gridStart[g], m.gridStart[g+1]
+			start, end := m.core.gridStart[g], m.core.gridStart[g+1]
 			for pos := start; pos < end; pos++ {
 				if s.rpMw[pos] > s.bestMw[g]+1e-18 {
 					t.Fatalf("grid %d: entry %d has rp %v above recorded best %v",

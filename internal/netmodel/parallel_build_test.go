@@ -41,42 +41,42 @@ func TestParallelBuildGolden(t *testing.T) {
 		params.BuildWorkers = workers
 		par := MustNewModel(net, spm, region, params)
 
-		if len(par.contribSector) != len(seq.contribSector) {
+		if len(par.core.contribSector) != len(seq.core.contribSector) {
 			t.Fatalf("workers=%d: %d entries, want %d", workers,
-				len(par.contribSector), len(seq.contribSector))
+				len(par.core.contribSector), len(seq.core.contribSector))
 		}
-		for i := range seq.contribSector {
-			if par.contribSector[i] != seq.contribSector[i] {
+		for i := range seq.core.contribSector {
+			if par.core.contribSector[i] != seq.core.contribSector[i] {
 				t.Fatalf("workers=%d: sector[%d] = %d, want %d", workers, i,
-					par.contribSector[i], seq.contribSector[i])
+					par.core.contribSector[i], seq.core.contribSector[i])
 			}
-			if math.Float32bits(par.contribBaseDB[i]) != math.Float32bits(seq.contribBaseDB[i]) {
+			if math.Float32bits(par.core.contribBaseDB[i]) != math.Float32bits(seq.core.contribBaseDB[i]) {
 				t.Fatalf("workers=%d: baseDB[%d] bits differ: %v vs %v", workers, i,
-					par.contribBaseDB[i], seq.contribBaseDB[i])
+					par.core.contribBaseDB[i], seq.core.contribBaseDB[i])
 			}
-			if math.Float32bits(par.contribElev[i]) != math.Float32bits(seq.contribElev[i]) {
+			if math.Float32bits(par.core.contribElev[i]) != math.Float32bits(seq.core.contribElev[i]) {
 				t.Fatalf("workers=%d: elev[%d] bits differ: %v vs %v", workers, i,
-					par.contribElev[i], seq.contribElev[i])
+					par.core.contribElev[i], seq.core.contribElev[i])
 			}
 		}
-		for g := range seq.gridStart {
-			if par.gridStart[g] != seq.gridStart[g] {
+		for g := range seq.core.gridStart {
+			if par.core.gridStart[g] != seq.core.gridStart[g] {
 				t.Fatalf("workers=%d: gridStart[%d] = %d, want %d", workers, g,
-					par.gridStart[g], seq.gridStart[g])
+					par.core.gridStart[g], seq.core.gridStart[g])
 			}
 		}
-		if len(par.sectorEntries) != len(seq.sectorEntries) {
+		if len(par.core.sectorEntries) != len(seq.core.sectorEntries) {
 			t.Fatalf("workers=%d: sectorEntries length differs", workers)
 		}
-		for b := range seq.sectorEntries {
-			if len(par.sectorEntries[b]) != len(seq.sectorEntries[b]) {
+		for b := range seq.core.sectorEntries {
+			if len(par.core.sectorEntries[b]) != len(seq.core.sectorEntries[b]) {
 				t.Fatalf("workers=%d: sector %d has %d entries, want %d", workers, b,
-					len(par.sectorEntries[b]), len(seq.sectorEntries[b]))
+					len(par.core.sectorEntries[b]), len(seq.core.sectorEntries[b]))
 			}
-			for j, ref := range seq.sectorEntries[b] {
-				if par.sectorEntries[b][j] != ref {
+			for j, ref := range seq.core.sectorEntries[b] {
+				if par.core.sectorEntries[b][j] != ref {
 					t.Fatalf("workers=%d: sectorEntries[%d][%d] = %+v, want %+v",
-						workers, b, j, par.sectorEntries[b][j], ref)
+						workers, b, j, par.core.sectorEntries[b][j], ref)
 				}
 			}
 		}
@@ -92,12 +92,12 @@ func TestParallelBuildApproxTilt(t *testing.T) {
 	seq := MustNewModel(net, spm, region, params)
 	params.BuildWorkers = 4
 	par := MustNewModel(net, spm, region, params)
-	if len(par.contribSector) != len(seq.contribSector) {
-		t.Fatalf("%d entries, want %d", len(par.contribSector), len(seq.contribSector))
+	if len(par.core.contribSector) != len(seq.core.contribSector) {
+		t.Fatalf("%d entries, want %d", len(par.core.contribSector), len(seq.core.contribSector))
 	}
-	for i := range seq.contribElev {
-		if math.Float32bits(par.contribElev[i]) != math.Float32bits(seq.contribElev[i]) {
-			t.Fatalf("elev[%d] bits differ: %v vs %v", i, par.contribElev[i], seq.contribElev[i])
+	for i := range seq.core.contribElev {
+		if math.Float32bits(par.core.contribElev[i]) != math.Float32bits(seq.core.contribElev[i]) {
+			t.Fatalf("elev[%d] bits differ: %v vs %v", i, par.core.contribElev[i], seq.core.contribElev[i])
 		}
 	}
 }

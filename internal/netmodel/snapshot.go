@@ -1,7 +1,10 @@
 // Snapshot access to the model's immutable core: the contributor
 // arrays are the expensive-to-build, cheap-to-serialize part of a
 // Model, and internal/modelcache persists them to disk keyed by a hash
-// of the inputs so warm restarts skip the build entirely.
+// of the inputs so warm restarts skip the build entirely. A loaded core
+// can then be shared by any number of models over the same market (see
+// NewModelFromCore) — the snapshot bytes are materialized (or mapped)
+// once per process, not once per engine.
 package netmodel
 
 import (
@@ -13,10 +16,33 @@ import (
 )
 
 // Contributors exposes the built contributor arrays for serialization.
-// The returned slices are the model's own backing arrays: callers must
-// treat them as read-only.
+// The returned slices are the core's own backing arrays: callers must
+// treat them as read-only and must not retain them beyond the model's
+// lifetime (a snapshot-backed core releases its backing when
+// collected).
 func (m *Model) Contributors() (sector []int32, baseDB, elev []float32, gridStart []int32) {
-	return m.contribSector, m.contribBaseDB, m.contribElev, m.gridStart
+	c := m.core
+	return c.contribSector, c.contribBaseDB, c.contribElev, c.gridStart
+}
+
+// NewModelFromCore builds a model view over an existing shared core,
+// skipping both the O(gridCells x sectors) construction and any array
+// copying. net, spm, region and params must be the inputs the core was
+// originally built from — the snapshot cache guarantees this by keying
+// cores on a hash of them.
+func NewModelFromCore(net *topology.Network, spm *propagation.SPM, region geo.Rect, params Params, core *ModelCore) (*Model, error) {
+	m, err := newModelShell(net, spm, region, params)
+	if err != nil {
+		return nil, err
+	}
+	if core.numCells != m.Grid.NumCells() {
+		return nil, fmt.Errorf("netmodel: core has %d cells, grid has %d", core.numCells, m.Grid.NumCells())
+	}
+	if core.numSectors != net.NumSectors() {
+		return nil, fmt.Errorf("netmodel: core has %d sectors, network has %d", core.numSectors, net.NumSectors())
+	}
+	m.adoptCore(core)
+	return m, nil
 }
 
 // NewModelFromContributors reconstructs a model from previously built
@@ -33,36 +59,10 @@ func NewModelFromContributors(net *topology.Network, spm *propagation.SPM, regio
 	if err != nil {
 		return nil, err
 	}
-	numCells := m.Grid.NumCells()
-	if len(gridStart) != numCells+1 {
-		return nil, fmt.Errorf("netmodel: snapshot gridStart has %d entries, grid has %d cells", len(gridStart), numCells)
+	core, err := NewCore(m.Grid, net.NumSectors(), sector, baseDB, elev, gridStart)
+	if err != nil {
+		return nil, err
 	}
-	if gridStart[0] != 0 {
-		return nil, fmt.Errorf("netmodel: snapshot gridStart does not begin at 0")
-	}
-	if len(baseDB) != len(sector) || len(elev) != len(sector) {
-		return nil, fmt.Errorf("netmodel: snapshot column lengths disagree: %d/%d/%d",
-			len(sector), len(baseDB), len(elev))
-	}
-	if int(gridStart[numCells]) != len(sector) {
-		return nil, fmt.Errorf("netmodel: snapshot gridStart ends at %d, have %d entries",
-			gridStart[numCells], len(sector))
-	}
-	for g := 0; g < numCells; g++ {
-		if gridStart[g+1] < gridStart[g] {
-			return nil, fmt.Errorf("netmodel: snapshot gridStart decreases at cell %d", g)
-		}
-	}
-	numSectors := int32(net.NumSectors())
-	for _, b := range sector {
-		if b < 0 || b >= numSectors {
-			return nil, fmt.Errorf("netmodel: snapshot references sector %d of %d", b, numSectors)
-		}
-	}
-	m.contribSector = sector
-	m.contribBaseDB = baseDB
-	m.contribElev = elev
-	m.gridStart = gridStart
-	m.indexSectorEntries()
+	m.adoptCore(core)
 	return m, nil
 }

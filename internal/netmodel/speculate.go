@@ -74,6 +74,7 @@ func (s *State) EnableUtilityTracking(u utility.Func) {
 	s.trackFn = u
 	s.trackSum = sum
 	s.trackOn = true
+	s.buildServedIndex()
 }
 
 // UtilityTracked returns the incrementally maintained overall utility
@@ -131,7 +132,13 @@ func (s *State) repairTracking() {
 	m := s.Model
 	for _, b := range s.dirtySecs {
 		s.secDirty[b] = false
-		for _, ref := range m.sectorEntries[b] {
+		if s.servedIdxOn {
+			for _, g := range s.servedList[b] {
+				s.markGrid(g)
+			}
+			continue
+		}
+		for _, ref := range m.core.sectorEntries[b] {
 			if s.bestSec[ref.Grid] == b {
 				s.markGrid(ref.Grid)
 			}

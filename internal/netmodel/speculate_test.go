@@ -205,7 +205,7 @@ func TestSINRImproversScratchReuse(t *testing.T) {
 		got := s.SINRImprovers(other, neighbors, 1)
 		for _, b := range got {
 			found := false
-			for _, ref := range m.sectorEntries[b] {
+			for _, ref := range m.core.sectorEntries[b] {
 				for _, g := range other {
 					if int(ref.Grid) == g {
 						found = true

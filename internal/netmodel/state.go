@@ -25,6 +25,8 @@ type State struct {
 	bestSec []int32   // per grid: serving sector, -1 if none
 	bestMw  []float64 // per grid: serving sector received power, mW
 	rmax    []float64 // per grid: max rate (bits/s) at current SINR
+	sinrLo  []float64 // per grid: linear-SINR CQI bucket floor backing rmax
+	sinrHi  []float64 // per grid: linear-SINR CQI bucket ceiling (exclusive)
 	load    []float64 // per sector: sum of UE weights over served grids
 	served  []int32   // per sector: number of served grids
 
@@ -41,6 +43,17 @@ type State struct {
 	// across calls (the search hot loop calls it once per step). Always
 	// all-false between calls; never cloned.
 	affectedMark []bool
+
+	// Per-sector served-grid index: servedList[b] holds exactly the grids
+	// with bestSec == b, servedPos[g] the grid's slot in its list, so the
+	// "which grids does this load shift touch?" sweeps in repairTracking
+	// and SpeculateBatch run over the served set instead of the (much
+	// larger) contributor entry list. Built with the tracking sum in
+	// EnableUtilityTracking, maintained O(1) by setServing, and — like
+	// tracking — dropped rather than cloned.
+	servedIdxOn bool
+	servedList  [][]int32
+	servedPos   []int32
 
 	// Incremental utility tracking backing Speculate; see speculate.go.
 	// Deliberately not cloned: a clone re-derives its own running sum on
@@ -62,12 +75,14 @@ func (m *Model) NewState(cfg *config.Config) *State {
 	s := &State{
 		Model:   m,
 		Cfg:     cfg,
-		rpMw:    make([]float64, len(m.contribSector)),
-		linkDB:  make([]float64, len(m.contribSector)),
+		rpMw:    make([]float64, len(m.core.contribSector)),
+		linkDB:  make([]float64, len(m.core.contribSector)),
 		totalMw: make([]float64, m.Grid.NumCells()),
 		bestSec: make([]int32, m.Grid.NumCells()),
 		bestMw:  make([]float64, m.Grid.NumCells()),
 		rmax:    make([]float64, m.Grid.NumCells()),
+		sinrLo:  make([]float64, m.Grid.NumCells()),
+		sinrHi:  make([]float64, m.Grid.NumCells()),
 		load:    make([]float64, m.Net.NumSectors()),
 		served:  make([]int32, m.Net.NumSectors()),
 	}
@@ -106,6 +121,8 @@ func (s *State) Clone() *State {
 		bestSec:   append([]int32(nil), s.bestSec...),
 		bestMw:    append([]float64(nil), s.bestMw...),
 		rmax:      append([]float64(nil), s.rmax...),
+		sinrLo:    append([]float64(nil), s.sinrLo...),
+		sinrHi:    append([]float64(nil), s.sinrHi...),
 		load:      append([]float64(nil), s.load...),
 		served:    append([]int32(nil), s.served...),
 		cacheRate: append([]float64(nil), s.cacheRate...),
@@ -122,7 +139,7 @@ func (s *State) recomputeAll() {
 		off := s.Cfg.Off(b)
 		power := s.Cfg.PowerDbm(b)
 		tilt := s.Cfg.TiltDeg(b)
-		for _, ref := range m.sectorEntries[b] {
+		for _, ref := range m.core.sectorEntries[b] {
 			s.linkDB[ref.Pos] = m.entryLinkDB(int(ref.Pos), tilt)
 			if off {
 				s.rpMw[ref.Pos] = 0
@@ -149,7 +166,7 @@ func (s *State) recomputeAll() {
 // from the per-entry received powers. It does not touch loads.
 func (s *State) rescanGrid(g int) {
 	m := s.Model
-	start, end := m.gridStart[g], m.gridStart[g+1]
+	start, end := m.core.gridStart[g], m.core.gridStart[g+1]
 	total := 0.0
 	best := int32(-1)
 	bestMw := 0.0
@@ -158,7 +175,7 @@ func (s *State) rescanGrid(g int) {
 		total += rp
 		if rp > bestMw {
 			bestMw = rp
-			best = m.contribSector[pos]
+			best = m.core.contribSector[pos]
 		}
 	}
 	s.totalMw[g] = total
@@ -167,13 +184,18 @@ func (s *State) rescanGrid(g int) {
 	s.updateRate(g)
 }
 
-// updateRate refreshes rmax[g] from the cached aggregates.
+// updateRate refreshes rmax[g] from the cached aggregates, caching the
+// CQI bucket's linear-SINR bounds alongside — SpeculateBatch tests
+// "does this move change the grid's rate at all?" against them without
+// re-running the threshold scan.
 func (s *State) updateRate(g int) {
 	if s.trackOn {
 		s.markGrid(int32(g))
 	}
 	if s.bestSec[g] < 0 || s.bestMw[g] <= 0 {
 		s.rmax[g] = 0
+		s.sinrLo[g] = 0
+		s.sinrHi[g] = 0
 		return
 	}
 	interf := s.totalMw[g] - s.bestMw[g]
@@ -181,7 +203,13 @@ func (s *State) updateRate(g int) {
 		interf = 0 // floating point guard
 	}
 	sinr := s.bestMw[g] / (s.Model.noiseMw + interf)
-	s.rmax[g] = s.Model.rateFromSinr(sinr)
+	if sinr <= 0 {
+		s.rmax[g] = 0
+		s.sinrLo[g] = 0
+		s.sinrHi[g] = 0
+		return
+	}
+	s.rmax[g], s.sinrLo[g], s.sinrHi[g] = s.Model.rateBounds(sinr)
 }
 
 // Apply applies a configuration change and incrementally updates the
@@ -242,7 +270,7 @@ func (s *State) refreshSector(b int) {
 	power := s.Cfg.PowerDbm(b)
 	tilt := s.Cfg.TiltDeg(b)
 	b32 := int32(b)
-	for _, ref := range m.sectorEntries[b] {
+	for _, ref := range m.core.sectorEntries[b] {
 		s.linkDB[ref.Pos] = m.entryLinkDB(int(ref.Pos), tilt)
 		var rp float64
 		if !off {
@@ -260,7 +288,7 @@ func (s *State) refreshSector(b int) {
 func (s *State) applySectorPower(b int) {
 	power := s.Cfg.PowerDbm(b)
 	b32 := int32(b)
-	for _, ref := range s.Model.sectorEntries[b] {
+	for _, ref := range s.Model.core.sectorEntries[b] {
 		if s.rpMw[ref.Pos] == 0 {
 			continue
 		}
@@ -302,13 +330,13 @@ func (s *State) updateEntry(g int, pos int32, b32 int32, rp float64) {
 // server weakened, updating loads on a serving change.
 func (s *State) rescanBest(g int) {
 	m := s.Model
-	start, end := m.gridStart[g], m.gridStart[g+1]
+	start, end := m.core.gridStart[g], m.core.gridStart[g+1]
 	best := int32(-1)
 	bestMw := 0.0
 	for pos := start; pos < end; pos++ {
 		if rp := s.rpMw[pos]; rp > bestMw {
 			bestMw = rp
-			best = m.contribSector[pos]
+			best = m.core.contribSector[pos]
 		}
 	}
 	if best == s.bestSec[g] {
@@ -343,6 +371,40 @@ func (s *State) setServing(g int, sec int32, mw float64) {
 		s.load[sec] += s.Model.ue[g]
 		s.served[sec]++
 	}
+	if s.servedIdxOn {
+		if old >= 0 {
+			list := s.servedList[old]
+			p := s.servedPos[g]
+			last := int32(len(list) - 1)
+			moved := list[last]
+			list[p] = moved
+			s.servedPos[moved] = p
+			s.servedList[old] = list[:last]
+		}
+		if sec >= 0 {
+			s.servedPos[g] = int32(len(s.servedList[sec]))
+			s.servedList[sec] = append(s.servedList[sec], int32(g))
+		}
+	}
+}
+
+// buildServedIndex (re)derives the per-sector served-grid index from the
+// current serving map.
+func (s *State) buildServedIndex() {
+	if s.servedList == nil {
+		s.servedList = make([][]int32, s.Model.Net.NumSectors())
+		s.servedPos = make([]int32, s.Model.Grid.NumCells())
+	}
+	for b := range s.servedList {
+		s.servedList[b] = s.servedList[b][:0]
+	}
+	for g, b := range s.bestSec {
+		if b >= 0 {
+			s.servedPos[g] = int32(len(s.servedList[b]))
+			s.servedList[b] = append(s.servedList[b], int32(g))
+		}
+	}
+	s.servedIdxOn = true
 }
 
 // ServingSector returns the serving sector of grid g, or -1 when the
@@ -528,6 +590,7 @@ func (s *State) AssignUsersWeighted(weight func(g int) float64) {
 // the next Speculate re-derives it.
 func (s *State) RecomputeLoads() {
 	s.trackOn = false
+	s.servedIdxOn = false
 	for i := range s.load {
 		s.load[i] = 0
 		s.served[i] = 0
@@ -584,7 +647,7 @@ func (s *State) SINRImprovers(affected []int, candidates []int, deltaDb float64)
 		if s.Cfg.Off(b) || s.Cfg.AtMaxPower(b) {
 			continue
 		}
-		for _, ref := range m.sectorEntries[b] {
+		for _, ref := range m.core.sectorEntries[b] {
 			if !s.affectedMark[ref.Grid] {
 				continue
 			}

@@ -18,7 +18,7 @@ import (
 // contributor entries, in entry order — the row layout SampleLinkDB
 // and InstallLinkTable share.
 func (m *Model) SectorCells(b int) []int {
-	refs := m.sectorEntries[b]
+	refs := m.core.sectorEntries[b]
 	cells := make([]int, len(refs))
 	for i, ref := range refs {
 		cells[i] = int(ref.Grid)
@@ -31,7 +31,7 @@ func (m *Model) SectorCells(b int) []int {
 // (analytic pattern or an installed table). Row t corresponds to
 // settings[t].
 func (m *Model) SampleLinkDB(b int, settings []float64) [][]float64 {
-	refs := m.sectorEntries[b]
+	refs := m.core.sectorEntries[b]
 	rows := make([][]float64, len(settings))
 	for t, tilt := range settings {
 		row := make([]float64, len(refs))
@@ -51,7 +51,7 @@ func (m *Model) SampleLinkDB(b int, settings []float64) [][]float64 {
 // the install keep their cached link budgets — build (or refresh) states
 // afterwards.
 func (m *Model) InstallLinkTable(b int, settings []float64, cells []int, linkDB [][]float64) error {
-	if b < 0 || b >= len(m.sectorEntries) {
+	if b < 0 || b >= len(m.core.sectorEntries) {
 		return fmt.Errorf("netmodel: no sector %d", b)
 	}
 	if len(settings) == 0 {
@@ -78,13 +78,13 @@ func (m *Model) InstallLinkTable(b int, settings []float64, cells []int, linkDB 
 	}
 
 	if m.entryCurve == nil {
-		m.entryCurve = make([][]float64, len(m.contribSector))
+		m.entryCurve = make([][]float64, len(m.core.contribSector))
 	}
 	if m.curveSettings == nil {
-		m.curveSettings = make([][]float64, len(m.sectorEntries))
+		m.curveSettings = make([][]float64, len(m.core.sectorEntries))
 	}
 	m.curveSettings[b] = append([]float64(nil), settings...)
-	for _, ref := range m.sectorEntries[b] {
+	for _, ref := range m.core.sectorEntries[b] {
 		c, ok := col[int(ref.Grid)]
 		if !ok {
 			m.entryCurve[ref.Pos] = nil // stays analytic

@@ -32,7 +32,7 @@ func TestTabulatedRoundtripBitIdentical(t *testing.T) {
 	// Record analytic link budgets at a non-neutral tilt before install.
 	probe := make(map[int32]float64)
 	for b := range m.Net.Sectors {
-		for _, ref := range m.sectorEntries[b] {
+		for _, ref := range m.core.sectorEntries[b] {
 			probe[ref.Pos] = m.entryLinkDB(int(ref.Pos), tiltDegreesOf(m, b)[1])
 		}
 	}
@@ -51,7 +51,7 @@ func TestTabulatedRoundtripBitIdentical(t *testing.T) {
 
 	for b := range m.Net.Sectors {
 		want := tiltDegreesOf(m, b)[1]
-		for _, ref := range m.sectorEntries[b] {
+		for _, ref := range m.core.sectorEntries[b] {
 			if got := m.entryLinkDB(int(ref.Pos), want); got != probe[ref.Pos] {
 				t.Fatalf("sector %d pos %d: tabulated %v != analytic %v", b, ref.Pos, got, probe[ref.Pos])
 			}
@@ -95,7 +95,7 @@ func TestTabulatedMidpointInterpolation(t *testing.T) {
 	if err := m.InstallLinkTable(0, []float64{0, 10}, cells, rows); err != nil {
 		t.Fatal(err)
 	}
-	pos := int(m.sectorEntries[0][0].Pos)
+	pos := int(m.core.sectorEntries[0][0].Pos)
 	if got := m.entryLinkDB(pos, 5); got != -85 {
 		t.Fatalf("midpoint = %v, want -85", got)
 	}
@@ -140,7 +140,7 @@ func TestInstallLinkTableValidation(t *testing.T) {
 // analytic link budget.
 func TestTabulatedPartialCoverage(t *testing.T) {
 	m := testModel(t)
-	refs := m.sectorEntries[0]
+	refs := m.core.sectorEntries[0]
 	if len(refs) < 2 {
 		t.Skip("sector 0 too small")
 	}
@@ -162,7 +162,7 @@ func TestTabulatedPartialCoverage(t *testing.T) {
 	}
 	tilt := settings[3] + 0.25 // off-grid tilt: analytic path must answer
 	sec := &m.Net.Sectors[0]
-	want := float64(m.contribBaseDB[last]) + sec.Pattern.VerticalAttenuation(float64(m.contribElev[last]), tilt)
+	want := float64(m.core.contribBaseDB[last]) + sec.Pattern.VerticalAttenuation(float64(m.core.contribElev[last]), tilt)
 	if got := m.entryLinkDB(last, tilt); got != want {
 		t.Fatalf("uncovered entry = %v, want analytic %v", got, want)
 	}
