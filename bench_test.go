@@ -32,6 +32,7 @@ import (
 	"magus/internal/topology"
 	"magus/internal/upgrade"
 	"magus/internal/utility"
+	"magus/internal/waveplan"
 )
 
 var benchSeeds = []int64{1}
@@ -673,5 +674,28 @@ func BenchmarkAblationAnnealVsHeuristic(b *testing.B) {
 				b.ReportMetric(float64(plan.Search.Evaluations), "evaluations")
 			}
 		})
+	}
+}
+
+// BenchmarkWavePlan schedules a whole upgrade season on the suburban
+// evaluation market: conflict graph, crew/calendar-constrained anneal,
+// and a full mitigation search per wave. The reported metric is the
+// season-wide minimum f(C_after), the quantity the schedule optimizes.
+func BenchmarkWavePlan(b *testing.B) {
+	engine, err := experiments.BuildEngine(benchSeeds[0], experiments.DefaultAreaSpec(topology.Suburban))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := waveplan.Plan(engine, nil, waveplan.Options{
+			Constraints: waveplan.Constraints{CrewsPerWave: 3, MaxWaves: 6, OverlapThreshold: 0.4},
+			Method:      core.Joint,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MinWaveUtility, "season-min-utility")
+		b.ReportMetric(float64(res.ConflictEdges), "conflict-edges")
 	}
 }

@@ -97,18 +97,17 @@ func runCampaign(args []string) {
 	resp := r.do("submit", func() (*http.Response, error) {
 		return http.Post(*server+"/campaigns", "application/json", bytes.NewReader(body))
 	})
+	if resp.StatusCode != http.StatusAccepted {
+		fail("submit rejected (%d): %s", resp.StatusCode, readAPIError(resp))
+	}
 	var accepted struct {
-		ID    string `json:"id"`
-		Jobs  int    `json:"jobs"`
-		Error string `json:"error"`
+		ID   string `json:"id"`
+		Jobs int    `json:"jobs"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&accepted)
 	resp.Body.Close()
 	if err != nil {
 		fail("submit: decode: %v", err)
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		fail("submit: %s (%d)", accepted.Error, resp.StatusCode)
 	}
 	fmt.Printf("campaign %s accepted: %d jobs\n", accepted.ID, accepted.Jobs)
 

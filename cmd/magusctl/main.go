@@ -26,6 +26,13 @@
 //
 //	magusctl simulate [-server http://localhost:8080] [-scenario a] [-method joint]
 //	                  [-faults "push-fail@2,sector-down@20:17"] [-diurnal] [-replan] [-series]
+//
+// The wave subcommand plans a whole upgrade season through magusd's
+// wave scheduler (see internal/waveplan):
+//
+//	magusctl wave plan   [-server ...] [-class suburban] [-seed 1] [-crews 4]
+//	                     [-blackout 0,2] [-replay] [-faults "sector-down@2:17"]
+//	magusctl wave status -id <id> [-server ...]
 package main
 
 import (
@@ -51,6 +58,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "fleet" {
 		runFleet(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "wave" {
+		runWave(os.Args[2:])
 		return
 	}
 	classFlag := flag.String("class", "suburban", "area class: rural, suburban, urban")

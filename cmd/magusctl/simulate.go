@@ -47,7 +47,6 @@ type simulateView struct {
 		PushedChanges   int      `json:"pushed_changes"`
 		Events          []string `json:"events"`
 	} `json:"series"`
-	Error string `json:"error"`
 }
 
 func runSimulate(args []string) {
@@ -104,14 +103,14 @@ func runSimulate(args []string) {
 	resp := newRetrier(*retries, *retryBackoff).do("simulate", func() (*http.Response, error) {
 		return http.Get(*server + "/simulate?" + q.Encode())
 	})
+	if resp.StatusCode != http.StatusOK {
+		fail("simulate rejected (%d): %s", resp.StatusCode, readAPIError(resp))
+	}
 	var view simulateView
 	err := json.NewDecoder(resp.Body).Decode(&view)
 	resp.Body.Close()
 	if err != nil {
 		fail("simulate: decode: %v", err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		fail("simulate: %s (%d)", view.Error, resp.StatusCode)
 	}
 
 	s := view.Summary

@@ -35,6 +35,7 @@ import (
 	"magus/internal/topology"
 	"magus/internal/upgrade"
 	"magus/internal/utility"
+	"magus/internal/waveplan"
 )
 
 // JobState is a job's position in the queued → running → terminal
@@ -87,7 +88,43 @@ const (
 	// KindSimulate additionally executes the resulting runbook through
 	// the upgrade-window simulator.
 	KindSimulate = "simulate"
+	// KindWave schedules a whole upgrade season: the wave scheduler
+	// partitions the market's upgrade set into conflict-free waves and
+	// evaluates each (see internal/waveplan).
+	KindWave = "wave"
 )
+
+// WaveSpec configures a wave job's season. JSON tags make it the wire
+// form too; zero fields select the scheduler defaults. The job's
+// Method/Utility/Workers/FixedPoint/AnnealSeed fields apply to the
+// per-wave searches and the anneal, as on plan jobs.
+type WaveSpec struct {
+	// Sectors is the upgrade set (empty = the market's whole tuning
+	// area).
+	Sectors []int `json:"sectors,omitempty"`
+	// CrewsPerWave, MaxWaves and Blackout are the season's calendar
+	// constraints (see waveplan.Constraints).
+	CrewsPerWave int   `json:"crews_per_wave,omitempty"`
+	MaxWaves     int   `json:"max_waves,omitempty"`
+	Blackout     []int `json:"blackout,omitempty"`
+	// OverlapThreshold and MarginDB shape the co-upgrade conflict graph.
+	OverlapThreshold float64 `json:"overlap_threshold,omitempty"`
+	MarginDB         float64 `json:"margin_db,omitempty"`
+	// AnnealIters bounds the wave-assignment anneal.
+	AnnealIters int `json:"anneal_iters,omitempty"`
+	// RollingRecovery is the rolling-vs-stopping semantics threshold.
+	RollingRecovery float64 `json:"rolling_recovery,omitempty"`
+	// Replay plays each wave's runbook through a simwindow; a floor
+	// breach halts the season and emits the rollback runbook.
+	Replay bool `json:"replay,omitempty"`
+	// ReplayTicks overrides the replay window length.
+	ReplayTicks int `json:"replay_ticks,omitempty"`
+	// Faults is a fault script injected into every wave's replay.
+	Faults string `json:"faults,omitempty"`
+	// HaltBelowTicks is the consecutive below-floor replay ticks that
+	// halt the season.
+	HaltBelowTicks int `json:"halt_below_ticks,omitempty"`
+}
 
 // SimSpec configures a simulate job's window. JSON tags make it the
 // wire form too.
@@ -131,10 +168,13 @@ type JobSpec struct {
 	// AnnealSeed seeds the Annealed method's random walk (0 = default).
 	AnnealSeed int64
 	// Kind selects the work: KindPlan (or "") plans; KindSimulate also
-	// executes the runbook through the simulator.
+	// executes the runbook through the simulator; KindWave schedules an
+	// upgrade season.
 	Kind string
 	// Sim tunes a simulate job (nil = simulator defaults).
 	Sim *SimSpec
+	// Wave tunes a wave job (nil = scheduler defaults).
+	Wave *WaveSpec
 }
 
 // validate rejects specs the workers could only fail on.
@@ -168,13 +208,53 @@ func (sp JobSpec) validate() error {
 		if sp.Sim != nil {
 			return fmt.Errorf("campaign: sim config on a %q job", KindPlan)
 		}
+		if sp.Wave != nil {
+			return fmt.Errorf("campaign: wave config on a %q job", KindPlan)
+		}
 	case KindSimulate:
+		if sp.Wave != nil {
+			return fmt.Errorf("campaign: wave config on a %q job", KindSimulate)
+		}
 		if sp.Sim != nil {
 			if _, err := simwindow.ParseFaults(sp.Sim.Faults); err != nil {
 				return fmt.Errorf("campaign: %w", err)
 			}
 			if sp.Sim.Ticks < 0 || sp.Sim.LoadNoise < 0 {
 				return fmt.Errorf("campaign: negative sim ticks or load noise")
+			}
+		}
+	case KindWave:
+		if sp.Sim != nil {
+			return fmt.Errorf("campaign: sim config on a %q job", KindWave)
+		}
+		if w := sp.Wave; w != nil {
+			seen := make(map[int]bool, len(w.Sectors))
+			for _, s := range w.Sectors {
+				if s < 0 {
+					return fmt.Errorf("campaign: negative wave sector %d", s)
+				}
+				if seen[s] {
+					return fmt.Errorf("campaign: duplicate wave sector %d", s)
+				}
+				seen[s] = true
+			}
+			for _, s := range w.Blackout {
+				if s < 0 {
+					return fmt.Errorf("campaign: negative blackout slot %d", s)
+				}
+			}
+			if w.CrewsPerWave < 0 || w.MaxWaves < 0 || w.AnnealIters < 0 ||
+				w.ReplayTicks < 0 || w.HaltBelowTicks < 0 {
+				return fmt.Errorf("campaign: negative wave constraint")
+			}
+			if w.OverlapThreshold < 0 || w.OverlapThreshold >= 1 {
+				return fmt.Errorf("campaign: overlap threshold %g outside [0, 1)", w.OverlapThreshold)
+			}
+			if w.MarginDB < 0 || w.RollingRecovery < 0 || w.RollingRecovery > 1 {
+				return fmt.Errorf("campaign: wave margin or rolling recovery out of range")
+			}
+			if _, err := simwindow.ParseFaults(w.Faults); err != nil {
+				return fmt.Errorf("campaign: %w", err)
 			}
 		}
 	default:
@@ -203,6 +283,8 @@ type Result struct {
 	SearchStats *evalengine.StatsSnapshot `json:"search_stats,omitempty"`
 	// Sim summarizes the simulated window (simulate jobs only).
 	Sim *simwindow.Summary `json:"sim,omitempty"`
+	// Wave is the evaluated season (wave jobs only).
+	Wave *waveplan.Result `json:"wave,omitempty"`
 }
 
 // Job is one tracked unit of work inside a campaign. All mutable fields
@@ -755,6 +837,33 @@ func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error)
 	if workers <= 0 {
 		workers = o.cfg.SearchWorkers
 	}
+	if sp.Kind == KindWave {
+		season, err := waveSeason(ctx, engine, sp, workers)
+		if err != nil {
+			return nil, fmt.Errorf("wave: %w", err)
+		}
+		res := &Result{
+			UtilityBefore: season.UtilityBefore,
+			UtilityAfter:  season.MinWaveUtility,
+			Targets:       len(season.Sectors),
+			Wave:          season,
+		}
+		// Season-level recovery and C_upgrade report the worst wave.
+		first := true
+		for _, w := range season.Waves {
+			if w.Cancelled {
+				continue
+			}
+			if first || w.Recovery < res.Recovery {
+				res.Recovery = w.Recovery
+			}
+			if first || w.UtilityUpgrade < res.UtilityUpgrade {
+				res.UtilityUpgrade = w.UtilityUpgrade
+			}
+			first = false
+		}
+		return res, nil
+	}
 	plan, err := engine.MitigatePlan(core.MitigateRequest{
 		Ctx:        ctx,
 		Scenario:   sp.Scenario,
@@ -803,6 +912,48 @@ func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error)
 		}
 	}
 	return res, nil
+}
+
+// waveSeason plans the upgrade season described by the job's WaveSpec.
+func waveSeason(ctx context.Context, engine *core.Engine, sp JobSpec, workers int) (*waveplan.Result, error) {
+	spec := sp.Wave
+	if spec == nil {
+		spec = &WaveSpec{}
+	}
+	faults, err := simwindow.ParseFaults(spec.Faults)
+	if err != nil {
+		return nil, err
+	}
+	var sectors []int
+	if len(spec.Sectors) > 0 {
+		sectors = append([]int(nil), spec.Sectors...)
+		for _, s := range sectors {
+			if s >= engine.Net.NumSectors() {
+				return nil, fmt.Errorf("sector %d out of range [0, %d)", s, engine.Net.NumSectors())
+			}
+		}
+	}
+	return waveplan.Plan(engine, sectors, waveplan.Options{
+		Constraints: waveplan.Constraints{
+			CrewsPerWave:     spec.CrewsPerWave,
+			MaxWaves:         spec.MaxWaves,
+			Blackout:         append([]int(nil), spec.Blackout...),
+			OverlapThreshold: spec.OverlapThreshold,
+			MarginDB:         spec.MarginDB,
+		},
+		Method:          sp.Method,
+		Util:            UtilityByName[sp.Utility],
+		Seed:            sp.AnnealSeed,
+		AnnealIters:     spec.AnnealIters,
+		FixedPoint:      sp.FixedPoint,
+		Workers:         workers,
+		RollingRecovery: spec.RollingRecovery,
+		Replay:          spec.Replay,
+		ReplayTicks:     spec.ReplayTicks,
+		ReplayFaults:    faults,
+		HaltBelowTicks:  spec.HaltBelowTicks,
+		Ctx:             ctx,
+	})
 }
 
 // simulateWindow executes the runbook through the upgrade-window

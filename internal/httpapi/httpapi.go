@@ -13,6 +13,8 @@
 //	GET  /simulate?scenario=a&faults=...   execute the runbook through the window simulator
 //	GET  /outage?sector=12                 respond to an unplanned outage
 //	GET  /schedule?scenario=a&hours=5      rank upgrade start times
+//	POST /waves                            schedule an upgrade season (wave scheduler)
+//	GET  /waves/{id}                       season status + per-wave results
 //	POST /campaigns                        submit a batch of planning jobs
 //	GET  /campaigns                        list campaigns
 //	GET  /campaigns/{id}                   campaign status + incremental results
@@ -51,6 +53,7 @@ import (
 	"magus/internal/topology"
 	"magus/internal/upgrade"
 	"magus/internal/utility"
+	"magus/internal/waveplan"
 )
 
 // Wire-name tables shared by the query-parameter and campaign-body
@@ -154,6 +157,10 @@ func New(engine *core.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /outage", s.handleOutage)
 	s.mux.HandleFunc("GET /schedule", s.handleSchedule)
+	// The wave surface is served in both modes; submission routes to the
+	// local orchestrator or across the fleet like /campaigns does.
+	s.mux.HandleFunc("POST /waves", s.handleWaveSubmit)
+	s.mux.HandleFunc("GET /waves/{id}", s.handleWaveStatus)
 	if s.coord != nil {
 		// Coordinator mode: the campaign surface fans out across the
 		// fleet, and the fleet control endpoints come up.
@@ -292,6 +299,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if mc := experiments.ModelCache(); mc != nil {
 		resp["model_snapshots"] = mc.Stats()
 	}
+	resp["wave_scheduler"] = waveplan.Stats()
 	if core := s.engine.Model.Core(); core != nil {
 		// The immutable substrate behind this node's serving engine; refs
 		// counts every Model sharing it (campaign engines appear under
@@ -656,9 +664,11 @@ type campaignJobRequest struct {
 	FixedPoint bool `json:"fixed_point"`
 	// AnnealSeed seeds the anneal method's random walk (0 = default).
 	AnnealSeed int64 `json:"anneal_seed"`
-	// Kind is "plan" (default) or "simulate"; Sim tunes simulate jobs.
-	Kind string            `json:"kind"`
-	Sim  *campaign.SimSpec `json:"sim"`
+	// Kind is "plan" (default), "simulate" or "wave"; Sim tunes simulate
+	// jobs, Wave tunes wave jobs.
+	Kind string             `json:"kind"`
+	Sim  *campaign.SimSpec  `json:"sim"`
+	Wave *campaign.WaveSpec `json:"wave"`
 }
 
 type campaignRequest struct {
@@ -719,6 +729,7 @@ func parseCampaignSpecs(w http.ResponseWriter, r *http.Request) ([]campaign.JobS
 			AnnealSeed: jr.AnnealSeed,
 			Kind:       jr.Kind,
 			Sim:        jr.Sim,
+			Wave:       jr.Wave,
 		}
 	}
 	return specs, true

@@ -301,6 +301,25 @@ func (m *Model) InterferingSectorCount(region geo.Rect, marginDB float64) int {
 	return count
 }
 
+// CoverageGrids appends to dst the flat grid indices where sector b's
+// best-case received power (max transmit power, boresight link budget)
+// reaches the noise floor minus marginDB — the same reach criterion as
+// InterferingSectorCount, reported per grid instead of per sector. The
+// indices come out in ascending grid order (the per-sector entry index
+// is cell-major), so two sectors' coverage sets can be intersected with
+// a linear merge. The wave scheduler's co-upgrade conflict graph is
+// built from pairwise overlaps of these sets.
+func (m *Model) CoverageGrids(dst []int, b int, marginDB float64) []int {
+	floorDbm := units.MwToDbm(m.noiseMw) - marginDB
+	sec := &m.Net.Sectors[b]
+	for _, ref := range m.core.sectorEntries[b] {
+		if sec.MaxPowerDbm+float64(m.core.contribBaseDB[ref.Pos]) >= floorDbm {
+			dst = append(dst, int(ref.Grid))
+		}
+	}
+	return dst
+}
+
 // GridsIn returns the flat indices of all grid cells whose centers lie
 // inside region, appended to dst.
 func (m *Model) GridsIn(dst []int, region geo.Rect) []int {

@@ -379,3 +379,54 @@ func relDiff(a, b float64) float64 {
 	}
 	return math.Abs(a-b) / den
 }
+
+// TestCoverageGrids checks the per-sector coverage sets against the
+// reach criterion InterferingSectorCount applies: a sector counts as an
+// interferer of a region exactly when one of its coverage grids falls
+// inside it, margins widen coverage monotonically, and indices come out
+// strictly ascending (the waveplan conflict graph intersects them by
+// linear merge).
+func TestCoverageGrids(t *testing.T) {
+	m := testModel(t)
+	covered := 0
+	for b := range m.Net.Sectors {
+		grids := m.CoverageGrids(nil, b, 6)
+		covered += len(grids)
+		for i := 1; i < len(grids); i++ {
+			if grids[i-1] >= grids[i] {
+				t.Fatalf("sector %d coverage not strictly ascending: %v", b, grids)
+			}
+		}
+		if wide := m.CoverageGrids(nil, b, 20); len(wide) < len(grids) {
+			t.Errorf("sector %d: margin 20 covers %d grids, margin 6 covers %d", b, len(wide), len(grids))
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no sector covers any grid")
+	}
+
+	// Cross-check against InterferingSectorCount on an inner region: the
+	// count must equal the number of sectors with at least one coverage
+	// grid whose center lies inside the region.
+	inner := geo.NewRectCentered(geo.Point{}, 2000, 2000)
+	const margin = 6.0
+	want := 0
+	for b := range m.Net.Sectors {
+		for _, g := range m.CoverageGrids(nil, b, margin) {
+			if inner.Contains(m.Grid.CellCenterIdx(g)) {
+				want++
+				break
+			}
+		}
+	}
+	if got := m.InterferingSectorCount(inner, margin); got != want {
+		t.Errorf("InterferingSectorCount = %d, coverage sets say %d", got, want)
+	}
+
+	// dst is appended to, not clobbered.
+	prefix := []int{-1}
+	out := m.CoverageGrids(prefix, 0, 6)
+	if len(out) < 1 || out[0] != -1 {
+		t.Error("CoverageGrids does not append to dst")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"magus/internal/config"
@@ -29,6 +30,9 @@ const (
 	// KindOffAir is the step in which the target sectors go off-air and
 	// the planned work may begin.
 	KindOffAir StepKind = "off-air"
+	// KindRollback is an unwind step of an aborted migration (see
+	// BuildRollback).
+	KindRollback StepKind = "rollback"
 )
 
 // Step is one configuration push.
@@ -71,6 +75,30 @@ type Runbook struct {
 	Rollback []config.Change `json:"rollback"`
 	// StepIntervalSec is the recommended spacing between pushes.
 	StepIntervalSec float64 `json:"step_interval_sec"`
+	// Wave annotates runbooks that execute one wave of a planned upgrade
+	// season (internal/waveplan); nil for standalone mitigations.
+	Wave *WaveMeta `json:"wave,omitempty"`
+}
+
+// WaveMeta ties a runbook to its position in an upgrade season and
+// carries the season-level abort contract: if observed utility breaches
+// HaltFloor while the wave executes, the NOC halts the season and pushes
+// this runbook's Rollback sequence (rolling vs stopping semantics after
+// celestia-app's ADR-018 upgrade taxonomy).
+type WaveMeta struct {
+	// Wave is the 1-based wave number within the season's execution order.
+	Wave int `json:"wave"`
+	// Slot is the calendar slot the wave occupies (blackout slots are
+	// never assigned).
+	Slot int `json:"slot"`
+	// Semantics is "rolling" — the network keeps serving through the
+	// migration steps and the next wave may be prepared while this one
+	// executes — or "stopping": recovery is poor enough that the season
+	// pauses until this wave's targets are back on air.
+	Semantics string `json:"semantics"`
+	// HaltFloor is the utility below which the season halts and this
+	// wave rolls back.
+	HaltFloor float64 `json:"halt_floor"`
 }
 
 // Build assembles the runbook for a mitigation plan and its gradual
@@ -125,7 +153,7 @@ func Build(plan *core.Plan, mig *migrate.Plan) (*Runbook, error) {
 	for s := range tunedSet {
 		rb.TunedSectors = append(rb.TunedSectors, s)
 	}
-	sortInts(rb.TunedSectors)
+	sort.Ints(rb.TunedSectors)
 
 	// Rollback: inverses in reverse order.
 	for i := len(applied) - 1; i >= 0; i-- {
@@ -134,12 +162,62 @@ func Build(plan *core.Plan, mig *migrate.Plan) (*Runbook, error) {
 	return rb, nil
 }
 
-func sortInts(v []int) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
+// BuildRollback derives the abort document for a runbook whose
+// execution must be unwound — the wave scheduler emits one when a
+// season halts mid-wave. Steps run in reverse order of the original
+// pushes, each pushing the inverses of one original step (so the
+// off-air targets return to air first, then the compensations unwind),
+// with the expected utility restored to the pre-step value. The
+// document's own Rollback re-applies the original pushes, should the
+// halt be rescinded.
+func BuildRollback(rb *Runbook, reason string) *Runbook {
+	out := &Runbook{
+		Title:            "ROLLBACK: " + rb.Title,
+		Scenario:         rb.Scenario,
+		Method:           rb.Method,
+		Objective:        rb.Objective,
+		Targets:          append([]int(nil), rb.Targets...),
+		TunedSectors:     append([]int(nil), rb.TunedSectors...),
+		ExpectedBefore:   rb.ExpectedAfter,
+		ExpectedUpgrade:  rb.ExpectedUpgrade,
+		ExpectedAfter:    rb.ExpectedBefore,
+		ExpectedRecovery: 1,
+		UtilityFloor:     rb.UtilityFloor,
+		StepIntervalSec:  rb.StepIntervalSec,
+		Wave:             rb.Wave,
 	}
+	for i := len(rb.Steps) - 1; i >= 0; i-- {
+		src := rb.Steps[i]
+		inv := make([]config.Change, 0, len(src.Changes))
+		for j := len(src.Changes) - 1; j >= 0; j-- {
+			inv = append(inv, src.Changes[j].Inverse())
+		}
+		expect := rb.ExpectedBefore
+		if i > 0 {
+			expect = rb.Steps[i-1].ExpectedUtility
+		}
+		note := ""
+		if len(out.Steps) == 0 && reason != "" {
+			note = "halt: " + reason
+		}
+		if src.Kind == KindOffAir {
+			if note != "" {
+				note += "; "
+			}
+			note += "targets return to air in this push"
+		}
+		out.Steps = append(out.Steps, Step{
+			Index:           len(out.Steps) + 1,
+			Kind:            KindRollback,
+			Changes:         inv,
+			ExpectedUtility: expect,
+			Note:            note,
+		})
+	}
+	for _, s := range rb.Steps {
+		out.Rollback = append(out.Rollback, s.Changes...)
+	}
+	return out
 }
 
 // WriteJSON emits the runbook as indented JSON.
@@ -155,6 +233,10 @@ func (r *Runbook) WriteText(w io.Writer) error {
 		fmt.Fprintf(w, format+"\n", args...)
 	}
 	p("RUNBOOK: %s", r.Title)
+	if r.Wave != nil {
+		p("wave %d (slot %d, %s): halt season and roll back if utility drops below %.1f",
+			r.Wave.Wave, r.Wave.Slot, r.Wave.Semantics, r.Wave.HaltFloor)
+	}
 	p("objective: %s    expected recovery: %.1f%%", r.Objective, 100*r.ExpectedRecovery)
 	p("targets off-air: %v", r.Targets)
 	p("sectors tuned:   %v", r.TunedSectors)

@@ -163,3 +163,140 @@ func TestWriteText(t *testing.T) {
 		}
 	}
 }
+
+// TestTunedSectorOrdering pins the ordering contract after the move to
+// sort.Ints: tuned sectors come out strictly ascending regardless of
+// the map-iteration order they were collected in, and step indices stay
+// dense and 1-based.
+func TestTunedSectorOrdering(t *testing.T) {
+	plan, mig := buildFixture(t)
+	for run := 0; run < 5; run++ {
+		rb, err := Build(plan, mig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rb.TunedSectors) < 2 {
+			t.Skipf("fixture tunes %d sectors; ordering unobservable", len(rb.TunedSectors))
+		}
+		for i := 1; i < len(rb.TunedSectors); i++ {
+			if rb.TunedSectors[i-1] >= rb.TunedSectors[i] {
+				t.Fatalf("run %d: tuned sectors not strictly ascending: %v", run, rb.TunedSectors)
+			}
+		}
+		for i, s := range rb.Steps {
+			if s.Index != i+1 {
+				t.Fatalf("run %d: step %d carries index %d", run, i, s.Index)
+			}
+		}
+	}
+}
+
+// TestBuildRollback checks the unwind document: reverse step order,
+// per-step inverses, pre-step expected utilities, and a Rollback that
+// re-applies the original pushes.
+func TestBuildRollback(t *testing.T) {
+	plan, mig := buildFixture(t)
+	rb, err := Build(plan, mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb.Wave = &WaveMeta{Wave: 2, Slot: 3, Semantics: "stopping", HaltFloor: rb.ExpectedAfter}
+	out := BuildRollback(rb, "drill")
+	if len(out.Steps) != len(rb.Steps) {
+		t.Fatalf("rollback has %d steps, original %d", len(out.Steps), len(rb.Steps))
+	}
+	if out.Wave != rb.Wave {
+		t.Error("rollback dropped the wave annotation")
+	}
+	if !strings.Contains(out.Steps[0].Note, "drill") {
+		t.Errorf("first rollback step does not carry the halt reason: %q", out.Steps[0].Note)
+	}
+	for i, s := range out.Steps {
+		if s.Kind != KindRollback {
+			t.Errorf("step %d kind %q", i, s.Kind)
+		}
+		src := rb.Steps[len(rb.Steps)-1-i]
+		if len(s.Changes) != len(src.Changes) {
+			t.Errorf("step %d pushes %d changes, source step %d", i, len(s.Changes), len(src.Changes))
+		}
+		want := rb.ExpectedBefore
+		if j := len(rb.Steps) - 1 - i; j > 0 {
+			want = rb.Steps[j-1].ExpectedUtility
+		}
+		if s.ExpectedUtility != want {
+			t.Errorf("step %d expects utility %f, want pre-step value %f", i, s.ExpectedUtility, want)
+		}
+	}
+	// The last original step is off-air, so the FIRST rollback push must
+	// return the targets to air.
+	backOn := false
+	for _, ch := range out.Steps[0].Changes {
+		if ch.TurnOn {
+			backOn = true
+		}
+	}
+	if !backOn {
+		t.Error("first rollback step does not turn the targets back on")
+	}
+	// Applying the original steps then the rollback document's steps must
+	// restore C_before exactly (the same contract TestRollbackRestoresConfig
+	// checks for the flat Rollback list).
+	cfg := plan.Upgrade.Cfg.Clone()
+	for _, tg := range plan.Targets {
+		if _, err := cfg.Apply(config.Change{Sector: tg, TurnOn: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	original := cfg.Clone()
+	for _, step := range rb.Steps {
+		for _, ch := range step.Changes {
+			if _, err := cfg.Apply(ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, step := range out.Steps {
+		for _, ch := range step.Changes {
+			if _, err := cfg.Apply(ch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !cfg.Equal(original) {
+		t.Fatal("rollback document did not restore the original configuration")
+	}
+	// And the document's own Rollback is the original pushes, in order.
+	var originalPushes []config.Change
+	for _, s := range rb.Steps {
+		originalPushes = append(originalPushes, s.Changes...)
+	}
+	if len(out.Rollback) != len(originalPushes) {
+		t.Fatalf("rollback-of-rollback has %d changes, original %d", len(out.Rollback), len(originalPushes))
+	}
+	for i := range out.Rollback {
+		if out.Rollback[i] != originalPushes[i] {
+			t.Fatalf("rollback-of-rollback change %d = %v, want %v", i, out.Rollback[i], originalPushes[i])
+		}
+	}
+}
+
+// TestWriteTextWave: the wave annotation renders into the operator
+// document.
+func TestWriteTextWave(t *testing.T) {
+	plan, mig := buildFixture(t)
+	rb, err := Build(plan, mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb.Wave = &WaveMeta{Wave: 4, Slot: 5, Semantics: "rolling", HaltFloor: 123.4}
+	var buf bytes.Buffer
+	if err := rb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"wave 4", "slot 5", "rolling", "123.4"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("wave-annotated runbook text missing %q", want)
+		}
+	}
+}

@@ -78,6 +78,14 @@ type Config struct {
 	FloorGraceTicks int
 	// MaxReplans bounds replanner invocations (default 2).
 	MaxReplans int
+	// HaltAfterBelowTicks, when > 0, aborts the run once utility has sat
+	// below the floor for this many consecutive ticks: the wave
+	// scheduler's season-halt trigger (ADR-018's halt-height translated
+	// to utility). The breaching tick is recorded, the summary is marked
+	// Halted, and remaining pushes are abandoned — the operator recovers
+	// via the runbook's Rollback sequence. Takes precedence over
+	// replanning.
+	HaltAfterBelowTicks int
 	// Workers is the candidate-scoring parallelism handed to the
 	// replanner's search (same knob as core.MitigateRequest.Workers).
 	Workers int
@@ -164,6 +172,10 @@ type Summary struct {
 	FaultsInjected   int     `json:"faults_injected"`
 	Replans          int     `json:"replans"`
 	ReplanPushes     int     `json:"replan_pushes"`
+	// Halted reports that Config.HaltAfterBelowTicks tripped at HaltTick
+	// and the window was abandoned mid-run.
+	Halted   bool `json:"halted,omitempty"`
+	HaltTick int  `json:"halt_tick,omitempty"`
 	// UtilityStats and HandoverStats summarize the two headline series.
 	UtilityStats  stats.Summary `json:"utility_stats"`
 	HandoverStats stats.Summary `json:"handover_stats"`
@@ -469,14 +481,21 @@ func (s *Simulator) Run() (*Outcome, error) {
 			}
 		}
 
-		// 5. Floor watch and replanning.
+		// 5. Floor watch: season halt, then replanning.
 		if u < floor-floorEps(floor) {
 			belowStreak++
 			sum.TicksBelowFloor++
 		} else {
 			belowStreak = 0
 		}
-		if belowStreak >= cfg.FloorGraceTicks && cfg.Replanner != nil &&
+		halted := cfg.HaltAfterBelowTicks > 0 && belowStreak >= cfg.HaltAfterBelowTicks
+		if halted {
+			sum.Halted = true
+			sum.HaltTick = t
+			events = append(events, fmt.Sprintf(
+				"HALT: utility below floor for %d consecutive ticks; abandon window and roll back", belowStreak))
+		}
+		if !halted && belowStreak >= cfg.FloorGraceTicks && cfg.Replanner != nil &&
 			replans < cfg.MaxReplans && s.pendingRe == 0 {
 			batches, err := s.replan(floor)
 			if err != nil {
@@ -525,6 +544,9 @@ func (s *Simulator) Run() (*Outcome, error) {
 				loads[b] = s.live.Load(b)
 			}
 			out.SectorLoads = append(out.SectorLoads, loads)
+		}
+		if halted {
+			break
 		}
 	}
 

@@ -1,0 +1,202 @@
+// Package waveplan plans an upgrade *season*: the paper's mitigation
+// machinery takes the set of sectors going off-air as given, but a real
+// operator must first decide which sectors go dark together and in what
+// order across a maintenance calendar. This package partitions a
+// market's upgrade set into an ordered sequence of waves subject to
+// co-upgrade conflicts (two sectors whose coverage overlaps past a
+// threshold never darken together), crew capacity, and calendar
+// blackout slots; anneals over wave assignments with a cheap
+// SpeculateBatch-based scorer in the inner loop; evaluates the winning
+// season exactly with one mitigation plan per wave (the paper's
+// f(C_after) floor); and emits one runbook per wave with rolling vs
+// stopping semantics and an explicit halt/rollback contract, after
+// celestia-app's ADR-018 upgrade taxonomy. An optional simwindow replay
+// of each wave turns a mid-wave floor breach into a season halt plus a
+// rollback runbook.
+package waveplan
+
+import (
+	"sort"
+
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+)
+
+// ConflictGraph records which pairs of the upgrade set must not go
+// off-air in the same wave because their coverage footprints overlap.
+// Vertices are sector IDs; an edge means "never co-darken".
+type ConflictGraph struct {
+	// Sectors is the upgrade set, ascending.
+	Sectors []int
+	// Threshold and MarginDB are the parameters the graph was built with.
+	Threshold float64
+	MarginDB  float64
+
+	// index maps sector ID -> position in Sectors.
+	index map[int]int
+	// adj[i] lists the positions (into Sectors) conflicting with
+	// Sectors[i], ascending.
+	adj [][]int
+	// overlap[i] holds, parallel to adj[i], the coverage overlap
+	// fraction of each conflicting pair.
+	overlap [][]float64
+	// coverSize[i] is |cover(Sectors[i])| in grid cells.
+	coverSize []int
+	edges     int
+}
+
+// Overlap returns the coverage overlap fraction of two sector coverage
+// sets, both sorted ascending: |A∩B| / min(|A|, |B|). Zero when either
+// set is empty. Exported so tests can brute-force-check graph edges.
+func Overlap(a, b []int) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	shared, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			shared++
+			i++
+			j++
+		}
+	}
+	minLen := len(a)
+	if len(b) < minLen {
+		minLen = len(b)
+	}
+	return float64(shared) / float64(minLen)
+}
+
+// boundsOf returns the bounding rectangle of the given grid cells'
+// centers (a degenerate point rect for a single cell).
+func boundsOf(m *netmodel.Model, grids []int) geo.Rect {
+	var r geo.Rect
+	for i, g := range grids {
+		c := m.CellCenter(g)
+		if i == 0 {
+			r = geo.Rect{Min: c, Max: c}
+			continue
+		}
+		if c.X < r.Min.X {
+			r.Min.X = c.X
+		}
+		if c.Y < r.Min.Y {
+			r.Min.Y = c.Y
+		}
+		if c.X > r.Max.X {
+			r.Max.X = c.X
+		}
+		if c.Y > r.Max.Y {
+			r.Max.Y = c.Y
+		}
+	}
+	return r
+}
+
+// BuildConflictGraph derives the co-upgrade conflict graph for the
+// given upgrade set. Coverage footprints come from the model's
+// per-sector entry index (Model.CoverageGrids, the same reach criterion
+// as InterferingSectorCount at marginDB); two sectors conflict when the
+// overlap fraction of their footprints exceeds threshold. Footprint
+// bounding rectangles prefilter the pairwise pass, so only spatially
+// plausible pairs pay the set intersection.
+func BuildConflictGraph(m *netmodel.Model, sectors []int, threshold, marginDB float64) *ConflictGraph {
+	ids := append([]int(nil), sectors...)
+	sort.Ints(ids)
+	g := &ConflictGraph{
+		Sectors:   ids,
+		Threshold: threshold,
+		MarginDB:  marginDB,
+		index:     make(map[int]int, len(ids)),
+		adj:       make([][]int, len(ids)),
+		overlap:   make([][]float64, len(ids)),
+		coverSize: make([]int, len(ids)),
+	}
+	cover := make([][]int, len(ids))
+	bounds := make([]geo.Rect, len(ids))
+	for i, s := range ids {
+		g.index[s] = i
+		cover[i] = m.CoverageGrids(nil, s, marginDB)
+		g.coverSize[i] = len(cover[i])
+		bounds[i] = boundsOf(m, cover[i])
+	}
+	for i := range ids {
+		if len(cover[i]) == 0 {
+			continue
+		}
+		for j := i + 1; j < len(ids); j++ {
+			if len(cover[j]) == 0 || !bounds[i].Intersects(bounds[j]) {
+				continue
+			}
+			frac := Overlap(cover[i], cover[j])
+			if frac > threshold {
+				g.adj[i] = append(g.adj[i], j)
+				g.overlap[i] = append(g.overlap[i], frac)
+				g.adj[j] = append(g.adj[j], i)
+				g.overlap[j] = append(g.overlap[j], frac)
+				g.edges++
+			}
+		}
+	}
+	return g
+}
+
+// Edges returns the number of conflict pairs.
+func (g *ConflictGraph) Edges() int { return g.edges }
+
+// Degree returns the number of sectors conflicting with sector s (0 for
+// sectors outside the upgrade set).
+func (g *ConflictGraph) Degree(s int) int {
+	i, ok := g.index[s]
+	if !ok {
+		return 0
+	}
+	return len(g.adj[i])
+}
+
+// Conflicts reports whether sectors a and b must not co-darken.
+func (g *ConflictGraph) Conflicts(a, b int) bool {
+	i, ok := g.index[a]
+	if !ok {
+		return false
+	}
+	j, ok := g.index[b]
+	if !ok {
+		return false
+	}
+	for _, k := range g.adj[i] {
+		if k == j {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxDegree returns the largest conflict degree in the graph.
+func (g *ConflictGraph) MaxDegree() int {
+	max := 0
+	for i := range g.adj {
+		if d := len(g.adj[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// conflictsAt reports whether placing Sectors[i] alongside the member
+// positions in slot would violate the graph.
+func (g *ConflictGraph) conflictsAt(i int, slot []int) bool {
+	for _, j := range slot {
+		for _, k := range g.adj[i] {
+			if k == j {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+package waveplan
+
+import "sync/atomic"
+
+// counters aggregate scheduler activity process-wide; surfaced on
+// /healthz as "wave_scheduler".
+var counters struct {
+	seasonsPlanned   atomic.Int64
+	seasonsHalted    atomic.Int64
+	wavesPlanned     atomic.Int64
+	wavesCancelled   atomic.Int64
+	annealIterations atomic.Int64
+	annealAccepted   atomic.Int64
+	conflictEdges    atomic.Int64
+	replays          atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the scheduler counters.
+type StatsSnapshot struct {
+	SeasonsPlanned   int64 `json:"seasons_planned"`
+	SeasonsHalted    int64 `json:"seasons_halted"`
+	WavesPlanned     int64 `json:"waves_planned"`
+	WavesCancelled   int64 `json:"waves_cancelled"`
+	AnnealIterations int64 `json:"anneal_iterations"`
+	AnnealAccepted   int64 `json:"anneal_accepted"`
+	ConflictEdges    int64 `json:"conflict_edges"`
+	Replays          int64 `json:"replays"`
+}
+
+// Stats returns the process-wide scheduler counters.
+func Stats() StatsSnapshot {
+	return StatsSnapshot{
+		SeasonsPlanned:   counters.seasonsPlanned.Load(),
+		SeasonsHalted:    counters.seasonsHalted.Load(),
+		WavesPlanned:     counters.wavesPlanned.Load(),
+		WavesCancelled:   counters.wavesCancelled.Load(),
+		AnnealIterations: counters.annealIterations.Load(),
+		AnnealAccepted:   counters.annealAccepted.Load(),
+		ConflictEdges:    counters.conflictEdges.Load(),
+		Replays:          counters.replays.Load(),
+	}
+}

@@ -1,0 +1,289 @@
+package waveplan
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"magus/internal/core"
+	"magus/internal/simwindow"
+	"magus/internal/topology"
+)
+
+var (
+	engOnce sync.Once
+	eng     *core.Engine
+	engErr  error
+)
+
+// testEngine builds (once) a small suburban market shared by every
+// test; engines are immutable, so sharing is safe.
+func testEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	engOnce.Do(func() {
+		eng, engErr = core.NewEngine(core.SetupConfig{
+			Seed:          3,
+			Class:         topology.Suburban,
+			RegionSpanM:   6000,
+			CellSizeM:     300,
+			EqualizeSteps: 60,
+		})
+	})
+	if engErr != nil {
+		t.Fatal(engErr)
+	}
+	return eng
+}
+
+func fastOptions() Options {
+	return Options{AnnealIters: 400, Workers: 1}
+}
+
+// TestConflictGraphBruteForce cross-checks every graph edge against a
+// prefilter-free pairwise overlap computed with an independent
+// (map-based) set intersection.
+func TestConflictGraphBruteForce(t *testing.T) {
+	e := testEngine(t)
+	sectors := UpgradeSet(e)
+	if len(sectors) < 2 {
+		t.Fatalf("upgrade set too small: %v", sectors)
+	}
+	const threshold, margin = 0.15, 6
+	g := BuildConflictGraph(e.Model, sectors, threshold, margin)
+
+	cover := make(map[int]map[int]bool, len(sectors))
+	for _, s := range sectors {
+		set := map[int]bool{}
+		for _, grid := range e.Model.CoverageGrids(nil, s, margin) {
+			set[grid] = true
+		}
+		cover[s] = set
+	}
+	edges := 0
+	for i, a := range sectors {
+		for _, b := range sectors[i+1:] {
+			shared := 0
+			for grid := range cover[a] {
+				if cover[b][grid] {
+					shared++
+				}
+			}
+			minLen := len(cover[a])
+			if len(cover[b]) < minLen {
+				minLen = len(cover[b])
+			}
+			want := minLen > 0 && float64(shared)/float64(minLen) > threshold
+			if want {
+				edges++
+			}
+			if got := g.Conflicts(a, b); got != want {
+				t.Errorf("Conflicts(%d, %d) = %v, brute force says %v (shared %d, min %d)",
+					a, b, got, want, shared, minLen)
+			}
+		}
+	}
+	if g.Edges() != edges {
+		t.Errorf("Edges() = %d, brute force counted %d", g.Edges(), edges)
+	}
+}
+
+// TestConflictGraphSingleSector covers the degenerate one-sector
+// market: no edges, and a season that is one trivial wave.
+func TestConflictGraphSingleSector(t *testing.T) {
+	e := testEngine(t)
+	s := UpgradeSet(e)[0]
+	g := BuildConflictGraph(e.Model, []int{s}, 0.15, 6)
+	if g.Edges() != 0 || g.Degree(s) != 0 || g.MaxDegree() != 0 {
+		t.Fatalf("single-sector graph has edges: %d (degree %d)", g.Edges(), g.Degree(s))
+	}
+	res, err := Plan(e, []int{s}, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Waves) != 1 || len(res.Waves[0].Sectors) != 1 || res.Waves[0].Sectors[0] != s {
+		t.Fatalf("single-sector season = %+v", res.Waves)
+	}
+	if res.MinWaveUtility != res.Waves[0].UtilityAfter {
+		t.Errorf("MinWaveUtility %f != wave utility %f", res.MinWaveUtility, res.Waves[0].UtilityAfter)
+	}
+	if res.Waves[0].Runbook == nil || res.Waves[0].Runbook.Wave == nil {
+		t.Error("wave runbook missing WaveMeta annotation")
+	}
+}
+
+// TestPlanDeterministic: equal inputs reproduce the season
+// bit-identically (the ISSUE's reproducibility criterion).
+func TestPlanDeterministic(t *testing.T) {
+	e := testEngine(t)
+	opts := fastOptions()
+	opts.Seed = 42
+	a, err := Plan(e, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(e, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two plans with equal seed and options differ")
+	}
+}
+
+// TestPlanRespectsConstraints: crew capacity, blackout slots, conflict
+// edges, and the partition property all hold on the annealed season.
+func TestPlanRespectsConstraints(t *testing.T) {
+	e := testEngine(t)
+	opts := fastOptions()
+	opts.Constraints = Constraints{CrewsPerWave: 2, Blackout: []int{0, 2}}
+	res, err := Plan(e, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildConflictGraph(e.Model, res.Sectors, res.Constraints.OverlapThreshold, res.Constraints.MarginDB)
+	seen := map[int]int{}
+	for _, w := range res.Waves {
+		if len(w.Sectors) > 2 {
+			t.Errorf("wave %d darkens %d sectors, crews_per_wave 2", w.Wave, len(w.Sectors))
+		}
+		if w.Slot == 0 || w.Slot == 2 {
+			t.Errorf("wave %d scheduled in blackout slot %d", w.Wave, w.Slot)
+		}
+		if w.Slot >= res.Constraints.MaxWaves {
+			t.Errorf("wave %d in slot %d beyond calendar %d", w.Wave, w.Slot, res.Constraints.MaxWaves)
+		}
+		for _, s := range w.Sectors {
+			seen[s]++
+		}
+		for i, a := range w.Sectors {
+			for _, b := range w.Sectors[i+1:] {
+				if g.Conflicts(a, b) {
+					t.Errorf("wave %d co-darkens conflicting sectors %d and %d", w.Wave, a, b)
+				}
+			}
+		}
+	}
+	for _, s := range res.Sectors {
+		if seen[s] != 1 {
+			t.Errorf("sector %d scheduled %d times", s, seen[s])
+		}
+	}
+	if res.ConflictEdges != g.Edges() {
+		t.Errorf("result records %d conflict edges, graph has %d", res.ConflictEdges, g.Edges())
+	}
+}
+
+// TestRoundRobinBaseline: the naive partition honors capacity and
+// blackouts (it ignores conflicts by design).
+func TestRoundRobinBaseline(t *testing.T) {
+	sectors := []int{5, 1, 9, 3, 7, 2, 8}
+	c := Constraints{CrewsPerWave: 2, MaxWaves: 5, Blackout: []int{1}}
+	byWave, err := RoundRobin(sectors, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for slot, ws := range byWave {
+		if slot == 1 && len(ws) > 0 {
+			t.Errorf("blackout slot 1 has sectors %v", ws)
+		}
+		if len(ws) > 2 {
+			t.Errorf("slot %d has %d sectors, capacity 2", slot, len(ws))
+		}
+		total += len(ws)
+	}
+	if total != len(sectors) {
+		t.Errorf("round robin placed %d of %d sectors", total, len(sectors))
+	}
+	if _, err := RoundRobin(sectors, Constraints{CrewsPerWave: 1, MaxWaves: 3}); err == nil {
+		t.Error("infeasible round robin should error")
+	}
+}
+
+// TestSeasonHaltAndRollback: a mid-wave floor breach during replay
+// halts the season, cancels the remaining waves, and emits the halted
+// wave's rollback runbook (the ISSUE's halt criterion).
+func TestSeasonHaltAndRollback(t *testing.T) {
+	e := testEngine(t)
+	inSet := map[int]bool{}
+	for _, s := range UpgradeSet(e) {
+		inSet[s] = true
+	}
+	// Kill enough out-of-set sectors at tick 1 that live utility falls
+	// below every wave's floor immediately.
+	var faults []simwindow.Fault
+	for b := 0; b < e.Net.NumSectors() && len(faults) < 10; b++ {
+		if !inSet[b] {
+			faults = append(faults, simwindow.Fault{Kind: simwindow.FaultSectorDown, Tick: 1, Sector: b})
+		}
+	}
+	opts := fastOptions()
+	opts.Replay = true
+	opts.HaltBelowTicks = 1
+	opts.ReplayFaults = faults
+	res, err := Plan(e, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || res.HaltWave != 1 {
+		t.Fatalf("season not halted at wave 1: halted=%v wave=%d", res.Halted, res.HaltWave)
+	}
+	if res.HaltReason == "" {
+		t.Error("halt reason empty")
+	}
+	first := res.Waves[0]
+	if !first.Halted || first.Replay == nil || !first.Replay.Halted {
+		t.Fatalf("wave 1 not marked halted: %+v", first.Replay)
+	}
+	for _, w := range res.Waves[1:] {
+		if !w.Cancelled {
+			t.Errorf("wave %d after the halt not cancelled", w.Wave)
+		}
+		if w.Runbook != nil {
+			t.Errorf("cancelled wave %d carries a runbook", w.Wave)
+		}
+	}
+	rb := res.Rollback
+	if rb == nil || len(rb.Steps) == 0 {
+		t.Fatal("no rollback runbook emitted")
+	}
+	if len(rb.Steps) != len(first.Runbook.Steps) {
+		t.Errorf("rollback has %d steps, wave runbook %d", len(rb.Steps), len(first.Runbook.Steps))
+	}
+	// The first rollback push must bring the off-air targets back.
+	backOn := false
+	for _, ch := range rb.Steps[0].Changes {
+		if ch.TurnOn {
+			backOn = true
+		}
+	}
+	if !backOn {
+		t.Error("first rollback step does not return targets to air")
+	}
+}
+
+// TestAnnealedNotWorseThanRoundRobin: the annealed schedule's
+// season-wide minimum f(C_after) is never below the naive baseline's.
+func TestAnnealedNotWorseThanRoundRobin(t *testing.T) {
+	e := testEngine(t)
+	opts := fastOptions()
+	opts.Constraints = Constraints{CrewsPerWave: 3}
+	annealed, err := Plan(e, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := RoundRobin(annealed.Sectors, annealed.Constraints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := EvaluateAssignment(e, naive, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annealed.MinWaveUtility < base.MinWaveUtility {
+		t.Errorf("annealed min %f below round-robin min %f", annealed.MinWaveUtility, base.MinWaveUtility)
+	}
+	if s := Stats(); s.SeasonsPlanned == 0 || s.WavesPlanned == 0 {
+		t.Errorf("scheduler counters not advancing: %+v", s)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"magus/internal/topology"
 	"magus/internal/upgrade"
 	"magus/internal/utility"
+	"magus/internal/waveplan"
 )
 
 // Engine is a ready-to-plan Magus instance for one market area.
@@ -214,6 +215,27 @@ func SimulateWindow(engine *Engine, rb *runbook.Runbook, cfg SimWindowConfig) (*
 		return nil, err
 	}
 	return sim.Run()
+}
+
+// WaveOptions configures the upgrade-season scheduler: calendar
+// constraints (crews per wave, blackout slots), the co-upgrade conflict
+// graph's overlap threshold, the anneal budget, and the optional
+// per-wave replay drill; WaveResult is the ordered season with one
+// runbook per wave and the halt/rollback state when a replay breaches
+// the utility floor.
+type (
+	WaveOptions     = waveplan.Options
+	WaveConstraints = waveplan.Constraints
+	WaveResult      = waveplan.Result
+)
+
+// PlanWaveSeason partitions the upgrade set (nil = the engine's whole
+// tuning area) into conflict-free waves under opts' calendar, anneals
+// the assignment on season-minimum f(C_after), and plans each wave's
+// mitigation and runbook. Equal inputs reproduce the season
+// bit-identically.
+func PlanWaveSeason(engine *Engine, sectors []int, opts WaveOptions) (*WaveResult, error) {
+	return waveplan.Plan(engine, sectors, opts)
 }
 
 // Dataset is an operational data snapshot (per-tilt link-budget
