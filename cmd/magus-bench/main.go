@@ -45,7 +45,7 @@ func main() {
 }
 
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig2, fig8, fig10, fig11, fig12, fig13, maps, calendar, ext-hybrid, ext-signaling, ext-outage, ext-loadbal, ext-uedist, ext-carriers, ops-week, sim-window, wave-season, parallel-joint")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, table2, fig2, fig8, fig10, fig11, fig12, fig13, maps, calendar, ext-hybrid, ext-signaling, ext-outage, ext-loadbal, ext-uedist, ext-carriers, ops-week, sim-window, wave-season, executor-chaos, parallel-joint")
 	seedsFlag := flag.String("seeds", "1,2,3", "comma-separated area replicate seeds for table1/fig13")
 	jsonPath := flag.String("json", "", "also write per-experiment timings to this path as JSON")
 	workers := flag.Int("workers", 0, "in-search candidate-scoring parallelism (0 = sequential; parallel-joint defaults to NumCPU)")
@@ -130,6 +130,11 @@ func run() int {
 		// wave-season is the upgrade-season scheduler study: annealed
 		// wave assignment vs naive round-robin on season-min f(C_after).
 		"wave-season": func() (fmt.Stringer, error) { return experiments.RunWaveSeason(seeds[0]) },
+		// executor-chaos is the guarded runbook executor's robustness
+		// study: the same gradual upgrade executed end to end at
+		// increasing injected fault rates, measuring retries spent and
+		// utility-floor exposure.
+		"executor-chaos": func() (fmt.Stringer, error) { return experiments.RunExecutorChaos(seeds[0]) },
 		// parallel-joint is this reproduction's own throughput study
 		// (sequential vs parallel joint search, speculate vs rescore);
 		// run on demand, not part of "all".
@@ -139,7 +144,7 @@ func run() int {
 	}
 	order := []string{"calendar", "fig2", "maps", "fig8", "fig10", "table1", "fig11", "fig12", "table2", "fig13",
 		"ext-hybrid", "ext-signaling", "ext-outage", "ext-loadbal", "ext-uedist", "ext-carriers", "ops-week",
-		"sim-window", "wave-season"}
+		"sim-window", "wave-season", "executor-chaos"}
 
 	var selected []string
 	if *exp == "all" {

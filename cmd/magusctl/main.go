@@ -33,6 +33,24 @@
 //	magusctl wave plan   [-server ...] [-class suburban] [-seed 1] [-crews 4]
 //	                     [-blackout 0,2] [-replay] [-faults "sector-down@2:17"]
 //	magusctl wave status -id <id> [-server ...]
+//
+// The execute subcommand drives the planned runbook through magusd's
+// guarded executor — checkpointed pushes, KPI watchdog, auto-rollback:
+//
+//	magusctl execute run    [-server ...] [-scenario a] [-method joint]
+//	                        [-chaos "push-error@2x2,kpi-breach@3"]
+//	magusctl execute status -id <id> [-server ...]
+//
+// Exit codes, for every subcommand:
+//
+//	0  success — the requested work completed (and, for wave/execute,
+//	   no halt: the season ran through / every step verified)
+//	1  reserved for flag parsing errors (flag.ExitOnError)
+//	2  domain failure — bad arguments, a rejected request, a failed or
+//	   cancelled job, a halted season, or a halted-with-rollback run
+//	   (the guard stopped the upgrade; the network was restored)
+//	3  transient exhaustion — the server stayed unreachable, draining
+//	   or overloaded through every client-side retry (see retry.go)
 package main
 
 import (
@@ -62,6 +80,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "wave" {
 		runWave(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "execute" {
+		runExecute(os.Args[2:])
 		return
 	}
 	classFlag := flag.String("class", "suburban", "area class: rural, suburban, urban")

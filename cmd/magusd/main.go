@@ -4,7 +4,7 @@
 // Usage:
 //
 //	magusd [-listen :8080] [-class suburban] [-seed 1] [-workers N] [-fixed]
-//	       [-journal campaigns.wal] [-drain-timeout 15s]
+//	       [-journal campaigns.wal] [-exec-dir runs/] [-drain-timeout 15s]
 //	       [-data market.json] [-data-policy repair] [-pprof :6060]
 //	       [-coordinator | -join http://coord:8080] [-advertise URL]
 //	       [-port-file path] [-mini]
@@ -21,6 +21,14 @@
 // Asynchronous campaigns (POST /campaigns, GET /campaigns/{id},
 // POST /campaigns/{id}/cancel) run batches of planning jobs across
 // markets on a worker pool; see magusctl campaign for a client.
+//
+// Guarded execution (POST /execute, GET /execute/{id}) drives a planned
+// runbook through the checkpointed executor: retried pushes, KPI
+// verification against the utility floor, auto-rollback on breach.
+// Each run journals to its own file under -exec-dir (default
+// <journal>.exec), so a run interrupted mid-push leaves an exact
+// checkpoint trail behind and a restarted daemon never reuses a dead
+// run's journal; see magusctl execute for a client.
 //
 // Fleet mode shards campaigns across several magusd processes. One
 // process runs with -coordinator: it accepts joins, places each market
@@ -79,6 +87,7 @@ func main() {
 	fixed := flag.Bool("fixed", false, "default candidate scoring to the batched fixed-point path (shared state, centi-dB inner loop; per-request ?fixed= overrides)")
 	campaignWorkers := flag.Int("campaign-workers", 0, "concurrent campaign jobs on this node (0 = GOMAXPROCS)")
 	journalPath := flag.String("journal", "", "campaign journal file; enables crash recovery and epoch fencing of campaign jobs (empty disables)")
+	execDir := flag.String("exec-dir", "", "directory for per-run executor journals behind /execute (default: <journal>.exec when -journal is set; empty otherwise runs /execute unjournaled)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long running campaign jobs may finish during graceful shutdown")
 	dataPath := flag.String("data", "", "operational dataset JSON to plan from (empty: synthetic link budgets)")
 	dataPolicy := flag.String("data-policy", "repair", "sanitizer policy for -data: strict, repair, quarantine")
@@ -236,7 +245,10 @@ func main() {
 		}
 		log.Print("fleet coordinator mode: waiting for workers to join")
 	}
-	api := httpapi.New(engine, httpapi.Options{Orchestrator: orch, NodeID: nodeID, Coordinator: coord})
+	if *execDir == "" && *journalPath != "" {
+		*execDir = *journalPath + ".exec"
+	}
+	api := httpapi.New(engine, httpapi.Options{Orchestrator: orch, NodeID: nodeID, Coordinator: coord, ExecDir: *execDir})
 	srv := &http.Server{
 		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,

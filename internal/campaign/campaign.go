@@ -25,8 +25,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"magus/internal/chaos"
 	"magus/internal/core"
 	"magus/internal/evalengine"
+	"magus/internal/executor"
 	"magus/internal/journal"
 	"magus/internal/migrate"
 	"magus/internal/runbook"
@@ -92,6 +94,11 @@ const (
 	// partitions the market's upgrade set into conflict-free waves and
 	// evaluates each (see internal/waveplan).
 	KindWave = "wave"
+	// KindExecute drives the resulting runbook through the guarded
+	// executor against a live simulated network: checkpointed pushes,
+	// KPI watchdog against the f(C_after) floor, automatic rollback on
+	// breach (see internal/executor).
+	KindExecute = "execute"
 )
 
 // WaveSpec configures a wave job's season. JSON tags make it the wire
@@ -145,6 +152,34 @@ type SimSpec struct {
 	Replan bool `json:"replan"`
 }
 
+// ExecSpec configures an execute job's guarded run. JSON tags make it
+// the wire form too; zero fields select the executor defaults.
+type ExecSpec struct {
+	// Seed drives the live session's rand.Rand (load noise).
+	Seed int64 `json:"seed"`
+	// Chaos is a combined fault script in chaos.Split syntax: delivery
+	// faults (push-error@2x2, kpi-breach@3, crash-after-commit@1, ...)
+	// plus simwindow's timed faults (sector-down@TICK:SECTOR, ...).
+	Chaos string `json:"chaos,omitempty"`
+	// Diurnal evolves load along schedule.DefaultProfile.
+	Diurnal bool `json:"diurnal,omitempty"`
+	// StartHour is the local hour at tick 0 (default 2).
+	StartHour float64 `json:"start_hour,omitempty"`
+	// LoadNoise is the per-tick lognormal load jitter sigma.
+	LoadNoise float64 `json:"load_noise,omitempty"`
+	// StepDeadlineMS bounds one step's push-plus-retries.
+	StepDeadlineMS int64 `json:"step_deadline_ms,omitempty"`
+	// Retries is the per-step push retry budget.
+	Retries int `json:"retries,omitempty"`
+	// RetryBackoffMS is the initial retry delay (doubles, jittered).
+	RetryBackoffMS int64 `json:"retry_backoff_ms,omitempty"`
+	// VerifySamples and GraceSamples tune the KPI watchdog.
+	VerifySamples int `json:"verify_samples,omitempty"`
+	GraceSamples  int `json:"grace_samples,omitempty"`
+	// ExecSeed seeds the executor's retry jitter.
+	ExecSeed int64 `json:"exec_seed,omitempty"`
+}
+
 // JobSpec names one unit of planning work: which market, which upgrade,
 // which strategy.
 type JobSpec struct {
@@ -175,6 +210,8 @@ type JobSpec struct {
 	Sim *SimSpec
 	// Wave tunes a wave job (nil = scheduler defaults).
 	Wave *WaveSpec
+	// Exec tunes an execute job (nil = executor defaults).
+	Exec *ExecSpec
 }
 
 // validate rejects specs the workers could only fail on.
@@ -202,6 +239,9 @@ func (sp JobSpec) validate() error {
 	}
 	if sp.Workers < 0 {
 		return fmt.Errorf("campaign: negative workers %d", sp.Workers)
+	}
+	if sp.Exec != nil && sp.Kind != KindExecute {
+		return fmt.Errorf("campaign: exec config on a %q job", sp.Kind)
 	}
 	switch sp.Kind {
 	case "", KindPlan:
@@ -257,6 +297,22 @@ func (sp JobSpec) validate() error {
 				return fmt.Errorf("campaign: %w", err)
 			}
 		}
+	case KindExecute:
+		if sp.Sim != nil {
+			return fmt.Errorf("campaign: sim config on a %q job", KindExecute)
+		}
+		if sp.Wave != nil {
+			return fmt.Errorf("campaign: wave config on a %q job", KindExecute)
+		}
+		if e := sp.Exec; e != nil {
+			if _, _, err := chaos.Split(e.Chaos); err != nil {
+				return fmt.Errorf("campaign: %w", err)
+			}
+			if e.LoadNoise < 0 || e.StepDeadlineMS < 0 || e.Retries < 0 ||
+				e.RetryBackoffMS < 0 || e.VerifySamples < 0 || e.GraceSamples < 0 {
+				return fmt.Errorf("campaign: negative exec parameter")
+			}
+		}
 	default:
 		return fmt.Errorf("campaign: unknown kind %q", sp.Kind)
 	}
@@ -285,6 +341,10 @@ type Result struct {
 	Sim *simwindow.Summary `json:"sim,omitempty"`
 	// Wave is the evaluated season (wave jobs only).
 	Wave *waveplan.Result `json:"wave,omitempty"`
+	// Exec is the guarded run's final status (execute jobs only). A
+	// halted-and-rolled-back run is a completed job — the guard worked
+	// — reported via Exec.Halted.
+	Exec *executor.Status `json:"exec,omitempty"`
 }
 
 // Job is one tracked unit of work inside a campaign. All mutable fields
@@ -633,8 +693,10 @@ type Metrics struct {
 	// Draining reports that the orchestrator no longer admits campaigns.
 	Draining bool `json:"draining,omitempty"`
 	// Journal is the write-ahead log's record count (absent when no
-	// journal is configured).
-	Journal *int64 `json:"journal_records,omitempty"`
+	// journal is configured); JournalErrors counts failed appends,
+	// flushes and fsyncs — the dying-disk signal.
+	Journal       *int64 `json:"journal_records,omitempty"`
+	JournalErrors *int64 `json:"journal_append_errors,omitempty"`
 	// Breaker is the engine-build circuit breaker snapshot (absent when
 	// disabled).
 	Breaker *BreakerStats `json:"build_breaker,omitempty"`
@@ -675,6 +737,8 @@ func (o *Orchestrator) Metrics() Metrics {
 	if o.cfg.Journal != nil {
 		n := o.cfg.Journal.Records()
 		m.Journal = &n
+		e := o.cfg.Journal.AppendErrors()
+		m.JournalErrors = &e
 	}
 	if o.breaker != nil {
 		st := o.breaker.stats()
@@ -889,7 +953,8 @@ func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error)
 		SearchStats:    &stats,
 	}
 	simulate := sp.Kind == KindSimulate
-	if !o.cfg.SkipMigration || simulate {
+	liveExec := sp.Kind == KindExecute
+	if !o.cfg.SkipMigration || simulate || liveExec {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -899,19 +964,74 @@ func (o *Orchestrator) execute(ctx context.Context, sp JobSpec) (*Result, error)
 		}
 		res.MaxHandoverBurst = mig.MaxSimultaneousHandovers
 		res.SeamlessFraction = mig.SeamlessFraction()
-		if simulate {
+		if simulate || liveExec {
 			rb, err := runbook.Build(plan, mig)
 			if err != nil {
 				return nil, fmt.Errorf("runbook: %w", err)
 			}
-			out, err := simulateWindow(ctx, engine, rb, sp, workers)
-			if err != nil {
-				return nil, fmt.Errorf("simulate: %w", err)
+			if simulate {
+				out, err := simulateWindow(ctx, engine, rb, sp, workers)
+				if err != nil {
+					return nil, fmt.Errorf("simulate: %w", err)
+				}
+				res.Sim = &out.Summary
+			} else {
+				st, err := executeRunbook(ctx, engine, rb, sp)
+				if err != nil {
+					return nil, fmt.Errorf("execute: %w", err)
+				}
+				res.Exec = st
 			}
-			res.Sim = &out.Summary
 		}
 	}
 	return res, nil
+}
+
+// executeRunbook drives the runbook through the guarded executor
+// against a live simulated network per the job's ExecSpec. The job runs
+// unjournaled (a campaign attempt is retried whole, not resumed
+// mid-runbook; the standalone /execute surface journals). The returned
+// status reports a halted-and-rolled-back run with a nil error: the
+// guard refusing to finish the upgrade is a job outcome, not a job
+// failure.
+func executeRunbook(ctx context.Context, engine *core.Engine, rb *runbook.Runbook, sp JobSpec) (*executor.Status, error) {
+	spec := sp.Exec
+	if spec == nil {
+		spec = &ExecSpec{}
+	}
+	plan, timed, err := chaos.Split(spec.Chaos)
+	if err != nil {
+		return nil, err
+	}
+	cfg := simwindow.Config{
+		Seed:      spec.Seed,
+		StartHour: spec.StartHour,
+		LoadNoise: spec.LoadNoise,
+		Faults:    timed,
+		Ctx:       ctx,
+	}
+	if spec.Diurnal {
+		profile := schedule.DefaultProfile()
+		cfg.Profile = &profile
+	}
+	net, err := executor.NewSimNetwork(engine.Before, rb, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cnet := plan.Instrument(net)
+	ex, err := executor.New(cnet, rb, executor.Options{
+		StepDeadline:  time.Duration(spec.StepDeadlineMS) * time.Millisecond,
+		Retries:       spec.Retries,
+		RetryBackoff:  time.Duration(spec.RetryBackoffMS) * time.Millisecond,
+		VerifySamples: spec.VerifySamples,
+		GraceSamples:  spec.GraceSamples,
+		Seed:          spec.ExecSeed,
+		CrashHook:     cnet.Hook(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ex.Run(ctx)
 }
 
 // waveSeason plans the upgrade season described by the job's WaveSpec.

@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"magus/internal/executor"
+	"magus/internal/runbook"
+)
+
+// Network wraps an executor.Network with a fault plan. It is stateful —
+// each bounded fault carries a remaining count that decrements as it
+// fires — and that state deliberately survives executor restarts: the
+// wrapper stands in for the real world, so a resume sees the world as
+// the crash left it, not a rewound copy. Instrument once per scenario,
+// then run (and re-run, after injected crashes) executors against the
+// same instance.
+//
+// Rollback pushes pass through unharmed: the plan's step numbers script
+// the forward path, and breaking rollback would only ever test the
+// executor's honesty about a hard failure, which has its own tests.
+type Network struct {
+	inner executor.Network
+
+	mu        sync.Mutex
+	pushErr   map[int]int
+	pushDelay map[int]time.Duration
+	kpiLoss   map[int]int
+	kpiBreach map[int]int
+	// sustained is the lowest step with an unbounded kpi-breach; every
+	// observation from that step on is depressed below the floor.
+	sustained int
+	crash     map[crashSite]bool
+	injected  int
+}
+
+type crashSite struct {
+	point executor.CrashPoint
+	step  int
+}
+
+// Instrument builds the fault-injecting wrapper around inner.
+func (p Plan) Instrument(inner executor.Network) *Network {
+	n := &Network{
+		inner:     inner,
+		pushErr:   map[int]int{},
+		pushDelay: map[int]time.Duration{},
+		kpiLoss:   map[int]int{},
+		kpiBreach: map[int]int{},
+		crash:     map[crashSite]bool{},
+	}
+	for _, f := range p.Faults {
+		switch f.Kind {
+		case KindPushError:
+			n.pushErr[f.Step] += f.Count
+		case KindPushDelay:
+			n.pushDelay[f.Step] += f.Delay
+		case KindKPILoss:
+			n.kpiLoss[f.Step] += f.Count
+		case KindKPIBreach:
+			if f.Count == 0 {
+				if n.sustained == 0 || f.Step < n.sustained {
+					n.sustained = f.Step
+				}
+			} else {
+				n.kpiBreach[f.Step] += f.Count
+			}
+		case KindCrashBeforePush, KindCrashBeforeCommit, KindCrashAfterCommit:
+			n.crash[crashSite{crashPoints[f.Kind], f.Step}] = true
+		}
+	}
+	return n
+}
+
+// Hook returns the executor crash hook firing this plan's crash faults.
+// Each site fires once — the "process" that died does not die again on
+// resume.
+func (n *Network) Hook() executor.CrashHook {
+	return func(point executor.CrashPoint, step int) error {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		site := crashSite{point, step}
+		if n.crash[site] {
+			delete(n.crash, site)
+			n.injected++
+			return executor.ErrKilled
+		}
+		return nil
+	}
+}
+
+// Injected returns how many faults have fired so far.
+func (n *Network) Injected() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.injected
+}
+
+// Preflight passes through.
+func (n *Network) Preflight(step runbook.Step) error { return n.inner.Preflight(step) }
+
+// Push injects any scripted delay, then any scripted error, then
+// delegates. Only forward steps are instrumented.
+func (n *Network) Push(ctx context.Context, step runbook.Step) error {
+	if step.Kind != runbook.KindRollback {
+		n.mu.Lock()
+		delay := n.pushDelay[step.Index]
+		delete(n.pushDelay, step.Index)
+		failNow := false
+		if n.pushErr[step.Index] > 0 {
+			n.pushErr[step.Index]--
+			failNow = true
+		}
+		if delay > 0 || failNow {
+			n.injected++
+		}
+		n.mu.Unlock()
+		if delay > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		if failNow {
+			return fmt.Errorf("chaos: injected push error at step %d", step.Index)
+		}
+	}
+	return n.inner.Push(ctx, step)
+}
+
+// Applied passes through: recovery must see the truth.
+func (n *Network) Applied(step runbook.Step) (bool, error) { return n.inner.Applied(step) }
+
+// Observe delegates first (the network clock advances regardless of
+// reporting), then loses or depresses the sample per the plan.
+func (n *Network) Observe(step int) (executor.Sample, error) {
+	s, err := n.inner.Observe(step)
+	if err != nil {
+		return s, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.kpiLoss[step] > 0 {
+		n.kpiLoss[step]--
+		n.injected++
+		return executor.Sample{}, fmt.Errorf("chaos: injected KPI report loss at step %d", step)
+	}
+	breach := n.sustained > 0 && step >= n.sustained
+	if !breach && n.kpiBreach[step] > 0 {
+		n.kpiBreach[step]--
+		breach = true
+	}
+	if breach {
+		n.injected++
+		s.Utility = s.Floor - 1 - 1e-3*math.Abs(s.Floor)
+	}
+	return s, nil
+}

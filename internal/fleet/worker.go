@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -204,7 +206,18 @@ func (w *Worker) heartbeat() {
 
 func (w *Worker) loop() {
 	defer w.wg.Done()
-	t := time.NewTicker(w.interval)
+	// Jitter each cycle to ±25% of the nominal interval, seeded per
+	// node: after a mass restart (rack power cycle, fleet-wide deploy)
+	// synchronized workers would otherwise hammer the coordinator in
+	// lockstep bursts every beat; decorrelated phases spread the same
+	// load evenly.
+	h := fnv.New64a()
+	h.Write([]byte(w.cfg.NodeID))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	jittered := func() time.Duration {
+		return time.Duration(float64(w.interval) * (0.75 + 0.5*rng.Float64()))
+	}
+	t := time.NewTimer(jittered())
 	defer t.Stop()
 	for {
 		select {
@@ -214,11 +227,13 @@ func (w *Worker) loop() {
 		}
 		if !w.Joined() {
 			if err := w.join(); err != nil {
+				t.Reset(jittered())
 				continue
 			}
-			// Interval may have changed with the fresh ack.
-			t.Reset(w.interval)
+			// Interval may have changed with the fresh ack; the next
+			// Reset below picks it up.
 		}
 		w.heartbeat()
+		t.Reset(jittered())
 	}
 }

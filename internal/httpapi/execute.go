@@ -1,0 +1,158 @@
+package httpapi
+
+import (
+	"net/http"
+	"time"
+
+	"magus/internal/campaign"
+	"magus/internal/chaos"
+	"magus/internal/core"
+	"magus/internal/executor"
+	"magus/internal/migrate"
+	"magus/internal/runbook"
+	"magus/internal/schedule"
+	"magus/internal/simwindow"
+)
+
+// executeRequest is the POST /execute body: the /plan vocabulary for
+// what to execute, plus the campaign ExecSpec tuning the guarded run —
+// the same nested shape an execute campaign job uses, so the two
+// surfaces cannot drift apart.
+type executeRequest struct {
+	Scenario string `json:"scenario"`
+	Method   string `json:"method"`
+	Utility  string `json:"utility"`
+	// Workers is the in-search scoring parallelism for the planning
+	// phase (0 = sequential).
+	Workers int `json:"workers"`
+	// FixedPoint scores candidates on the batched quantized path.
+	FixedPoint bool `json:"fixed_point"`
+	// Exec tunes the run (nil = executor defaults, no faults).
+	Exec *campaign.ExecSpec `json:"exec"`
+}
+
+// handleExecuteSubmit plans the mitigation synchronously against the
+// server's own engine (seconds), then hands the runbook to the guarded
+// executor asynchronously: 202 with the run ID, progress via
+// GET /execute/{id}. The run outlives the request — disconnecting the
+// client does not abandon a half-pushed runbook.
+func (s *Server) handleExecuteSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	var req executeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	scenario, ok := scenarioByName[req.Scenario]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown scenario %q", req.Scenario)
+		return
+	}
+	method, ok := methodByName[req.Method]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown method %q", req.Method)
+		return
+	}
+	util, ok := campaign.UtilityByName[req.Utility]
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown utility %q", req.Utility)
+		return
+	}
+	if req.Workers < 0 {
+		httpError(w, http.StatusBadRequest, "negative workers")
+		return
+	}
+	spec := req.Exec
+	if spec == nil {
+		spec = &campaign.ExecSpec{}
+	}
+	plan, timed, err := chaos.Split(spec.Chaos)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if spec.LoadNoise < 0 || spec.StepDeadlineMS < 0 || spec.Retries < 0 ||
+		spec.RetryBackoffMS < 0 || spec.VerifySamples < 0 || spec.GraceSamples < 0 {
+		httpError(w, http.StatusBadRequest, "negative exec parameter")
+		return
+	}
+
+	mp, err := s.engine.MitigatePlan(core.MitigateRequest{
+		Ctx:        r.Context(),
+		Scenario:   scenario,
+		Method:     method,
+		Util:       util,
+		Workers:    req.Workers,
+		FixedPoint: req.FixedPoint,
+	})
+	if err != nil {
+		httpError(w, planStatus(err), "%v", err)
+		return
+	}
+	mig, err := mp.GradualMigration(migrate.Options{})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "migrate: %v", err)
+		return
+	}
+	rb, err := runbook.Build(mp, mig)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "runbook: %v", err)
+		return
+	}
+
+	cfg := simwindow.Config{
+		Seed:      spec.Seed,
+		StartHour: spec.StartHour,
+		LoadNoise: spec.LoadNoise,
+		Faults:    timed,
+	}
+	if spec.Diurnal {
+		profile := schedule.DefaultProfile()
+		cfg.Profile = &profile
+	}
+	net, err := executor.NewSimNetwork(s.engine.Before, rb, cfg)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "execute: %v", err)
+		return
+	}
+	cnet := plan.Instrument(net)
+	run, err := s.exec.Start(cnet, rb, executor.Options{
+		StepDeadline:  time.Duration(spec.StepDeadlineMS) * time.Millisecond,
+		Retries:       spec.Retries,
+		RetryBackoff:  time.Duration(spec.RetryBackoffMS) * time.Millisecond,
+		VerifySamples: spec.VerifySamples,
+		GraceSamples:  spec.GraceSamples,
+		Seed:          spec.ExecSeed,
+		CrashHook:     cnet.Hook(),
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "execute: %v", err)
+		return
+	}
+	w.Header().Set("Location", "/execute/"+run.ID)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":    run.ID,
+		"steps": len(rb.Steps),
+	})
+}
+
+// handleExecuteStatus reports a run's live per-step progress.
+func (s *Server) handleExecuteStatus(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.exec.Lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+		return
+	}
+	resp := map[string]any{
+		"id":       run.ID,
+		"finished": run.Finished(),
+		"status":   run.Status(),
+	}
+	if run.Finished() {
+		if err := run.Err(); err != nil {
+			resp["error"] = err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

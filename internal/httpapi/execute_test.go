@@ -1,0 +1,164 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// executeStatusView mirrors the GET /execute/{id} payload fields the
+// tests assert on.
+type executeStatusView struct {
+	ID       string `json:"id"`
+	Finished bool   `json:"finished"`
+	Error    string `json:"error"`
+	Status   struct {
+		State      string `json:"state"`
+		Halted     bool   `json:"halted"`
+		RolledBack bool   `json:"rolled_back"`
+		Retries    int    `json:"retries"`
+		Steps      []struct {
+			Index int    `json:"index"`
+			State string `json:"state"`
+		} `json:"steps"`
+	} `json:"status"`
+}
+
+// waitExecute polls the status endpoint until the run finishes.
+func waitExecute(t *testing.T, s *Server, id string) executeStatusView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		rec := get(t, s, "/execute/"+id)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+		}
+		var view executeStatusView
+		decode(t, rec, &view)
+		if view.Finished {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s did not finish: %+v", id, view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func submitExecute(t *testing.T, s *Server, body string) (string, int) {
+	t.Helper()
+	rec := post(t, s, "/execute", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", rec.Code, rec.Body.String())
+	}
+	if loc := rec.Header().Get("Location"); loc == "" {
+		t.Error("no Location header on 202")
+	}
+	var accepted struct {
+		ID    string `json:"id"`
+		Steps int    `json:"steps"`
+	}
+	decode(t, rec, &accepted)
+	if accepted.ID == "" || accepted.Steps == 0 {
+		t.Fatalf("bad accept payload: %+v", accepted)
+	}
+	return accepted.ID, accepted.Steps
+}
+
+func TestExecuteEndpoint(t *testing.T) {
+	s := testServer(t)
+	id, steps := submitExecute(t, s,
+		`{"scenario":"a","method":"power","utility":"performance",
+		  "exec":{"retry_backoff_ms":1}}`)
+	view := waitExecute(t, s, id)
+	if view.Error != "" {
+		t.Fatalf("run error: %s", view.Error)
+	}
+	if view.Status.State != "done" || view.Status.Halted {
+		t.Fatalf("state=%q halted=%v, want done", view.Status.State, view.Status.Halted)
+	}
+	if len(view.Status.Steps) != steps {
+		t.Errorf("status has %d steps, accept said %d", len(view.Status.Steps), steps)
+	}
+	for _, st := range view.Status.Steps {
+		if st.State != "verified" {
+			t.Errorf("step %d state = %q, want verified", st.Index, st.State)
+		}
+	}
+
+	// The run surfaces on /healthz executor counters.
+	rec := get(t, s, "/healthz")
+	var health struct {
+		Executor struct {
+			Active   int `json:"active"`
+			Counters struct {
+				Runs      int64 `json:"runs"`
+				Completed int64 `json:"completed"`
+			} `json:"counters"`
+		} `json:"executor"`
+	}
+	decode(t, rec, &health)
+	if health.Executor.Counters.Runs < 1 || health.Executor.Counters.Completed < 1 {
+		t.Errorf("healthz executor counters = %+v, want >= 1 run completed", health.Executor.Counters)
+	}
+}
+
+// TestExecuteEndpointHaltsOnBreach injects a sustained floor breach:
+// the run must finish halted with the rollback applied, reported as a
+// domain outcome (no run error).
+func TestExecuteEndpointHaltsOnBreach(t *testing.T) {
+	s := testServer(t)
+	id, _ := submitExecute(t, s,
+		`{"scenario":"a","method":"power","utility":"performance",
+		  "exec":{"chaos":"kpi-breach@1","retry_backoff_ms":1}}`)
+	view := waitExecute(t, s, id)
+	if view.Error != "" {
+		t.Fatalf("halted run reported an error: %s", view.Error)
+	}
+	if !view.Status.Halted || !view.Status.RolledBack {
+		t.Fatalf("halted=%v rolledBack=%v, want halted with rollback", view.Status.Halted, view.Status.RolledBack)
+	}
+}
+
+func TestExecuteValidation(t *testing.T) {
+	s := testServer(t)
+	for name, body := range map[string]string{
+		"bad scenario":   `{"scenario":"z","method":"power","utility":"performance"}`,
+		"bad method":     `{"scenario":"a","method":"magic","utility":"performance"}`,
+		"bad utility":    `{"scenario":"a","method":"power","utility":"latency"}`,
+		"bad chaos":      `{"scenario":"a","method":"power","utility":"performance","exec":{"chaos":"meteor@3"}}`,
+		"negative param": `{"scenario":"a","method":"power","utility":"performance","exec":{"retries":-1}}`,
+		"neg workers":    `{"scenario":"a","method":"power","utility":"performance","workers":-1}`,
+		"unknown field":  `{"scenario":"a","method":"power","utility":"performance","oops":1}`,
+	} {
+		rec := post(t, s, "/execute", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, rec.Code)
+		}
+	}
+	rec := get(t, s, "/execute/x999")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown run: status = %d, want 404", rec.Code)
+	}
+}
+
+// TestExecuteRunsConcurrently verifies distinct runs get distinct IDs
+// and independent networks.
+func TestExecuteConcurrentRuns(t *testing.T) {
+	s := testServer(t)
+	ids := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		id, _ := submitExecute(t, s, fmt.Sprintf(
+			`{"scenario":"a","method":"power","utility":"performance",
+			  "exec":{"exec_seed":%d,"retry_backoff_ms":1}}`, i))
+		if ids[id] {
+			t.Fatalf("duplicate run id %q", id)
+		}
+		ids[id] = true
+		view := waitExecute(t, s, id)
+		if view.Status.State != "done" {
+			t.Errorf("run %s state = %q, want done", id, view.Status.State)
+		}
+	}
+}

@@ -15,6 +15,8 @@
 //	GET  /schedule?scenario=a&hours=5      rank upgrade start times
 //	POST /waves                            schedule an upgrade season (wave scheduler)
 //	GET  /waves/{id}                       season status + per-wave results
+//	POST /execute                          run a runbook through the guarded executor
+//	GET  /execute/{id}                     run status + per-step progress
 //	POST /campaigns                        submit a batch of planning jobs
 //	GET  /campaigns                        list campaigns
 //	GET  /campaigns/{id}                   campaign status + incremental results
@@ -42,6 +44,7 @@ import (
 	"magus/internal/campaign"
 	"magus/internal/core"
 	"magus/internal/evalengine"
+	"magus/internal/executor"
 	"magus/internal/experiments"
 	"magus/internal/export"
 	"magus/internal/fleet"
@@ -87,6 +90,9 @@ type Server struct {
 	// the fleet instead of the local orchestrator.
 	coord *fleet.Coordinator
 
+	// exec owns the asynchronous guarded runbook runs behind /execute.
+	exec *executor.Manager
+
 	// marketEpochs is the worker-side fencing memory: the highest lease
 	// epoch seen per market on POST /fleet/jobs. A dispatch under a lower
 	// epoch is a delayed replay of a superseded lease and is refused.
@@ -117,6 +123,10 @@ type Options struct {
 	// /fleet control surface is exposed and /campaigns submissions are
 	// sharded across the fleet rather than run locally.
 	Coordinator *fleet.Coordinator
+	// ExecDir, when non-empty, journals each /execute run to its own
+	// write-ahead log under this directory so checkpoints survive the
+	// process; empty runs /execute unjournaled (guarded, no recovery).
+	ExecDir string
 }
 
 // NewServer builds the handler tree around an engine with defaults.
@@ -132,6 +142,7 @@ func New(engine *core.Engine, opts Options) *Server {
 		nodeID:       opts.NodeID,
 		started:      time.Now(),
 		coord:        opts.Coordinator,
+		exec:         executor.NewManager(opts.ExecDir),
 		marketEpochs: make(map[string]int64),
 	}
 	if s.nodeID == "" {
@@ -161,6 +172,11 @@ func New(engine *core.Engine, opts Options) *Server {
 	// local orchestrator or across the fleet like /campaigns does.
 	s.mux.HandleFunc("POST /waves", s.handleWaveSubmit)
 	s.mux.HandleFunc("GET /waves/{id}", s.handleWaveStatus)
+	// The execute surface runs guarded runbooks against this node's own
+	// market in both modes (cross-market execution rides /campaigns
+	// with kind "execute").
+	s.mux.HandleFunc("POST /execute", s.handleExecuteSubmit)
+	s.mux.HandleFunc("GET /execute/{id}", s.handleExecuteStatus)
 	if s.coord != nil {
 		// Coordinator mode: the campaign surface fans out across the
 		// fleet, and the fleet control endpoints come up.
@@ -295,6 +311,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.coord != nil {
 		resp["role"] = "coordinator"
+	}
+	resp["executor"] = map[string]any{
+		"active":   s.exec.Active(),
+		"counters": s.exec.Counters().Snapshot(),
 	}
 	if mc := experiments.ModelCache(); mc != nil {
 		resp["model_snapshots"] = mc.Stats()
@@ -664,11 +684,13 @@ type campaignJobRequest struct {
 	FixedPoint bool `json:"fixed_point"`
 	// AnnealSeed seeds the anneal method's random walk (0 = default).
 	AnnealSeed int64 `json:"anneal_seed"`
-	// Kind is "plan" (default), "simulate" or "wave"; Sim tunes simulate
-	// jobs, Wave tunes wave jobs.
+	// Kind is "plan" (default), "simulate", "wave" or "execute"; Sim
+	// tunes simulate jobs, Wave tunes wave jobs, Exec tunes execute
+	// jobs.
 	Kind string             `json:"kind"`
 	Sim  *campaign.SimSpec  `json:"sim"`
 	Wave *campaign.WaveSpec `json:"wave"`
+	Exec *campaign.ExecSpec `json:"exec"`
 }
 
 type campaignRequest struct {
@@ -730,6 +752,7 @@ func parseCampaignSpecs(w http.ResponseWriter, r *http.Request) ([]campaign.JobS
 			Kind:       jr.Kind,
 			Sim:        jr.Sim,
 			Wave:       jr.Wave,
+			Exec:       jr.Exec,
 		}
 	}
 	return specs, true

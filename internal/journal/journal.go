@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,6 +54,31 @@ const (
 	// token, bumped on every re-placement so results from a superseded
 	// lease are rejected.
 	TypeLease = "lease"
+)
+
+// Executor record types (see internal/executor): per-step checkpoints
+// of a guarded runbook run, in protocol order. Campaign carries the run
+// ID, Job the step's 1-based index. The intent/commit pair brackets the
+// push so recovery can resolve the in-doubt window (intent without
+// commit → ask the network whether the push landed) and never
+// double-push.
+const (
+	// TypeExecStep declares intent to push a step (Spec = its changes).
+	TypeExecStep = "exec-step"
+	// TypeExecCommit records the push acknowledged: the changes are live.
+	TypeExecCommit = "exec-commit"
+	// TypeExecVerify records the KPI watchdog clearing the step.
+	TypeExecVerify = "exec-verified"
+	// TypeExecHalt records the run halting (State = reason, Job = step).
+	TypeExecHalt = "exec-halted"
+	// TypeExecRollbackStep declares intent to roll back a committed step.
+	TypeExecRollbackStep = "exec-rollback-step"
+	// TypeExecRollbackCommit records that step's rollback push landing.
+	TypeExecRollbackCommit = "exec-rollback-commit"
+	// TypeExecRolledBack records the whole rollback sequence completing.
+	TypeExecRolledBack = "exec-rolled-back"
+	// TypeExecDone records a run completing cleanly (all steps verified).
+	TypeExecDone = "exec-done"
 )
 
 // Record is one JSONL line of the log.
@@ -116,7 +142,17 @@ type Journal struct {
 	records  int64 // total records in the file (replayed + appended)
 	timer    *time.Timer
 	closed   bool
+
+	// appendErrs counts failed writes/flushes/fsyncs over the journal's
+	// lifetime. A failed append is also returned to the caller, but the
+	// background sync timer has no caller — the counter is how a dying
+	// disk becomes visible on /healthz.
+	appendErrs atomic.Int64
 }
+
+// AppendErrors returns how many append/flush/fsync operations have
+// failed since the journal was opened.
+func (j *Journal) AppendErrors() int64 { return j.appendErrs.Load() }
 
 // Open opens (creating if needed) the journal at path for appending.
 // The returned journal's sequence numbers continue after the highest
@@ -191,9 +227,11 @@ func (j *Journal) writeLocked(rec Record) error {
 		return fmt.Errorf("journal: encode: %w", err)
 	}
 	if _, err := j.w.Write(line); err != nil {
+		j.appendErrs.Add(1)
 		return fmt.Errorf("journal: write: %w", err)
 	}
 	if err := j.w.WriteByte('\n'); err != nil {
+		j.appendErrs.Add(1)
 		return fmt.Errorf("journal: write: %w", err)
 	}
 	return nil
@@ -210,9 +248,11 @@ func (j *Journal) syncLocked() error {
 	}
 	j.unsynced = 0
 	if err := j.w.Flush(); err != nil {
+		j.appendErrs.Add(1)
 		return fmt.Errorf("journal: flush: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
+		j.appendErrs.Add(1)
 		return fmt.Errorf("journal: fsync: %w", err)
 	}
 	return nil

@@ -1,0 +1,211 @@
+package simwindow
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"magus/internal/config"
+	"magus/internal/geo"
+	"magus/internal/netmodel"
+	"magus/internal/runbook"
+)
+
+// Session is the live, step-driven sibling of Simulator: where Run
+// replays a whole window as a batch, a Session hands control of the
+// clock and the pushes to a caller — the runbook executor treats one as
+// the "real" network, applying each step's changes when (and only when)
+// the guarded protocol decides to, and sampling utility against the
+// f(C_after) floor between pushes. Load evolution, timed faults
+// (sector-down, surge) and the determinism contract are the same as the
+// batch simulator's; push-level faults are deliberately NOT handled
+// here — they belong to the chaos layer wrapped around the executor's
+// network, which owns delivery semantics.
+type Session struct {
+	cfg Config
+
+	// model is a private fork: load evolution must never leak into the
+	// (possibly cached and shared) planning model.
+	model *netmodel.Model
+	// live is the configuration actually in the field.
+	live *netmodel.State
+	// afterRef holds the planned C_after; its utility at the current
+	// load is the sample's floor.
+	afterRef *netmodel.State
+
+	rng       *rand.Rand
+	tick      int
+	curFactor float64
+	timed     []Fault
+	timedNext int
+	surgeGrid map[int][]int
+	active    []surge
+}
+
+// Sample is one KPI observation of a live session.
+type Sample struct {
+	// Tick is the session tick the sample was taken at.
+	Tick int `json:"tick"`
+	// Utility is f(C_live) at the tick's load.
+	Utility float64 `json:"utility"`
+	// Floor is f(C_after) at the same load — the migration floor.
+	Floor float64 `json:"floor"`
+	// LoadFactor is the diurnal (plus noise) multiplier in effect.
+	LoadFactor float64 `json:"load_factor"`
+}
+
+// NewSession prepares a live session of rb starting from base (the
+// C_before state the runbook was planned against). base and its model
+// are not mutated. Only timed faults (sector-down, surge) are accepted:
+// push faults are the executor/chaos layer's concern, and rejecting
+// them here keeps one owner per failure mode.
+func NewSession(base *netmodel.State, rb *runbook.Runbook, cfg Config) (*Session, error) {
+	if base == nil || rb == nil {
+		return nil, fmt.Errorf("simwindow: nil state or runbook")
+	}
+	cfg.applyDefaults(rb)
+
+	model := base.Model.ForkUsers()
+	live := model.NewState(base.Cfg.Clone())
+	s := &Session{
+		cfg:       cfg,
+		model:     model,
+		live:      live,
+		afterRef:  live.Clone(),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		curFactor: 1,
+		surgeGrid: map[int][]int{},
+	}
+	for _, step := range rb.Steps {
+		for _, ch := range step.Changes {
+			if _, err := s.afterRef.Apply(ch); err != nil {
+				return nil, fmt.Errorf("simwindow: step %d: %w", step.Index, err)
+			}
+		}
+	}
+
+	numSectors := model.Net.NumSectors()
+	for i, f := range cfg.Faults {
+		switch f.Kind {
+		case FaultSectorDown, FaultLoadSurge:
+			if f.Sector < 0 || f.Sector >= numSectors {
+				return nil, fmt.Errorf("simwindow: fault %v: sector out of range [0, %d)", f, numSectors)
+			}
+			if f.Kind == FaultLoadSurge {
+				if f.Factor <= 0 {
+					return nil, fmt.Errorf("simwindow: fault %v: factor must be positive", f)
+				}
+				r := f.RadiusM
+				if r <= 0 {
+					r = cfg.SurgeRadiusM
+				}
+				rect := geo.NewRectCentered(model.Net.Sectors[f.Sector].Pos, 2*r, 2*r)
+				s.surgeGrid[i] = model.GridsIn(nil, rect)
+			}
+			s.timed = append(s.timed, f)
+		default:
+			return nil, fmt.Errorf("simwindow: session fault %v: only sector-down and surge faults run in a session", f)
+		}
+	}
+	sortFaults(s.timed)
+	return s, nil
+}
+
+// Tick returns the number of Advance calls so far (the next sample's
+// tick).
+func (s *Session) Tick() int { return s.tick }
+
+// Floor returns f(C_after) at the current load without advancing time.
+func (s *Session) Floor() float64 { return s.afterRef.Utility(s.cfg.Util) }
+
+// Utility returns f(C_live) at the current load without advancing time.
+func (s *Session) Utility() float64 { return s.live.Utility(s.cfg.Util) }
+
+// Push applies one step's configuration changes to the live network.
+// The session clock does not move: delivery timing is the caller's
+// protocol, sampled through Advance.
+func (s *Session) Push(changes []config.Change) error {
+	for _, ch := range changes {
+		if _, err := s.live.Apply(ch); err != nil {
+			return fmt.Errorf("simwindow: push: %w", err)
+		}
+	}
+	return nil
+}
+
+// Advance moves the session one tick — diurnal load evolution, noise,
+// surge expiry, and any timed faults due — and returns the tick's KPI
+// sample. Given the same seed and call sequence the samples are
+// bit-identical run to run.
+func (s *Session) Advance() Sample {
+	t := s.tick
+	s.tick++
+
+	factor := profileFactorAt(&s.cfg, t)
+	if s.cfg.LoadNoise > 0 {
+		factor *= math.Exp(s.cfg.LoadNoise * s.rng.NormFloat64())
+	}
+	loadChanged := factor != s.curFactor
+	if loadChanged {
+		s.model.ScaleUsers(factor / s.curFactor)
+		s.curFactor = factor
+	}
+	for i := 0; i < len(s.active); {
+		if t >= s.active[i].endTick {
+			s.model.ScaleUsersAt(s.active[i].grids, 1/s.active[i].factor)
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			loadChanged = true
+			continue
+		}
+		i++
+	}
+
+	for s.timedNext < len(s.timed) && s.timed[s.timedNext].Tick <= t {
+		f := s.timed[s.timedNext]
+		s.timedNext++
+		switch f.Kind {
+		case FaultSectorDown:
+			// The session's faults were validated at construction; a failed
+			// apply here means the sector is already off, which the fault
+			// subsumes.
+			s.live.MustApply(config.Change{Sector: f.Sector, TurnOff: true})
+		case FaultLoadSurge:
+			grids := s.surgeGrid[s.sessionFaultIndex(f)]
+			dur := f.DurationTicks
+			if dur <= 0 {
+				dur = s.cfg.Ticks + 1 - t
+			}
+			s.model.ScaleUsersAt(grids, f.Factor)
+			s.active = append(s.active, surge{endTick: t + dur, grids: grids, factor: f.Factor})
+			loadChanged = true
+		}
+	}
+	if loadChanged {
+		s.live.RecomputeLoads()
+		s.afterRef.RecomputeLoads()
+	}
+
+	return Sample{
+		Tick:       t,
+		Utility:    s.live.Utility(s.cfg.Util),
+		Floor:      s.afterRef.Utility(s.cfg.Util),
+		LoadFactor: s.curFactor,
+	}
+}
+
+// sessionFaultIndex recovers the Config.Faults index of a timed fault
+// (surge grid sets are precomputed per original index).
+func (s *Session) sessionFaultIndex(f Fault) int {
+	for i := range s.cfg.Faults {
+		if s.cfg.Faults[i] == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// FloorTolerance is the comparison tolerance when checking utility
+// against the floor: the floor is itself a model evaluation, so exact
+// ties count as "at the floor". Exported for the executor's KPI
+// watchdog, which must agree with the simulator on what a breach is.
+func FloorTolerance(floor float64) float64 { return floorEps(floor) }

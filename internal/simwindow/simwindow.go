@@ -318,13 +318,19 @@ func New(base *netmodel.State, rb *runbook.Runbook, cfg Config) (*Simulator, err
 
 // profileFactor returns the diurnal load multiplier at tick t.
 func (s *Simulator) profileFactor(t int) float64 {
-	if s.cfg.Profile == nil {
+	return profileFactorAt(&s.cfg, t)
+}
+
+// profileFactorAt is the diurnal multiplier shared by Simulator and
+// Session (both must evolve load identically for equal configs).
+func profileFactorAt(cfg *Config, t int) float64 {
+	if cfg.Profile == nil {
 		return 1
 	}
-	h := math.Mod(s.cfg.StartHour+float64(t)*s.cfg.TickSeconds/3600, 24)
+	h := math.Mod(cfg.StartHour+float64(t)*cfg.TickSeconds/3600, 24)
 	lo := int(h) % 24
 	frac := h - math.Floor(h)
-	p := s.cfg.Profile
+	p := cfg.Profile
 	return p[lo]*(1-frac) + p[(lo+1)%24]*frac
 }
 
