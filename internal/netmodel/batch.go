@@ -252,6 +252,9 @@ func (s *State) speculateOne(mv config.Change, u utility.Func, fixed bool, sc *b
 	}
 
 	// Utility delta over the touched grids, against the tracked memo.
+	// Loads (and their per-move deltas) are in base UE units; the model's
+	// uniform factor converts to effective load at the rate division.
+	f := m.ueFactor
 	delta := 0.0
 	for _, g := range sc.grids {
 		w := m.ue[g]
@@ -264,12 +267,13 @@ func (s *State) speculateOne(mv config.Change, u utility.Func, fixed bool, sc *b
 			if sc.secMark[best] == sc.epoch {
 				n += sc.loadDelta[best]
 			}
+			n *= f
 			if n < 1 {
 				n = 1
 			}
 			rate = sc.newRmax[g] / n
 		}
-		delta += w * (u.U(rate) - s.trackU[g])
+		delta += w * f * (u.U(rate) - s.trackU[g])
 	}
 	return BatchResult{Applied: applied, Utility: s.trackSum + delta}
 }

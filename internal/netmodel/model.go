@@ -137,8 +137,16 @@ type Model struct {
 	entryCurve    [][]float64
 
 	// ue is the per-grid UE count (fractional), set by AssignUsersUniform.
-	ue      []float64
-	totalUE float64
+	// The effective weight of grid g is ue[g] * ueFactor: the factor
+	// carries uniform whole-market load swings (the simulator's diurnal
+	// tide) so ScaleUsers is O(1) instead of rewriting every cell, while
+	// localized changes (ScaleUsersAt, SetUsers) edit the per-grid base.
+	// ueFactor is exactly 1.0 outside simulations, and x*1.0 == x in
+	// IEEE754, so planning paths are bit-identical to the pre-factor
+	// representation.
+	ue       []float64
+	ueFactor float64
+	totalUE  float64
 }
 
 // NewModel builds the analysis model for net over region. The SPM
@@ -170,13 +178,14 @@ func newModelShell(net *topology.Network, spm *propagation.SPM, region geo.Rect,
 		link = lteLink
 	}
 	return &Model{
-		Net:     net,
-		SPM:     spm,
-		Link:    link,
-		Grid:    grid,
-		params:  params,
-		noiseMw: units.DbmToMw(units.ThermalNoiseDbm(params.BandwidthHz, params.NoiseFigureDB)),
-		ue:      make([]float64, grid.NumCells()),
+		Net:      net,
+		SPM:      spm,
+		Link:     link,
+		Grid:     grid,
+		params:   params,
+		noiseMw:  units.DbmToMw(units.ThermalNoiseDbm(params.BandwidthHz, params.NoiseFigureDB)),
+		ue:       make([]float64, grid.NumCells()),
+		ueFactor: 1,
 	}, nil
 }
 
@@ -209,19 +218,29 @@ func (m *Model) NoiseMw() float64 { return m.noiseMw }
 func (m *Model) Params() Params { return m.params }
 
 // UE returns the UE count assigned to grid cell g.
-func (m *Model) UE(g int) float64 { return m.ue[g] }
+func (m *Model) UE(g int) float64 { return m.ue[g] * m.ueFactor }
 
 // TotalUE returns the total number of UEs placed on the model.
-func (m *Model) TotalUE() float64 { return m.totalUE }
+func (m *Model) TotalUE() float64 { return m.totalUE * m.ueFactor }
+
+// UEFactor returns the current uniform load multiplier (1 unless
+// ScaleUsers has been called).
+func (m *Model) UEFactor() float64 { return m.ueFactor }
+
+// UEBase returns grid g's base UE weight without the uniform ScaleUsers
+// factor — for consumers that maintain running sums in base units and
+// re-apply the factor themselves at read time (the simulator's
+// incremental KPI meter).
+func (m *Model) UEBase(g int) float64 { return m.ue[g] }
 
 // ScaleUsers multiplies the model's entire UE distribution by factor
-// (e.g. to split a population across orthogonal carriers). States over
-// m must call RecomputeLoads afterwards.
+// (e.g. to split a population across orthogonal carriers, or the
+// simulator's per-tick diurnal load swing). O(1): the factor is folded
+// into every UE read instead of rewriting the grid. States over m need
+// no refresh at all — their per-sector loads are kept in base units and
+// pick the factor up at read time.
 func (m *Model) ScaleUsers(factor float64) {
-	for i := range m.ue {
-		m.ue[i] *= factor
-	}
-	m.totalUE *= factor
+	m.ueFactor *= factor
 }
 
 // ForkUsers returns a shallow copy of the model that shares the
@@ -239,8 +258,10 @@ func (m *Model) ForkUsers() *Model {
 }
 
 // ScaleUsersAt multiplies the UE weight of the given grid cells by
-// factor (a localized load surge or drain). States over m must call
-// RecomputeLoads afterwards.
+// factor (a localized load surge or drain). The scale edits the
+// per-grid base weights, composing with the uniform ScaleUsers factor.
+// States over m must call RecomputeLoads (or NoteUsersScaledAt, which
+// is O(len(grids))) afterwards.
 func (m *Model) ScaleUsersAt(grids []int, factor float64) {
 	for _, g := range grids {
 		old := m.ue[g]
@@ -259,6 +280,7 @@ func (m *Model) CopyUsersFrom(other *Model) error {
 		return fmt.Errorf("netmodel: grid mismatch: %d vs %d cells", len(m.ue), len(other.ue))
 	}
 	copy(m.ue, other.ue)
+	m.ueFactor = other.ueFactor
 	m.totalUE = other.totalUE
 	return nil
 }

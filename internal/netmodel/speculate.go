@@ -40,7 +40,7 @@ import (
 // one full scan. A no-op when tracking is already live for the same
 // objective. Apply keeps the sum repaired incrementally afterwards.
 func (s *State) EnableUtilityTracking(u utility.Func) {
-	if s.trackOn && s.trackFn.Name == u.Name {
+	if s.trackOn && s.trackFn.Name == u.Name && s.trackFactor == s.Model.ueFactor {
 		return
 	}
 	if s.trackRate == nil {
@@ -60,6 +60,7 @@ func (s *State) EnableUtilityTracking(u utility.Func) {
 	}
 	s.dirtySecs = s.dirtySecs[:0]
 
+	f := s.Model.ueFactor
 	sum := 0.0
 	for g, w := range s.Model.ue {
 		rate := s.RateBps(g)
@@ -67,11 +68,12 @@ func (s *State) EnableUtilityTracking(u utility.Func) {
 		uu := 0.0
 		if w != 0 {
 			uu = u.U(rate)
-			sum += w * uu
+			sum += w * f * uu
 		}
 		s.trackU[g] = uu
 	}
 	s.trackFn = u
+	s.trackFactor = f
 	s.trackSum = sum
 	s.trackOn = true
 	s.buildServedIndex()
@@ -145,6 +147,7 @@ func (s *State) repairTracking() {
 		}
 	}
 	s.dirtySecs = s.dirtySecs[:0]
+	f := s.trackFactor
 	for _, g := range s.dirtyGrids {
 		s.gridDirty[g] = false
 		rate := s.RateBps(int(g))
@@ -154,7 +157,7 @@ func (s *State) repairTracking() {
 		s.trackRate[g] = rate
 		if w := m.ue[g]; w != 0 {
 			nu := s.trackFn.U(rate)
-			s.trackSum += w * (nu - s.trackU[g])
+			s.trackSum += w * f * (nu - s.trackU[g])
 			s.trackU[g] = nu
 		}
 	}

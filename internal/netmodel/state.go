@@ -57,16 +57,36 @@ type State struct {
 
 	// Incremental utility tracking backing Speculate; see speculate.go.
 	// Deliberately not cloned: a clone re-derives its own running sum on
-	// first use, so it always equals a fresh full scan.
-	trackOn    bool
-	trackFn    utility.Func
-	trackSum   float64
-	trackRate  []float64
-	trackU     []float64
-	gridDirty  []bool
-	secDirty   []bool
-	dirtyGrids []int32
-	dirtySecs  []int32
+	// first use, so it always equals a fresh full scan. trackFactor is
+	// the model's uniform UE factor the sum was derived under; a factor
+	// change invalidates the sum (weights scaled underneath it), so the
+	// next enable re-derives.
+	trackOn     bool
+	trackFn     utility.Func
+	trackFactor float64
+	trackSum    float64
+	trackRate   []float64
+	trackU      []float64
+	gridDirty   []bool
+	secDirty    []bool
+	dirtyGrids  []int32
+	dirtySecs   []int32
+
+	// Incremental KPI aggregates backing KPIUtility and the radio-change
+	// grid log backing DrainChangedGrids; see incremental.go. Neither
+	// survives Clone (zero values mean "off"), and RecomputeLoads /
+	// AssignUsers* switch the aggregates off like they do tracking.
+	aggOn    bool
+	aggFn    utility.Func
+	aggMode  uint8
+	aggBk    [][]aggBucket // per sector: quantized-rate buckets
+	aggSec   []int32       // per grid: sector accounted under (-1 none)
+	aggW     []float64     // per grid: accounted base weight
+	aggWL    []float64     // per grid: accounted w·L term
+	aggRmax  []float64     // per grid: accounted max rate (bucket key)
+	logOn    bool
+	logMark  []bool
+	logGrids []int32
 }
 
 // NewState fully evaluates cfg against the model. The state takes
@@ -192,24 +212,34 @@ func (s *State) updateRate(g int) {
 	if s.trackOn {
 		s.markGrid(int32(g))
 	}
+	if s.logOn && !s.logMark[g] {
+		s.logMark[g] = true
+		s.logGrids = append(s.logGrids, int32(g))
+	}
 	if s.bestSec[g] < 0 || s.bestMw[g] <= 0 {
 		s.rmax[g] = 0
 		s.sinrLo[g] = 0
 		s.sinrHi[g] = 0
-		return
+	} else {
+		interf := s.totalMw[g] - s.bestMw[g]
+		if interf < 0 {
+			interf = 0 // floating point guard
+		}
+		sinr := s.bestMw[g] / (s.Model.noiseMw + interf)
+		if sinr <= 0 {
+			s.rmax[g] = 0
+			s.sinrLo[g] = 0
+			s.sinrHi[g] = 0
+		} else {
+			s.rmax[g], s.sinrLo[g], s.sinrHi[g] = s.Model.rateBounds(sinr)
+		}
 	}
-	interf := s.totalMw[g] - s.bestMw[g]
-	if interf < 0 {
-		interf = 0 // floating point guard
+	// KPI aggregate repair: only when something the accounting depends on
+	// actually changed — the skip keeps within-CQI-bucket touches free of
+	// both the log10 and the (non-bit-neutral) ±repair.
+	if s.aggOn && (s.aggSec[g] != s.bestSec[g] || s.aggRmax[g] != s.rmax[g] || s.aggW[g] != s.Model.ue[g]) {
+		s.aggReaccount(g)
 	}
-	sinr := s.bestMw[g] / (s.Model.noiseMw + interf)
-	if sinr <= 0 {
-		s.rmax[g] = 0
-		s.sinrLo[g] = 0
-		s.sinrHi[g] = 0
-		return
-	}
-	s.rmax[g], s.sinrLo[g], s.sinrHi[g] = s.Model.rateBounds(sinr)
 }
 
 // Apply applies a configuration change and incrementally updates the
@@ -428,20 +458,26 @@ func (s *State) MaxRateBps(g int) float64 { return s.rmax[g] }
 
 // RateBps returns the actual per-UE rate on grid g (Eq. 4): the max rate
 // divided by the serving sector's UE load (at least 1).
+//
+// Loads are accumulated in base UE units; the model's uniform ScaleUsers
+// factor is applied here, at read time, so a whole-market load swing
+// never has to rewrite per-sector sums (ueFactor is exactly 1.0 outside
+// simulations, and x*1.0 == x in IEEE754).
 func (s *State) RateBps(g int) float64 {
 	best := s.bestSec[g]
 	if best < 0 || s.rmax[g] <= 0 {
 		return 0
 	}
-	n := s.load[best]
+	n := s.load[best] * s.Model.ueFactor
 	if n < 1 {
 		n = 1
 	}
 	return s.rmax[g] / n
 }
 
-// Load returns the UE load of sector b.
-func (s *State) Load(b int) float64 { return s.load[b] }
+// Load returns the UE load of sector b (in effective UEs, i.e. with the
+// model's uniform ScaleUsers factor applied).
+func (s *State) Load(b int) float64 { return s.load[b] * s.Model.ueFactor }
 
 // ServedGrids returns the number of grids served by sector b.
 func (s *State) ServedGrids(b int) int { return int(s.served[b]) }
@@ -452,6 +488,7 @@ func (s *State) Utility(u utility.Func) float64 {
 	if s.cacheName != u.Name {
 		s.resetUtilityMemo(u.Name)
 	}
+	f := s.Model.ueFactor
 	total := 0.0
 	for g, w := range s.Model.ue {
 		if w == 0 {
@@ -459,7 +496,7 @@ func (s *State) Utility(u utility.Func) float64 {
 		}
 		rate := 0.0
 		if best := s.bestSec[g]; best >= 0 && s.rmax[g] > 0 {
-			n := s.load[best]
+			n := s.load[best] * f
 			if n < 1 {
 				n = 1
 			}
@@ -469,7 +506,7 @@ func (s *State) Utility(u utility.Func) float64 {
 			s.cacheRate[g] = rate
 			s.cacheU[g] = u.U(rate)
 		}
-		total += w * s.cacheU[g]
+		total += w * f * s.cacheU[g]
 	}
 	return total
 }
@@ -481,10 +518,11 @@ func (s *State) Utility(u utility.Func) float64 {
 // concurrency-safe evaluation for shared immutable states (an engine's
 // baseline), at the cost of one full u(rate) pass per call.
 func (s *State) UtilityRead(u utility.Func) float64 {
+	f := s.Model.ueFactor
 	total := 0.0
 	for g, w := range s.Model.ue {
 		if w != 0 {
-			total += w * u.U(s.RateBps(g))
+			total += w * f * u.U(s.RateBps(g))
 		}
 	}
 	return total
@@ -492,10 +530,11 @@ func (s *State) UtilityRead(u utility.Func) float64 {
 
 // UtilityIn is Utility restricted to the given grid cells.
 func (s *State) UtilityIn(u utility.Func, grids []int) float64 {
+	f := s.Model.ueFactor
 	total := 0.0
 	for _, g := range grids {
 		if w := s.Model.ue[g]; w != 0 {
-			total += w * u.U(s.RateBps(g))
+			total += w * f * u.U(s.RateBps(g))
 		}
 	}
 	return total
@@ -509,7 +548,7 @@ func (s *State) ServedUE() float64 {
 			total += w
 		}
 	}
-	return total
+	return total * s.Model.ueFactor
 }
 
 // AssignUsersUniform distributes the per-sector nominal UE population
@@ -526,6 +565,7 @@ func (s *State) AssignUsersUniform() {
 	for i := range m.ue {
 		m.ue[i] = 0
 	}
+	m.ueFactor = 1
 	m.totalUE = 0
 	for g := 0; g < m.Grid.NumCells(); g++ {
 		best := s.bestSec[g]
@@ -557,6 +597,7 @@ func (s *State) AssignUsersWeighted(weight func(g int) float64) {
 	for i := range m.ue {
 		m.ue[i] = 0
 	}
+	m.ueFactor = 1
 	m.totalUE = 0
 
 	// Per-sector weight totals over served grids.
@@ -591,6 +632,7 @@ func (s *State) AssignUsersWeighted(weight func(g int) float64) {
 func (s *State) RecomputeLoads() {
 	s.trackOn = false
 	s.servedIdxOn = false
+	s.aggOn = false
 	for i := range s.load {
 		s.load[i] = 0
 		s.served[i] = 0
@@ -688,10 +730,11 @@ func (s *State) SINRImprovers(affected []int, candidates []int, deltaDb float64)
 // between states a and b (both over the same model). Used to count the
 // synchronized handovers a configuration step triggers.
 func HandoverUEs(a, b *State) float64 {
+	f := a.Model.ueFactor
 	total := 0.0
 	for g, w := range a.Model.ue {
 		if w != 0 && a.bestSec[g] != b.bestSec[g] {
-			total += w
+			total += w * f
 		}
 	}
 	return total

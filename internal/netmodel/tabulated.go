@@ -104,8 +104,9 @@ func (m *Model) HasLinkTable(b int) bool {
 	return m.curveSettings != nil && b >= 0 && b < len(m.curveSettings) && m.curveSettings[b] != nil
 }
 
-// SetUsers replaces the model's UE density grid. States over m must
-// call RecomputeLoads (or be rebuilt) afterwards.
+// SetUsers replaces the model's UE density grid (and resets any uniform
+// ScaleUsers factor: the installed density IS the distribution). States
+// over m must call RecomputeLoads (or be rebuilt) afterwards.
 func (m *Model) SetUsers(ue []float64) error {
 	if len(ue) != len(m.ue) {
 		return fmt.Errorf("netmodel: density grid has %d cells, model has %d", len(ue), len(m.ue))
@@ -115,6 +116,7 @@ func (m *Model) SetUsers(ue []float64) error {
 		total += v
 	}
 	copy(m.ue, ue)
+	m.ueFactor = 1
 	m.totalUE = total
 	return nil
 }

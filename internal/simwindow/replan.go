@@ -100,8 +100,15 @@ func (r *SearchReplanner) Replan(rc *ReplanContext) ([][]config.Change, error) {
 	return out, nil
 }
 
-// replan builds the context and invokes the configured replanner.
+// replan builds the context and invokes the configured replanner. The
+// C_before baseline's loads are refreshed here, lazily: surges rescale
+// base weights mid-window, but nothing reads beforeRef until a replan,
+// so the incremental path skips the per-event refresh for it entirely.
 func (s *Simulator) replan(floor float64) ([][]config.Change, error) {
+	if s.beforeStale {
+		s.beforeRef.RecomputeLoads()
+		s.beforeStale = false
+	}
 	rc := &ReplanContext{
 		Live:      s.live.Clone(),
 		Baseline:  s.beforeRef,

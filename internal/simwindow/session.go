@@ -40,6 +40,7 @@ type Session struct {
 	timedNext int
 	surgeGrid map[int][]int
 	active    []surge
+	sinceSync int
 }
 
 // Sample is one KPI observation of a live session.
@@ -108,6 +109,10 @@ func NewSession(base *netmodel.State, rb *runbook.Runbook, cfg Config) (*Session
 		}
 	}
 	sortFaults(s.timed)
+	if !cfg.FullScanKPIs {
+		s.live.EnableKPIAggregates(cfg.Util, cfg.Workers)
+		s.afterRef.EnableKPIAggregates(cfg.Util, cfg.Workers)
+	}
 	return s, nil
 }
 
@@ -116,10 +121,20 @@ func NewSession(base *netmodel.State, rb *runbook.Runbook, cfg Config) (*Session
 func (s *Session) Tick() int { return s.tick }
 
 // Floor returns f(C_after) at the current load without advancing time.
-func (s *Session) Floor() float64 { return s.afterRef.Utility(s.cfg.Util) }
+func (s *Session) Floor() float64 {
+	if s.cfg.FullScanKPIs {
+		return s.afterRef.Utility(s.cfg.Util)
+	}
+	return s.afterRef.KPIUtility()
+}
 
 // Utility returns f(C_live) at the current load without advancing time.
-func (s *Session) Utility() float64 { return s.live.Utility(s.cfg.Util) }
+func (s *Session) Utility() float64 {
+	if s.cfg.FullScanKPIs {
+		return s.live.Utility(s.cfg.Util)
+	}
+	return s.live.KPIUtility()
+}
 
 // Push applies one step's configuration changes to the live network.
 // The session clock does not move: delivery timing is the caller's
@@ -152,7 +167,9 @@ func (s *Session) Advance() Sample {
 	}
 	for i := 0; i < len(s.active); {
 		if t >= s.active[i].endTick {
-			s.model.ScaleUsersAt(s.active[i].grids, 1/s.active[i].factor)
+			inv := 1 / s.active[i].factor
+			s.model.ScaleUsersAt(s.active[i].grids, inv)
+			s.noteScaledAt(s.active[i].grids, inv)
 			s.active = append(s.active[:i], s.active[i+1:]...)
 			loadChanged = true
 			continue
@@ -176,21 +193,41 @@ func (s *Session) Advance() Sample {
 				dur = s.cfg.Ticks + 1 - t
 			}
 			s.model.ScaleUsersAt(grids, f.Factor)
+			s.noteScaledAt(grids, f.Factor)
 			s.active = append(s.active, surge{endTick: t + dur, grids: grids, factor: f.Factor})
 			loadChanged = true
 		}
 	}
-	if loadChanged {
+	if loadChanged && s.cfg.FullScanKPIs {
 		s.live.RecomputeLoads()
 		s.afterRef.RecomputeLoads()
+	}
+	if !s.cfg.FullScanKPIs {
+		s.sinceSync++
+		if s.sinceSync >= meterResyncTicks {
+			s.sinceSync = 0
+			s.live.ResyncKPIAggregates(s.cfg.Workers)
+			s.afterRef.ResyncKPIAggregates(s.cfg.Workers)
+		}
 	}
 
 	return Sample{
 		Tick:       t,
-		Utility:    s.live.Utility(s.cfg.Util),
-		Floor:      s.afterRef.Utility(s.cfg.Util),
+		Utility:    s.Utility(),
+		Floor:      s.Floor(),
 		LoadFactor: s.curFactor,
 	}
+}
+
+// noteScaledAt repairs both states' loads and aggregates after a
+// localized base-weight rescale (no-op on the legacy full-scan path,
+// which rebuilds loads wholesale instead).
+func (s *Session) noteScaledAt(grids []int, factor float64) {
+	if s.cfg.FullScanKPIs {
+		return
+	}
+	s.live.NoteUsersScaledAt(grids, factor)
+	s.afterRef.NoteUsersScaledAt(grids, factor)
 }
 
 // sessionFaultIndex recovers the Config.Faults index of a timed fault

@@ -95,6 +95,13 @@ type Config struct {
 	// RecordSectorLoads adds the full per-sector load matrix to the
 	// outcome (the series always carries the per-tick maximum).
 	RecordSectorLoads bool
+	// FullScanKPIs retains the legacy O(grids) per-tick measurement —
+	// full utility/handover/SINR scans and full load rebuilds — instead
+	// of the incremental KPI engine. The handover series is bit-identical
+	// between the two modes; utility, floor, below-floor and load series
+	// agree within floating-point association (≤1e-9 relative). The flag
+	// is the golden-test reference path and an escape hatch.
+	FullScanKPIs bool
 	// Ctx, when non-nil, aborts the simulation between ticks.
 	Ctx context.Context
 }
@@ -232,6 +239,11 @@ type Simulator struct {
 	timed     []Fault // sector-down and surge faults, sorted
 	surgeGrid map[int][]int
 	neighbors []int
+
+	// beforeStale marks that a surge rescaled base weights without
+	// refreshing beforeRef's loads: nothing reads them until a replan,
+	// which refreshes lazily (full-scan mode refreshes eagerly instead).
+	beforeStale bool
 }
 
 // New prepares a simulation of rb starting from base (the C_before
@@ -335,7 +347,9 @@ func profileFactorAt(cfg *Config, t int) float64 {
 }
 
 // recomputeLoads refreshes every private state after the model's UE
-// distribution changed.
+// distribution changed — the legacy full-scan path only; the
+// incremental path repairs loads per event and refreshes beforeRef
+// lazily at replan time.
 func (s *Simulator) recomputeLoads() {
 	s.live.RecomputeLoads()
 	s.afterRef.RecomputeLoads()
@@ -357,11 +371,7 @@ func (s *Simulator) Run() (*Outcome, error) {
 		sinrFloor = s.model.Link.MinSINRdB()
 	}
 
-	numGrids := s.model.Grid.NumCells()
-	prevServing := make([]int32, numGrids)
-	for g := 0; g < numGrids; g++ {
-		prevServing[g] = int32(s.live.ServingSector(g))
-	}
+	mt := newMeter(s.model, s.live, s.afterRef, cfg, sinrFloor)
 
 	curFactor := 1.0
 	var active []surge
@@ -370,6 +380,10 @@ func (s *Simulator) Run() (*Outcome, error) {
 	replans := 0
 	sum := &out.Summary
 	sum.MinFloorGap = math.Inf(1)
+	out.Series = make([]Tick, 0, cfg.Ticks+1)
+	// Events scratch, reused across ticks: most ticks have none, and
+	// event ticks copy out exactly once instead of growing a fresh slice.
+	evBuf := make([]string, 0, 4)
 
 	for t := 0; t <= cfg.Ticks; t++ {
 		if cfg.Ctx != nil {
@@ -377,9 +391,11 @@ func (s *Simulator) Run() (*Outcome, error) {
 				return nil, err
 			}
 		}
-		var events []string
+		events := evBuf[:0]
 
-		// 1. Load evolution: diurnal profile, noise, surge expiry.
+		// 1. Load evolution: diurnal profile, noise, surge expiry. The
+		// uniform swing is a factor fold on the model (O(1)); localized
+		// surge edits repair loads and aggregates per touched grid.
 		factor := s.profileFactor(t)
 		if cfg.LoadNoise > 0 {
 			factor *= math.Exp(cfg.LoadNoise * s.rng.NormFloat64())
@@ -391,7 +407,11 @@ func (s *Simulator) Run() (*Outcome, error) {
 		}
 		for i := 0; i < len(active); {
 			if t >= active[i].endTick {
-				s.model.ScaleUsersAt(active[i].grids, 1/active[i].factor)
+				inv := 1 / active[i].factor
+				mt.preScale(active[i].grids)
+				s.model.ScaleUsersAt(active[i].grids, inv)
+				mt.postScale(active[i].grids, inv)
+				s.beforeStale = true
 				events = append(events, fmt.Sprintf("surge over %d grids ends", len(active[i].grids)))
 				active = append(active[:i], active[i+1:]...)
 				loadChanged = true
@@ -417,14 +437,18 @@ func (s *Simulator) Run() (*Outcome, error) {
 				if dur <= 0 {
 					dur = cfg.Ticks + 1 - t
 				}
+				mt.preScale(grids)
 				s.model.ScaleUsersAt(grids, f.Factor)
+				mt.postScale(grids, f.Factor)
+				s.beforeStale = true
 				active = append(active, surge{endTick: t + dur, grids: grids, factor: f.Factor})
 				loadChanged = true
 				events = append(events, fmt.Sprintf("fault: x%g load surge over %d grids", f.Factor, len(grids)))
 			}
 		}
-		if loadChanged {
+		if loadChanged && cfg.FullScanKPIs {
 			s.recomputeLoads()
+			s.beforeStale = false
 		}
 
 		// 3. At most one configuration push per tick, in order.
@@ -463,27 +487,14 @@ func (s *Simulator) Run() (*Outcome, error) {
 			}
 		}
 
-		// 4. Measure the tick.
-		u := s.live.Utility(cfg.Util)
-		floor := s.afterRef.Utility(cfg.Util)
-		handovers := 0.0
-		for g := 0; g < numGrids; g++ {
-			cur := int32(s.live.ServingSector(g))
-			if cur != prevServing[g] {
-				handovers += s.model.UE(g)
-				prevServing[g] = cur
-			}
-		}
+		// 4. Measure the tick: O(sectors + changed grids) on the
+		// incremental path, sharded full scans on the reference path.
+		u, floor := mt.utilities()
+		handovers, below := mt.measureChanges()
 		maxLoad := 0.0
 		for b := 0; b < s.model.Net.NumSectors(); b++ {
 			if l := s.live.Load(b); l > maxLoad {
 				maxLoad = l
-			}
-		}
-		below := 0.0
-		for g := 0; g < numGrids; g++ {
-			if w := s.model.UE(g); w != 0 && s.live.SINRdB(g) < sinrFloor {
-				below += w
 			}
 		}
 
@@ -507,6 +518,7 @@ func (s *Simulator) Run() (*Outcome, error) {
 			if err != nil {
 				return nil, fmt.Errorf("simwindow: replan at tick %d: %w", t, err)
 			}
+			mt.resync()
 			replans++
 			belowStreak = 0
 			if len(batches) > 0 {
@@ -532,6 +544,11 @@ func (s *Simulator) Run() (*Outcome, error) {
 		if handovers > sum.MaxTickHandovers {
 			sum.MaxTickHandovers = handovers
 		}
+		var tickEvents []string
+		if len(events) > 0 {
+			tickEvents = append([]string(nil), events...)
+		}
+		evBuf = events[:0] // keep any growth for the next tick
 		out.Series = append(out.Series, Tick{
 			Tick:            t,
 			HourOfDay:       math.Mod(cfg.StartHour+float64(t)*cfg.TickSeconds/3600, 24),
@@ -542,7 +559,7 @@ func (s *Simulator) Run() (*Outcome, error) {
 			MaxSectorLoad:   maxLoad,
 			UsersBelowFloor: below,
 			PushedChanges:   pushed,
-			Events:          events,
+			Events:          tickEvents,
 		})
 		if cfg.RecordSectorLoads {
 			loads := make([]float64, s.model.Net.NumSectors())
@@ -551,6 +568,7 @@ func (s *Simulator) Run() (*Outcome, error) {
 			}
 			out.SectorLoads = append(out.SectorLoads, loads)
 		}
+		mt.tickDone()
 		if halted {
 			break
 		}
